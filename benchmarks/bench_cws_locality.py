@@ -1,0 +1,121 @@
+"""Ablation — data-locality scheduling via CWSI file information (§3.1).
+
+The CWSI exists to move "essential information, such as input files"
+across the WMS/RM boundary.  This bench shows what a scheduler can do
+with it: on data-intensive workflows (10 GB hand-offs between stages),
+placing consumers on their producers' nodes eliminates most
+interconnect staging.
+
+Both sides pay the same honest transfer cost model (10 GbE
+interconnect); the only difference is whether the scheduler *uses* the
+file information.
+"""
+
+from repro.cluster import Cluster, NodeSpec
+from repro.core import TaskSpec, Workflow
+from repro.cws import CWSI
+from repro.data import File, GB
+from repro.engines import NextflowLikeEngine
+from repro.rm import KubeScheduler
+from repro.simkernel import Environment
+from repro.viz import render_table
+
+
+def data_pipeline(samples=9, stages=4, bytes_per_stage=50 * GB, seed=0):
+    """Per-sample transformation chains with heavy intermediates —
+    the classic locality-sensitive shape.  Runtimes vary per task so
+    chains interleave (uniform runtimes would let even blind placement
+    colocate by accident)."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    wf = Workflow("datapipe")
+    for s in range(samples):
+        prev = None
+        for i in range(stages):
+            out = File(f"s{s}.stage{i}", bytes_per_stage)
+            wf.add_task(
+                TaskSpec(
+                    f"s{s:02d}t{i:02d}",
+                    runtime_s=float(rng.uniform(30, 120)),
+                    cores=2,
+                    inputs=(prev.name,) if prev else (),
+                    outputs=(out,),
+                )
+            )
+            prev = out
+    return wf
+
+
+def run_with(strategy_name):
+    env = Environment()
+    cluster = Cluster(env, pools=[(NodeSpec("n", cores=4, memory_gb=32), 3)])
+    sched = KubeScheduler(env, cluster)
+    cwsi = CWSI(env, sched, strategy=strategy_name)
+    engine = NextflowLikeEngine(env, sched, cwsi=cwsi)
+    run = engine.run(data_pipeline())
+    env.run(until=run.done)
+    assert run.succeeded
+    return run
+
+
+def total_staging_s(run):
+    """Sum of charged staging seconds (recorded in pod labels is not
+    visible here; recompute from placements)."""
+    wf = run.workflow
+    by_task = run.records
+    total = 0.0
+    for name, rec in by_task.items():
+        spec = wf.task(name)
+        for inp in spec.inputs:
+            producer = wf.producer_of(inp)
+            if producer is None:
+                continue
+            if by_task[producer].node_id != rec.node_id:
+                size = next(
+                    o.size_bytes
+                    for o in wf.task(producer).outputs
+                    if o.name == inp
+                )
+                total += size / 1e6 / 1250.0
+    return total
+
+
+def test_data_locality_scheduling(benchmark, report):
+    blind, local = benchmark.pedantic(
+        lambda: (run_with("fifo-staging"), run_with("locality")),
+        rounds=1,
+        iterations=1,
+    )
+    blind_staging = total_staging_s(blind)
+    local_staging = total_staging_s(local)
+
+    table = render_table(
+        ["strategy", "makespan", "interconnect staging", "off-node hand-offs"],
+        [
+            ["fifo + staging (blind)", f"{blind.makespan:.0f}s",
+             f"{blind_staging:.0f}s", f"{_offnode(blind)}"],
+            ["locality (CWSI-informed)", f"{local.makespan:.0f}s",
+             f"{local_staging:.0f}s", f"{_offnode(local)}"],
+        ],
+    )
+    report(
+        "ablation_cws_locality",
+        "Ablation: data-locality placement from CWSI file info (§3.1)\n"
+        "9 sample chains x 4 stages, 50 GB intermediates, 10 GbE, "
+        "45 s delay-scheduling patience\n\n" + table,
+    )
+
+    assert local_staging < blind_staging * 0.2
+    assert local.makespan < blind.makespan
+
+
+def _offnode(run):
+    wf = run.workflow
+    count = 0
+    for name, rec in run.records.items():
+        for inp in wf.task(name).inputs:
+            producer = wf.producer_of(inp)
+            if producer and run.records[producer].node_id != rec.node_id:
+                count += 1
+    return count

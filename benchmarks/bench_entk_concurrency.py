@@ -1,0 +1,68 @@
+"""E3 — Fig 5: concurrency of 7875 EnTK tasks (§4.3).
+
+Paper numbers: "ExaAM workflows implemented with EnTK reached a
+scheduling throughput of 269 tasks/s, launching 51 tasks/s.  Those
+rates are [the] initial slopes of blue and orange lines", where blue is
+tasks pending launch and orange is tasks executing concurrently.
+
+Shape targets: scheduling slope ≈ 269/s ≫ launch slope ≈ 51/s; the
+executing curve plateaus at pilot capacity (8000/8 = 1000 concurrent
+tasks) and drains at the end.
+"""
+
+import numpy as np
+
+from repro.entk import AppManager, Pipeline, ResourceDescription, Stage
+from repro.entk.platforms import platform_cluster
+from repro.exaam import frontier_stage3_tasks
+from repro.rm import BatchScheduler
+from repro.simkernel import Environment
+from repro.viz import render_series, render_table
+
+
+def run_and_profile(n_tasks=7875, nodes=8000, seed=42):
+    env = Environment()
+    cluster = platform_cluster(env, "frontier", nodes=nodes)
+    batch = BatchScheduler(env, cluster, backfill=False)
+    am = AppManager(
+        env, batch, ResourceDescription(nodes=nodes, walltime_s=12 * 3600)
+    )
+    pipeline = Pipeline(name="uq-stage3")
+    stage = Stage(name="exaconstit")
+    stage.add_tasks(frontier_stage3_tasks(n_tasks, rng=np.random.default_rng(seed)))
+    pipeline.add_stage(stage)
+    result = am.run([pipeline])
+    env.run(until=result.done)
+    assert result.succeeded
+    return result.profiles[0]
+
+
+def test_entk_concurrency_curves(benchmark, report):
+    prof = benchmark.pedantic(run_and_profile, rounds=1, iterations=1)
+
+    # Measure the initial slopes inside the ramp (before capacity or the
+    # scheduler backlog saturates them).
+    sched_slope = prof.scheduling_throughput
+    launch_slope = prof.launch_throughput
+    chart = render_series(
+        {
+            "pending-launch (blue)": prof.pending_series,
+            "executing (orange)": prof.concurrency_series,
+        },
+        title="E3 / Fig 5: task states over the job",
+    )
+    table = render_table(
+        ["metric", "paper", "measured"],
+        [
+            ["scheduling throughput", "269 tasks/s", f"{sched_slope:.0f} tasks/s"],
+            ["launch throughput", "51 tasks/s", f"{launch_slope:.0f} tasks/s"],
+            ["executing plateau", "1000 tasks", f"{prof.peak_concurrency:.0f} tasks"],
+        ],
+    )
+    report("E3_fig5_concurrency", table + "\n\n" + chart)
+
+    assert 200 <= sched_slope <= 280
+    assert 40 <= launch_slope <= 60
+    assert prof.peak_concurrency == 1000
+    # Drain: the executing curve ends at zero.
+    assert prof.concurrency_series[1][-1] == 0

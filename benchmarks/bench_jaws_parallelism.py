@@ -1,0 +1,95 @@
+"""Ablation — the inappropriate-parallelism anti-pattern (§6.2).
+
+"Achieving optimal performance [balances] the time and resources
+dedicated to each parallel task's execution [against] the overhead in
+the filesystem for managing these tasks.  It is advisable that each
+parallel job should have a minimum runtime of 30 minutes."
+
+We hold total work constant (480 task-minutes per sample batch) and
+sweep the shard granularity.  Efficiency = work / (work + overhead)
+collapses below the ~30-minute shard mark; the lint rule (JAWS001)
+fires exactly where the curve says it should.
+"""
+
+from repro.cluster import Cluster, NodeSpec
+from repro.jaws import CromwellEngine, EngineOptions, lint_workflow, parse_wdl
+from repro.rm import BatchScheduler
+from repro.simkernel import Environment
+from repro.viz import render_table
+
+TOTAL_WORK_MIN = 480.0
+#: Shard runtimes (minutes) to sweep; 30 is the paper's guidance line.
+SHARD_MINUTES = (120.0, 60.0, 30.0, 10.0, 5.0, 2.0)
+OPTIONS = EngineOptions(container_start_s=30.0, stage_overhead_s=150.0)
+
+
+def make_workflow(shard_minutes: float) -> str:
+    shards = int(TOTAL_WORK_MIN / shard_minutes)
+    return f"""
+    version 1.0
+    task piece {{
+        input {{ Int idx }}
+        command <<< crunch >>>
+        output {{ String o = "done" }}
+        runtime {{ cpu: 2, runtime_minutes: {shard_minutes},
+                   docker: "jgi/tool@sha256:cc" }}
+    }}
+    workflow sweep {{
+        scatter (i in range({shards})) {{
+            call piece {{ input: idx = i }}
+        }}
+    }}
+    """
+
+
+def run_granularity(shard_minutes: float):
+    env = Environment()
+    cluster = Cluster(env, pools=[(NodeSpec("c", cores=16, memory_gb=64), 64)])
+    engine = CromwellEngine(env, BatchScheduler(env, cluster), OPTIONS)
+    result = engine.run(parse_wdl(make_workflow(shard_minutes)))
+    env.run(until=result.done)
+    assert result.succeeded, result.error
+    work_s = TOTAL_WORK_MIN * 60.0
+    overhead_s = result.shard_count * (
+        OPTIONS.container_start_s + OPTIONS.stage_overhead_s
+    )
+    return {
+        "shards": result.shard_count,
+        "efficiency": work_s / (work_s + overhead_s),
+        "lint": {f.code for f in lint_workflow(parse_wdl(make_workflow(shard_minutes)))},
+    }
+
+
+def test_parallelism_granularity_sweep(benchmark, report):
+    sweep = benchmark.pedantic(
+        lambda: {m: run_granularity(m) for m in SHARD_MINUTES},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        [
+            f"{m:.0f} min",
+            sweep[m]["shards"],
+            f"{sweep[m]['efficiency'] * 100:.1f}%",
+            "JAWS001" if "JAWS001" in sweep[m]["lint"] else "-",
+        ]
+        for m in SHARD_MINUTES
+    ]
+    report(
+        "ablation_jaws_parallelism",
+        "Ablation: shard granularity vs overhead (30-minute rule, §6.2)\n"
+        f"total work fixed at {TOTAL_WORK_MIN:.0f} task-minutes; "
+        "per-shard overhead 3 min\n\n"
+        + render_table(["shard runtime", "shards", "efficiency", "lint"], rows),
+    )
+
+    eff = {m: sweep[m]["efficiency"] for m in SHARD_MINUTES}
+    # Efficiency is monotone in shard size and collapses for tiny shards.
+    assert eff[120.0] > eff[30.0] > eff[2.0]
+    assert eff[30.0] > 0.85      # the guidance line is still efficient
+    assert eff[2.0] < 0.50       # far below it, overhead dominates
+    # The linter fires exactly below the 30-minute guidance.
+    for m in SHARD_MINUTES:
+        fired = "JAWS001" in sweep[m]["lint"]
+        assert fired == (m < 30.0)

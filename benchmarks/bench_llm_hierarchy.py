@@ -1,0 +1,86 @@
+"""Extension — hierarchical task decomposition (§2.1's proposed fix).
+
+"Composing more complex workflows will eventually hit the token limit
+[...] we would need to invent a hierarchical schema for task
+decomposition."  This bench implements and measures that schema: the
+flat chat loop's prompt grows with the transcript; the two-level
+composite scheme bounds every session's prompt by its group size.
+"""
+
+from repro.llm import (
+    ChatWorkflowDriver,
+    ContextLimitExceeded,
+    HierarchicalChatDriver,
+    MockFunctionCallingLLM,
+    PhyloflowAdapters,
+    make_synthetic_vcf,
+)
+from repro.viz import render_table
+
+INSTRUCTION = (
+    "Run the full phyloflow pipeline on tumor.vcf with 3 clusters and "
+    "build the phylogeny."
+)
+
+
+def adapters():
+    vcf = make_synthetic_vcf(n_mutations=60, n_clones=3, depth=500, seed=7)
+    return PhyloflowAdapters(files={"tumor.vcf": vcf})
+
+
+def run_comparison():
+    flat_llm = MockFunctionCallingLLM()
+    flat_driver = ChatWorkflowDriver(flat_llm, adapters())
+    flat_result = flat_driver.run(INSTRUCTION)
+    flat_tree = flat_driver.final_value(flat_result)
+
+    hier = HierarchicalChatDriver(adapters())
+    hier_result = hier.run(INSTRUCTION)
+    hier_tree = hier.final_value(hier_result)
+
+    # A context limit between the two peaks: flat overflows, hierarchy fits.
+    limit = (hier_result.peak_prompt_tokens + flat_llm.max_prompt_tokens) // 2
+    flat_overflowed = False
+    try:
+        ChatWorkflowDriver(
+            MockFunctionCallingLLM(context_limit_tokens=limit), adapters()
+        ).run(INSTRUCTION)
+    except ContextLimitExceeded:
+        flat_overflowed = True
+    constrained = HierarchicalChatDriver(
+        adapters(),
+        llm_factory=lambda: MockFunctionCallingLLM(context_limit_tokens=limit),
+    )
+    constrained_result = constrained.run(INSTRUCTION)
+    return (flat_llm, flat_tree, hier_result, hier_tree, limit,
+            flat_overflowed, constrained_result)
+
+
+def test_llm_hierarchical_decomposition(benchmark, report):
+    (flat_llm, flat_tree, hier_result, hier_tree, limit,
+     flat_overflowed, constrained_result) = benchmark.pedantic(
+        run_comparison, rounds=1, iterations=1
+    )
+
+    table = render_table(
+        ["metric", "flat (§2.1 prototype)", "hierarchical (proposed fix)"],
+        [
+            ["peak prompt tokens", str(flat_llm.max_prompt_tokens),
+             str(hier_result.peak_prompt_tokens)],
+            ["sessions", "1", f"1 top + {len(hier_result.sub_results)} sub"],
+            ["phylogeny clones", str(flat_tree["n_clones"]),
+             str(hier_tree["n_clones"])],
+            [f"fits a {limit}-token context", str(not flat_overflowed),
+             str(constrained_result.stopped)],
+        ],
+    )
+    report(
+        "extension_llm_hierarchy",
+        "Extension: hierarchical task decomposition (§2.1 token limit)\n\n"
+        + table,
+    )
+
+    assert hier_result.peak_prompt_tokens < flat_llm.max_prompt_tokens
+    assert flat_overflowed
+    assert constrained_result.stopped
+    assert hier_tree == flat_tree  # same science either way

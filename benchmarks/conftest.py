@@ -1,0 +1,28 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one table or figure from the paper.  The
+rendered output goes to ``benchmarks/results/<name>.txt`` (so the
+artifacts survive pytest's output capture) and to stdout (visible with
+``pytest -s``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """``report(name, text)`` — persist and print a rendered result."""
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n[saved to {path}]")
+
+    return _report

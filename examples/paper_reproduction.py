@@ -1,0 +1,96 @@
+"""Regenerate every paper experiment in one run (no pytest needed).
+
+Prints the paper-vs-measured summary for E1-E8.  The same logic backs
+the benchmark harness (``pytest benchmarks/ --benchmark-only``); this
+script reuses those modules directly so the two can never drift.
+
+Run: ``python examples/paper_reproduction.py [--quick]``
+``--quick`` scales the two Frontier-size runs down 10x (a few seconds
+instead of ~15 s).
+"""
+
+import pathlib
+import sys
+
+# The benchmark harness doubles as the experiment library.
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "benchmarks"))
+
+import bench_atlas_table1
+import bench_atlas_table2
+import bench_cws_makespan
+import bench_entk_fault_tolerance
+import bench_entk_utilization
+import bench_jaws_fusion
+import bench_llm_phyloflow
+from repro.atlas import compare_cloud_hpc, table1
+from repro.viz import render_table
+
+
+def hr(title: str) -> None:
+    print("\n" + "=" * 70)
+    print(title)
+    print("=" * 70)
+
+
+def main(quick: bool = False) -> None:
+    scale = 10 if quick else 1
+
+    hr("E1 — CWS makespan reduction (paper: avg 10.8%, max 25%)")
+    _, summary = bench_cws_makespan.run_experiment()
+    for strategy, stats in summary["per_strategy"].items():
+        print(f"  {strategy:<9} mean {stats['mean_reduction'] * 100:5.1f}%  "
+              f"max {stats['max_reduction'] * 100:5.1f}%  "
+              f"wins {stats['wins']}/{stats['n']}")
+
+    hr("E2/E3 — EnTK on Frontier (paper: 90% util, OVH 85s, 269/51 tasks/s)")
+    prof = bench_entk_utilization.run_frontier_stage3(
+        n_tasks=7875 // scale, nodes=8000 // scale
+    )
+    for line in prof.summary_lines():
+        print("  " + line)
+
+    hr("E4 — fault tolerance (paper: 8 node-failure casualties recovered, 2 numerical)")
+    result, tasks = bench_entk_fault_tolerance.run_fault_scenario(
+        n_tasks=790 // scale, nodes=800 // scale
+    )
+    events = bench_entk_fault_tolerance.prof_failures(result)
+    node_failed = {n for n, _, c in events
+                   if "dead-node" in str(c) or "frontier" in str(c)}
+    numerical = {n for n, _, c in events if "time step" in str(c)}
+    print(f"  tasks killed by the node failure: {len(node_failed)} (recovered)")
+    print(f"  numerical failures: {len(numerical)} (accepted)")
+    print(f"  completed: {result.tasks_done()}/{len(tasks)}")
+
+    hr("E5 — Table 1 (cloud instance metrics)")
+    cloud = bench_atlas_table1.run_cloud()
+    for row in table1(cloud.records):
+        print("  " + row.format())
+
+    hr("E6 — Table 2 (cloud vs HPC)")
+    cloud2, hpc = bench_atlas_table2.run_both()
+    for row in compare_cloud_hpc(cloud2.records, hpc.records):
+        print("  " + row.format())
+    print(f"  hpc job efficiency: {hpc.job_efficiency() * 100:.0f}% (paper ~72%)")
+
+    hr("E7 — task fusion (paper: -70% time, -71% shards)")
+    baseline, fused, fusions = bench_jaws_fusion.run_fusion_experiment()
+    print(f"  fused: {list(fusions.values())[0]}")
+    print(f"  shards {baseline.shard_count} -> {fused.shard_count} "
+          f"({(1 - fused.shard_count / baseline.shard_count) * -100:.0f}%)")
+    print(f"  time {baseline.makespan / 60:.0f} -> {fused.makespan / 60:.0f} min "
+          f"({(1 - fused.makespan / baseline.makespan) * -100:.0f}%)")
+
+    hr("E8 — NL-driven Phyloflow via function calling")
+    result8, tree, recovery, tree2 = bench_llm_phyloflow.run_pipeline()
+    print(f"  calls: {' -> '.join(n.split('_from')[0] for n in result8.calls_made())}")
+    print(f"  clones recovered: {tree['n_clones']} (planted 3), "
+          f"confidence {tree['confidence']:.2f}")
+    print(f"  error-forwarding run: {len(recovery.errors)} forwarded error, "
+          f"completed with {tree2['n_clones']} clones")
+
+    print("\nAll experiments regenerated.  Full tables: "
+          "pytest benchmarks/ --benchmark-only && cat benchmarks/results/*.txt")
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

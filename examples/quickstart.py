@@ -1,0 +1,80 @@
+"""Quickstart: define a workflow, execute it on a simulated cluster.
+
+Covers the core loop in ~60 lines:
+
+1. describe a heterogeneous cluster,
+2. build a workflow DAG with file-inferred dependencies,
+3. execute it through a Nextflow-like WMS engine talking CWSI to a
+   Kubernetes-like scheduler,
+4. inspect makespan, placements, and the provenance the CWS collected.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro.cluster import Cluster, NodeSpec
+from repro.core import TaskSpec, Workflow
+from repro.cws import CWSI
+from repro.data import File, MB
+from repro.engines import NextflowLikeEngine
+from repro.rm import KubeScheduler
+from repro.simkernel import Environment
+
+
+def main() -> None:
+    # 1. A small heterogeneous cluster: two slow nodes, one fast.
+    env = Environment()
+    cluster = Cluster(
+        env,
+        name="demo",
+        pools=[
+            (NodeSpec("slow", cores=4, memory_gb=32, speed=1.0), 2),
+            (NodeSpec("fast", cores=8, memory_gb=64, speed=1.5), 1),
+        ],
+    )
+
+    # 2. A diamond workflow; edges come from file names.
+    wf = Workflow("diamond-demo")
+    wf.add_task(TaskSpec("fetch", runtime_s=30, outputs=(File("raw.dat", 500 * MB),)))
+    wf.add_task(
+        TaskSpec("analyze_a", runtime_s=120, cores=2,
+                 inputs=("raw.dat",), outputs=(File("a.out", 50 * MB),))
+    )
+    wf.add_task(
+        TaskSpec("analyze_b", runtime_s=300, cores=2,
+                 inputs=("raw.dat",), outputs=(File("b.out", 200 * MB),))
+    )
+    wf.add_task(TaskSpec("report", runtime_s=20, inputs=("a.out", "b.out")))
+
+    from repro.viz import render_dag
+
+    print("workflow structure:")
+    print(render_dag(wf))
+    print()
+
+    # 3. Engine -> CWSI -> scheduler.  The CWSI makes the resource
+    #    manager workflow-aware (here: rank strategy).
+    scheduler = KubeScheduler(env, cluster)
+    cwsi = CWSI(env, scheduler, strategy="rank")
+    engine = NextflowLikeEngine(env, scheduler, cwsi=cwsi)
+
+    run = engine.run(wf)
+    env.run(until=run.done)
+
+    # 4. Results.
+    print(f"workflow {wf.name!r}: succeeded={run.succeeded}, "
+          f"makespan={run.makespan:.0f}s")
+    for name, record in sorted(run.records.items()):
+        print(f"  {name:<10} on {record.node_id:<12} "
+              f"[{record.start_time:>6.0f}s -> {record.end_time:>6.0f}s]")
+    print("\nprovenance rows collected by the CWS:")
+    for row in cwsi.provenance.export_rows():
+        print(f"  {row['task']:<10} runtime={row['runtime_s']:>6.1f}s "
+              f"queue_wait={row['queue_wait_s']:>5.1f}s "
+              f"inputs={row['input_bytes']:,}B")
+    # The long branch should have landed on the fast node.
+    assert run.records["analyze_b"].node_id.startswith("fast")
+    print("\nOK: the critical branch ran on the fast node.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro — scalable composable workflows in hyper-heterogeneous environments.
+
+A from-scratch reproduction of the five systems presented in
+*"Novel Approaches Toward Scalable Composable Workflows in
+Hyper-Heterogeneous Computing Environments"* (SC-W / WORKS 2023):
+
+- :mod:`repro.llm` — LLM-driven workflow composition (§2),
+- :mod:`repro.cws` — the Common Workflow Scheduler Interface (§3),
+- :mod:`repro.entk` / :mod:`repro.exaam` — the EnTK ensemble toolkit
+  and the ExaAM UQ pipeline (§4),
+- :mod:`repro.atlas` — the Transcriptomics Atlas pipeline (§5),
+- :mod:`repro.jaws` — the JGI Analysis Workflow Service (§6),
+
+all running on shared simulated substrates: :mod:`repro.simkernel`
+(discrete events), :mod:`repro.cluster` (heterogeneous machines),
+:mod:`repro.data` (storage/transfers), :mod:`repro.rm` (resource
+managers), :mod:`repro.core` (workflow DAGs and futures),
+:mod:`repro.engines` (WMS engines), and :mod:`repro.workloads`
+(synthetic workflow generators).
+
+See README.md for a map, DESIGN.md for the substitution rationale, and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "atlas",
+    "cluster",
+    "core",
+    "cws",
+    "data",
+    "engines",
+    "entk",
+    "exaam",
+    "jaws",
+    "llm",
+    "rm",
+    "simkernel",
+    "viz",
+    "workloads",
+]

@@ -1,0 +1,72 @@
+"""Transcriptomics Atlas pipeline (§5): Salmon path, cloud vs HPC.
+
+The pipeline per SRA accession: ``prefetch`` (download .sra) →
+``fasterq-dump`` (convert to .fastq) → ``salmon`` (pseudo-alignment +
+quantification) → ``DESeq2`` (count normalization).  This package
+reproduces the §5 evaluation:
+
+- :mod:`repro.atlas.steps` — per-step resource models decomposed into
+  network/IO/CPU components (so Table 1's CPU%, iowait% and memory
+  profiles *emerge* from the model rather than being pasted in), plus
+  small real reference algorithms: a k-mer pseudo-aligner and DESeq2's
+  median-of-ratios normalization.
+- :mod:`repro.atlas.workload` — synthetic SRA accession generator with
+  a log-normal size distribution calibrated to the paper's corpus.
+- :mod:`repro.atlas.cloud` — the Fig 7 architecture: SQS-like work
+  queue, auto-scaling group of EC2-like instances, S3 result bucket,
+  CloudWatch-like metric collection.
+- :mod:`repro.atlas.hpc` — the Ares-like execution: Apptainer container
+  overhead, batch jobs through :class:`repro.rm.BatchScheduler`.
+- :mod:`repro.atlas.experiment` — drivers that regenerate Table 1 and
+  Table 2.
+"""
+
+from repro.atlas.steps import (
+    EnvironmentProfile,
+    PIPELINE_STEPS,
+    PIPELINE_STEPS_STAR,
+    StepSample,
+    cloud_profile,
+    hpc_profile,
+    median_of_ratios,
+    pipeline_steps,
+    pseudo_align,
+    run_step_model,
+    star_index_load_seconds,
+)
+from repro.atlas.workload import SraAccession, make_workload
+from repro.atlas.cloud import CloudDeployment
+from repro.atlas.hpc import HpcDeployment
+from repro.atlas.hybrid import HybridDeployment, HybridRunResult
+from repro.atlas.experiment import (
+    Table1Row,
+    Table2Row,
+    compare_cloud_hpc,
+    run_experiment,
+    table1,
+)
+
+__all__ = [
+    "CloudDeployment",
+    "EnvironmentProfile",
+    "HpcDeployment",
+    "HybridDeployment",
+    "HybridRunResult",
+    "PIPELINE_STEPS",
+    "PIPELINE_STEPS_STAR",
+    "pipeline_steps",
+    "star_index_load_seconds",
+    "SraAccession",
+    "StepSample",
+    "Table1Row",
+    "Table2Row",
+    "cloud_profile",
+    "compare_cloud_hpc",
+    "hpc_profile",
+    "make_workload",
+    "median_of_ratios",
+    "pseudo_align",
+    "run_experiment",
+    "run_step_model",
+    "table1",
+]

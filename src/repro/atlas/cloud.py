@@ -1,0 +1,218 @@
+"""The Fig 7 cloud architecture: SQS → ASG of EC2 instances → S3.
+
+"Each SRR file is processed on a single EC2 instance from start to
+finish of the pipeline.  We use Auto-Scaling Group in order to
+automatically scale the number of instances.  The final results are
+uploaded to an S3 bucket."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.atlas.records import PipelineRecord
+from repro.atlas.steps import (
+    EnvironmentProfile,
+    cloud_profile,
+    pipeline_steps,
+    run_step_model,
+    star_index_load_seconds,
+)
+from repro.atlas.workload import SraAccession
+from repro.data.storage import StorageSite
+from repro.simkernel import Environment, Interrupt, Store
+
+
+@dataclass
+class CloudRunResult:
+    """Outcome of one cloud experiment."""
+
+    records: list = field(default_factory=list)
+    t_start: float = 0.0
+    t_end: Optional[float] = None
+    peak_instances: int = 0
+    instance_hours: float = 0.0
+    hourly_usd: float = 0.0
+    spot_interruptions: int = 0
+    done: object = None
+
+    @property
+    def cost_usd(self) -> float:
+        """Fleet cost: instance-hours x the instance type's rate (the
+        §5.2.1 cost-efficiency consideration behind picking c6a.large
+        for Salmon vs a memory-optimized type for STAR)."""
+        return self.instance_hours * self.hourly_usd
+
+    def cost_per_file_usd(self) -> float:
+        return self.cost_usd / len(self.records) if self.records else 0.0
+
+    @property
+    def makespan(self) -> Optional[float]:
+        if self.t_end is None:
+            return None
+        return self.t_end - self.t_start
+
+    @property
+    def failures(self) -> int:
+        return sum(1 for r in self.records if r.failed)
+
+
+class CloudDeployment:
+    """Auto-scaling EC2-like fleet consuming an SQS-like queue.
+
+    Parameters
+    ----------
+    max_instances:
+        ASG capacity ceiling.
+    instance_boot_s:
+        EC2 launch-to-ready latency (AMI boot).
+    scale_check_s:
+        ASG controller evaluation period.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        profile: Optional[EnvironmentProfile] = None,
+        max_instances: int = 12,
+        instance_boot_s: float = 60.0,
+        scale_check_s: float = 30.0,
+        upload_s: float = 3.0,
+        pathway: str = "salmon",
+        hourly_usd: Optional[float] = None,
+        spot_mtbf_s: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if max_instances < 1:
+            raise ValueError("max_instances must be >= 1")
+        if spot_mtbf_s is not None and spot_mtbf_s <= 0:
+            raise ValueError("spot_mtbf_s must be positive")
+        self.env = env
+        self.profile = profile or cloud_profile()
+        #: "salmon" (2 vCPU / 8 GiB instances) or "star" (memory-
+        #: optimized instances holding the 90 GB index resident).
+        self.steps = pipeline_steps(pathway)
+        self.pathway = pathway
+        #: On-demand hourly rate; defaults per pathway to the natural
+        #: instance family (c6a.large-like vs x1e-like for STAR's RAM).
+        self.hourly_usd = (
+            hourly_usd
+            if hourly_usd is not None
+            else (0.0765 if pathway == "salmon" else 3.336)
+        )
+        self.max_instances = max_instances
+        self.instance_boot_s = instance_boot_s
+        self.scale_check_s = scale_check_s
+        self.upload_s = upload_s
+        #: Spot-market interruptions: mean time between reclaims per
+        #: instance (None = on-demand, never reclaimed).  The SQS-based
+        #: architecture makes reclaims cheap: the in-flight accession
+        #: goes back on the queue and the ASG launches a replacement.
+        self.spot_mtbf_s = spot_mtbf_s
+        self.rng = rng or np.random.default_rng(0)
+        #: Result bucket (byte accounting only).
+        self.bucket = StorageSite(env, "s3-results", egress_mbps=500, ingress_mbps=500)
+        self._queue = Store(env)
+        self._live_instances = 0
+        self._next_instance = 0
+
+    def run(self, workload: list) -> CloudRunResult:
+        """Start processing ``workload``; returns a live result."""
+        if not workload:
+            raise ValueError("workload must be non-empty")
+        result = CloudRunResult(t_start=self.env.now, hourly_usd=self.hourly_usd)
+        result.done = self.env.event()
+        self.env.process(self._drive(list(workload), result), name="cloud-driver")
+        return result
+
+    # -- internals --------------------------------------------------------------
+
+    def _drive(self, workload: list, result: CloudRunResult):
+        for acc in workload:
+            yield self._queue.put(acc)
+        remaining = {"n": len(workload)}
+        finished = self.env.event()
+        # ASG controller: scale out while the queue is deep.
+        while remaining["n"] > 0:
+            backlog = len(self._queue.items)
+            want = min(self.max_instances, max(1, backlog))
+            while self._live_instances < want:
+                self._live_instances += 1
+                result.peak_instances = max(
+                    result.peak_instances, self._live_instances
+                )
+                iid = f"i-{self._next_instance:05d}"
+                self._next_instance += 1
+                self.env.process(
+                    self._instance(iid, remaining, result, finished),
+                    name=f"ec2:{iid}",
+                )
+            yield self.env.timeout(self.scale_check_s)
+        if not finished.triggered:
+            yield finished
+        result.t_end = self.env.now
+        result.done.succeed(result)
+
+    def _instance(self, iid: str, remaining: dict, result: CloudRunResult, finished):
+        boot_t = self.env.now
+        reclaimer = None
+        try:
+            if self.spot_mtbf_s is not None:
+                me = self.env.active_process
+                reclaimer = self.env.process(
+                    self._spot_reclaimer(me), name=f"spot:{iid}"
+                )
+            yield self.env.timeout(self.instance_boot_s)
+            if self.pathway == "star":
+                # Memory-optimized instance loads the genome index once
+                # and keeps it resident across the files it processes.
+                yield self.env.timeout(star_index_load_seconds(self.profile))
+            while self._queue.items:
+                acc: SraAccession = yield self._queue.get()
+                try:
+                    record = PipelineRecord(
+                        accession=acc,
+                        environment=self.profile.name,
+                        t_start=self.env.now,
+                        worker=iid,
+                    )
+                    for step in self.steps:
+                        sample = run_step_model(
+                            step, acc.size_gb, self.profile, self.rng
+                        )
+                        yield self.env.timeout(sample.duration_s)
+                        record.steps[step] = sample
+                    # Upload results + metadata to S3 (Fig 7).
+                    yield self.env.process(self.bucket.write(2_000_000))
+                    yield self.env.timeout(self.upload_s)
+                except Interrupt:
+                    # Spot reclaim mid-file: the accession goes back on
+                    # the queue for another instance; partial work lost.
+                    result.spot_interruptions += 1
+                    self._queue.put(acc)
+                    return
+                record.t_end = self.env.now
+                result.records.append(record)
+                remaining["n"] -= 1
+                if remaining["n"] == 0 and not finished.triggered:
+                    finished.succeed()
+        except Interrupt:
+            # Reclaimed while idle/booting: nothing in flight to requeue.
+            result.spot_interruptions += 1
+        finally:
+            if reclaimer is not None and reclaimer.is_alive:
+                reclaimer.interrupt()
+            # Instance gone (drained or reclaimed): scale in + billing.
+            self._live_instances -= 1
+            result.instance_hours += (self.env.now - boot_t) / 3600.0
+
+    def _spot_reclaimer(self, instance_proc):
+        try:
+            yield self.env.timeout(float(self.rng.exponential(self.spot_mtbf_s)))
+        except Interrupt:
+            return  # instance finished first
+        if instance_proc.is_alive:
+            instance_proc.interrupt(cause="spot-reclaim")

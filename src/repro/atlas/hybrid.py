@@ -1,0 +1,147 @@
+"""Hybrid cloud + HPC execution (§5.3 future work).
+
+"Interesting architecture may be obtained with hybrid approach where
+we split the workload among HPC and Cloud."
+
+:class:`HybridDeployment` partitions a workload across a cloud fleet
+and an HPC allocation and runs both sides concurrently.  Two policies:
+
+- ``"balance"`` — longest-processing-time-first assignment against
+  each backend's estimated per-file cost and parallel capacity
+  (classic makespan-balancing heuristic),
+- ``"size"`` — small files to the cloud (its S3-internal prefetch
+  dominates small-file time), large files to HPC (its faster cores
+  dominate large-file time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.atlas.cloud import CloudDeployment
+from repro.atlas.hpc import HpcDeployment
+from repro.atlas.steps import pipeline_steps, step_components
+from repro.simkernel import Environment
+
+
+@dataclass
+class HybridRunResult:
+    """Combined outcome: both sides' records plus the split."""
+
+    cloud_result: object = None
+    hpc_result: object = None
+    cloud_share: int = 0
+    hpc_share: int = 0
+    done: object = None
+
+    @property
+    def records(self) -> list:
+        return list(self.cloud_result.records) + list(self.hpc_result.records)
+
+    @property
+    def makespan(self) -> Optional[float]:
+        ends = [
+            r.t_end for r in (self.cloud_result, self.hpc_result) if r.t_end
+        ]
+        starts = [
+            r.t_start for r in (self.cloud_result, self.hpc_result)
+        ]
+        if not ends:
+            return None
+        return max(ends) - min(starts)
+
+
+class HybridDeployment:
+    """Route each accession to the cloud or the HPC backend."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cloud: CloudDeployment,
+        hpc: HpcDeployment,
+        policy: str = "balance",
+    ):
+        if policy not in ("balance", "size"):
+            raise ValueError(f"Unknown policy {policy!r}")
+        if cloud.pathway != hpc.pathway:
+            raise ValueError("Both backends must run the same pathway")
+        self.env = env
+        self.cloud = cloud
+        self.hpc = hpc
+        self.policy = policy
+
+    # -- cost estimation -------------------------------------------------------
+
+    def _estimate(self, deployment, size_gb: float) -> float:
+        """Deterministic per-file seconds on a backend (no noise)."""
+        steps = pipeline_steps(deployment.pathway)
+        return sum(
+            sum(step_components(step, size_gb, deployment.profile))
+            for step in steps
+        )
+
+    def partition(self, workload: list) -> tuple:
+        """Split the workload; returns (cloud_files, hpc_files)."""
+        if self.policy == "size":
+            ordered = sorted(workload, key=lambda a: a.size_gb)
+            cut = len(ordered) // 2
+            return ordered[:cut], ordered[cut:]
+        # balance: LPT against capacity-weighted estimated load.
+        cloud_cap = self.cloud.max_instances
+        hpc_cap = len(self.hpc.cluster.nodes)
+        loads = {"cloud": 0.0, "hpc": 0.0}
+        split = {"cloud": [], "hpc": []}
+        for acc in sorted(workload, key=lambda a: -a.size_gb):
+            cost = {
+                "cloud": self._estimate(self.cloud, acc.size_gb) / cloud_cap,
+                "hpc": self._estimate(self.hpc, acc.size_gb) / hpc_cap,
+            }
+            target = min(
+                ("cloud", "hpc"),
+                key=lambda side: loads[side] + cost[side],
+            )
+            loads[target] += cost[target]
+            split[target].append(acc)
+        return split["cloud"], split["hpc"]
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, workload: list) -> HybridRunResult:
+        if not workload:
+            raise ValueError("workload must be non-empty")
+        cloud_files, hpc_files = self.partition(list(workload))
+        result = HybridRunResult(
+            cloud_share=len(cloud_files), hpc_share=len(hpc_files)
+        )
+        result.done = self.env.event()
+        self.env.process(
+            self._drive(cloud_files, hpc_files, result), name="hybrid-driver"
+        )
+        return result
+
+    def _drive(self, cloud_files, hpc_files, result: HybridRunResult):
+        waits = []
+        if cloud_files:
+            result.cloud_result = self.cloud.run(cloud_files)
+            waits.append(result.cloud_result.done)
+        else:
+            result.cloud_result = _EmptyResult(self.env.now)
+        if hpc_files:
+            result.hpc_result = self.hpc.run(hpc_files)
+            waits.append(result.hpc_result.done)
+        else:
+            result.hpc_result = _EmptyResult(self.env.now)
+        if waits:
+            yield self.env.all_of(waits)
+        result.done.succeed(result)
+
+
+@dataclass
+class _EmptyResult:
+    t_start: float
+    t_end: Optional[float] = None
+    records: list = field(default_factory=list)
+
+    def __post_init__(self):
+        self.t_end = self.t_start

@@ -1,0 +1,38 @@
+"""Execution records shared by the cloud and HPC deployments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.atlas.workload import SraAccession
+
+
+@dataclass
+class PipelineRecord:
+    """One accession's trip through the four pipeline steps."""
+
+    accession: SraAccession
+    environment: str
+    steps: dict = field(default_factory=dict)  # step name -> StepSample
+    t_start: Optional[float] = None
+    t_end: Optional[float] = None
+    worker: str = ""
+    failed: bool = False
+
+    @property
+    def total_duration(self) -> Optional[float]:
+        if self.t_start is None or self.t_end is None:
+            return None
+        return self.t_end - self.t_start
+
+    def step_duration(self, step: str) -> float:
+        return self.steps[step].duration_s
+
+    def cpu_efficiency(self, cores: int = 2) -> float:
+        """Duration-weighted CPU fraction across steps (job efficiency)."""
+        total = sum(s.duration_s for s in self.steps.values())
+        if total == 0:
+            return 0.0
+        busy = sum(s.duration_s * s.cpu_pct_mean / 100.0 for s in self.steps.values())
+        return busy / total

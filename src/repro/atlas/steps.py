@@ -1,0 +1,267 @@
+"""Pipeline step models and reference algorithms.
+
+Each step is decomposed into **network**, **IO**, and **CPU** seconds
+as a function of the input ``.sra`` size and an
+:class:`EnvironmentProfile`.  Observable metrics follow:
+
+- duration = net + io + cpu (serial phases within a step),
+- CPU% ≈ cpu / duration (compute fraction of the instance),
+- iowait% ≈ io / duration (what procstat reports as iowait),
+- memory = base + slope × size (tool working sets).
+
+The environment profiles encode the §5.2 findings: the cloud downloads
+straight from S3 over the AWS backbone ("report-cloud-instance-
+identity"), so prefetch is much faster there, while the HPC cluster
+has faster scratch IO and slightly faster cores (fasterq-dump 30%,
+Salmon 19% faster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+#: Pipeline step names in execution order (the Salmon pathway, §5.1).
+PIPELINE_STEPS = ("prefetch", "fasterq_dump", "salmon", "deseq2")
+
+#: The STAR pathway (§5.3, the paper's named future work): full
+#: alignment instead of pseudo-alignment — slower, far more memory
+#: (the 90 GB whole-genome index must sit in RAM), but enables splice-
+#: variant analysis.
+PIPELINE_STEPS_STAR = ("prefetch", "fasterq_dump", "star", "deseq2")
+
+
+def pipeline_steps(pathway: str = "salmon") -> tuple:
+    """Step sequence for a pathway (``"salmon"`` or ``"star"``)."""
+    if pathway == "salmon":
+        return PIPELINE_STEPS
+    if pathway == "star":
+        return PIPELINE_STEPS_STAR
+    raise ValueError(f"Unknown pathway {pathway!r}")
+
+
+@dataclass(frozen=True)
+class EnvironmentProfile:
+    """Execution-environment parameters for the step models."""
+
+    name: str
+    #: .sra download bandwidth in MB/s (S3-backbone vs public internet).
+    prefetch_bw_mbps: float
+    #: Storage streaming bandwidth for fastq conversion (EBS vs scratch).
+    fastq_io_mbps: float
+    #: Relative CPU speed (1.0 = the cloud c6a baseline).
+    cpu_speed: float
+    #: Fixed per-operation latencies.
+    request_latency_s: float = 2.0
+    #: Expansion factor .sra -> .fastq bytes written + read.
+    fastq_expand: float = 3.0
+    #: Salmon CPU seconds per input GB at speed 1.0 (2-core instance).
+    salmon_cpu_s_per_gb: float = 620.0
+    #: DESeq2 CPU seconds (size-independent: counts, not reads).
+    deseq2_cpu_s: float = 9.0
+    #: STAR alignment CPU seconds per input GB at speed 1.0 — full
+    #: alignment is several times costlier than pseudo-alignment.
+    star_cpu_s_per_gb: float = 2100.0
+    #: STAR whole-genome index size ("much bigger - 90GB").
+    star_index_gb: float = 90.0
+
+
+def cloud_profile() -> EnvironmentProfile:
+    """EC2 c6a-like instance: 2 vCPU, 8 GiB, EBS, S3-internal download."""
+    return EnvironmentProfile(
+        name="cloud",
+        prefetch_bw_mbps=28.0,
+        fastq_io_mbps=95.0,
+        cpu_speed=1.0,
+    )
+
+
+def hpc_profile() -> EnvironmentProfile:
+    """Ares-like cluster node share: faster cores and scratch, but .sra
+    downloads cross the public internet."""
+    return EnvironmentProfile(
+        name="hpc",
+        prefetch_bw_mbps=28.0 / 1.87,  # ~87% slower prefetch on average
+        fastq_io_mbps=136.0,           # scratch beats EBS (~30% on the step)
+        cpu_speed=1.19,               # Salmon ~19% faster
+        # DESeq2 is single-threaded R; the faster cores don't help it
+        # (Table 2: "No difference").  10.7 / 1.19 ≈ the cloud's 9 s.
+        deseq2_cpu_s=10.7,
+    )
+
+
+@dataclass(frozen=True)
+class StepSample:
+    """One executed step's observables (a procstat aggregate)."""
+
+    step: str
+    duration_s: float
+    cpu_pct_mean: float
+    cpu_pct_max: float
+    iowait_pct_mean: float
+    iowait_pct_max: float
+    mem_mb_mean: float
+    mem_mb_max: float
+
+    def __post_init__(self):
+        if self.duration_s < 0:
+            raise ValueError("duration must be >= 0")
+
+
+#: Memory model per step: (base MB, MB per input GB, burst factor).
+#: Working sets saturate (indexes and buffers are bounded), so the
+#: size term is capped at _MEM_SAT_GB.
+_MEMORY_MODEL = {
+    "prefetch": (310.0, 15.0, 1.15),
+    "fasterq_dump": (350.0, 55.0, 1.5),
+    "salmon": (560.0, 330.0, 2.2),
+    # STAR holds the 90 GB genome index resident plus per-file buffers:
+    # "requires significant amount (over 250GB) of RAM" (§5.1).
+    "star": (262_000.0, 3_000.0, 1.05),
+    "deseq2": (480.0, 60.0, 1.6),
+}
+_MEM_SAT_GB = 2.0
+
+#: CPU burstiness: peak = min(100, mean * factor).
+_CPU_BURST = {"prefetch": 3.2, "fasterq_dump": 1.7, "salmon": 1.07, "star": 1.05, "deseq2": 1.5}
+_IOWAIT_BURST = {"prefetch": 12.0, "fasterq_dump": 3.5, "salmon": 50.0, "star": 30.0, "deseq2": 13.0}
+
+#: Instance-wide scaling of the raw phase fractions.  CPU: how many of
+#: the instance's 2 vCPUs the step can use (DESeq2 is single-threaded
+#: R; prefetch overlaps checksum threads with the download).  iowait:
+#: how much of the IO phase overlaps with compute (fasterq-dump
+#: interleaves decompression with writes).
+_CPU_SCALE = {"prefetch": 1.4, "fasterq_dump": 1.0, "salmon": 0.96, "star": 0.97, "deseq2": 0.42}
+_IOWAIT_SCALE = {"prefetch": 0.8, "fasterq_dump": 0.56, "salmon": 1.0, "star": 1.0, "deseq2": 1.0}
+
+
+def step_components(
+    step: str, size_gb: float, profile: EnvironmentProfile
+) -> tuple:
+    """(net_s, io_s, cpu_s) phase durations for a step on one file."""
+    if size_gb < 0:
+        raise ValueError("size_gb must be >= 0")
+    lat = profile.request_latency_s
+    if step == "prefetch":
+        net = lat + size_gb * 1000.0 / profile.prefetch_bw_mbps
+        io = 0.045 * net         # writing the download to disk
+        cpu = 0.18 * net         # checksumming / protocol handling
+        return net, io, cpu
+    if step == "fasterq_dump":
+        io = lat + size_gb * profile.fastq_expand * 1000.0 / profile.fastq_io_mbps
+        cpu = 1.15 * io          # decompression dominates, interleaved
+        return 0.0, io, cpu
+    if step == "salmon":
+        cpu = lat + size_gb * profile.salmon_cpu_s_per_gb / profile.cpu_speed
+        io = 0.016 * cpu         # index load + writing quant.sf
+        return 0.0, io, cpu
+    if step == "star":
+        # Index already resident (loading is a per-worker one-time cost,
+        # see the deployments); alignment is CPU-bound on all cores.
+        cpu = lat + size_gb * profile.star_cpu_s_per_gb / profile.cpu_speed
+        io = 0.02 * cpu          # reading fastq + writing the BAM
+        return 0.0, io, cpu
+    if step == "deseq2":
+        cpu = profile.deseq2_cpu_s / profile.cpu_speed
+        io = 0.035 * cpu
+        return 0.0, io, cpu
+    raise KeyError(f"Unknown step {step!r}")
+
+
+def star_index_load_seconds(profile: EnvironmentProfile) -> float:
+    """One-time per-worker cost of loading the 90 GB STAR index into
+    memory (streamed from EBS on the cloud, from SCRATCH on HPC)."""
+    return profile.star_index_gb * 1000.0 / profile.fastq_io_mbps
+
+
+def run_step_model(
+    step: str,
+    size_gb: float,
+    profile: EnvironmentProfile,
+    rng: Optional[np.random.Generator] = None,
+) -> StepSample:
+    """Sample the observables for one step execution."""
+    rng = rng or np.random.default_rng(0)
+    net, io, cpu = step_components(step, size_gb, profile)
+    noise = float(rng.lognormal(0, 0.12))
+    duration = (net + io + cpu) * noise
+    busy = net + io + cpu
+    cpu_mean = min(100.0, 100.0 * cpu / busy * _CPU_SCALE[step])
+    iowait_mean = min(100.0, 100.0 * io / busy * _IOWAIT_SCALE[step])
+    # procstat-style within-step bursts.
+    cpu_max = min(100.0, cpu_mean * _CPU_BURST[step] * float(rng.uniform(0.9, 1.1)))
+    iowait_max = min(
+        100.0, iowait_mean * _IOWAIT_BURST[step] * float(rng.uniform(0.8, 1.2))
+    )
+    base, slope, burst = _MEMORY_MODEL[step]
+    mem_mean = (base + slope * min(size_gb, _MEM_SAT_GB)) * float(
+        rng.uniform(0.95, 1.05)
+    )
+    mem_max = mem_mean * burst * float(rng.uniform(0.9, 1.1))
+    return StepSample(
+        step=step,
+        duration_s=duration,
+        cpu_pct_mean=cpu_mean,
+        cpu_pct_max=cpu_max,
+        iowait_pct_mean=iowait_mean,
+        iowait_pct_max=iowait_max,
+        mem_mb_mean=mem_mean,
+        mem_mb_max=mem_max,
+    )
+
+
+# -- real reference algorithms -------------------------------------------------------
+
+
+def pseudo_align(reads: list, index: dict, k: int = 8) -> dict:
+    """Tiny Salmon-style pseudo-aligner: k-mer voting.
+
+    ``index`` maps transcript name → sequence.  Each read votes for the
+    transcripts sharing the most k-mers with it; ties split the count
+    equally (Salmon's equivalence-class idea at toy scale).  Returns
+    transcript → float count.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    kmer_index: dict[str, set] = {}
+    for tname, seq in index.items():
+        for i in range(max(0, len(seq) - k + 1)):
+            kmer_index.setdefault(seq[i : i + k], set()).add(tname)
+    counts = {t: 0.0 for t in index}
+    for read in reads:
+        votes: dict[str, int] = {}
+        for i in range(max(0, len(read) - k + 1)):
+            for t in kmer_index.get(read[i : i + k], ()):
+                votes[t] = votes.get(t, 0) + 1
+        if not votes:
+            continue
+        top = max(votes.values())
+        winners = [t for t, v in votes.items() if v == top]
+        for t in winners:
+            counts[t] += 1.0 / len(winners)
+    return counts
+
+
+def median_of_ratios(counts: np.ndarray) -> tuple:
+    """DESeq2 size-factor normalization (median-of-ratios).
+
+    ``counts`` is genes × samples.  Size factor of sample j = median
+    over genes of ``counts[g, j] / geometric_mean(counts[g, :])``,
+    using only genes expressed in every sample.  Returns
+    ``(size_factors, normalized_counts)``.
+    """
+    counts = np.asarray(counts, dtype=float)
+    if counts.ndim != 2:
+        raise ValueError("counts must be 2-D (genes x samples)")
+    if np.any(counts < 0):
+        raise ValueError("counts must be non-negative")
+    expressed = (counts > 0).all(axis=1)
+    if not expressed.any():
+        raise ValueError("no gene is expressed in every sample")
+    sub = counts[expressed]
+    log_geo_mean = np.mean(np.log(sub), axis=1, keepdims=True)
+    ratios = np.log(sub) - log_geo_mean
+    size_factors = np.exp(np.median(ratios, axis=0))
+    return size_factors, counts / size_factors

@@ -1,0 +1,29 @@
+"""Heterogeneous cluster model.
+
+Models the machines the paper's systems run on — from a 6-node
+Kubernetes testbed (§3) to Frontier's 9408 nodes (§4) — as collections
+of :class:`Node` objects with cores, GPUs, memory, and a relative
+*speed factor* expressing hardware heterogeneity (the "hyper-
+heterogeneous" in the paper's title).
+
+Nodes are passive resource holders; scheduling policy lives in
+:mod:`repro.rm`.  Failures are injected by :class:`FaultInjector`,
+which flips nodes down/up and interrupts the registered occupant
+processes — the mechanism behind the EnTK fault-tolerance
+reproduction (E4).
+"""
+
+from repro.cluster.node import Allocation, Node, NodeSpec, NodeState
+from repro.cluster.cluster import Cluster, ClusterCapacityError
+from repro.cluster.faults import FaultInjector, NodeFailure
+
+__all__ = [
+    "Allocation",
+    "Cluster",
+    "ClusterCapacityError",
+    "FaultInjector",
+    "Node",
+    "NodeFailure",
+    "NodeSpec",
+    "NodeState",
+]

@@ -1,0 +1,180 @@
+"""Cluster: a named collection of heterogeneous nodes."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.simkernel import Environment, UtilizationTracker
+from repro.cluster.node import Node, NodeSpec
+
+
+class ClusterCapacityError(RuntimeError):
+    """A request can never be satisfied by the cluster (even when empty)."""
+
+
+class Cluster:
+    """A heterogeneous pool of nodes bound to a simulation environment.
+
+    Build clusters from ``(spec, count)`` pools::
+
+        cluster = Cluster(env, name="testbed", pools=[
+            (NodeSpec("a1", cores=8, memory_gb=32, speed=1.0), 2),
+            (NodeSpec("n1", cores=16, memory_gb=64, speed=1.6), 4),
+        ])
+
+    The cluster records core/GPU occupancy over time via
+    :class:`UtilizationTracker` so experiments can report Fig-4-style
+    utilization numbers without extra plumbing.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str = "cluster",
+        pools: Optional[Sequence[tuple[NodeSpec, int]]] = None,
+    ):
+        self.env = env
+        self.name = name
+        self.nodes: list[Node] = []
+        self._by_id: dict[str, Node] = {}
+        if pools:
+            for spec, count in pools:
+                self.add_pool(spec, count)
+        self._core_tracker: Optional[UtilizationTracker] = None
+        self._gpu_tracker: Optional[UtilizationTracker] = None
+
+    # -- construction -------------------------------------------------------
+
+    def add_pool(self, spec: NodeSpec, count: int) -> list[Node]:
+        """Append ``count`` identical nodes of ``spec``."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        created = []
+        start = len([n for n in self.nodes if n.spec.name == spec.name])
+        for i in range(count):
+            node = Node(f"{spec.name}-{start + i:05d}", spec)
+            self.nodes.append(node)
+            self._by_id[node.id] = node
+            created.append(node)
+        return created
+
+    def enable_tracking(self) -> None:
+        """Start recording cluster-wide core/GPU busy time.
+
+        Call after all pools are added and before work starts.
+        """
+        self._core_tracker = UtilizationTracker(
+            capacity=self.total_cores, name=f"{self.name}.cores", t0=self.env.now
+        )
+        if self.total_gpus:
+            self._gpu_tracker = UtilizationTracker(
+                capacity=self.total_gpus, name=f"{self.name}.gpus", t0=self.env.now
+            )
+
+    # -- lookup & aggregate capacity ------------------------------------------
+
+    def node(self, node_id: str) -> Node:
+        return self._by_id[node_id]
+
+    @property
+    def up_nodes(self) -> list[Node]:
+        return [n for n in self.nodes if n.is_up]
+
+    @property
+    def total_cores(self) -> int:
+        return sum(n.spec.cores for n in self.nodes)
+
+    @property
+    def total_gpus(self) -> int:
+        return sum(n.spec.gpus for n in self.nodes)
+
+    @property
+    def total_memory_gb(self) -> float:
+        return sum(n.spec.memory_gb for n in self.nodes)
+
+    @property
+    def free_cores(self) -> int:
+        return sum(n.free_cores for n in self.up_nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    # -- allocation helpers ------------------------------------------------------
+
+    def find_nodes(
+        self,
+        cores: int = 0,
+        gpus: int = 0,
+        memory_gb: float = 0.0,
+        count: int = 1,
+        predicate: Optional[Callable[[Node], bool]] = None,
+    ) -> Optional[list[Node]]:
+        """First-fit search for ``count`` up-nodes each fitting a request.
+
+        Returns ``None`` when not currently satisfiable.  Raises
+        :class:`ClusterCapacityError` when no subset of the cluster's
+        nodes could *ever* satisfy it (so callers don't wait forever).
+        """
+        eligible_specs = [
+            n
+            for n in self.nodes
+            if n.spec.cores >= cores
+            and n.spec.gpus >= gpus
+            and n.spec.memory_gb >= memory_gb - 1e-9
+            and (predicate is None or predicate(n))
+        ]
+        if len(eligible_specs) < count:
+            raise ClusterCapacityError(
+                f"{self.name}: request (count={count}, cores={cores}, "
+                f"gpus={gpus}, mem={memory_gb}GiB) exceeds cluster capacity"
+            )
+        found = []
+        for node in self.nodes:
+            if predicate is not None and not predicate(node):
+                continue
+            if node.fits(cores, gpus, memory_gb):
+                found.append(node)
+                if len(found) == count:
+                    return found
+        return None
+
+    def track_acquire(self, cores: int = 0, gpus: int = 0) -> None:
+        """Record resources going busy (called by resource managers)."""
+        if self._core_tracker and cores:
+            self._core_tracker.acquire(self.env.now, cores)
+        if self._gpu_tracker and gpus:
+            self._gpu_tracker.acquire(self.env.now, gpus)
+
+    def track_release(self, cores: int = 0, gpus: int = 0) -> None:
+        """Record resources going free (called by resource managers)."""
+        if self._core_tracker and cores:
+            self._core_tracker.release(self.env.now, cores)
+        if self._gpu_tracker and gpus:
+            self._gpu_tracker.release(self.env.now, gpus)
+
+    def core_utilization(self, t_start=None, t_end=None) -> float:
+        """Time-averaged fraction of cluster cores in use."""
+        if self._core_tracker is None:
+            raise RuntimeError("enable_tracking() was never called")
+        return self._core_tracker.utilization(t_start, t_end)
+
+    def gpu_utilization(self, t_start=None, t_end=None) -> float:
+        """Time-averaged fraction of cluster GPUs in use."""
+        if self._gpu_tracker is None:
+            raise RuntimeError("no GPUs tracked")
+        return self._gpu_tracker.utilization(t_start, t_end)
+
+    # -- heterogeneity metrics ------------------------------------------------------
+
+    def speed_range(self) -> tuple[float, float]:
+        """(slowest, fastest) node speed factors — heterogeneity spread."""
+        speeds = [n.spec.speed for n in self.nodes]
+        return min(speeds), max(speeds)
+
+    def __repr__(self) -> str:
+        kinds = sorted({n.spec.name for n in self.nodes})
+        return (
+            f"<Cluster {self.name}: {len(self.nodes)} nodes "
+            f"({', '.join(kinds)}), {self.total_cores} cores, "
+            f"{self.total_gpus} gpus>"
+        )

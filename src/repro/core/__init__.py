@@ -1,0 +1,43 @@
+"""Core workflow model: tasks, DAGs, futures.
+
+Two complementary views of a workflow live here:
+
+- The **declarative** view (:class:`TaskSpec` + :class:`Workflow`): a
+  DAG of resource-annotated tasks with file-based dependencies.  This
+  is what WMS engines (:mod:`repro.engines`) execute on the simulator
+  and what the Common Workflow Scheduler (:mod:`repro.cws`) reasons
+  about.
+- The **programmatic** view (:mod:`repro.core.futures`): a Parsl-like
+  ``@python_app`` API with :class:`AppFuture`/:class:`DataFuture`
+  promises, executing real Python functions.  This is the layer §2's
+  LLM function-calling adapters wrap.
+
+Graph analytics used by scheduling strategies (upward rank, bottom
+level, critical path) are in :mod:`repro.core.metrics`.
+"""
+
+from repro.core.task import TaskSpec
+from repro.core.workflow import Workflow, WorkflowValidationError
+from repro.core.futures import AppFuture, DataFuture, LocalExecutor, python_app
+from repro.core.metrics import (
+    bottom_levels,
+    critical_path_length,
+    merge_points,
+    upward_ranks,
+    workflow_width,
+)
+
+__all__ = [
+    "AppFuture",
+    "DataFuture",
+    "LocalExecutor",
+    "TaskSpec",
+    "Workflow",
+    "WorkflowValidationError",
+    "bottom_levels",
+    "critical_path_length",
+    "merge_points",
+    "python_app",
+    "upward_ranks",
+    "workflow_width",
+]

@@ -1,0 +1,185 @@
+"""Parsl-like apps and futures with real Python execution.
+
+§2 of the paper builds on Parsl: each data-processing step is a *Parsl
+app*; calling an app returns an :class:`AppFuture` immediately, and
+apps are chained by passing futures (or their :class:`DataFuture`
+outputs) as arguments.  This module implements that model with lazy,
+memoized local execution — enough to run the Phyloflow pipeline for
+real, and exactly the surface the LLM function-calling adapters (§2.1)
+need: futures with stable identifiers that can be registered in a
+global dictionary and referenced by ID across API calls.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+
+class FutureError(RuntimeError):
+    """The app backing a future raised during execution."""
+
+
+_future_counter = itertools.count()
+
+
+class AppFuture:
+    """A promise for the return value of an app invocation.
+
+    Resolution is lazy: the underlying function runs on the first
+    :meth:`result` call, after recursively resolving any futures among
+    its arguments.  Results (and failures) are memoized.
+    """
+
+    def __init__(
+        self,
+        fn: Callable,
+        args: tuple,
+        kwargs: dict,
+        app_name: str,
+        outputs: tuple = (),
+    ):
+        self.future_id = f"future-{next(_future_counter):05d}"
+        self.app_name = app_name
+        self._fn = fn
+        self._args = args
+        self._kwargs = kwargs
+        self._done = False
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        #: DataFutures for declared output files.
+        self.outputs: tuple = tuple(
+            DataFuture(self, name) for name in outputs
+        )
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def result(self) -> Any:
+        """Resolve (running dependencies first) and return the value."""
+        if not self._done:
+            try:
+                args = tuple(_resolve(a) for a in self._args)
+                kwargs = {k: _resolve(v) for k, v in self._kwargs.items()}
+                self._result = self._fn(*args, **kwargs)
+            except BaseException as exc:
+                self._exception = exc
+            self._done = True
+        if self._exception is not None:
+            raise FutureError(
+                f"App {self.app_name!r} ({self.future_id}) failed"
+            ) from self._exception
+        return self._result
+
+    def exception(self) -> Optional[BaseException]:
+        """The stored failure, resolving first (never raises)."""
+        if not self._done:
+            try:
+                self.result()
+            except FutureError:
+                pass
+        return self._exception
+
+    def __repr__(self) -> str:
+        state = "done" if self._done else "pending"
+        return f"<AppFuture {self.future_id} {self.app_name} {state}>"
+
+
+class DataFuture:
+    """A promise for one named output file of an app invocation.
+
+    Resolving a DataFuture resolves its parent app and returns the
+    entry for ``name`` from the app's returned mapping (apps producing
+    declared outputs must return a dict-like with those keys).
+    """
+
+    def __init__(self, parent: AppFuture, name: str):
+        self.parent = parent
+        self.name = name
+
+    @property
+    def done(self) -> bool:
+        return self.parent.done
+
+    def result(self) -> Any:
+        value = self.parent.result()
+        try:
+            return value[self.name]
+        except (KeyError, TypeError) as exc:
+            raise FutureError(
+                f"App {self.parent.app_name!r} did not produce output "
+                f"{self.name!r}"
+            ) from exc
+
+    def __repr__(self) -> str:
+        return f"<DataFuture {self.name} of {self.parent.future_id}>"
+
+
+def _resolve(value: Any) -> Any:
+    if isinstance(value, (AppFuture, DataFuture)):
+        return value.result()
+    if isinstance(value, (list, tuple)):
+        return type(value)(_resolve(v) for v in value)
+    return value
+
+
+def python_app(fn: Optional[Callable] = None, *, outputs: tuple = ()):
+    """Decorator turning a function into a future-returning Parsl-like app.
+
+    >>> @python_app
+    ... def double(x):
+    ...     return 2 * x
+    >>> fut = double(double(3))
+    >>> fut.result()
+    12
+
+    With declared outputs the wrapped function must return a mapping
+    containing those keys; each key is exposed as a DataFuture::
+
+        @python_app(outputs=("clusters.tsv",))
+        def cluster(data): ...
+    """
+
+    def decorate(func: Callable):
+        def wrapper(*args, **kwargs) -> AppFuture:
+            return AppFuture(func, args, kwargs, func.__name__, outputs=outputs)
+
+        wrapper.__name__ = func.__name__
+        wrapper.__doc__ = func.__doc__
+        wrapper.is_parsl_app = True  # type: ignore[attr-defined]
+        wrapper.raw = func  # type: ignore[attr-defined]
+        return wrapper
+
+    if fn is not None:
+        return decorate(fn)
+    return decorate
+
+
+class LocalExecutor:
+    """Tracks futures and drives batches to completion.
+
+    A thin registry used by the LLM adapters (§2.1): every future is
+    indexed by ``future_id`` in a dictionary so subsequent API calls can
+    reference running apps by ID ("the ID binding scheme").
+    """
+
+    def __init__(self):
+        self.futures: dict[str, AppFuture] = {}
+
+    def register(self, future: AppFuture) -> str:
+        self.futures[future.future_id] = future
+        return future.future_id
+
+    def get(self, future_id: str) -> AppFuture:
+        return self.futures[future_id]
+
+    def __contains__(self, future_id: str) -> bool:
+        return future_id in self.futures
+
+    def wait_all(self) -> dict[str, Any]:
+        """Resolve every registered future; returns id -> result."""
+        return {fid: fut.result() for fid, fut in self.futures.items()}
+
+    def __len__(self) -> int:
+        return len(self.futures)

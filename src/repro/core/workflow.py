@@ -1,0 +1,167 @@
+"""Workflow DAGs over :class:`~repro.core.task.TaskSpec`."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import networkx as nx
+
+from repro.core.task import TaskSpec
+
+
+class WorkflowValidationError(ValueError):
+    """The workflow graph violates an invariant (cycle, missing input...)."""
+
+
+class Workflow:
+    """A named DAG of tasks with file- and explicitly-declared edges.
+
+    Dependencies come from two sources, merged:
+
+    1. **File inference** — task B depending on a file task A produces
+       gets an edge A → B (how Nextflow/Parsl/WDL wiring works).
+    2. **Explicit edges** — ``add_task(spec, after=[...])`` for
+       control-flow dependencies with no data exchange.
+    """
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("Workflow name must be non-empty")
+        self.name = name
+        self._graph = nx.DiGraph()
+        self._tasks: dict[str, TaskSpec] = {}
+        self._producer: dict[str, str] = {}  # file name -> task name
+
+    # -- construction -------------------------------------------------------
+
+    def add_task(self, spec: TaskSpec, after: Iterable[str] = ()) -> TaskSpec:
+        """Add a task, inferring dependencies from its input files."""
+        if spec.name in self._tasks:
+            raise WorkflowValidationError(
+                f"Duplicate task name {spec.name!r} in workflow {self.name!r}"
+            )
+        for out in spec.outputs:
+            owner = self._producer.get(out.name)
+            if owner is not None:
+                raise WorkflowValidationError(
+                    f"File {out.name!r} produced by both {owner!r} and {spec.name!r}"
+                )
+        self._tasks[spec.name] = spec
+        self._graph.add_node(spec.name)
+        for out in spec.outputs:
+            self._producer[out.name] = spec.name
+        for inp in spec.inputs:
+            producer = self._producer.get(inp)
+            if producer is not None:
+                self._graph.add_edge(producer, spec.name)
+        for dep in after:
+            if dep not in self._tasks:
+                raise WorkflowValidationError(
+                    f"after={dep!r}: no such task in workflow {self.name!r}"
+                )
+            self._graph.add_edge(dep, spec.name)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            # Roll back so the workflow stays consistent.
+            self._graph.remove_node(spec.name)
+            del self._tasks[spec.name]
+            for out in spec.outputs:
+                del self._producer[out.name]
+            raise WorkflowValidationError(
+                f"Adding {spec.name!r} would create a cycle"
+            )
+        return spec
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def tasks(self) -> dict[str, TaskSpec]:
+        return dict(self._tasks)
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """Read-only view of the dependency graph (task-name nodes)."""
+        return self._graph.copy(as_view=True)
+
+    def task(self, name: str) -> TaskSpec:
+        return self._tasks[name]
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    def parents(self, name: str) -> list[str]:
+        return sorted(self._graph.predecessors(name))
+
+    def children(self, name: str) -> list[str]:
+        return sorted(self._graph.successors(name))
+
+    def roots(self) -> list[str]:
+        return sorted(n for n in self._graph if self._graph.in_degree(n) == 0)
+
+    def sinks(self) -> list[str]:
+        return sorted(n for n in self._graph if self._graph.out_degree(n) == 0)
+
+    def topological_order(self) -> list[str]:
+        """Deterministic topological order (lexicographic tie-break)."""
+        return list(nx.lexicographical_topological_sort(self._graph))
+
+    def ready_tasks(self, completed: set) -> list[str]:
+        """Tasks whose parents are all in ``completed`` and not completed
+        themselves — what a WMS submits next."""
+        return sorted(
+            n
+            for n in self._graph
+            if n not in completed
+            and all(p in completed for p in self._graph.predecessors(n))
+        )
+
+    def external_inputs(self) -> set:
+        """Input files no task produces (must pre-exist in the catalog)."""
+        produced = set(self._producer)
+        needed = {inp for spec in self._tasks.values() for inp in spec.inputs}
+        return needed - produced
+
+    def producer_of(self, file_name: str) -> Optional[str]:
+        return self._producer.get(file_name)
+
+    # -- aggregate properties -----------------------------------------------------
+
+    def total_work(self) -> float:
+        """Sum of nominal core-seconds across all tasks."""
+        return sum(t.runtime_s * t.cores for t in self._tasks.values())
+
+    def validate(self) -> None:
+        """Raise :class:`WorkflowValidationError` on structural problems."""
+        if not self._tasks:
+            raise WorkflowValidationError(f"Workflow {self.name!r} is empty")
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise WorkflowValidationError(f"Workflow {self.name!r} has a cycle")
+
+    def to_dot(self) -> str:
+        """GraphViz DOT export (for docs, debugging, papers).
+
+        Nodes are labelled ``name (runtime, cores)``; edges carry the
+        file(s) flowing along them when the dependency is data-driven.
+        """
+        lines = [f'digraph "{self.name}" {{', "  rankdir=TB;"]
+        for name, spec in sorted(self._tasks.items()):
+            label = f"{name}\\n{spec.runtime_s:g}s x {spec.cores}c"
+            lines.append(f'  "{name}" [label="{label}"];')
+        for src, dst in sorted(self._graph.edges):
+            files = [
+                out.name
+                for out in self._tasks[src].outputs
+                if out.name in self._tasks[dst].inputs
+            ]
+            attr = f' [label="{", ".join(files)}"]' if files else ""
+            lines.append(f'  "{src}" -> "{dst}"{attr};')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Workflow {self.name!r}: {len(self._tasks)} tasks, "
+            f"{self._graph.number_of_edges()} edges>"
+        )

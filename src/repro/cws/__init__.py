@@ -1,0 +1,54 @@
+"""Common Workflow Scheduler (CWS) and its interface (CWSI).
+
+Reproduces §3 of the paper (Lehmann, Bader, Thamsen, Leser): a
+component living *inside* the resource manager that receives workflow
+context from any WMS through a common interface, and uses it for
+
+- **workflow-aware scheduling** (:mod:`repro.cws.strategies` — the
+  rank and file-size strategies whose makespan reductions E1 reports),
+- **provenance** (:mod:`repro.cws.provenance` — the central trace
+  store of §3.3),
+- **task runtime / resource prediction** (:mod:`repro.cws.predictors`
+  — Lotaru-like heterogeneity-aware online prediction, §3.4),
+- **heterogeneity-aware allocation** (:mod:`repro.cws.tarema` — the
+  Tarema-style node/task labelling of §3.4).
+
+Architecture mirrors Fig 2: the WMS engine calls :class:`CWSI`
+(register workflow / submit task / task finished); the CWSI keeps the
+graph in the :class:`WorkflowStore`, installs a strategy into the
+:class:`~repro.rm.kube.KubeScheduler`, and feeds every completed task
+into the provenance store and predictors.
+"""
+
+from repro.cws.store import StoredWorkflow, WorkflowStore
+from repro.cws.provenance import ProvenanceStore, TaskTrace
+from repro.cws.interface import CWSI
+from repro.cws.predictors import (
+    LotaruLikePredictor,
+    MemoryPredictor,
+    NaiveMeanPredictor,
+)
+from repro.cws.strategies import (
+    FileSizeStrategy,
+    PredictiveHeftStrategy,
+    RankStrategy,
+)
+from repro.cws.locality import DataLocalityStrategy, StagingAwareFifo
+from repro.cws.tarema import TaremaAllocator
+
+__all__ = [
+    "CWSI",
+    "DataLocalityStrategy",
+    "FileSizeStrategy",
+    "StagingAwareFifo",
+    "LotaruLikePredictor",
+    "MemoryPredictor",
+    "NaiveMeanPredictor",
+    "PredictiveHeftStrategy",
+    "ProvenanceStore",
+    "RankStrategy",
+    "StoredWorkflow",
+    "TaremaAllocator",
+    "TaskTrace",
+    "WorkflowStore",
+]

@@ -1,0 +1,160 @@
+"""The Common Workflow Scheduler Interface itself.
+
+One :class:`CWSI` instance binds to one resource manager (a
+:class:`~repro.rm.kube.KubeScheduler`), installs a workflow-aware
+strategy, and exposes the three calls WMS engines make:
+
+- :meth:`CWSI.register_workflow` — hand over the DAG.
+- :meth:`CWSI.task_submitted` — a ready task entered the RM queue.
+- :meth:`CWSI.task_finished` — a task reached a terminal state; the
+  CWSI records provenance and updates predictors.
+
+"A resource manager has to implement the CWS with its interface once.
+Conversely, a workflow engine needs to implement support for CWSI to
+work with all resource managers already offering CWSI."
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.cws.predictors import LotaruLikePredictor, MemoryPredictor
+from repro.cws.provenance import ProvenanceStore, TaskTrace
+from repro.cws.store import WorkflowStore
+from repro.cws.strategies import (
+    FileSizeStrategy,
+    PredictiveHeftStrategy,
+    RankStrategy,
+)
+from repro.core.workflow import Workflow
+from repro.rm.base import JobState
+from repro.rm.kube import KubeScheduler, Pod, SchedulingStrategy, FifoStrategy
+from repro.simkernel import Environment
+
+
+class CWSI:
+    """Workflow-aware front door of a resource manager.
+
+    Parameters
+    ----------
+    env, scheduler:
+        The environment and the resource manager to make workflow-aware.
+    strategy:
+        ``"fifo"`` (baseline), ``"rank"``, ``"filesize"``, ``"heft"``,
+        or any :class:`SchedulingStrategy` instance.
+    place_fastest:
+        For rank/filesize: also steer prioritized tasks onto the
+        fastest fitting nodes.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        scheduler: KubeScheduler,
+        strategy: Union[str, SchedulingStrategy] = "rank",
+        place_fastest: bool = True,
+    ):
+        self.env = env
+        self.scheduler = scheduler
+        self.store = WorkflowStore()
+        self.provenance = ProvenanceStore()
+        self.runtime_predictor = LotaruLikePredictor()
+        self.memory_predictor = MemoryPredictor()
+        self.strategy = self._build_strategy(strategy, place_fastest)
+        scheduler.set_strategy(self.strategy)
+
+    def _build_strategy(
+        self, strategy: Union[str, SchedulingStrategy], place_fastest: bool
+    ) -> SchedulingStrategy:
+        if isinstance(strategy, SchedulingStrategy):
+            return strategy
+        if strategy == "fifo":
+            return FifoStrategy()
+        if strategy == "rank":
+            return RankStrategy(self.store, place_fastest=place_fastest)
+        if strategy == "filesize":
+            return FileSizeStrategy(self.store, place_fastest=place_fastest)
+        if strategy == "heft":
+            return PredictiveHeftStrategy(self.store, self.runtime_predictor)
+        if strategy == "locality":
+            from repro.cws.locality import DataLocalityStrategy
+
+            return DataLocalityStrategy(self.store)
+        if strategy == "fifo-staging":
+            from repro.cws.locality import StagingAwareFifo
+
+            return StagingAwareFifo(self.store)
+        raise ValueError(f"Unknown strategy {strategy!r}")
+
+    # -- the interface proper ------------------------------------------------
+
+    def register_workflow(self, workflow: Workflow) -> None:
+        """Receive a workflow graph from a WMS."""
+        workflow.validate()
+        self.store.register(workflow, now=self.env.now)
+
+    def task_submitted(self, workflow_name: str, task_name: str, pod: Pod) -> None:
+        """A ready task entered the queue; enrich its labels.
+
+        Input sizes are attached so strategies need no store round-trip
+        per scheduling cycle.
+        """
+        if workflow_name not in self.store:
+            raise KeyError(
+                f"Workflow {workflow_name!r} was never registered via CWSI"
+            )
+        pod.labels.setdefault("workflow", workflow_name)
+        pod.labels.setdefault("task", task_name)
+        pod.labels["input_bytes"] = self.store.input_bytes_of(
+            workflow_name, task_name
+        )
+
+    def task_finished(self, workflow_name: str, task_name: str, pod: Pod) -> None:
+        """Record a terminal task: provenance + predictor updates.
+
+        The memory predictor learns the *observed peak* (what the
+        monitoring agent reports, carried in the pod's labels), not the
+        request — that difference is what right-sizing recovers (§3.4).
+        """
+        succeeded = pod.state == JobState.COMPLETED
+        if succeeded:
+            self.store.mark_completed(workflow_name, task_name)
+            # Record where the task's outputs landed (node-local
+            # scratch) for data-locality placement.
+            stored = self.store.get(workflow_name)
+            if pod.node is not None:
+                for out in stored.workflow.task(task_name).outputs:
+                    stored.file_locations[out.name] = pod.node.id
+        node = pod.node
+        observed_peak = float(pod.labels.get("peak_memory_gb", pod.memory_gb))
+        trace = TaskTrace(
+            workflow=workflow_name,
+            task=task_name,
+            attempt=int(pod.labels.get("attempt", 1)),
+            node_id=node.id if node else "?",
+            node_type=node.spec.name if node else "?",
+            node_speed=node.spec.speed if node else 1.0,
+            cores=pod.cores,
+            memory_gb=observed_peak,
+            input_bytes=int(pod.labels.get("input_bytes", 0)),
+            submit_time=pod.submit_time,
+            start_time=pod.start_time,
+            end_time=pod.end_time,
+            succeeded=succeeded,
+        )
+        self.provenance.add_trace(trace)
+        self.runtime_predictor.observe(trace)
+        if succeeded:
+            self.memory_predictor.observe(task_name, observed_peak)
+
+    def suggest_memory_gb(self, task_name: str, requested_gb: float) -> float:
+        """Right-size a memory request from observed peaks (§3.4).
+
+        Returns the predictor's peak × headroom when history exists,
+        capped at the original request (never inflate a user's ask);
+        otherwise the request stands.
+        """
+        predicted = self.memory_predictor.predict(task_name)
+        if predicted is None:
+            return requested_gb
+        return min(requested_gb, predicted)

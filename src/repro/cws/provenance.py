@@ -1,0 +1,243 @@
+"""Centralized provenance (§3.3).
+
+"By gathering and storing all metrics and task dependencies in a
+centralized manner, provenance becomes more streamlined and
+manageable [and] the data will be available across different WMS."
+
+The store collects one :class:`TaskTrace` per task execution — merging
+what the WMS knows (task identity, attempt, inputs) with what the
+resource manager knows (node identity, node type, placement times).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TaskTrace:
+    """One task execution seen from both sides of the CWSI."""
+
+    workflow: str
+    task: str
+    attempt: int
+    node_id: str
+    node_type: str
+    node_speed: float
+    cores: int
+    memory_gb: float
+    input_bytes: int
+    submit_time: float
+    start_time: float
+    end_time: float
+    succeeded: bool = True
+
+    @property
+    def runtime(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def queue_wait(self) -> float:
+        return self.start_time - self.submit_time
+
+    @property
+    def nominal_runtime(self) -> float:
+        """Runtime normalized to a speed-1.0 node — the machine-
+        independent quantity Lotaru-style predictors learn."""
+        return self.runtime * self.node_speed
+
+    def as_row(self) -> dict:
+        """Flat dict for tabular export."""
+        return {
+            "workflow": self.workflow,
+            "task": self.task,
+            "attempt": self.attempt,
+            "node_id": self.node_id,
+            "node_type": self.node_type,
+            "runtime_s": self.runtime,
+            "queue_wait_s": self.queue_wait,
+            "input_bytes": self.input_bytes,
+            "cores": self.cores,
+            "memory_gb": self.memory_gb,
+            "succeeded": self.succeeded,
+        }
+
+
+@dataclass(frozen=True)
+class NodeStateEvent:
+    """Resource-manager-side trace: a node changing state."""
+
+    time: float
+    node_id: str
+    state: str
+
+
+class ProvenanceStore:
+    """Append-only store of task traces and node events with queries."""
+
+    def __init__(self):
+        self.traces: list[TaskTrace] = []
+        self.node_events: list[NodeStateEvent] = []
+
+    # -- ingestion -----------------------------------------------------------
+
+    def add_trace(self, trace: TaskTrace) -> None:
+        self.traces.append(trace)
+
+    def add_node_event(self, time: float, node_id: str, state: str) -> None:
+        self.node_events.append(NodeStateEvent(time, node_id, state))
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    # -- queries --------------------------------------------------------------
+
+    def for_workflow(self, workflow: str) -> list[TaskTrace]:
+        return [t for t in self.traces if t.workflow == workflow]
+
+    def for_task(self, task: str, workflow: Optional[str] = None) -> list[TaskTrace]:
+        """Traces for a task name, across workflows unless one is given.
+
+        Cross-workflow visibility is the §3.3 selling point: task
+        history survives even when a WMS has no provenance of its own.
+        """
+        return [
+            t
+            for t in self.traces
+            if t.task == task and (workflow is None or t.workflow == workflow)
+        ]
+
+    def for_node(self, node_id: str) -> list[TaskTrace]:
+        return [t for t in self.traces if t.node_id == node_id]
+
+    def runtimes(self, task: str, node_type: Optional[str] = None) -> list[float]:
+        return [
+            t.runtime
+            for t in self.traces
+            if t.task == task
+            and t.succeeded
+            and (node_type is None or t.node_type == node_type)
+        ]
+
+    def summary(self, task: str) -> dict:
+        """Mean/max runtime and memory over successful executions."""
+        rts = self.runtimes(task)
+        mems = [t.memory_gb for t in self.traces if t.task == task and t.succeeded]
+        if not rts:
+            return {"task": task, "executions": 0}
+        return {
+            "task": task,
+            "executions": len(rts),
+            "runtime_mean": statistics.fmean(rts),
+            "runtime_max": max(rts),
+            "runtime_stdev": statistics.stdev(rts) if len(rts) > 1 else 0.0,
+            "memory_max_gb": max(mems) if mems else 0.0,
+        }
+
+    def export_rows(self, workflow: Optional[str] = None) -> list[dict]:
+        """Tabular export of all (or one workflow's) traces."""
+        traces = self.traces if workflow is None else self.for_workflow(workflow)
+        return [t.as_row() for t in traces]
+
+    def failure_rate(self) -> float:
+        if not self.traces:
+            return 0.0
+        return sum(1 for t in self.traces if not t.succeeded) / len(self.traces)
+
+    def to_prov_document(self, workflows: Optional[dict] = None) -> dict:
+        """Export as a W3C-PROV-style JSON document.
+
+        §3.3's interoperability argument: "all WMS represent provenance
+        differently, so it is very heterogeneous" — a central store can
+        emit one common representation.  Mapping:
+
+        - **activity** — one per task execution (``wf:task:attempt``),
+          with start/end times and the executing node as an attribute,
+        - **agent** — one per node, one per workflow engine,
+        - **entity** — one per file, when the workflow graphs are
+          supplied (``workflows``: name → Workflow) so file producers
+          and consumers are known,
+        - **used / wasGeneratedBy / wasAssociatedWith** — the relations
+          connecting them.
+        """
+        doc: dict = {
+            "prefix": {"repro": "urn:repro:"},
+            "activity": {},
+            "agent": {},
+            "entity": {},
+            "used": [],
+            "wasGeneratedBy": [],
+            "wasAssociatedWith": [],
+        }
+        for trace in self.traces:
+            aid = f"repro:{trace.workflow}/{trace.task}/{trace.attempt}"
+            doc["activity"][aid] = {
+                "prov:startTime": trace.start_time,
+                "prov:endTime": trace.end_time,
+                "repro:succeeded": trace.succeeded,
+                "repro:cores": trace.cores,
+            }
+            agent_id = f"repro:node/{trace.node_id}"
+            doc["agent"].setdefault(
+                agent_id,
+                {"repro:type": trace.node_type, "repro:speed": trace.node_speed},
+            )
+            doc["wasAssociatedWith"].append(
+                {"prov:activity": aid, "prov:agent": agent_id}
+            )
+            if workflows and trace.workflow in workflows:
+                wf = workflows[trace.workflow]
+                if trace.task in wf:
+                    spec = wf.task(trace.task)
+                    for inp in spec.inputs:
+                        eid = f"repro:file/{inp}"
+                        doc["entity"].setdefault(eid, {})
+                        doc["used"].append(
+                            {"prov:activity": aid, "prov:entity": eid}
+                        )
+                    for out in spec.outputs:
+                        eid = f"repro:file/{out.name}"
+                        doc["entity"].setdefault(
+                            eid, {"repro:size_bytes": out.size_bytes}
+                        )
+                        if trace.succeeded:
+                            doc["wasGeneratedBy"].append(
+                                {"prov:entity": eid, "prov:activity": aid}
+                            )
+        return doc
+
+    def bottleneck_report(self, top: int = 5) -> list:
+        """Tasks ranked by total time cost (runtime + queue wait).
+
+        The §6.1 use case: "a modular framework assists in pinpointing
+        bottlenecks and potential areas for refinement" — this is the
+        query a centralized metrics store answers.  Each row carries
+        the task's share of the total recorded time and its wait ratio
+        (queue wait / runtime — high values indicate a scheduling
+        bottleneck rather than a compute one).
+        """
+        if top < 1:
+            raise ValueError("top must be >= 1")
+        totals: dict[str, dict] = {}
+        for t in self.traces:
+            row = totals.setdefault(
+                t.task, {"task": t.task, "runtime_s": 0.0, "queue_wait_s": 0.0,
+                         "executions": 0}
+            )
+            row["runtime_s"] += t.runtime
+            row["queue_wait_s"] += t.queue_wait
+            row["executions"] += 1
+        grand = sum(r["runtime_s"] + r["queue_wait_s"] for r in totals.values())
+        rows = sorted(
+            totals.values(),
+            key=lambda r: -(r["runtime_s"] + r["queue_wait_s"]),
+        )[:top]
+        for r in rows:
+            cost = r["runtime_s"] + r["queue_wait_s"]
+            r["share"] = cost / grand if grand else 0.0
+            r["wait_ratio"] = (
+                r["queue_wait_s"] / r["runtime_s"] if r["runtime_s"] else float("inf")
+            )
+        return rows

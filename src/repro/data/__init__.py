@@ -1,0 +1,37 @@
+"""Simulated data layer: files, storage sites, and transfers.
+
+The paper's systems move a lot of bytes: the Transcriptomics Atlas
+pulls 8.6 TB of SRA files from NCBI/S3 (§5), JAWS moves inputs between
+DOE sites with Globus (§6), and CWS scheduling strategies rank tasks by
+input file size (§3).  This package models that world:
+
+- :class:`File` / :class:`FileCatalog` — logical files with sizes and
+  replica locations.
+- :class:`StorageSite` — a named endpoint with ingress/egress bandwidth
+  and per-operation latency (an S3 bucket, a scratch filesystem, an
+  NCBI mirror).
+- :class:`TransferService` — Globus-like managed transfers between
+  sites with fair bandwidth sharing across concurrent streams.
+
+All byte counts are plain integers; all durations derive from the
+bandwidth model so experiments are deterministic.
+"""
+
+from repro.data.files import File, FileCatalog
+from repro.data.storage import StorageSite, StorageError
+from repro.data.transfer import TransferRecord, TransferService
+
+__all__ = [
+    "File",
+    "FileCatalog",
+    "StorageError",
+    "StorageSite",
+    "TransferRecord",
+    "TransferService",
+]
+
+#: Convenience byte-size constants.
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000

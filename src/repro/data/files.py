@@ -1,0 +1,105 @@
+"""Logical files and the catalog tracking their replicas."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class File:
+    """A logical file: name + size + arbitrary metadata.
+
+    Files are immutable value objects; *where* a file lives is tracked
+    by :class:`FileCatalog` (replica sets), matching how workflow
+    systems separate logical data from physical location.
+    """
+
+    name: str
+    size_bytes: int
+    metadata: tuple = ()
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("File name must be non-empty")
+        if self.size_bytes < 0:
+            raise ValueError(f"size_bytes must be >= 0, got {self.size_bytes}")
+
+    @property
+    def size_gb(self) -> float:
+        return self.size_bytes / 1e9
+
+    @property
+    def size_mb(self) -> float:
+        return self.size_bytes / 1e6
+
+    def with_suffix(self, suffix: str, size_bytes: Optional[int] = None) -> "File":
+        """Derive an output file name from this one (e.g. ``.fastq``)."""
+        base = self.name.rsplit(".", 1)[0]
+        return File(base + suffix, self.size_bytes if size_bytes is None else size_bytes)
+
+    def __repr__(self) -> str:
+        return f"File({self.name!r}, {self.size_bytes:,}B)"
+
+
+class FileCatalog:
+    """Maps logical files to the storage sites holding replicas.
+
+    The catalog is the source of truth workflow engines consult to
+    decide whether an input must be staged (JAWS, §6) and what the
+    total input size of a task is (CWS ``filesize`` strategy, §3).
+    """
+
+    def __init__(self):
+        self._files: Dict[str, File] = {}
+        self._replicas: Dict[str, set] = {}
+
+    def register(self, file: File, site: Optional[str] = None) -> File:
+        """Add a file (idempotent if identical) and optionally a replica."""
+        existing = self._files.get(file.name)
+        if existing is not None and existing != file:
+            raise ValueError(
+                f"Conflicting registration for {file.name!r}: "
+                f"{existing.size_bytes} vs {file.size_bytes} bytes"
+            )
+        self._files[file.name] = file
+        self._replicas.setdefault(file.name, set())
+        if site is not None:
+            self._replicas[file.name].add(site)
+        return file
+
+    def add_replica(self, name: str, site: str) -> None:
+        if name not in self._files:
+            raise KeyError(f"Unknown file {name!r}")
+        self._replicas[name].add(site)
+
+    def drop_replica(self, name: str, site: str) -> None:
+        self._replicas.get(name, set()).discard(site)
+
+    def lookup(self, name: str) -> File:
+        return self._files[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._files
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def replicas(self, name: str) -> frozenset:
+        """Sites currently holding the file."""
+        return frozenset(self._replicas.get(name, ()))
+
+    def present_at(self, name: str, site: str) -> bool:
+        return site in self._replicas.get(name, ())
+
+    def total_size(self, names: Iterable[str]) -> int:
+        """Sum of sizes for a set of logical names (task input sizing)."""
+        return sum(self._files[n].size_bytes for n in names)
+
+    def files_at(self, site: str) -> list:
+        """All files with a replica at ``site``."""
+        return [
+            self._files[name]
+            for name, sites in self._replicas.items()
+            if site in sites
+        ]

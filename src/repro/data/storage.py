@@ -1,0 +1,133 @@
+"""Storage sites: bandwidth-limited endpoints with capacity."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.simkernel import Container, Environment
+
+
+class StorageError(RuntimeError):
+    """Capacity exceeded or unknown storage operation."""
+
+
+class StorageSite:
+    """A named storage endpoint (S3 bucket, scratch FS, NCBI mirror).
+
+    Bandwidth is modelled as fair sharing: a site with ``egress_mbps``
+    total read bandwidth serving ``k`` concurrent streams gives each
+    stream ``egress_mbps / k``.  The implementation approximates fair
+    sharing conservatively with a fixed per-stream share and a
+    concurrency cap (``max_streams``): stream time = size / min(share,
+    total/streams).  This keeps the event count linear in transfers
+    while preserving the contention behaviour that distinguishes the
+    paper's cloud-vs-HPC results (E6: prefetch fast from S3-internal,
+    slow over the public internet).
+
+    Parameters
+    ----------
+    env: simulation environment.
+    name: unique site name used by :class:`~repro.data.files.FileCatalog`.
+    egress_mbps / ingress_mbps:
+        Total read/write bandwidth in MB/s.
+    latency_s:
+        Fixed per-operation setup latency (request round-trip, metadata).
+    capacity_bytes:
+        Optional storage capacity; writes beyond it raise
+        :class:`StorageError` (scratch quota behaviour).
+    max_streams:
+        Concurrent stream cap; additional operations queue FIFO.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        egress_mbps: float = 1000.0,
+        ingress_mbps: float = 1000.0,
+        latency_s: float = 0.05,
+        capacity_bytes: Optional[int] = None,
+        max_streams: int = 64,
+    ):
+        if egress_mbps <= 0 or ingress_mbps <= 0:
+            raise ValueError("bandwidths must be positive")
+        if max_streams <= 0:
+            raise ValueError("max_streams must be positive")
+        self.env = env
+        self.name = name
+        self.egress_mbps = egress_mbps
+        self.ingress_mbps = ingress_mbps
+        self.latency_s = latency_s
+        self.capacity_bytes = capacity_bytes
+        self.used_bytes = 0
+        self._streams = Container(env, capacity=max_streams, init=0)
+        self.max_streams = max_streams
+        #: Completed operation counters (provenance).
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- capacity -----------------------------------------------------------
+
+    def reserve(self, size_bytes: int) -> None:
+        """Account for ``size_bytes`` stored here; enforces quota."""
+        if self.capacity_bytes is not None and self.used_bytes + size_bytes > self.capacity_bytes:
+            raise StorageError(
+                f"{self.name}: write of {size_bytes:,}B exceeds capacity "
+                f"({self.used_bytes:,}/{self.capacity_bytes:,}B used)"
+            )
+        self.used_bytes += size_bytes
+
+    def free(self, size_bytes: int) -> None:
+        self.used_bytes = max(0, self.used_bytes - size_bytes)
+
+    # -- bandwidth model --------------------------------------------------------
+
+    def _stream_seconds(self, size_bytes: int, total_mbps: float) -> float:
+        """Transfer seconds for one stream at its fair share.
+
+        Called after the stream slot is acquired, so ``level`` already
+        includes this stream.
+        """
+        share = total_mbps / max(self._streams.level, 1)
+        return size_bytes / 1e6 / share
+
+    def read(self, size_bytes: int):
+        """Process generator: read ``size_bytes`` from this site."""
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be >= 0")
+        yield self._streams.put(1)
+        try:
+            yield self.env.timeout(
+                self.latency_s + self._stream_seconds(size_bytes, self.egress_mbps)
+            )
+            self.reads += 1
+            self.bytes_read += size_bytes
+        finally:
+            yield self._streams.get(1)
+
+    def write(self, size_bytes: int):
+        """Process generator: write ``size_bytes`` to this site."""
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be >= 0")
+        self.reserve(size_bytes)
+        yield self._streams.put(1)
+        try:
+            yield self.env.timeout(
+                self.latency_s + self._stream_seconds(size_bytes, self.ingress_mbps)
+            )
+            self.writes += 1
+            self.bytes_written += size_bytes
+        finally:
+            yield self._streams.get(1)
+
+    @property
+    def active_streams(self) -> int:
+        return int(self._streams.level)
+
+    def __repr__(self) -> str:
+        return (
+            f"<StorageSite {self.name} egress={self.egress_mbps}MB/s "
+            f"streams={self.active_streams}/{self.max_streams}>"
+        )

@@ -1,0 +1,85 @@
+"""Shared engine records and result types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.workflow import Workflow
+
+
+class EngineError(RuntimeError):
+    """Workflow execution aborted (task exhausted its retries...)."""
+
+
+@dataclass
+class TaskRecord:
+    """Execution record for one task within a run."""
+
+    name: str
+    submit_time: Optional[float] = None
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    node_id: Optional[str] = None
+    attempts: int = 0
+    state: str = "pending"
+    failure_causes: list = field(default_factory=list)
+
+    @property
+    def runtime(self) -> Optional[float]:
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    @property
+    def queue_wait(self) -> Optional[float]:
+        if self.submit_time is None or self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+
+@dataclass
+class WorkflowRun:
+    """Outcome of executing one workflow through an engine.
+
+    ``makespan`` is submission-to-last-completion — the quantity the
+    CWS evaluation (E1) reports reductions of.
+    """
+
+    workflow: Workflow
+    engine: str
+    t_submit: float = 0.0
+    t_done: Optional[float] = None
+    records: dict = field(default_factory=dict)
+    succeeded: bool = False
+    #: Engine-specific extras (e.g. big-worker wastage metrics).
+    stats: dict = field(default_factory=dict)
+    #: Kernel event triggering when the run finishes (set by engines).
+    done: Any = None
+
+    @property
+    def makespan(self) -> Optional[float]:
+        if self.t_done is None:
+            return None
+        return self.t_done - self.t_submit
+
+    def record(self, name: str) -> TaskRecord:
+        return self.records[name]
+
+    def total_task_runtime(self) -> float:
+        """Sum of task runtimes — lower-bound work the run performed."""
+        return sum(r.runtime or 0.0 for r in self.records.values())
+
+    def total_queue_wait(self) -> float:
+        return sum(r.queue_wait or 0.0 for r in self.records.values())
+
+    def retried_tasks(self) -> list:
+        return [r.name for r in self.records.values() if r.attempts > 1]
+
+    def __repr__(self) -> str:
+        status = "ok" if self.succeeded else "failed/running"
+        span = f"{self.makespan:.1f}s" if self.makespan is not None else "?"
+        return (
+            f"<WorkflowRun {self.workflow.name!r} via {self.engine} "
+            f"{status} makespan={span}>"
+        )

@@ -1,0 +1,167 @@
+"""The Airflow big-worker strategy (§3.2) and its wastage accounting.
+
+Airflow's Kubernetes mode "starts a big worker on every node for the
+whole workflow execution and assigns tasks into these worker pods
+bypassing Kubernetes' task assignment logic. [...] the big containers
+will request resources for the entire workflow execution time
+regardless of the actual load."  This engine reproduces that strategy
+faithfully so the wastage can be measured (bench ``bench_airflow_waste``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.workflow import Workflow
+from repro.engines.base import EngineError, TaskRecord, WorkflowRun
+from repro.rm.kube import KubeScheduler, Pod
+from repro.simkernel import Environment, Interrupt, Store
+
+
+_POISON = object()
+
+
+class AirflowLikeEngine:
+    """One node-sized worker pod per node, held for the whole run.
+
+    ``run()`` returns a :class:`WorkflowRun` whose ``stats`` include:
+
+    - ``requested_core_seconds`` — cores held by workers × their
+      lifetimes (what the cluster could not give anyone else),
+    - ``used_core_seconds`` — cores × runtime actually consumed by
+      tasks,
+    - ``wastage`` — 1 − used/requested, the §3.2 inefficiency.
+    """
+
+    engine_name = "airflow-like"
+
+    def __init__(
+        self,
+        env: Environment,
+        scheduler: KubeScheduler,
+        workers: Optional[int] = None,
+        max_retries: int = 2,
+    ):
+        self.env = env
+        self.scheduler = scheduler
+        self.workers = workers
+        self.max_retries = max_retries
+
+    def run(self, workflow: Workflow) -> WorkflowRun:
+        workflow.validate()
+        run = WorkflowRun(
+            workflow=workflow, engine=self.engine_name, t_submit=self.env.now
+        )
+        run.records = {name: TaskRecord(name=name) for name in workflow.tasks}
+        run.done = self.env.event()
+        self.env.process(self._drive(workflow, run), name=f"airflow:{workflow.name}")
+        return run
+
+    # -- internals --------------------------------------------------------------
+
+    def _drive(self, workflow: Workflow, run: WorkflowRun):
+        cluster = self.scheduler.cluster
+        n_workers = self.workers or len(cluster.up_nodes)
+        queue = Store(self.env)
+        finished = Store(self.env)
+
+        worker_pods = []
+        for i in range(n_workers):
+            # Size each worker to the i-th node (round-robin over specs)
+            # — "a big worker on every node".
+            node = cluster.up_nodes[i % len(cluster.up_nodes)]
+            pod = Pod(
+                cores=node.spec.cores,
+                gpus=node.spec.gpus,
+                memory_gb=node.spec.memory_gb,
+                work=self._worker_loop(queue, finished),
+                name=f"{workflow.name}/worker-{i}",
+                labels={"workflow": workflow.name, "role": "big-worker"},
+            )
+            self.scheduler.submit(pod)
+            worker_pods.append(pod)
+
+        completed: set = set()
+        in_flight: set = set()
+        try:
+            while len(completed) < len(workflow):
+                for name in workflow.ready_tasks(completed):
+                    if name in in_flight:
+                        continue
+                    record = run.records[name]
+                    record.attempts += 1
+                    if record.submit_time is None:
+                        record.submit_time = self.env.now
+                    record.state = "submitted"
+                    in_flight.add(name)
+                    yield queue.put((name, workflow.task(name)))
+                if not in_flight:
+                    raise EngineError(
+                        f"Deadlock in {workflow.name!r}: nothing in flight"
+                    )
+                name, record_update, ok, cause = yield finished.get()
+                in_flight.discard(name)
+                record = run.records[name]
+                if ok:
+                    completed.add(name)
+                    record.state = "completed"
+                    record.start_time = record_update[0]
+                    record.end_time = record_update[1]
+                    record.node_id = record_update[2]
+                else:
+                    record.failure_causes.append(cause)
+                    if record.attempts > self.max_retries:
+                        record.state = "failed"
+                        raise EngineError(
+                            f"Task {name!r} failed {record.attempts} times"
+                        )
+            run.succeeded = True
+        except EngineError as exc:
+            run.succeeded = False
+            run.stats["error"] = str(exc)
+        finally:
+            # Dismiss workers; they exit after draining the poison pills.
+            for _ in worker_pods:
+                yield queue.put(_POISON)
+            yield self.env.all_of(
+                [p.completion for p in worker_pods if p.completion is not None]
+            )
+            run.t_done = self.env.now
+            self._account(run, worker_pods)
+            run.done.succeed(run)
+
+    def _worker_loop(self, queue: Store, finished: Store):
+        """Factory for the worker pod payload."""
+
+        def work(env, pod, node):
+            while True:
+                item = yield queue.get()
+                if item is _POISON:
+                    return
+                name, spec = item
+                start = env.now
+                try:
+                    yield env.timeout(spec.runtime_s / node.spec.speed)
+                except Interrupt as intr:
+                    # Node died mid-task: report the failure and stop.
+                    yield finished.put((name, None, False, intr.cause))
+                    raise
+                yield finished.put((name, (start, env.now, node.id), True, None))
+
+        return work
+
+    @staticmethod
+    def _account(run: WorkflowRun, worker_pods) -> None:
+        requested = sum(
+            p.cores * (p.runtime or 0.0)
+            for p in worker_pods
+            if p.start_time is not None
+        )
+        used = sum(
+            run.workflow.task(r.name).cores * (r.runtime or 0.0)
+            for r in run.records.values()
+        )
+        run.stats["requested_core_seconds"] = requested
+        run.stats["used_core_seconds"] = used
+        run.stats["wastage"] = 1.0 - (used / requested) if requested > 0 else 0.0
+        run.stats["workers"] = len(worker_pods)

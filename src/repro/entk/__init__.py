@@ -1,0 +1,40 @@
+"""RADICAL-EnTK-like ensemble toolkit (§4).
+
+Implements the PST model — *Pipeline* = sequence of *Stages*, *Stage* =
+set of independent *Tasks* — on top of a pilot runtime:
+
+- :mod:`repro.entk.pst` — Pipeline/Stage/Task descriptions.
+- :mod:`repro.entk.agent` — the pilot agent: bootstraps inside a batch
+  allocation, schedules tasks at a bounded rate (the 269 tasks/s of
+  Fig 5), launches them at a slower rate (51 tasks/s), tracks
+  concurrency and utilization, survives node failures, and resubmits
+  failed tasks in follow-up waves preserving order.
+- :mod:`repro.entk.appmanager` — the AppManager: acquires pilots as
+  batch jobs (one big job or consecutive smaller jobs), drives
+  pipelines through them, and carries unfinished work across job
+  boundaries — the fault-tolerance design §4.2 describes.
+- :mod:`repro.entk.platforms` — resource configurations for the
+  Summit/Crusher/Frontier progression of §4.3.
+- :mod:`repro.entk.profiling` — Fig-4/Fig-5-style run profiles.
+"""
+
+from repro.entk.pst import EnTask, Pipeline, Stage, TaskState
+from repro.entk.agent import AgentConfig, PilotAgent
+from repro.entk.appmanager import AppManager, AppRunResult, ResourceDescription
+from repro.entk.platforms import PLATFORMS, platform_cluster
+from repro.entk.profiling import RunProfile
+
+__all__ = [
+    "AgentConfig",
+    "AppManager",
+    "AppRunResult",
+    "EnTask",
+    "PLATFORMS",
+    "Pipeline",
+    "PilotAgent",
+    "ResourceDescription",
+    "RunProfile",
+    "Stage",
+    "TaskState",
+    "platform_cluster",
+]

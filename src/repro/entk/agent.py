@@ -1,0 +1,325 @@
+"""The pilot agent: EnTK's executor inside a batch allocation.
+
+Models the RADICAL-Pilot agent measured in §4.3:
+
+- **Bootstrap** — a fixed startup overhead before any task runs (the
+  85 s "OVH" slice of Fig 4).
+- **Scheduler** — moves submitted tasks to the pending-launch queue at
+  a bounded throughput (the 269 tasks/s initial slope of Fig 5's blue
+  line).
+- **Launcher** — serially places pending tasks onto free nodes at a
+  slower throughput (the 51 tasks/s slope of the orange line).
+- **Executors** — one process per running task; register with their
+  nodes so injected node failures interrupt them.
+- **Failure handling** — a task touching a dead node fails after a
+  detection delay; dead nodes are blacklisted after ``node_strikes``
+  task failures (modelling delayed failure propagation — with a lag,
+  one node failure cascades into several task failures, the "eight
+  tasks failed due to a single node failure" of §4.3).  Failed tasks
+  are retried in follow-up waves that preserve submission order.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.cluster.node import Node
+from repro.entk.pst import EnTask, TaskState
+from repro.simkernel import (
+    Environment,
+    Interrupt,
+    Store,
+    TimeSeriesMonitor,
+    UtilizationTracker,
+)
+
+
+@dataclass(frozen=True)
+class AgentConfig:
+    """Tunable agent parameters (defaults = the Frontier run's rates)."""
+
+    schedule_rate: float = 269.0   # tasks/s, submitted -> pending-launch
+    launch_rate: float = 51.0      # tasks/s, pending-launch -> executing
+    bootstrap_s: float = 85.0      # one-time agent startup overhead
+    fail_detect_s: float = 10.0    # time for a dead-node launch to error out
+    node_strikes: int = 1          # task failures before a node is blacklisted
+    max_task_retries: int = 3      # resubmission waves per stage
+
+    def __post_init__(self):
+        if self.schedule_rate <= 0 or self.launch_rate <= 0:
+            raise ValueError("rates must be positive")
+        if self.bootstrap_s < 0 or self.fail_detect_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.node_strikes < 1:
+            raise ValueError("node_strikes must be >= 1")
+        if self.max_task_retries < 0:
+            raise ValueError("max_task_retries must be >= 0")
+
+
+class PilotAgent:
+    """Task execution runtime over a set of allocated nodes."""
+
+    def __init__(
+        self,
+        env: Environment,
+        nodes: Iterable[Node],
+        config: Optional[AgentConfig] = None,
+        name: str = "pilot",
+    ):
+        self.env = env
+        self.nodes = list(nodes)
+        if not self.nodes:
+            raise ValueError("PilotAgent needs at least one node")
+        self.config = config or AgentConfig()
+        self.name = name
+
+        self._free: list[Node] = list(self.nodes)
+        self._blacklist: set = set()
+        self._strikes: dict[str, int] = defaultdict(int)
+        self._node_freed = env.event()
+        self._submit_q = Store(env)
+        self._launch_q = Store(env)
+        self._started = False
+        self._shutdown = False
+        self._bootstrapped_at: Optional[float] = None
+        self._loops: list = []
+        self._live_execs: set = set()
+
+        t0 = env.now
+        total_cores = sum(n.spec.cores for n in self.nodes)
+        total_gpus = sum(n.spec.gpus for n in self.nodes)
+        #: Fig 5 blue line: tasks scheduled, waiting to be launched.
+        self.pending_launch = TimeSeriesMonitor("pending_launch", t0=t0)
+        #: Fig 5 orange line: tasks executing concurrently.
+        self.executing = TimeSeriesMonitor("executing", t0=t0)
+        #: Cumulative completed tasks.
+        self.done_count = TimeSeriesMonitor("done", t0=t0)
+        #: Cumulative scheduled / launched counts (throughput measures).
+        self.scheduled_cum = TimeSeriesMonitor("scheduled_cum", t0=t0)
+        self.launched_cum = TimeSeriesMonitor("launched_cum", t0=t0)
+        #: Fig 4 core/GPU busy tracking.
+        self.core_util = UtilizationTracker(total_cores, name="cores", t0=t0)
+        self.gpu_util = (
+            UtilizationTracker(total_gpus, name="gpus", t0=t0) if total_gpus else None
+        )
+        #: All task failures observed (task name, time, cause).
+        self.failures: list[tuple] = []
+
+    # -- public API ------------------------------------------------------------
+
+    @property
+    def bootstrap_overhead(self) -> Optional[float]:
+        """Seconds spent bootstrapping (None until bootstrapped)."""
+        if self._bootstrapped_at is None:
+            return None
+        return self.config.bootstrap_s
+
+    @property
+    def usable_nodes(self) -> int:
+        return len(self.nodes) - len(self._blacklist)
+
+    def run_stage(self, tasks: list):
+        """Process generator: run a set of independent tasks to completion.
+
+        Retries failed tasks in order-preserving waves up to
+        ``max_task_retries`` times.  Returns ``(done, failed)`` lists.
+        """
+        tasks = list(tasks)
+        for task in tasks:
+            self._validate_task(task)
+        if not self._started:
+            self._started = True
+            yield self.env.timeout(self.config.bootstrap_s)
+            self._bootstrapped_at = self.env.now
+            self._loops = [
+                self.env.process(self._scheduler_loop(), name=f"{self.name}-sched"),
+                self.env.process(self._launcher_loop(), name=f"{self.name}-launch"),
+            ]
+
+        wave = tasks
+        for _wave_idx in range(self.config.max_task_retries + 1):
+            if not wave or self._shutdown:
+                break
+            terminal_events = []
+            for task in wave:
+                task.state = TaskState.NEW
+                task.submit_time = self.env.now
+                task._terminal = self.env.event()
+                terminal_events.append(task._terminal)
+                yield self._submit_q.put(task)
+            yield self.env.all_of(terminal_events)
+            failed = [t for t in wave if t.state == TaskState.FAILED]
+            for t in failed:
+                t.reset_for_retry()
+            wave = failed
+        done = [t for t in tasks if t.state == TaskState.DONE]
+        failed = [t for t in tasks if t.state != TaskState.DONE]
+        for t in failed:
+            t.state = TaskState.FAILED
+        return done, failed
+
+    def _validate_task(self, task: EnTask) -> None:
+        fitting = [
+            n
+            for n in self.nodes
+            if n.spec.cores >= task.cores_per_node
+            and n.spec.gpus >= task.gpus_per_node
+        ]
+        if len(fitting) < task.nodes:
+            raise ValueError(
+                f"{task!r} needs {task.nodes} nodes with "
+                f"{task.cores_per_node}c/{task.gpus_per_node}g; pilot has "
+                f"only {len(fitting)} such nodes"
+            )
+
+    # -- agent loops ---------------------------------------------------------------
+
+    def shutdown(self, cause: str = "pilot-shutdown") -> None:
+        """Stop the agent: kill loops and interrupt in-flight executors.
+
+        Called when the surrounding pilot job terminates (walltime).
+        Executors mark their tasks FAILED with ``cause`` so the next
+        pilot job resubmits them.
+        """
+        self._shutdown = True
+        for proc in self._loops:
+            if proc.is_alive:
+                proc.interrupt(cause=cause)
+        for proc in list(self._live_execs):
+            if proc.is_alive:
+                proc.interrupt(cause=cause)
+
+    def _scheduler_loop(self):
+        period = 1.0 / self.config.schedule_rate
+        try:
+            while True:
+                task = yield self._submit_q.get()
+                yield self.env.timeout(period)
+                task.state = TaskState.SCHEDULED
+                task.schedule_time = self.env.now
+                self.pending_launch.increment(self.env.now, +1)
+                self.scheduled_cum.increment(self.env.now, +1)
+                yield self._launch_q.put(task)
+        except Interrupt:
+            return
+
+    def _launcher_loop(self):
+        period = 1.0 / self.config.launch_rate
+        try:
+            while True:
+                task = yield self._launch_q.get()
+                yield self.env.timeout(period)
+                nodes = yield from self._acquire(task.nodes)
+                self.pending_launch.increment(self.env.now, -1)
+                self.launched_cum.increment(self.env.now, +1)
+                proc = self.env.process(
+                    self._execute(task, nodes),
+                    name=f"exec:{task.name}#{task.attempts}",
+                )
+                self._live_execs.add(proc)
+        except Interrupt:
+            return
+
+    def _acquire(self, count: int):
+        """Take ``count`` non-blacklisted nodes from the free pool,
+        waiting as needed.  Down-but-not-yet-blacklisted nodes are
+        handed out like healthy ones (failure-detection lag)."""
+        while True:
+            if not self._blacklist:
+                # Fast path (the common case at Frontier scale): pop
+                # from the end, no per-node filtering.
+                if len(self._free) >= count:
+                    taken = self._free[-count:]
+                    del self._free[-count:]
+                    return taken
+            else:
+                usable = [n for n in self._free if n.id not in self._blacklist]
+                if len(usable) >= count:
+                    taken = usable[:count]
+                    for n in taken:
+                        self._free.remove(n)
+                    return taken
+            yield self._node_freed
+            # event is recreated by the releaser; loop re-checks
+
+    def _release(self, nodes: list) -> None:
+        for n in nodes:
+            if n.id not in self._blacklist:
+                self._free.append(n)
+        if not self._node_freed.triggered:
+            self._node_freed.succeed()
+        self._node_freed = self.env.event()
+
+    def _execute(self, task: EnTask, nodes: list):
+        task.attempts += 1
+        task.state = TaskState.EXECUTING
+        task.start_time = self.env.now
+        task.executed_on = [n.id for n in nodes]
+        self.executing.increment(self.env.now, +1)
+        cores, gpus = task.total_cores, task.total_gpus
+        self.core_util.acquire(self.env.now, cores)
+        if self.gpu_util and gpus:
+            self.gpu_util.acquire(self.env.now, gpus)
+
+        me = self.env.active_process
+        key = f"{self.name}:{task.name}:{task.attempts}"
+        cause = None
+        try:
+            dead = [n for n in nodes if not n.is_up]
+            if dead:
+                yield self.env.timeout(self.config.fail_detect_s)
+                cause = f"dead-node:{dead[0].id}"
+            else:
+                for n in nodes:
+                    n.register_occupant(key, me)
+                if task.duration is not None:
+                    speed = min(n.spec.speed for n in nodes)
+                    yield self.env.timeout(task.duration / speed)
+                else:
+                    yield self.env.process(
+                        task.work(self.env, task, nodes), name=f"work:{task.name}"
+                    )
+        except Interrupt as intr:
+            cause = intr.cause
+        except BaseException as exc:
+            cause = exc
+        finally:
+            for n in nodes:
+                n.unregister_occupant(key)
+            self.executing.increment(self.env.now, -1)
+            self.core_util.release(self.env.now, cores)
+            if self.gpu_util and gpus:
+                self.gpu_util.release(self.env.now, gpus)
+            task.end_time = self.env.now
+            if cause is None:
+                task.state = TaskState.DONE
+                self.done_count.increment(self.env.now, +1)
+            else:
+                task.state = TaskState.FAILED
+                task.failure_causes.append(cause)
+                self.failures.append((task.name, self.env.now, cause))
+                for n in nodes:
+                    if not n.is_up:
+                        self._strikes[n.id] += 1
+                        if self._strikes[n.id] >= self.config.node_strikes:
+                            self._blacklist.add(n.id)
+            self._release(nodes)
+            self._live_execs.discard(self.env.active_process)
+            task._terminal.succeed(task)
+
+    # -- profiling helpers -----------------------------------------------------------
+
+    def scheduling_throughput(self, horizon_s: float = 30.0) -> float:
+        """Initial slope of the cumulative-scheduled curve (tasks/s)."""
+        start = self._bootstrapped_at or 0.0
+        return self.scheduled_cum.value_at(start + horizon_s) / horizon_s
+
+    def launch_throughput(self, horizon_s: float = 30.0) -> float:
+        """Initial slope of the cumulative-launched curve (tasks/s)."""
+        start = self._bootstrapped_at or 0.0
+        return self.launched_cum.value_at(start + horizon_s) / horizon_s
+
+    def utilization(self, t_start=None, t_end=None) -> float:
+        return self.core_util.utilization(t_start, t_end)

@@ -1,0 +1,211 @@
+"""The EnTK AppManager: pipelines in, pilot jobs out.
+
+"Using EnTK allowed us to abandon the manual creation and management
+of batch scripts in favor of having a single ensemble manager to
+handle everything in one large job or subsequent smaller jobs
+submissions."  (§4.2)
+
+The AppManager:
+
+1. sizes and submits a pilot **batch job** for the work at hand,
+2. runs every pipeline concurrently inside the pilot (stages
+   sequentially, stage tasks concurrently through the
+   :class:`~repro.entk.agent.PilotAgent`),
+3. collects per-job :class:`~repro.entk.profiling.RunProfile` data, and
+4. if the job ends (walltime, node exhaustion) with unfinished tasks,
+   submits a **consecutive, smaller job** sized to the remaining work —
+   EnTK's cross-job fault tolerance ("re-submitted job size is smaller
+   and correlates to the number of failed tasks", §4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.entk.agent import AgentConfig, PilotAgent
+from repro.entk.profiling import RunProfile
+from repro.entk.pst import Pipeline, TaskState
+from repro.rm.base import Job, ResourceRequest
+from repro.rm.batch import BatchScheduler
+from repro.simkernel import Environment
+
+
+@dataclass(frozen=True)
+class ResourceDescription:
+    """What the AppManager asks the batch system for."""
+
+    nodes: int
+    walltime_s: float
+    cores_per_node: int = 1
+    gpus_per_node: int = 0
+    agent: AgentConfig = field(default_factory=AgentConfig)
+    max_jobs: int = 5  # consecutive submissions before giving up
+
+    def __post_init__(self):
+        if self.nodes <= 0:
+            raise ValueError("nodes must be positive")
+        if self.walltime_s <= 0:
+            raise ValueError("walltime_s must be positive")
+        if self.max_jobs < 1:
+            raise ValueError("max_jobs must be >= 1")
+
+
+@dataclass
+class AppRunResult:
+    """Outcome of one AppManager.run() invocation."""
+
+    pipelines: list
+    profiles: list = field(default_factory=list)
+    job_sizes: list = field(default_factory=list)
+    succeeded: bool = False
+    done: object = None  # kernel event
+
+    @property
+    def jobs_used(self) -> int:
+        return len(self.profiles)
+
+    def total_failures(self) -> int:
+        return sum(p.tasks_failed_events for p in self.profiles)
+
+    def tasks_done(self) -> int:
+        return sum(
+            1
+            for pl in self.pipelines
+            for t in pl.all_tasks()
+            if t.state == TaskState.DONE
+        )
+
+
+class AppManager:
+    """Drives PST pipelines through pilot jobs on a batch system."""
+
+    def __init__(
+        self,
+        env: Environment,
+        batch: BatchScheduler,
+        resource: ResourceDescription,
+    ):
+        self.env = env
+        self.batch = batch
+        self.resource = resource
+
+    def run(self, pipelines: list) -> AppRunResult:
+        """Start executing; returns a live result whose ``done`` event
+        triggers when all pipelines finish or retries are exhausted."""
+        for p in pipelines:
+            p.validate()
+        result = AppRunResult(pipelines=list(pipelines))
+        result.done = self.env.event()
+        self.env.process(self._drive(result), name="entk-appmanager")
+        return result
+
+    # -- internals --------------------------------------------------------------
+
+    def _drive(self, result: AppRunResult):
+        res = self.resource
+        for job_idx in range(res.max_jobs):
+            remaining = self._remaining_tasks(result.pipelines)
+            if not remaining:
+                break
+            if job_idx > 0:
+                # Tasks stranded by the previous pilot (killed mid-run
+                # or out of agent retries) go back to NEW for this job.
+                for t in remaining:
+                    if t.state != TaskState.NEW:
+                        t.reset_for_retry()
+            nodes_needed = self._size_job(remaining, first=(job_idx == 0))
+            result.job_sizes.append(nodes_needed)
+            job_state = {}
+            job = Job(
+                request=ResourceRequest(
+                    nodes=nodes_needed,
+                    cores_per_node=res.cores_per_node,
+                    gpus_per_node=res.gpus_per_node,
+                    walltime_s=res.walltime_s,
+                ),
+                work=self._pilot_work(result.pipelines, job_state),
+                name=f"entk-pilot-{job_idx}",
+                resilient=True,
+            )
+            self.batch.submit(job)
+            yield job.completion
+            agent = job_state.get("agent")
+            if agent is not None:
+                result.profiles.append(
+                    RunProfile.from_agent(
+                        agent, job_start=job.start_time, job_end=job.end_time
+                    )
+                )
+        result.succeeded = all(p.done for p in result.pipelines)
+        result.done.succeed(result)
+
+    @staticmethod
+    def _remaining_tasks(pipelines: list) -> list:
+        return [
+            t
+            for pl in pipelines
+            for stage in pl.stages
+            for t in stage.tasks
+            if t.state != TaskState.DONE
+        ]
+
+    def _size_job(self, remaining: list, first: bool) -> int:
+        """First job: the full request.  Follow-ups: sized to the
+        remaining work (capped at the original request)."""
+        if first:
+            return self.resource.nodes
+        needed = sum(t.nodes for t in remaining)
+        return max(1, min(self.resource.nodes, needed))
+
+    def _pilot_work(self, pipelines: list, job_state: dict):
+        """Build the batch-job payload: bootstrap an agent, run stages."""
+
+        def work(env, job, nodes):
+            from repro.simkernel import Interrupt
+
+            agent = PilotAgent(env, nodes, config=self.resource.agent, name=job.name)
+            job_state["agent"] = agent
+            runners = [
+                env.process(self._run_pipeline(agent, pl), name=f"pl:{pl.name}")
+                for pl in pipelines
+                if not pl.done
+            ]
+            try:
+                yield env.all_of(runners)
+            except Interrupt as intr:
+                # Pilot terminated (walltime).  Tear down in order:
+                # stop the agent (fails in-flight tasks), then the
+                # pipeline drivers, absorbing their failures.
+                agent.shutdown(cause=str(intr.cause))
+                for r in runners:
+                    if r.is_alive:
+                        r.interrupt(cause=intr.cause)
+                for r in runners:
+                    if r.is_alive:
+                        try:
+                            yield r
+                        except BaseException:
+                            pass
+                raise
+
+        return work
+
+    def _run_pipeline(self, agent: PilotAgent, pipeline: Pipeline):
+        # Index-based iteration: the adaptor may append stages while we
+        # run (§4's dynamic workflow sizing).
+        idx = 0
+        while idx < len(pipeline.stages):
+            stage = pipeline.stages[idx]
+            idx += 1
+            todo = [t for t in stage.tasks if t.state != TaskState.DONE]
+            if todo:
+                done, failed = yield from agent.run_stage(todo)
+                if failed:
+                    # Order-preserving: do not start the next stage with
+                    # holes in this one; the next pilot job resumes here.
+                    return
+            if pipeline.adaptor is not None:
+                new_stages = pipeline.adaptor(pipeline, stage) or []
+                for new_stage in new_stages:
+                    pipeline.add_stage(new_stage)

@@ -1,0 +1,36 @@
+"""Resource configurations for the §4.3 platform progression.
+
+"Developed EnTK applications are easily reconfigured for each platform
+via its resource configuration."  Node shapes follow the paper's
+accounting: Frontier's 100% utilization baseline is 448,000 CPU cores
+(56 usable per node — 8 of 64 reserved for system processes) and
+64,000 GPUs (8 GCDs per node) over 8000 nodes.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import Cluster, NodeSpec
+from repro.simkernel import Environment
+
+#: Node-type catalogue keyed by platform name.
+PLATFORMS: dict[str, NodeSpec] = {
+    # OLCF Frontier: 64 cores (56 usable), 4x MI250X = 8 GCDs.
+    "frontier": NodeSpec(
+        "frontier", cores=56, gpus=8, memory_gb=512.0, speed=1.0
+    ),
+    # OLCF Crusher: Frontier early-access testbed, same node shape.
+    "crusher": NodeSpec("crusher", cores=56, gpus=8, memory_gb=512.0, speed=1.0),
+    # OLCF Summit: 42 usable Power9 cores, 6 V100s, older generation.
+    "summit": NodeSpec("summit", cores=42, gpus=6, memory_gb=512.0, speed=0.7),
+}
+
+
+def platform_cluster(env: Environment, platform: str, nodes: int) -> Cluster:
+    """Build a cluster of ``nodes`` identical nodes of the platform type."""
+    if platform not in PLATFORMS:
+        raise KeyError(
+            f"Unknown platform {platform!r}; choose from {sorted(PLATFORMS)}"
+        )
+    if nodes <= 0:
+        raise ValueError("nodes must be positive")
+    return Cluster(env, name=platform, pools=[(PLATFORMS[platform], nodes)])

@@ -1,0 +1,169 @@
+"""The PST model: Pipeline → Stage → Task.
+
+"EnTK PST stands for Pipeline-Stage-Task, where Pipeline is a sequence
+of Stages, and each Stage is a set of independent computing Tasks.
+Multiple pipelines can be executed concurrently, while stages, within
+each pipeline, are executed sequentially."
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+
+class TaskState(enum.Enum):
+    """EnTK task lifecycle (§4: "control the execution state of a
+    workflow and its every task individually")."""
+
+    NEW = "new"
+    SCHEDULED = "scheduled"   # assigned by the agent scheduler, pending launch
+    EXECUTING = "executing"
+    DONE = "done"
+    FAILED = "failed"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (TaskState.DONE, TaskState.FAILED)
+
+
+_task_counter = itertools.count()
+
+
+@dataclass(eq=False)
+class EnTask:
+    """One computing task: an executable with a node-level footprint.
+
+    The ExaConstit profile from §4.3, for example, is
+    ``EnTask(nodes=8, cores_per_node=56, gpus_per_node=8,
+    duration=...)`` — 8 MPI ranks per node with the 7CPUs-1GPU
+    decomposition.
+    """
+
+    duration: Optional[float] = None
+    work: Optional[Callable] = None
+    nodes: int = 1
+    cores_per_node: int = 1
+    gpus_per_node: int = 0
+    name: str = field(default_factory=lambda: f"task-{next(_task_counter):06d}")
+    #: Tag carried through profiling (e.g. which UQ case this is).
+    tags: dict = field(default_factory=dict)
+
+    # Lifecycle (filled by the agent).
+    state: TaskState = TaskState.NEW
+    attempts: int = 0
+    submit_time: Optional[float] = None
+    schedule_time: Optional[float] = None
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    executed_on: list = field(default_factory=list)
+    failure_causes: list = field(default_factory=list)
+
+    def __post_init__(self):
+        if (self.duration is None) == (self.work is None):
+            raise ValueError("Provide exactly one of duration= or work=")
+        if self.nodes <= 0 or self.cores_per_node <= 0:
+            raise ValueError("nodes and cores_per_node must be positive")
+        if self.gpus_per_node < 0:
+            raise ValueError("gpus_per_node must be non-negative")
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.cores_per_node
+
+    @property
+    def total_gpus(self) -> int:
+        return self.nodes * self.gpus_per_node
+
+    @property
+    def runtime(self) -> Optional[float]:
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def reset_for_retry(self) -> None:
+        """Prepare the task for resubmission (keeps attempt history)."""
+        self.state = TaskState.NEW
+        self.schedule_time = None
+        self.start_time = None
+        self.end_time = None
+
+    def __repr__(self) -> str:
+        return f"<EnTask {self.name} {self.state.value} {self.nodes}n>"
+
+
+@dataclass(eq=False)
+class Stage:
+    """A set of independent tasks executed concurrently."""
+
+    tasks: list = field(default_factory=list)
+    name: str = ""
+
+    def add_task(self, task: EnTask) -> EnTask:
+        self.tasks.append(task)
+        return task
+
+    def add_tasks(self, tasks: Iterable[EnTask]) -> None:
+        self.tasks.extend(tasks)
+
+    @property
+    def done(self) -> bool:
+        return all(t.state == TaskState.DONE for t in self.tasks)
+
+    def unfinished_tasks(self) -> list:
+        return [t for t in self.tasks if t.state != TaskState.DONE]
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __repr__(self) -> str:
+        return f"<Stage {self.name!r} {len(self.tasks)} tasks>"
+
+
+@dataclass(eq=False)
+class Pipeline:
+    """A sequence of stages executed in order.
+
+    Pipelines may grow while running: §4 highlights that EnTK can
+    "handle the size of a workflow dynamically, e.g., create a new
+    workflow stages based on the status of previously executed
+    stages".  Set ``adaptor`` to a callable
+    ``adaptor(pipeline, completed_stage) -> list[Stage] | None``; the
+    AppManager invokes it after each stage completes and appends
+    whatever stages it returns.
+    """
+
+    stages: list = field(default_factory=list)
+    name: str = ""
+    adaptor: Optional[Callable] = None
+
+    def add_stage(self, stage: Stage) -> Stage:
+        self.stages.append(stage)
+        return stage
+
+    @property
+    def done(self) -> bool:
+        return all(s.done for s in self.stages)
+
+    def task_count(self) -> int:
+        return sum(len(s) for s in self.stages)
+
+    def all_tasks(self) -> list:
+        return [t for s in self.stages for t in s.tasks]
+
+    def validate(self) -> None:
+        if not self.stages:
+            raise ValueError(f"Pipeline {self.name!r} has no stages")
+        for stage in self.stages:
+            if not stage.tasks:
+                raise ValueError(
+                    f"Stage {stage.name!r} in pipeline {self.name!r} is empty"
+                )
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def __repr__(self) -> str:
+        return f"<Pipeline {self.name!r} {len(self.stages)} stages, {self.task_count()} tasks>"

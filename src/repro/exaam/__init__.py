@@ -1,0 +1,56 @@
+"""ExaAM UQ pipeline (§4): process-to-structure-to-properties.
+
+The paper's UQ pipeline has three main stages (Fig 3):
+
+- **Stage 0** — generate the UQ sample grid with TASMANIAN.  We
+  implement the same mathematics from scratch: Smolyak sparse grids on
+  nested Clenshaw-Curtis points (:mod:`repro.exaam.tasmanian`).
+- **Stage 1** — melt-pool thermal simulation (AdditiveFOAM) feeding
+  microstructure generation (ExaCA).  We substitute surrogate physics
+  that produces real, checkable numbers at toy scale: the analytic
+  Rosenthal moving-source solution and a genuine 2-D cellular-automaton
+  solidification model (:mod:`repro.exaam.models`).
+- **Stage 3** — local property calculations (ExaConstit): a
+  Taylor-type crystal-plasticity homogenization over the CA's grain
+  orientations, then a least-squares fit of macroscopic material-model
+  parameters.
+
+:mod:`repro.exaam.pipeline` assembles these into EnTK PST applications
+with the Frontier resource footprints of §4.3 (AdditiveFOAM 4-node CPU
+tasks, ExaCA 1-node 7CPU+1GPU tasks, ExaConstit 8-node tasks of
+10-25 min).
+"""
+
+from repro.exaam.tasmanian import cc_points, cc_weights, sparse_grid
+from repro.exaam.models import (
+    MeltPoolResult,
+    exaca_grain_growth,
+    exaconstit_homogenize,
+    fit_material_model,
+    rosenthal_meltpool,
+)
+from repro.exaam.pipeline import (
+    UQCase,
+    build_stage0_cases,
+    build_uq_pipelines,
+    frontier_stage3_tasks,
+)
+from repro.exaam.uq import calibrate_absorptivity, main_effects, weighted_moments
+
+__all__ = [
+    "MeltPoolResult",
+    "UQCase",
+    "build_stage0_cases",
+    "build_uq_pipelines",
+    "calibrate_absorptivity",
+    "cc_points",
+    "cc_weights",
+    "main_effects",
+    "weighted_moments",
+    "exaca_grain_growth",
+    "exaconstit_homogenize",
+    "fit_material_model",
+    "frontier_stage3_tasks",
+    "rosenthal_meltpool",
+    "sparse_grid",
+]

@@ -1,0 +1,283 @@
+"""Assembling the ExaAM UQ pipeline as EnTK applications (§4.2).
+
+Two construction modes:
+
+- ``mode="simulated"`` — tasks are pure resource footprints with the
+  §4.3 Frontier profile; used for the scale experiments (E2/E3/E4).
+- ``mode="real"`` — task ``work`` functions actually run the surrogate
+  physics at toy scale while consuming proportional simulated time;
+  used by the end-to-end example and correctness tests.  Data flows
+  between stages through a shared ``results`` dict, mirroring the
+  file-based hand-off the real pipeline uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.entk.pst import EnTask, Pipeline, Stage
+from repro.exaam.models import (
+    exaca_grain_growth,
+    exaconstit_homogenize,
+    fit_material_model,
+    rosenthal_meltpool,
+)
+from repro.exaam.tasmanian import sparse_grid
+
+
+@dataclass(frozen=True)
+class UQCase:
+    """One melt-pool UQ sample: (power, speed, absorptivity)."""
+
+    case_id: int
+    power_W: float
+    speed_m_per_s: float
+    absorptivity: float
+    weight: float = 1.0
+
+
+def build_stage0_cases(
+    level: int = 2,
+    power_range=(150.0, 350.0),
+    speed_range=(0.4, 1.2),
+    absorptivity_range=(0.25, 0.45),
+) -> list:
+    """Stage 0: the TASMANIAN sparse grid over process parameters."""
+    lower = np.array([power_range[0], speed_range[0], absorptivity_range[0]])
+    upper = np.array([power_range[1], speed_range[1], absorptivity_range[1]])
+    points, weights = sparse_grid(3, level, lower=lower, upper=upper)
+    return [
+        UQCase(
+            case_id=i,
+            power_W=float(p[0]),
+            speed_m_per_s=float(p[1]),
+            absorptivity=float(p[2]),
+            weight=float(w),
+        )
+        for i, (p, w) in enumerate(zip(points, weights))
+    ]
+
+
+def build_uq_pipelines(
+    cases: Optional[list] = None,
+    microstructure_params: Optional[list] = None,
+    n_rves: int = 2,
+    loading_directions: int = 2,
+    temperatures=(293.0, 773.0),
+    mode: str = "real",
+    rng: Optional[np.random.Generator] = None,
+    results: Optional[dict] = None,
+) -> tuple:
+    """Build the three-stage UQ pipeline; returns (pipeline, results).
+
+    Stage 1 holds AdditiveFOAM tasks (even/odd runs + a gather step is
+    folded into each case task here) then ExaCA tasks for the cartesian
+    product of melt-pool cases × microstructure parameters; Stage 3
+    holds one ExaConstit task per (microstructure × RVE × direction ×
+    temperature) plus the final optimization task.
+    """
+    if mode not in ("real", "simulated"):
+        raise ValueError("mode must be 'real' or 'simulated'")
+    rng = rng or np.random.default_rng(0)
+    cases = cases if cases is not None else build_stage0_cases(level=1)
+    micro = (
+        microstructure_params
+        if microstructure_params is not None
+        else [0.2, 0.6]  # directional-bias UQ parameter
+    )
+    results = results if results is not None else {}
+    results.setdefault("meltpools", {})
+    results.setdefault("microstructures", {})
+    results.setdefault("curves", [])
+
+    pipeline = Pipeline(name="exaam-uq")
+
+    # -- Stage 1a: AdditiveFOAM (CPU-only, 4 nodes x 56 cores each) ------
+    foam = Stage(name="additivefoam")
+    for case in cases:
+        foam.add_task(_foam_task(case, mode, results, rng))
+    pipeline.add_stage(foam)
+
+    # -- Stage 1b: ExaCA (1 node, 8 ranks, 7 CPU + 1 GPU each) ------------
+    caa = Stage(name="exaca")
+    for case in cases:
+        for mi, bias in enumerate(micro):
+            caa.add_task(_exaca_task(case, mi, bias, mode, results, rng))
+    pipeline.add_stage(caa)
+
+    # -- Stage 3: ExaConstit (8 nodes x 8 ranks, 10-25 min) ----------------
+    constit = Stage(name="exaconstit")
+    for case in cases:
+        for mi in range(len(micro)):
+            for rve in range(n_rves):
+                for direction in range(loading_directions):
+                    for temp in temperatures:
+                        constit.add_task(
+                            _constit_task(
+                                case, mi, rve, direction, temp, mode, results, rng
+                            )
+                        )
+    pipeline.add_stage(constit)
+
+    # -- Final optimization: fit the macroscopic material model -----------
+    opt = Stage(name="optimize")
+    opt.add_task(_optimize_task(mode, results))
+    pipeline.add_stage(opt)
+
+    return pipeline, results
+
+
+# -- task factories --------------------------------------------------------------
+
+
+def _foam_task(case: UQCase, mode: str, results: dict, rng) -> EnTask:
+    name = f"foam-{case.case_id:04d}"
+    if mode == "simulated":
+        return EnTask(
+            duration=float(rng.uniform(3600, 7200)),
+            nodes=4,
+            cores_per_node=56,
+            name=name,
+            tags={"stage": "additivefoam", "case": case.case_id},
+        )
+
+    def work(env, task, nodes):
+        # Even and odd runs, then the gather step (§4.2).
+        mp_even = rosenthal_meltpool(
+            case.power_W, case.speed_m_per_s, case.absorptivity
+        )
+        yield env.timeout(30.0)
+        mp_odd = rosenthal_meltpool(
+            case.power_W * 1.001, case.speed_m_per_s, case.absorptivity
+        )
+        yield env.timeout(30.0)
+        results["meltpools"][case.case_id] = mp_even  # gathered output
+        yield env.timeout(5.0)  # post-processing gather
+
+    return EnTask(
+        work=work,
+        nodes=4,
+        cores_per_node=56,
+        name=name,
+        tags={"stage": "additivefoam", "case": case.case_id},
+    )
+
+
+def _exaca_task(case: UQCase, mi: int, bias: float, mode: str, results: dict, rng) -> EnTask:
+    name = f"exaca-{case.case_id:04d}-m{mi}"
+    if mode == "simulated":
+        return EnTask(
+            duration=float(rng.uniform(7200, 14400)),
+            nodes=1,
+            cores_per_node=56,
+            gpus_per_node=8,
+            name=name,
+            tags={"stage": "exaca", "case": case.case_id, "micro": mi},
+        )
+
+    def work(env, task, nodes):
+        mp = results["meltpools"][case.case_id]
+        # Cooling rate modulates nucleation density; bias is the UQ
+        # microstructure parameter.
+        n_seeds = int(np.clip(10 + mp.cooling_rate_K_per_s / 5e7, 10, 60))
+        structure = exaca_grain_growth(
+            nx=32, ny=32, n_seeds=n_seeds, directional_bias=bias,
+            rng=np.random.default_rng(case.case_id * 100 + mi),
+        )
+        results["microstructures"][(case.case_id, mi)] = structure
+        yield env.timeout(60.0)
+
+    return EnTask(
+        work=work,
+        nodes=1,
+        cores_per_node=56,
+        gpus_per_node=8,
+        name=name,
+        tags={"stage": "exaca", "case": case.case_id, "micro": mi},
+    )
+
+
+def _constit_task(
+    case: UQCase, mi: int, rve: int, direction: int, temp: float,
+    mode: str, results: dict, rng,
+) -> EnTask:
+    name = f"constit-{case.case_id:04d}-m{mi}-r{rve}-d{direction}-T{int(temp)}"
+    if mode == "simulated":
+        return EnTask(
+            duration=float(rng.uniform(600, 1500)),  # "~10-25 min"
+            nodes=8,
+            cores_per_node=56,
+            gpus_per_node=8,
+            name=name,
+            tags={"stage": "exaconstit", "case": case.case_id},
+        )
+
+    def work(env, task, nodes):
+        structure = results["microstructures"][(case.case_id, mi)]
+        rve_rng = np.random.default_rng(hash((case.case_id, mi, rve)) % 2**32)
+        subset = rve_rng.choice(
+            structure.orientations_deg,
+            size=max(3, structure.n_grains // 2),
+            replace=True,
+        )
+        # Coarsening step then the CP solve (§4.2: "coarsens the
+        # microstructures... generates all the simulation option files").
+        yield env.timeout(10.0)
+        strain, stress = exaconstit_homogenize(subset, temperature_K=temp)
+        results["curves"].append((strain, stress))
+        yield env.timeout(50.0)
+
+    return EnTask(
+        work=work,
+        nodes=8,
+        cores_per_node=56,
+        gpus_per_node=8,
+        name=name,
+        tags={"stage": "exaconstit", "case": case.case_id},
+    )
+
+
+def _optimize_task(mode: str, results: dict) -> EnTask:
+    if mode == "simulated":
+        return EnTask(duration=120.0, nodes=1, cores_per_node=56, name="optimize",
+                      tags={"stage": "optimize"})
+
+    def work(env, task, nodes):
+        results["material_model"] = fit_material_model(results["curves"])
+        yield env.timeout(20.0)
+
+    return EnTask(work=work, nodes=1, cores_per_node=56, name="optimize",
+                  tags={"stage": "optimize"})
+
+
+def frontier_stage3_tasks(
+    n_tasks: int = 7875,
+    nodes_per_task: int = 8,
+    runtime_range=(600.0, 1500.0),
+    cores_per_node: int = 56,
+    gpus_per_node: int = 8,
+    rng: Optional[np.random.Generator] = None,
+) -> list:
+    """The E2/E3 workload: the UQ Stage 3 ExaConstit ensemble at
+    Frontier scale — 7875 8-node tasks of 10-25 minutes.
+
+    ``cores_per_node``/``gpus_per_node`` default to the Frontier node
+    shape; pass the platform's shape for Summit-sized runs.
+    """
+    if n_tasks < 1:
+        raise ValueError("n_tasks must be >= 1")
+    rng = rng or np.random.default_rng(42)
+    return [
+        EnTask(
+            duration=float(rng.uniform(*runtime_range)),
+            nodes=nodes_per_task,
+            cores_per_node=cores_per_node,
+            gpus_per_node=gpus_per_node,
+            name=f"exaconstit-{i:05d}",
+            tags={"stage": "exaconstit"},
+        )
+        for i in range(n_tasks)
+    ]

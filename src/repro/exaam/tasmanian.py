@@ -1,0 +1,117 @@
+"""Sparse grids on nested Clenshaw-Curtis points (the TASMANIAN role).
+
+Stage 0 of the UQ pipeline "generates the UQ grid using TASMANIAN".
+This module implements the same construction: the Smolyak combination
+of nested Clenshaw-Curtis tensor grids, with quadrature weights, so the
+grid is not just a point cloud but an exact integrator for polynomials
+— which is what the tests verify.
+"""
+
+from __future__ import annotations
+
+import itertools
+from math import comb
+from typing import Optional
+
+import numpy as np
+
+
+def cc_points(level: int) -> np.ndarray:
+    """Nested Clenshaw-Curtis points on [-1, 1] at ``level``.
+
+    ``m(0) = 1`` (the midpoint), ``m(l) = 2**l + 1`` extrema of the
+    Chebyshev polynomial — nested: points(l) ⊂ points(l+1).
+    """
+    if level < 0:
+        raise ValueError("level must be >= 0")
+    if level == 0:
+        return np.zeros(1)
+    m = 2**level + 1
+    j = np.arange(m)
+    return -np.cos(np.pi * j / (m - 1))
+
+
+def cc_weights(level: int) -> np.ndarray:
+    """Clenshaw-Curtis quadrature weights for :func:`cc_points`.
+
+    Weights integrate over [-1, 1] (they sum to 2).  Closed-form
+    Fejér/CC expression for an even number of intervals.
+    """
+    if level < 0:
+        raise ValueError("level must be >= 0")
+    if level == 0:
+        return np.array([2.0])
+    m = 2**level + 1
+    n = m - 1  # number of intervals, even
+    weights = np.empty(m)
+    ks = np.arange(1, n // 2 + 1)
+    b = np.where(ks == n // 2, 1.0, 2.0)
+    for j in range(m):
+        c = 1.0 if j in (0, n) else 2.0
+        s = np.sum(b / (4.0 * ks**2 - 1.0) * np.cos(2.0 * ks * j * np.pi / n))
+        weights[j] = (c / n) * (1.0 - s)
+    return weights
+
+
+def sparse_grid(
+    dim: int,
+    level: int,
+    lower: Optional[np.ndarray] = None,
+    upper: Optional[np.ndarray] = None,
+) -> tuple:
+    """Smolyak sparse grid of total ``level`` in ``dim`` dimensions.
+
+    Returns ``(points, weights)``: points of shape (N, dim) and weights
+    integrating over the box [lower, upper] (default [-1, 1]^dim).
+
+    Uses the combination technique:
+
+    ``Q_L = Σ_{L-d+1 <= |l| <= L} (-1)^{L-|l|} C(d-1, L-|l|) (Q_{l1} ⊗ ... ⊗ Q_{ld})``
+    """
+    if dim < 1:
+        raise ValueError("dim must be >= 1")
+    if level < 0:
+        raise ValueError("level must be >= 0")
+
+    acc: dict[tuple, float] = {}
+    low = max(level - dim + 1, 0)
+    for total in range(low, level + 1):
+        coeff = (-1.0) ** (level - total) * comb(dim - 1, level - total)
+        for combo in _compositions(total, dim):
+            pts_1d = [cc_points(l) for l in combo]
+            wts_1d = [cc_weights(l) for l in combo]
+            for idx in itertools.product(*(range(len(p)) for p in pts_1d)):
+                point = tuple(
+                    round(float(pts_1d[d_][i]), 14) for d_, i in enumerate(idx)
+                )
+                weight = coeff * float(
+                    np.prod([wts_1d[d_][i] for d_, i in enumerate(idx)])
+                )
+                acc[point] = acc.get(point, 0.0) + weight
+
+    # Drop numerically-cancelled points, keep deterministic order.
+    items = sorted((p, w) for p, w in acc.items() if abs(w) > 1e-13)
+    points = np.array([p for p, _ in items], dtype=float)
+    weights = np.array([w for _, w in items], dtype=float)
+
+    if lower is not None or upper is not None:
+        lower = np.full(dim, -1.0) if lower is None else np.asarray(lower, float)
+        upper = np.full(dim, 1.0) if upper is None else np.asarray(upper, float)
+        if lower.shape != (dim,) or upper.shape != (dim,):
+            raise ValueError("lower/upper must have shape (dim,)")
+        if np.any(upper <= lower):
+            raise ValueError("upper must exceed lower")
+        scale = (upper - lower) / 2.0
+        points = lower + (points + 1.0) * scale
+        weights = weights * np.prod(scale)
+    return points, weights
+
+
+def _compositions(total: int, parts: int):
+    """All tuples of ``parts`` non-negative ints summing to ``total``."""
+    if parts == 1:
+        yield (total,)
+        return
+    for first in range(total + 1):
+        for rest in _compositions(total - first, parts - 1):
+            yield (first,) + rest

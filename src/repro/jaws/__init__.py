@@ -1,0 +1,54 @@
+"""JAWS: the JGI Analysis Workflow Service (§6).
+
+"JAWS [is] a centralized workflow platform that integrates Cromwell
+and WDL with Globus file transport to run computational workflows
+across multiple HPC facilities."
+
+- :mod:`repro.jaws.wdl` — a from-scratch parser for a WDL subset
+  (tasks, workflows, calls, scatter, inputs/outputs, runtime blocks
+  with sha256-pinned containers).
+- :mod:`repro.jaws.engine` — a Cromwell-like execution engine on the
+  simulated batch substrate: dataflow scheduling, scatter fan-out with
+  a parallelism cap (the fair-share guard of §6.2), call caching
+  ("detect when an identical task has been run in the past and avoid
+  re-computing").
+- :mod:`repro.jaws.service` — the central service: site registry,
+  Globus-like input staging, container image pinning per site.
+- :mod:`repro.jaws.migration` — migration tooling: the task-fusion
+  transformer behind E7 ("by integrating four separate tasks into a
+  single task, we cut the execution time by 70% and decreased the
+  number of shards by 71%") and a pattern/anti-pattern linter for the
+  §6.1/§6.2 guidance.
+"""
+
+from repro.jaws.wdl import (
+    WdlCall,
+    WdlDocument,
+    WdlParseError,
+    WdlScatter,
+    WdlTask,
+    WdlWorkflow,
+    parse_wdl,
+)
+from repro.jaws.engine import CallRecord, CromwellEngine, EngineOptions, WdlRunResult
+from repro.jaws.service import JawsService, Site
+from repro.jaws.migration import LintFinding, fuse_linear_chains, lint_workflow
+
+__all__ = [
+    "CallRecord",
+    "CromwellEngine",
+    "EngineOptions",
+    "JawsService",
+    "LintFinding",
+    "Site",
+    "WdlCall",
+    "WdlDocument",
+    "WdlParseError",
+    "WdlRunResult",
+    "WdlScatter",
+    "WdlTask",
+    "WdlWorkflow",
+    "fuse_linear_chains",
+    "lint_workflow",
+    "parse_wdl",
+]

@@ -1,0 +1,359 @@
+"""Migration tooling: task fusion and the pattern/anti-pattern linter.
+
+Task fusion is the E7 experiment: "in one of JGI's workflows, by
+integrating four separate tasks into a single task, we cut the
+execution time by 70% and decreased the number of shards by 71%."
+:func:`fuse_linear_chains` performs that transformation mechanically on
+a parsed document; the per-shard overheads the engine charges are what
+the fusion removes.
+
+:func:`lint_workflow` encodes §6.1's best practices and §6.2's
+anti-patterns as checks over the AST.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.jaws.engine import EngineOptions
+from repro.jaws.wdl import (
+    Attr,
+    Declaration,
+    Ident,
+    Literal,
+    WdlCall,
+    WdlDocument,
+    WdlScatter,
+    WdlTask,
+)
+
+
+# -- task fusion -------------------------------------------------------------------
+
+
+def _call_dependencies(call: WdlCall) -> set:
+    """Names of calls this call's inputs reference."""
+
+    def walk(expr, acc):
+        if isinstance(expr, Attr) and isinstance(expr.base, Ident):
+            acc.add(expr.base.name)
+        elif isinstance(expr, Attr):
+            walk(expr.base, acc)
+        elif hasattr(expr, "items"):
+            for i in expr.items:
+                walk(i, acc)
+        elif hasattr(expr, "args"):
+            for a in expr.args:
+                walk(a, acc)
+
+    acc: set = set()
+    for expr in call.inputs.values():
+        walk(expr, acc)
+    return acc
+
+
+def find_linear_chains(body: list) -> list:
+    """Maximal call chains where each call feeds only the next one.
+
+    Operates on one body (workflow top level or a scatter body).
+    Returns lists of :class:`WdlCall`, longest chains first.
+    """
+    calls = [c for c in body if isinstance(c, WdlCall)]
+    by_name = {c.name: c for c in calls}
+    deps = {c.name: _call_dependencies(c) & set(by_name) for c in calls}
+    consumers: dict = {c.name: set() for c in calls}
+    for cname, ds in deps.items():
+        for d in ds:
+            consumers[d].add(cname)
+
+    chains = []
+    used: set = set()
+    for call in calls:  # document order
+        if call.name in used:
+            continue
+        # Chain start: call not feeding from exactly-one-in-chain...
+        chain = [call]
+        used.add(call.name)
+        current = call
+        while True:
+            nexts = [
+                by_name[n]
+                for n in consumers[current.name]
+                if n not in used and deps[n] == {current.name}
+            ]
+            if len(consumers[current.name]) != 1 or len(nexts) != 1:
+                break
+            current = nexts[0]
+            chain.append(current)
+            used.add(current.name)
+        if len(chain) > 1:
+            chains.append(chain)
+    return sorted(chains, key=len, reverse=True)
+
+
+def fuse_linear_chains(
+    document: WdlDocument, min_length: int = 2
+) -> tuple:
+    """Fuse every linear call chain (length ≥ ``min_length``) into one task.
+
+    Returns ``(new_document, fusions)`` where ``fusions`` maps the fused
+    task's name to the list of original call names.  The fused task:
+
+    - concatenates the member commands,
+    - sums their ``runtime_minutes`` (the *work* remains),
+    - takes the max of their cpu/memory requests,
+    - exposes the last member's outputs and the external inputs of the
+      first member (intermediate hand-offs disappear — exactly the
+      filesystem traffic §6.1 says fusion avoids).
+    """
+    doc = copy.deepcopy(document)
+    fusions: dict = {}
+
+    def fuse_body(body: list) -> list:
+        chains = [c for c in find_linear_chains(body) if len(c) >= min_length]
+        fused_names = {c.name for chain in chains for c in chain}
+        new_body = []
+        replaced: dict = {}
+        for item in body:
+            if isinstance(item, WdlScatter):
+                item.body = fuse_body(item.body)
+                new_body.append(item)
+                continue
+            if item.name not in fused_names:
+                new_body.append(item)
+                continue
+            chain = next((c for c in chains if c[0].name == item.name), None)
+            if chain is None:
+                continue  # interior chain member: folded into the head
+            fused_task, fused_call = _build_fused(doc, chain)
+            doc.tasks[fused_task.name] = fused_task
+            fusions[fused_task.name] = [c.name for c in chain]
+            replaced.update({c.name: fused_call.name for c in chain})
+            new_body.append(fused_call)
+        # Rewire references to any fused member onto the fused call.
+        _rewrite_refs(new_body, replaced)
+        return new_body
+
+    wf = doc.workflow
+    wf.body = fuse_body(wf.body)
+    _rewrite_decls(wf.outputs, _flatten_replacements(fusions, doc))
+    doc.validate()
+    return doc, fusions
+
+
+def _build_fused(doc: WdlDocument, chain: list) -> tuple:
+    tasks = [doc.tasks[c.task_name] for c in chain]
+    member_names = {c.name for c in chain}
+    fused_name = "fused_" + "_".join(c.name for c in chain)
+    total_minutes = sum(
+        float(t.runtime_value("runtime_minutes", 1.0)) for t in tasks
+    )
+    runtime = {
+        "cpu": Literal(max(int(t.runtime_value("cpu", 1)) for t in tasks)),
+        "runtime_minutes": Literal(total_minutes),
+    }
+    dockers = {str(t.runtime_value("docker")) for t in tasks if t.runtime_value("docker")}
+    if dockers:
+        runtime["docker"] = Literal(sorted(dockers)[0])
+    fused_task = WdlTask(
+        name=fused_name,
+        inputs=list(tasks[0].inputs),
+        command="\n".join(t.command for t in tasks),
+        outputs=[
+            # The last member's outputs, re-expressed as literals the
+            # fused command produces directly.
+            Declaration(type=d.type, name=d.name, expr=d.expr)
+            for d in tasks[-1].outputs
+        ],
+        runtime=runtime,
+    )
+    # The fused call keeps only inputs coming from OUTSIDE the chain.
+    first = chain[0]
+    external_inputs = {
+        k: v
+        for k, v in first.inputs.items()
+        if not (_call_dependencies_single(v) & member_names)
+    }
+    fused_call = WdlCall(task_name=fused_name, alias=None, inputs=external_inputs)
+    return fused_task, fused_call
+
+
+def _call_dependencies_single(expr) -> set:
+    fake = WdlCall(task_name="x", inputs={"v": expr})
+    return _call_dependencies(fake)
+
+
+def _flatten_replacements(fusions: dict, doc: WdlDocument) -> dict:
+    out = {}
+    for fused_name, members in fusions.items():
+        for m in members:
+            out[m] = fused_name
+    return out
+
+
+def _rewrite_refs(body: list, replaced: dict) -> None:
+    def rewrite(expr):
+        if isinstance(expr, Attr) and isinstance(expr.base, Ident):
+            if expr.base.name in replaced:
+                return Attr(Ident(replaced[expr.base.name]), expr.attr)
+        return expr
+
+    for item in body:
+        if isinstance(item, WdlCall):
+            item.inputs = {k: rewrite(v) for k, v in item.inputs.items()}
+        elif isinstance(item, WdlScatter):
+            item.collection = rewrite(item.collection)
+            _rewrite_refs(item.body, replaced)
+
+
+def _rewrite_decls(decls: list, replaced: dict) -> None:
+    for i, decl in enumerate(decls):
+        expr = decl.expr
+        if isinstance(expr, Attr) and isinstance(expr.base, Ident):
+            if expr.base.name in replaced:
+                decls[i] = Declaration(
+                    type=decl.type,
+                    name=decl.name,
+                    expr=Attr(Ident(replaced[expr.base.name]), expr.attr),
+                )
+
+
+# -- lint --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    code: str
+    severity: str  # "warning" | "error"
+    target: str
+    message: str
+
+
+#: Minimum sensible shard runtime (§6.2: "each parallel job should
+#: have a minimum runtime of 30 minutes").
+MIN_SHARD_RUNTIME_MIN = 30.0
+
+
+def lint_workflow(
+    document: WdlDocument,
+    options: Optional[EngineOptions] = None,
+    pinned_images: Optional[set] = None,
+) -> list:
+    """Run the §6 pattern/anti-pattern checks over a document.
+
+    Checks:
+
+    - ``JAWS001`` short-shard scatter: scattered call whose task runtime
+      is under 30 minutes (inappropriate parallelism).
+    - ``JAWS002`` unpinned container: docker image without a sha256
+      digest (version-control anti-pattern).
+    - ``JAWS003`` missing runtime block: no resources declared.
+    - ``JAWS004`` unconstrained scatter: no engine concurrency cap —
+      fair-share risk on shared clusters.
+    - ``JAWS005`` monolithic task: a command with many pipeline stages
+      (modularization candidate).
+    - ``JAWS006`` missing container: task with no docker image at all.
+    - ``JAWS007`` undefined placeholder: the command interpolates
+      ``~{x}`` but the task declares no input ``x`` (an error — the
+      command cannot render).
+    """
+    findings = []
+    document.validate()
+    wf = document.workflow
+
+    def scattered_calls(items, inside=False):
+        for item in items:
+            if isinstance(item, WdlCall):
+                yield item, inside
+            else:
+                yield from scattered_calls(item.body, True)
+
+    has_scatter = False
+    for call, inside_scatter in scattered_calls(wf.body):
+        task = document.tasks[call.task_name]
+        minutes = task.runtime_value("runtime_minutes")
+        if inside_scatter:
+            has_scatter = True
+            if minutes is not None and float(minutes) < MIN_SHARD_RUNTIME_MIN:
+                findings.append(
+                    LintFinding(
+                        "JAWS001",
+                        "warning",
+                        call.name,
+                        f"scattered task runs ~{float(minutes):.0f} min; "
+                        f"shards under {MIN_SHARD_RUNTIME_MIN:.0f} min pay more "
+                        "in filesystem overhead than they gain",
+                    )
+                )
+        if not task.runtime:
+            findings.append(
+                LintFinding(
+                    "JAWS003",
+                    "warning",
+                    task.name,
+                    "no runtime block: scheduler cannot size this task",
+                )
+            )
+        image = task.runtime_value("docker")
+        if image is None:
+            findings.append(
+                LintFinding(
+                    "JAWS006",
+                    "warning",
+                    task.name,
+                    "no container image: environment is not reproducible",
+                )
+            )
+        elif "sha256:" not in str(image) and (
+            pinned_images is None or str(image) not in pinned_images
+        ):
+            findings.append(
+                LintFinding(
+                    "JAWS002",
+                    "warning",
+                    task.name,
+                    f"container {image!r} is not digest-pinned",
+                )
+            )
+        stages = [
+            ln
+            for ln in task.command.splitlines()
+            if ln.strip() and not ln.strip().startswith("#")
+        ]
+        if len(stages) > 8:
+            findings.append(
+                LintFinding(
+                    "JAWS005",
+                    "warning",
+                    task.name,
+                    f"command has {len(stages)} stages; consider modularizing",
+                )
+            )
+        # JAWS007: command placeholders must reference declared inputs.
+        import re as _re
+
+        declared = {d.name for d in task.inputs}
+        for placeholder in set(_re.findall(r"~\{(\w+)\}", task.command)):
+            if placeholder not in declared:
+                findings.append(
+                    LintFinding(
+                        "JAWS007",
+                        "error",
+                        task.name,
+                        f"command references ~{{{placeholder}}} but the task "
+                        "declares no such input",
+                    )
+                )
+    if has_scatter and (options is None or options.max_scatter_concurrency is None):
+        findings.append(
+            LintFinding(
+                "JAWS004",
+                "warning",
+                wf.name,
+                "scatter with no concurrency cap: a wide scatter can "
+                "monopolize shared Cromwell resources (no fair share)",
+            )
+        )
+    return findings

@@ -1,0 +1,198 @@
+"""The central JAWS service: one front door, many compute sites.
+
+"JAWS uses Globus and AWS S3 protocol to transfer data and code to
+user-specified compute resources, subsequently executing the
+computation by leveraging the Cromwell engine [...] and returning the
+results."  Containers are pinned by sha256 digest (§6.2's version-
+control guidance) and pulled once per site.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster import Cluster, NodeSpec
+from repro.data.files import FileCatalog
+from repro.data.storage import StorageSite
+from repro.data.transfer import TransferService
+from repro.jaws.engine import CromwellEngine, EngineOptions, WdlRunResult
+from repro.jaws.wdl import WdlDocument
+from repro.rm.batch import BatchScheduler
+from repro.simkernel import Environment
+
+
+@dataclass
+class Site:
+    """One compute facility registered with JAWS."""
+
+    name: str
+    cluster: Cluster
+    batch: BatchScheduler
+    storage: StorageSite
+    engine: CromwellEngine
+    #: Container digests already pulled here.
+    pulled_images: set = field(default_factory=set)
+
+
+@dataclass
+class SubmissionResult:
+    """What the user gets back from a JAWS submission."""
+
+    run: WdlRunResult
+    site: str
+    staged_bytes: int = 0
+    image_pulls: int = 0
+    done: object = None
+
+
+class JawsService:
+    """Registry + router: stage inputs, pin containers, run, return."""
+
+    #: Default JGI-adjacent site catalogue (§6.1 names these clusters).
+    DEFAULT_SITES = (
+        ("perlmutter", 16, 64, 2.0),
+        ("tahoma", 8, 36, 1.4),
+        ("dori", 4, 32, 1.0),
+        ("lawrencium", 6, 32, 1.1),
+    )
+
+    def __init__(
+        self,
+        env: Environment,
+        sites: Optional[list] = None,
+        options: Optional[EngineOptions] = None,
+        image_pull_s: float = 90.0,
+    ):
+        self.env = env
+        self.options = options or EngineOptions()
+        self.image_pull_s = image_pull_s
+        self.catalog = FileCatalog()
+        #: Central staging endpoint (the user's home institution / S3).
+        self.home = StorageSite(env, "jaws-central", egress_mbps=800, ingress_mbps=800)
+        self.sites: dict[str, Site] = {}
+        self.transfer = TransferService(env, self.catalog, {"jaws-central": self.home})
+        #: Image name -> pinned sha256 digest.
+        self.image_digests: dict[str, str] = {}
+        for spec in sites if sites is not None else self.DEFAULT_SITES:
+            self.add_site(*spec)
+
+    def add_site(self, name: str, nodes: int, cores: int, speed: float) -> Site:
+        if name in self.sites:
+            raise ValueError(f"Site {name!r} already registered")
+        cluster = Cluster(
+            self.env,
+            name=name,
+            pools=[(NodeSpec(name, cores=cores, memory_gb=256.0, speed=speed), nodes)],
+        )
+        batch = BatchScheduler(self.env, cluster)
+        storage = StorageSite(self.env, name, egress_mbps=2000, ingress_mbps=2000)
+        site = Site(
+            name=name,
+            cluster=cluster,
+            batch=batch,
+            storage=storage,
+            engine=CromwellEngine(self.env, batch, self.options),
+        )
+        self.sites[name] = site
+        self.transfer.add_site(storage)
+        return site
+
+    # -- container pinning ----------------------------------------------------
+
+    def pin_image(self, image: str) -> str:
+        """Resolve an image name to a deterministic sha256 digest."""
+        digest = "sha256:" + hashlib.sha256(image.encode()).hexdigest()[:16]
+        self.image_digests[image] = digest
+        return digest
+
+    def image_digest(self, image: str) -> Optional[str]:
+        return self.image_digests.get(image)
+
+    # -- submission --------------------------------------------------------------
+
+    def pick_site(self, document: WdlDocument) -> str:
+        """Route a workflow to the site with the best estimated finish.
+
+        §6.3: "adopting workflow managers to route jobs and data across
+        multiple sites seamlessly".  Estimate per site = (queued work +
+        this workflow's nominal work) / (site cores × speed).
+        """
+        nominal_s = sum(
+            float(t.runtime_value("runtime_minutes", 1.0)) * 60.0
+            for t in document.tasks.values()
+        ) * max(1, len(document.workflow.calls()))
+
+        def score(site: Site) -> tuple:
+            capacity = sum(
+                n.spec.cores * n.spec.speed for n in site.cluster.nodes
+            )
+            queued = sum(
+                j.request.total_cores * j.request.walltime_s
+                for j in site.batch.queue
+            )
+            running = sum(
+                j.request.total_cores * j.request.walltime_s
+                for j in site.batch.running
+            )
+            return ((queued + running + nominal_s) / capacity, site.name)
+
+        return min(self.sites.values(), key=score).name
+
+    def submit(
+        self,
+        document: WdlDocument,
+        inputs: Optional[dict] = None,
+        site_name: str = "auto",
+        input_files: Optional[list] = None,
+    ) -> SubmissionResult:
+        """Submit a workflow; returns a live SubmissionResult.
+
+        ``site_name="auto"`` routes to the least-loaded capable site
+        (see :meth:`pick_site`).  ``input_files`` are
+        :class:`~repro.data.files.File` objects staged from the central
+        endpoint to the site before execution.
+        """
+        if site_name == "auto":
+            site_name = self.pick_site(document)
+        if site_name not in self.sites:
+            raise KeyError(
+                f"Unknown site {site_name!r}; registered: {sorted(self.sites)}"
+            )
+        site = self.sites[site_name]
+        result = SubmissionResult(run=None, site=site_name)
+        result.done = self.env.event()
+        self.env.process(
+            self._submit(document, dict(inputs or {}), site, list(input_files or []),
+                         result),
+            name=f"jaws:{document.workflow.name}@{site_name}",
+        )
+        return result
+
+    def _submit(self, document, inputs, site: Site, input_files, result):
+        # 1. Globus-stage inputs to the site.
+        for f in input_files:
+            if f.name not in self.catalog:
+                self.catalog.register(f, site="jaws-central")
+        if input_files:
+            before = self.transfer.total_bytes_moved()
+            yield self.env.process(
+                self.transfer.stage_in(input_files, site.name, prefer="jaws-central")
+            )
+            result.staged_bytes = self.transfer.total_bytes_moved() - before
+        # 2. Pull any containers the tasks pin, once per site.
+        for task in document.tasks.values():
+            image = task.runtime_value("docker")
+            if image is None:
+                continue
+            digest = self.image_digests.get(str(image)) or self.pin_image(str(image))
+            if digest not in site.pulled_images:
+                yield self.env.timeout(self.image_pull_s)
+                site.pulled_images.add(digest)
+                result.image_pulls += 1
+        # 3. Execute via the site's Cromwell engine.
+        run = site.engine.run(document, inputs)
+        result.run = run
+        yield run.done
+        result.done.succeed(result)

@@ -1,0 +1,85 @@
+"""LLM-driven workflow composition (§2).
+
+Reproduces the lightning talk's two artifacts:
+
+- **§2.1 prototype** — Phyloflow driven end-to-end through an OpenAI-
+  style function-calling API: Parsl apps wrapped in
+  ``function_call_from_file`` / ``function_call_from_futures``
+  adapters, JSON function schemas, a chat loop that feeds function
+  results (AppFuture IDs) back as user messages, and a stop flag.
+- **Fig 1 architecture** — planner / executor / debugger agents
+  collaborating to execute a natural-language description, with a
+  human gate when the debugger gives up.
+
+The LLM itself is substituted with a deterministic rule-based
+function-calling model (:class:`MockFunctionCallingLLM`): it receives
+exactly the same inputs a hosted model would (schemas + messages) and
+emits the same outputs (function-call choices / stop), so every
+adapter and driver code path is exercised reproducibly offline.
+Phyloflow's four steps are implemented for real at toy scale
+(:mod:`repro.llm.phyloflow`), so the workflow produces a checkable
+phylogeny JSON.
+"""
+
+from repro.llm.protocol import (
+    ChatResponse,
+    FunctionCall,
+    FunctionSchema,
+    Message,
+)
+from repro.llm.mockllm import (
+    ContextLimitExceeded,
+    MockFunctionCallingLLM,
+    estimate_tokens,
+)
+from repro.llm.adapters import PhyloflowAdapters
+from repro.llm.hierarchy import (
+    FunctionGroup,
+    HierarchicalChatDriver,
+    HierarchicalResult,
+    PHYLOFLOW_GROUPS,
+)
+from repro.llm.driver import ChatWorkflowDriver, DriverResult
+from repro.llm.agents import (
+    AgentWorkflowEngine,
+    Debugger,
+    Executor,
+    Plan,
+    Planner,
+    PlanStep,
+)
+from repro.llm.phyloflow import (
+    make_synthetic_vcf,
+    pyclone_vi,
+    spruce_format,
+    spruce_phylogeny,
+    vcf_transform,
+)
+
+__all__ = [
+    "AgentWorkflowEngine",
+    "ChatResponse",
+    "ChatWorkflowDriver",
+    "ContextLimitExceeded",
+    "Debugger",
+    "DriverResult",
+    "Executor",
+    "FunctionCall",
+    "FunctionGroup",
+    "FunctionSchema",
+    "HierarchicalChatDriver",
+    "HierarchicalResult",
+    "Message",
+    "MockFunctionCallingLLM",
+    "PHYLOFLOW_GROUPS",
+    "estimate_tokens",
+    "PhyloflowAdapters",
+    "Plan",
+    "PlanStep",
+    "Planner",
+    "make_synthetic_vcf",
+    "pyclone_vi",
+    "spruce_format",
+    "spruce_phylogeny",
+    "vcf_transform",
+]

@@ -1,0 +1,169 @@
+"""Parsl-app adapters for the function-calling API (§2.1).
+
+For each Phyloflow Parsl app we expose the two adapter flavours the
+paper describes:
+
+- ``*_from_file`` — receives physical file paths,
+- ``*_from_futures`` — receives AppFuture IDs, resolves them from the
+  global access dictionary, and uses their outputs as inputs.
+
+Each dispatch "generates a new ID, runs the ParslApp, indexes the
+AppFuture reference along with its ID in a global access dictionary
+and returns the ID".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.futures import AppFuture, FutureError, LocalExecutor, python_app
+from repro.llm.protocol import FunctionCall, FunctionSchema
+from repro.llm.phyloflow import (
+    pyclone_vi,
+    spruce_format,
+    spruce_phylogeny,
+    vcf_transform,
+)
+
+
+class AdapterError(RuntimeError):
+    """A dispatched function failed (bad args, app exception...)."""
+
+
+# Parsl apps for the four pipeline steps.
+_vcf_transform_app = python_app(vcf_transform)
+_pyclone_app = python_app(pyclone_vi)
+_spruce_format_app = python_app(spruce_format)
+_spruce_phylogeny_app = python_app(spruce_phylogeny)
+
+
+class PhyloflowAdapters:
+    """Function-call surface over the Phyloflow Parsl apps.
+
+    Parameters
+    ----------
+    files:
+        Simulated filesystem: path → file content.  ``*_from_file``
+        adapters read from here.
+    eager:
+        Resolve each future at dispatch time so failures surface as
+        :class:`AdapterError` immediately (what the error-forwarding
+        loop needs).  With ``eager=False`` futures stay lazy, matching
+        the paper's original fire-and-forget behaviour.
+    """
+
+    def __init__(self, files: Optional[dict] = None, eager: bool = True):
+        self.files = dict(files or {})
+        self.eager = eager
+        self.executor = LocalExecutor()
+        #: Failure injection: function name -> remaining failures.
+        self._injected: dict[str, int] = {}
+
+    # -- schema advertisement ------------------------------------------------
+
+    def schemas(self) -> list:
+        """Function descriptions, in pipeline order."""
+        return [
+            FunctionSchema(
+                name="vcf_transform_from_file",
+                description=(
+                    "Read a VCF file from a path and transform it into the "
+                    "pyclone-vi mutation table."
+                ),
+                parameters=(
+                    ("vcf_file", (("type", "string"), ("description", "path to .vcf"))),
+                ),
+                required=("vcf_file",),
+            ),
+            FunctionSchema(
+                name="pyclone_vi_from_futures",
+                description=(
+                    "Run mutation clustering on the output of a previous "
+                    "vcf_transform AppFuture."
+                ),
+                parameters=(
+                    ("mutations_future_id", (("type", "string"),)),
+                    ("n_clusters", (("type", "integer"),)),
+                ),
+                required=("mutations_future_id", "n_clusters"),
+            ),
+            FunctionSchema(
+                name="spruce_format_from_futures",
+                description=(
+                    "Reformat pyclone-vi clusters (by AppFuture ID) into the "
+                    "SPRUCE input table."
+                ),
+                parameters=(("clusters_future_id", (("type", "string"),)),),
+                required=("clusters_future_id",),
+            ),
+            FunctionSchema(
+                name="spruce_phylogeny_from_futures",
+                description=(
+                    "Compute the tumor phylogeny JSON from a SPRUCE-format "
+                    "AppFuture."
+                ),
+                parameters=(("spruce_future_id", (("type", "string"),)),),
+                required=("spruce_future_id",),
+            ),
+        ]
+
+    # -- failure injection (for Fig 1 debugger experiments) ----------------------
+
+    def inject_failure(self, function_name: str, times: int = 1) -> None:
+        """Make the next ``times`` dispatches of a function fail."""
+        self._injected[function_name] = self._injected.get(function_name, 0) + times
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def dispatch(self, call: FunctionCall) -> str:
+        """Execute a function call; returns the new AppFuture's ID."""
+        kwargs = call.kwargs
+        if self._injected.get(call.name, 0) > 0:
+            self._injected[call.name] -= 1
+            raise AdapterError(f"{call.name}: transient executor failure (injected)")
+        handler = getattr(self, f"_do_{call.name}", None)
+        if handler is None:
+            raise AdapterError(f"Unknown function {call.name!r}")
+        try:
+            future = handler(**kwargs)
+        except AdapterError:
+            raise
+        except TypeError as exc:
+            raise AdapterError(f"{call.name}: bad arguments: {exc}") from exc
+        fid = self.executor.register(future)
+        if self.eager:
+            try:
+                future.result()
+            except FutureError as exc:
+                raise AdapterError(
+                    f"{call.name}: {exc.__cause__ or exc}"
+                ) from exc
+        return fid
+
+    def resolve(self, future_id: str):
+        """Resolve a registered future ID to its value."""
+        return self.executor.get(future_id).result()
+
+    # -- per-function handlers ---------------------------------------------------------
+
+    def _do_vcf_transform_from_file(self, vcf_file: str) -> AppFuture:
+        if vcf_file not in self.files:
+            raise AdapterError(f"vcf_transform_from_file: no such file {vcf_file!r}")
+        return _vcf_transform_app(self.files[vcf_file])
+
+    def _do_pyclone_vi_from_futures(
+        self, mutations_future_id: str, n_clusters: int = 3
+    ) -> AppFuture:
+        parent = self._get_future(mutations_future_id)
+        return _pyclone_app(parent, n_clusters=int(n_clusters))
+
+    def _do_spruce_format_from_futures(self, clusters_future_id: str) -> AppFuture:
+        return _spruce_format_app(self._get_future(clusters_future_id))
+
+    def _do_spruce_phylogeny_from_futures(self, spruce_future_id: str) -> AppFuture:
+        return _spruce_phylogeny_app(self._get_future(spruce_future_id))
+
+    def _get_future(self, future_id: str) -> AppFuture:
+        if future_id not in self.executor:
+            raise AdapterError(f"Unknown AppFuture ID {future_id!r}")
+        return self.executor.get(future_id)

@@ -1,0 +1,114 @@
+"""The iterated chat loop of §2.1.
+
+"A predefined context is added [...] With this context and the user's
+message, the request to the API is made.  The API responds with its
+choice of function to call.  The function is executed, immediately
+returning the ID linked to the AppFuture.  For the next API request,
+two new messages are added [the function-call choice and a user
+message with the new ID].  This process is repeated until the stop
+flag is found in the API response."
+
+Errors are forwarded back to the model as user messages — the
+improvement §2.1 names as its first limitation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.llm.adapters import AdapterError, PhyloflowAdapters
+from repro.llm.mockllm import MockFunctionCallingLLM
+from repro.llm.protocol import Message
+
+_DEFAULT_CONTEXT = (
+    "You are a workflow execution assistant.  You have access to Parsl "
+    "app adapter functions.  Execute the user's requested pipeline by "
+    "calling them in dependency order; each call returns an AppFuture "
+    "ID you can pass to subsequent calls.  Reply with a final message "
+    "when the workflow is complete."
+)
+
+
+@dataclass
+class DriverResult:
+    """Outcome of one NL-driven workflow execution."""
+
+    transcript: list = field(default_factory=list)
+    future_ids: list = field(default_factory=list)
+    errors: list = field(default_factory=list)
+    api_calls: int = 0
+    stopped: bool = False
+    final_message: str = ""
+
+    @property
+    def final_future_id(self) -> Optional[str]:
+        return self.future_ids[-1] if self.future_ids else None
+
+    def calls_made(self) -> list:
+        """Function names in execution order."""
+        return [
+            m.function_call.name
+            for m in self.transcript
+            if m.role == "assistant" and m.function_call is not None
+        ]
+
+
+class ChatWorkflowDriver:
+    """Runs the request → function-call → feedback loop to completion."""
+
+    def __init__(
+        self,
+        llm: MockFunctionCallingLLM,
+        adapters: PhyloflowAdapters,
+        max_rounds: int = 25,
+        context: str = _DEFAULT_CONTEXT,
+    ):
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        self.llm = llm
+        self.adapters = adapters
+        self.max_rounds = max_rounds
+        self.context = context
+
+    def run(self, instruction: str) -> DriverResult:
+        """Execute a natural-language instruction end to end."""
+        if not instruction.strip():
+            raise ValueError("instruction must be non-empty")
+        result = DriverResult()
+        messages = [
+            Message(role="system", content=self.context),
+            Message(role="user", content=instruction),
+        ]
+        schemas = self.adapters.schemas()
+        for _ in range(self.max_rounds):
+            response = self.llm.chat(schemas, messages)
+            result.api_calls += 1
+            messages.append(response.message)
+            if not response.wants_function:
+                result.stopped = True
+                result.final_message = response.message.content
+                break
+            call = response.message.function_call
+            try:
+                fid = self.adapters.dispatch(call)
+                result.future_ids.append(fid)
+                feedback = Message(
+                    role="user",
+                    content=f"Function {call.name} returned AppFuture ID {fid}.",
+                )
+            except AdapterError as exc:
+                result.errors.append((call.name, str(exc)))
+                feedback = Message(
+                    role="user",
+                    content=f"ERROR while executing {call.name}: {exc}",
+                )
+            messages.append(feedback)
+        result.transcript = messages
+        return result
+
+    def final_value(self, result: DriverResult):
+        """Resolve the last produced future (the workflow's output)."""
+        if result.final_future_id is None:
+            raise ValueError("The run produced no futures")
+        return self.adapters.resolve(result.final_future_id)

@@ -1,0 +1,243 @@
+"""Hierarchical task decomposition (§2.1's proposed token-limit fix).
+
+"Composing more complex workflows will eventually hit the token limit
+[...] we would need to invent a hierarchical schema for task
+decomposition."
+
+The schema implemented here: the workflow's functions are partitioned
+into :class:`FunctionGroup` sub-workflows.  The **top-level session**
+advertises one *composite* function per group (its external inputs
+only) and never sees the member schemas or the members' chatter.  When
+the top-level model selects a composite, a **fresh sub-session** runs
+with only that group's schemas and a short scoped instruction; its
+final AppFuture ID is reported back up as the composite's return
+value.  Every session's prompt is therefore bounded by its own group
+size instead of the whole workflow — the flat transcript's token
+growth never happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.llm.adapters import PhyloflowAdapters
+from repro.llm.driver import ChatWorkflowDriver
+from repro.llm.mockllm import MockFunctionCallingLLM
+from repro.llm.protocol import FunctionSchema
+
+
+@dataclass(frozen=True)
+class FunctionGroup:
+    """A named sub-workflow over a subset of the adapter functions."""
+
+    name: str
+    description: str
+    function_names: tuple
+
+    def __post_init__(self):
+        if not self.function_names:
+            raise ValueError(f"group {self.name!r} has no functions")
+
+
+#: The natural decomposition of Phyloflow into three sub-workflows.
+PHYLOFLOW_GROUPS = (
+    FunctionGroup(
+        "transform",
+        "Parse and transform the input VCF file into the mutation table.",
+        ("vcf_transform_from_file",),
+    ),
+    FunctionGroup(
+        "clustering",
+        "Cluster the transformed mutations by cancer-cell fraction.",
+        ("pyclone_vi_from_futures",),
+    ),
+    FunctionGroup(
+        "phylogeny",
+        "Format the clusters for SPRUCE and compute the phylogeny tree.",
+        ("spruce_format_from_futures", "spruce_phylogeny_from_futures"),
+    ),
+)
+
+
+@dataclass
+class HierarchicalResult:
+    """Outcome of one hierarchical execution."""
+
+    top_calls: list = field(default_factory=list)
+    sub_results: dict = field(default_factory=dict)  # group -> DriverResult
+    future_ids: list = field(default_factory=list)
+    #: Largest prompt any session (top or sub) sent.
+    peak_prompt_tokens: int = 0
+    stopped: bool = False
+
+    @property
+    def final_future_id(self) -> Optional[str]:
+        return self.future_ids[-1] if self.future_ids else None
+
+
+class HierarchicalChatDriver:
+    """Two-level chat execution: composites on top, groups below."""
+
+    def __init__(
+        self,
+        adapters: PhyloflowAdapters,
+        groups=PHYLOFLOW_GROUPS,
+        llm_factory: Optional[Callable[[], MockFunctionCallingLLM]] = None,
+        max_rounds: int = 25,
+    ):
+        self.adapters = adapters
+        self.groups = tuple(groups)
+        self.llm_factory = llm_factory or MockFunctionCallingLLM
+        self.max_rounds = max_rounds
+        all_functions = {s.name for s in adapters.schemas()}
+        grouped = [n for g in self.groups for n in g.function_names]
+        if len(grouped) != len(set(grouped)):
+            raise ValueError("groups overlap")
+        unknown = set(grouped) - all_functions
+        if unknown:
+            raise ValueError(f"groups reference unknown functions: {unknown}")
+
+    # -- composite schema construction --------------------------------------
+
+    def _member_schemas(self, group: FunctionGroup) -> list:
+        by_name = {s.name: s for s in self.adapters.schemas()}
+        return [by_name[n] for n in group.function_names]
+
+    def composite_schema(self, group: FunctionGroup) -> FunctionSchema:
+        """One function standing for the whole group.
+
+        Its parameters are the group's *external* required inputs: a
+        future-ID parameter collapses to a single ``input_future_id``
+        (the previous composite's output); file and scalar parameters
+        pass through.
+        """
+        members = self._member_schemas(group)
+        params = []
+        required = []
+        needs_future = False
+        internal = set(group.function_names)
+        for idx, schema in enumerate(members):
+            for pname in schema.required:
+                if pname.endswith("_id"):
+                    # Internal if an earlier member feeds it.
+                    if idx == 0:
+                        needs_future = True
+                    continue
+                params.append(
+                    (pname, (("type", "string"), ("description", f"for {schema.name}")))
+                )
+                required.append(pname)
+        if needs_future:
+            params.insert(0, ("input_future_id", (("type", "string"),)))
+            required.insert(0, "input_future_id")
+        return FunctionSchema(
+            name=f"{group.name}_subworkflow",
+            description=group.description,
+            parameters=tuple(params),
+            required=tuple(required),
+        )
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, instruction: str) -> HierarchicalResult:
+        result = HierarchicalResult()
+        top_llm = self.llm_factory()
+        composites = [self.composite_schema(g) for g in self.groups]
+        from repro.llm.protocol import Message
+
+        messages = [
+            Message(
+                role="system",
+                content=(
+                    "You orchestrate sub-workflows.  Each function runs a "
+                    "whole group of steps and returns an AppFuture ID."
+                ),
+            ),
+            Message(role="user", content=instruction),
+        ]
+        for _ in range(self.max_rounds):
+            response = top_llm.chat(composites, messages)
+            result.peak_prompt_tokens = max(
+                result.peak_prompt_tokens, top_llm.max_prompt_tokens
+            )
+            messages.append(response.message)
+            if not response.wants_function:
+                result.stopped = True
+                break
+            call = response.message.function_call
+            group = next(
+                g for g in self.groups
+                if f"{g.name}_subworkflow" == call.name
+            )
+            result.top_calls.append(call.name)
+            fid = self._run_group(group, call.kwargs, instruction, result)
+            result.future_ids.append(fid)
+            messages.append(
+                Message(
+                    role="user",
+                    content=f"Function {call.name} returned AppFuture ID {fid}.",
+                )
+            )
+        return result
+
+    def _run_group(self, group, kwargs: dict, instruction: str, result) -> str:
+        """Fresh sub-session over just this group's functions."""
+        sub_llm = self.llm_factory()
+        sub_driver = ChatWorkflowDriver(
+            sub_llm,
+            _ScopedAdapters(self.adapters, group.function_names),
+            max_rounds=self.max_rounds,
+        )
+        # Scoped instruction embeds the bound inputs as plain text the
+        # sub-model's fact extraction picks up (paths, future IDs, Ns).
+        bound_bits = " ".join(f"{k}={v}" for k, v in sorted(kwargs.items()))
+        cluster_hint = ""
+        import re
+
+        m = re.search(r"\b(\d+)\s+clusters?\b", instruction)
+        if m:
+            cluster_hint = f" using {m.group(1)} clusters"
+        sub_instruction = (
+            f"Run the full {group.description.lower()} sub-workflow"
+            f"{cluster_hint}.  Inputs: {bound_bits}."
+        )
+        sub_result = sub_driver.run(sub_instruction)
+        result.sub_results[group.name] = sub_result
+        result.peak_prompt_tokens = max(
+            result.peak_prompt_tokens, sub_llm.max_prompt_tokens
+        )
+        if not sub_result.future_ids:
+            raise RuntimeError(
+                f"sub-workflow {group.name!r} produced no futures: "
+                f"{sub_result.final_message!r}"
+            )
+        return sub_result.future_ids[-1]
+
+    def final_value(self, result: HierarchicalResult):
+        if result.final_future_id is None:
+            raise ValueError("The run produced no futures")
+        return self.adapters.resolve(result.final_future_id)
+
+
+class _ScopedAdapters:
+    """Adapter view restricted to one group's functions."""
+
+    def __init__(self, adapters: PhyloflowAdapters, names: tuple):
+        self._adapters = adapters
+        self._names = set(names)
+
+    def schemas(self) -> list:
+        return [s for s in self._adapters.schemas() if s.name in self._names]
+
+    def dispatch(self, call):
+        if call.name not in self._names:
+            from repro.llm.adapters import AdapterError
+
+            raise AdapterError(
+                f"{call.name} is outside this sub-workflow's scope"
+            )
+        return self._adapters.dispatch(call)
+
+    def resolve(self, future_id: str):
+        return self._adapters.resolve(future_id)

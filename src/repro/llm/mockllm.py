@@ -1,0 +1,233 @@
+"""A deterministic rule-based function-calling "LLM".
+
+Substitutes OpenAI's hosted model (no network) while honouring the
+same contract: given function schemas and the running conversation, it
+returns either a function-call choice with bound arguments or a stop
+message.  Its policy mirrors what §2.1 observed the real model doing:
+
+- read file paths and AppFuture IDs out of the conversation,
+- pick the next *callable* function — one whose required parameters
+  can all be bound from known facts (paths bind ``*_file``/``*_path``
+  params, the most recent unconsumed future ID binds ``*_id`` params),
+- when the user names a specific step, restrict the choice to the
+  best-matching function,
+- after a reported error, retry the failed function once (the error-
+  forwarding behaviour §2.1 lists as future work, needed by Fig 1's
+  debugger), then give up with a stop message,
+- emit the stop flag once every advertised function has been used.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.llm.protocol import ChatResponse, FunctionCall, FunctionSchema, Message
+
+_PATH_RE = re.compile(r"[\w./-]+\.(?:vcf|tsv|txt|json|fastq|sra)\b")
+_FUTURE_RE = re.compile(r"future-\d+")
+_INT_RE = re.compile(r"\b(\d+)\s+clusters?\b")
+
+
+class ContextLimitExceeded(RuntimeError):
+    """The prompt (schemas + transcript) exceeded the model's context.
+
+    This is the §2.1 limitation: "composing more complex workflows will
+    eventually hit the token limit, for which there is no
+    straightforward solution in the proposed scheme; we would need to
+    invent a hierarchical schema for task decomposition."  See
+    :mod:`repro.llm.hierarchy` for that schema.
+    """
+
+    def __init__(self, tokens: int, limit: int):
+        super().__init__(f"prompt of {tokens} tokens exceeds context of {limit}")
+        self.tokens = tokens
+        self.limit = limit
+
+
+def estimate_tokens(text: str) -> int:
+    """Crude 4-chars-per-token estimate (enough for budget accounting)."""
+    return max(1, len(text) // 4)
+
+
+class MockFunctionCallingLLM:
+    """Deterministic stand-in for a function-calling chat model."""
+
+    def __init__(
+        self,
+        max_error_retries: int = 1,
+        context_limit_tokens: Optional[int] = None,
+    ):
+        if max_error_retries < 0:
+            raise ValueError("max_error_retries must be >= 0")
+        if context_limit_tokens is not None and context_limit_tokens < 1:
+            raise ValueError("context_limit_tokens must be positive")
+        self.max_error_retries = max_error_retries
+        self.context_limit_tokens = context_limit_tokens
+        #: Count of API round-trips served (token-budget bookkeeping).
+        self.calls = 0
+        #: Largest prompt observed (for the hierarchy experiments).
+        self.max_prompt_tokens = 0
+
+    # -- the "API" ------------------------------------------------------------
+
+    def prompt_tokens(self, functions: list, messages: list) -> int:
+        """Token size of one request: all schemas + the transcript."""
+        total = sum(estimate_tokens(f.to_json()) for f in functions)
+        for m in messages:
+            total += estimate_tokens(m.content)
+            if m.function_call is not None:
+                total += estimate_tokens(repr(m.function_call.arguments)) + 4
+        return total
+
+    def chat(self, functions: list, messages: list) -> ChatResponse:
+        """One chat-completion round trip."""
+        self.calls += 1
+        if not messages:
+            raise ValueError("messages must be non-empty")
+        tokens = self.prompt_tokens(functions, messages)
+        self.max_prompt_tokens = max(self.max_prompt_tokens, tokens)
+        if self.context_limit_tokens is not None and tokens > self.context_limit_tokens:
+            raise ContextLimitExceeded(tokens, self.context_limit_tokens)
+        facts = self._extract_facts(messages)
+
+        # Error recovery: retry the function that just failed.
+        if facts["last_error"] is not None:
+            failed_fn = facts["last_error"]
+            retries = facts["error_counts"].get(failed_fn, 0)
+            schema = next((f for f in functions if f.name == failed_fn), None)
+            if schema is not None and retries <= self.max_error_retries:
+                binding = self._bind(schema, facts)
+                if binding is not None:
+                    return self._call(schema.name, binding)
+            return self._stop(
+                f"Unable to recover from the error in {failed_fn}; "
+                "a human operator should take over."
+            )
+
+        instruction = facts["instruction"].lower()
+        # Goal resolution: functions are advertised in pipeline order,
+        # so a request naming a late step implies its whole dependency
+        # chain; explicit pipeline words imply everything.  A request
+        # naming only an early step stops there.
+        pipeline_words = ("pipeline", "workflow", "full", "entire", "all steps")
+        if any(w in instruction for w in pipeline_words):
+            goal_idx = len(functions) - 1
+        else:
+            matched = [
+                i for i, f in enumerate(functions)
+                if self._mentioned(f, instruction)
+            ]
+            goal_idx = max(matched) if matched else len(functions) - 1
+        goal = functions[: goal_idx + 1]
+        uncalled = [f for f in goal if f.name not in facts["called"]]
+        if not uncalled:
+            return self._stop("All requested workflow steps have executed. DONE.")
+
+        for schema in uncalled:
+            binding = self._bind(schema, facts)
+            if binding is not None:
+                return self._call(schema.name, binding)
+        return self._stop(
+            "No remaining function's inputs are available. DONE."
+        )
+
+    # -- fact extraction ----------------------------------------------------------
+
+    def _extract_facts(self, messages: list) -> dict:
+        """Pair each function-call message with the user feedback that
+        follows it: a "returned ... ID" message marks the call (and the
+        futures it consumed) as successful; an ERROR message leaves the
+        inputs reusable so the call can be retried."""
+        instruction = ""
+        files: list[str] = []
+        futures: list[str] = []
+        consumed: set[str] = set()
+        called: set[str] = set()
+        error_counts: dict[str, int] = {}
+        last_error: Optional[str] = None
+        pending_call = None  # (name, consumed future ids)
+
+        for msg in messages:
+            if msg.role == "user":
+                if not instruction:
+                    instruction = msg.content
+                files += [p for p in _PATH_RE.findall(msg.content) if p not in files]
+                for fid in _FUTURE_RE.findall(msg.content):
+                    if fid not in futures:
+                        futures.append(fid)
+                if pending_call is not None:
+                    name, call_inputs = pending_call
+                    if "ERROR" in msg.content:
+                        last_error = name
+                        error_counts[name] = error_counts.get(name, 0) + 1
+                    else:
+                        called.add(name)
+                        consumed.update(call_inputs)
+                        last_error = None
+                    pending_call = None
+            elif msg.role == "assistant" and msg.function_call is not None:
+                pending_call = (
+                    msg.function_call.name,
+                    {
+                        v
+                        for _, v in msg.function_call.arguments
+                        if isinstance(v, str) and _FUTURE_RE.fullmatch(v)
+                    },
+                )
+        return {
+            "instruction": instruction,
+            "files": files,
+            "futures": futures,
+            "consumed": consumed,
+            "called": called,
+            "error_counts": error_counts,
+            "last_error": last_error,
+        }
+
+    # -- argument binding -----------------------------------------------------------
+
+    def _bind(self, schema: FunctionSchema, facts: dict) -> Optional[dict]:
+        """Bind every required parameter from conversation facts, or None."""
+        binding: dict = {}
+        unconsumed = [f for f in facts["futures"] if f not in facts["consumed"]]
+        for pname in schema.required:
+            if pname.endswith(("_file", "_path")) or pname in ("file", "path"):
+                if not facts["files"]:
+                    return None
+                binding[pname] = facts["files"][-1]
+            elif pname.endswith("_id") or pname == "id":
+                if not unconsumed:
+                    return None
+                binding[pname] = unconsumed[-1]
+            elif pname in ("n_clusters", "clusters"):
+                m = _INT_RE.search(facts["instruction"])
+                binding[pname] = int(m.group(1)) if m else 3
+            else:
+                return None  # cannot bind an unknown required parameter
+        return binding
+
+    @staticmethod
+    def _mentioned(schema: FunctionSchema, instruction: str) -> bool:
+        tokens = [t for t in re.split(r"[_\W]+", schema.name) if len(t) > 3]
+        return any(t in instruction for t in tokens)
+
+    # -- responses ---------------------------------------------------------------------
+
+    @staticmethod
+    def _call(name: str, kwargs: dict) -> ChatResponse:
+        return ChatResponse(
+            message=Message(
+                role="assistant",
+                content="",
+                function_call=FunctionCall.make(name, **kwargs),
+            ),
+            finish_reason="function_call",
+        )
+
+    @staticmethod
+    def _stop(text: str) -> ChatResponse:
+        return ChatResponse(
+            message=Message(role="assistant", content=text),
+            finish_reason="stop",
+        )

@@ -1,0 +1,213 @@
+"""Phyloflow's four data-processing steps, implemented for real.
+
+The paper treats these as opaque Parsl apps; we implement working
+small-scale versions so the NL-driven workflow produces verifiable
+scientific output:
+
+1. :func:`vcf_transform` — parse a (minimal) VCF and emit the
+   pyclone-vi input table of mutation read counts.
+2. :func:`pyclone_vi` — cluster mutations by cancer-cell fraction with
+   a seeded 1-D k-means (the mutation-clustering role of pyclone-vi).
+3. :func:`spruce_format` — reshape cluster statistics into the SPRUCE
+   input table.
+4. :func:`spruce_phylogeny` — build a tumor phylogeny under the
+   infinite-sites containment rule (a parent clone's cell fraction
+   must contain its children's) and emit the JSON the paper's final
+   task produces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def make_synthetic_vcf(
+    n_mutations: int = 60,
+    n_clones: int = 3,
+    depth: int = 200,
+    seed: int = 0,
+) -> str:
+    """Generate VCF text for a synthetic tumor with ``n_clones`` clones.
+
+    Clones have distinct cancer-cell fractions; each mutation's variant
+    allele frequency is CCF/2 (diploid heterozygous) plus binomial
+    sampling noise at the given read depth.
+    """
+    if n_mutations < n_clones:
+        raise ValueError("need at least one mutation per clone")
+    rng = np.random.default_rng(seed)
+    ccfs = np.sort(rng.uniform(0.15, 0.95, size=n_clones))[::-1]
+    lines = [
+        "##fileformat=VCFv4.2",
+        "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO",
+    ]
+    for i in range(n_mutations):
+        clone = i % n_clones
+        vaf = ccfs[clone] / 2.0
+        alt_reads = rng.binomial(depth, vaf)
+        chrom = f"chr{1 + i % 22}"
+        pos = 10_000 + i * 137
+        lines.append(
+            f"{chrom}\t{pos}\tmut{i:04d}\tA\tT\t99\tPASS\t"
+            f"DP={depth};AD={alt_reads};CLONE={clone}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def vcf_transform(vcf_text: str) -> list:
+    """Parse VCF text into pyclone-vi input rows.
+
+    Returns a list of dicts: ``mutation_id``, ``ref_counts``,
+    ``alt_counts``, ``vaf``.  Raises on malformed records.
+    """
+    rows = []
+    for lineno, line in enumerate(vcf_text.splitlines(), start=1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        fields = line.split("\t")
+        if len(fields) < 8:
+            raise ValueError(f"VCF line {lineno}: expected 8 columns, got {len(fields)}")
+        info = dict(
+            kv.split("=", 1) for kv in fields[7].split(";") if "=" in kv
+        )
+        try:
+            depth = int(info["DP"])
+            alt = int(info["AD"])
+        except (KeyError, ValueError) as exc:
+            raise ValueError(f"VCF line {lineno}: missing DP/AD counts") from exc
+        if alt > depth:
+            raise ValueError(f"VCF line {lineno}: AD={alt} exceeds DP={depth}")
+        rows.append(
+            {
+                "mutation_id": fields[2],
+                "ref_counts": depth - alt,
+                "alt_counts": alt,
+                "vaf": alt / depth if depth else 0.0,
+            }
+        )
+    if not rows:
+        raise ValueError("VCF contained no variant records")
+    return rows
+
+
+def pyclone_vi(
+    mutations: list,
+    n_clusters: int = 3,
+    max_iter: int = 100,
+    seed: int = 0,
+) -> list:
+    """Cluster mutations by cancer-cell fraction (CCF = 2 × VAF).
+
+    Seeded 1-D k-means with quantile initialization (deterministic).
+    Returns cluster dicts: ``cluster_id``, ``ccf`` (mean), ``n_mutations``,
+    ``mutation_ids``.
+    """
+    if not mutations:
+        raise ValueError("no mutations to cluster")
+    if n_clusters < 1:
+        raise ValueError("n_clusters must be >= 1")
+    n_clusters = min(n_clusters, len(mutations))
+    ccf = np.clip(2.0 * np.array([m["vaf"] for m in mutations]), 0.0, 1.0)
+    centers = np.quantile(ccf, np.linspace(0.1, 0.9, n_clusters))
+    assign = np.zeros(len(ccf), dtype=int)
+    for _ in range(max_iter):
+        new_assign = np.argmin(np.abs(ccf[:, None] - centers[None, :]), axis=1)
+        if (new_assign == assign).all():
+            break
+        assign = new_assign
+        for k in range(n_clusters):
+            members = ccf[assign == k]
+            if members.size:
+                centers[k] = members.mean()
+    # Order clusters by descending CCF (clonal first).
+    order = np.argsort(-centers)
+    clusters = []
+    for new_id, k in enumerate(order):
+        members = [m for m, a in zip(mutations, assign) if a == k]
+        if not members:
+            continue
+        clusters.append(
+            {
+                "cluster_id": new_id,
+                "ccf": float(np.mean([2 * m["vaf"] for m in members]).clip(0, 1)),
+                "n_mutations": len(members),
+                "mutation_ids": [m["mutation_id"] for m in members],
+            }
+        )
+    return clusters
+
+
+def spruce_format(clusters: list) -> list:
+    """Reshape cluster output into SPRUCE input rows."""
+    if not clusters:
+        raise ValueError("no clusters to format")
+    rows = []
+    for c in clusters:
+        rows.append(
+            {
+                "character_index": c["cluster_id"],
+                "character_label": f"cluster{c['cluster_id']}",
+                "cell_fraction": c["ccf"],
+                "mutation_count": c["n_mutations"],
+            }
+        )
+    return rows
+
+
+def spruce_phylogeny(spruce_rows: list, noise_scale: float = 0.02) -> dict:
+    """Build a phylogeny under the infinite-sites containment rule.
+
+    Clones sorted by descending cell fraction; each clone attaches to
+    the placed clone with the *tightest remaining capacity* that can
+    still contain it (the sum of a parent's children's fractions may
+    not exceed the parent's).  With single-sample fractions a valid
+    nesting always exists; the informative output is which parent each
+    clone picks (chain vs branching) plus a **confidence** score from
+    how well separated the cluster fractions are — nearly-equal
+    fractions could be ordered either way by noise, so confidence is
+    ``min_gap / (min_gap + noise_scale)``.
+    """
+    if not spruce_rows:
+        raise ValueError("no SPRUCE rows")
+    if noise_scale <= 0:
+        raise ValueError("noise_scale must be positive")
+    rows = sorted(spruce_rows, key=lambda r: -r["cell_fraction"])
+    nodes = [
+        {
+            "id": int(r["character_index"]),
+            "label": r["character_label"],
+            "cell_fraction": float(r["cell_fraction"]),
+            "mutations": int(r["mutation_count"]),
+        }
+        for r in rows
+    ]
+    edges = []
+    # Remaining capacity of each placed clone.
+    capacity = {nodes[0]["id"]: nodes[0]["cell_fraction"]}
+    for node in nodes[1:]:
+        # Candidate parents that can contain this clone, tightest first.
+        # A fitting parent always exists: the previously placed clone's
+        # capacity equals its own fraction >= this clone's fraction.
+        cap, parent = min(
+            (cap, pid)
+            for pid, cap in capacity.items()
+            if cap >= node["cell_fraction"] - 1e-9
+        )
+        capacity[parent] -= node["cell_fraction"]
+        capacity[node["id"]] = node["cell_fraction"]
+        edges.append({"parent": parent, "child": node["id"]})
+    fractions = [n["cell_fraction"] for n in nodes]
+    if len(fractions) > 1:
+        min_gap = min(a - b for a, b in zip(fractions, fractions[1:]))
+        confidence = min_gap / (min_gap + noise_scale)
+    else:
+        confidence = 1.0
+    return {
+        "nodes": nodes,
+        "edges": edges,
+        "root": nodes[0]["id"],
+        "n_clones": len(nodes),
+        "confidence": max(0.0, confidence),
+    }

@@ -1,0 +1,89 @@
+"""OpenAI-style function-calling protocol types.
+
+The wire format of §2.1: the client sends a list of function
+descriptions (JSON schema) together with the conversation messages;
+the model answers either with a ``function_call`` choice (name +
+arguments) or with a plain message carrying the stop flag.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class FunctionSchema:
+    """One callable function advertised to the model."""
+
+    name: str
+    description: str
+    #: Parameter name -> {"type": ..., "description": ...}.
+    parameters: tuple = ()
+    required: tuple = ()
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("Function name must be non-empty")
+        param_names = {name for name, _ in self.parameters}
+        missing = set(self.required) - param_names
+        if missing:
+            raise ValueError(f"required params not in parameters: {missing}")
+
+    def to_json(self) -> str:
+        """The JSON description sent over the (simulated) wire."""
+        return json.dumps(
+            {
+                "name": self.name,
+                "description": self.description,
+                "parameters": {
+                    "type": "object",
+                    "properties": {n: dict(spec) for n, spec in self.parameters},
+                    "required": list(self.required),
+                },
+            },
+            sort_keys=True,
+        )
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """The model's choice of function + arguments."""
+
+    name: str
+    arguments: tuple = ()  # sorted (key, value) pairs for hashability
+
+    @property
+    def kwargs(self) -> dict:
+        return dict(self.arguments)
+
+    @staticmethod
+    def make(name: str, **kwargs) -> "FunctionCall":
+        return FunctionCall(name=name, arguments=tuple(sorted(kwargs.items())))
+
+
+@dataclass(frozen=True)
+class Message:
+    """One conversation message."""
+
+    role: str  # "system" | "user" | "assistant" | "function"
+    content: str = ""
+    function_call: Optional[FunctionCall] = None
+    name: Optional[str] = None  # function name for role="function"
+
+    def __post_init__(self):
+        if self.role not in ("system", "user", "assistant", "function"):
+            raise ValueError(f"Invalid role {self.role!r}")
+
+
+@dataclass(frozen=True)
+class ChatResponse:
+    """The model's reply: either a function call or a final answer."""
+
+    message: Message
+    finish_reason: str  # "function_call" | "stop"
+
+    @property
+    def wants_function(self) -> bool:
+        return self.finish_reason == "function_call"

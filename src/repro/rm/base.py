@@ -1,0 +1,129 @@
+"""Shared job abstractions for resource managers."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED)
+
+
+class JobFailed(RuntimeError):
+    """A job's payload raised, or its node(s) died without retry."""
+
+    def __init__(self, job_id: str, cause: Any = None):
+        super().__init__(f"Job {job_id} failed: {cause!r}")
+        self.job_id = job_id
+        self.cause = cause
+
+
+class WalltimeExceeded(JobFailed):
+    """The batch system killed the job at its walltime limit."""
+
+
+@dataclass(frozen=True)
+class ResourceRequest:
+    """What a batch job asks the scheduler for (whole-node granularity).
+
+    Mirrors an ``sbatch``/``bsub`` request: a node count, per-node core
+    and GPU usage (informational — the whole node is granted), and a
+    walltime limit after which the job is killed.
+    """
+
+    nodes: int = 1
+    cores_per_node: int = 1
+    gpus_per_node: int = 0
+    memory_gb_per_node: float = 0.0
+    walltime_s: float = 3600.0
+
+    def __post_init__(self):
+        if self.nodes <= 0:
+            raise ValueError("nodes must be positive")
+        if self.cores_per_node <= 0:
+            raise ValueError("cores_per_node must be positive")
+        if self.gpus_per_node < 0 or self.memory_gb_per_node < 0:
+            raise ValueError("gpus/memory must be non-negative")
+        if self.walltime_s <= 0:
+            raise ValueError("walltime_s must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.cores_per_node
+
+
+_job_counter = itertools.count()
+
+
+@dataclass(eq=False)  # identity semantics: jobs are mutable lifecycle objects
+class Job:
+    """A batch job: a resource request plus a payload.
+
+    The payload is either a fixed nominal ``duration`` (scaled by the
+    slowest allocated node's speed factor) or a ``work`` generator
+    factory ``work(env, job, nodes) -> generator`` for jobs that do
+    their own internal orchestration (e.g. an EnTK pilot agent).
+    """
+
+    request: ResourceRequest
+    duration: Optional[float] = None
+    work: Optional[Callable] = None
+    user: str = "anonymous"
+    name: str = ""
+    #: Resilient jobs survive the loss of individual allocated nodes
+    #: (pilot jobs handle task-level failures themselves); non-resilient
+    #: jobs fail when any of their nodes dies.
+    resilient: bool = False
+    #: SLURM-style ``afterok`` dependencies: this job becomes eligible
+    #: only when every listed job COMPLETED; if any of them fails, this
+    #: job is cancelled.  This is the resource-manager feature §3 notes
+    #: WMSs leave unused ("on SLURM, the task dependency feature is not
+    #: used") — see :class:`repro.engines.batchdag.BatchDagEngine` for
+    #: the engine that exploits it.
+    depends_on: list = field(default_factory=list)
+    job_id: str = field(default_factory=lambda: f"job-{next(_job_counter):06d}")
+
+    # Lifecycle fields filled in by the scheduler.
+    state: JobState = JobState.PENDING
+    submit_time: Optional[float] = None
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    nodes: list = field(default_factory=list)
+    #: Kernel event that triggers when the job reaches a terminal state.
+    completion: Any = None
+    #: Why the job failed (exception, "walltime", or a NodeFailureCause).
+    failure_cause: Any = None
+
+    def __post_init__(self):
+        if (self.duration is None) == (self.work is None):
+            raise ValueError("Provide exactly one of duration= or work=")
+        if self.duration is not None and self.duration < 0:
+            raise ValueError("duration must be non-negative")
+        if not self.name:
+            self.name = self.job_id
+
+    @property
+    def queue_wait(self) -> Optional[float]:
+        if self.submit_time is None or self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    @property
+    def runtime(self) -> Optional[float]:
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def __repr__(self) -> str:
+        return f"<Job {self.job_id} {self.name!r} {self.state.value}>"

@@ -1,0 +1,311 @@
+"""HPC batch scheduler: whole-node jobs, FIFO + EASY backfill, fair share.
+
+This is the SLURM/LSF stand-in.  It intentionally knows nothing about
+workflows: jobs are opaque (the "workflow-blind" baseline of §3).  The
+EnTK pilot (§4) submits one big job here; JAWS task shards (§6) submit
+many small ones.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Optional
+
+from repro.simkernel import Environment, Interrupt
+from repro.cluster import Cluster, Node
+from repro.rm.base import Job, JobState, ResourceRequest
+
+
+class BatchScheduler:
+    """FIFO batch scheduler with optional EASY backfill and fair share.
+
+    Parameters
+    ----------
+    env, cluster:
+        Simulation environment and the cluster to schedule onto.
+    backfill:
+        Enable EASY backfill: while the queue head waits for nodes,
+        later jobs may run if they fit now and provably do not delay
+        the head job's reservation (using walltime as the runtime bound).
+    fair_share:
+        Order the queue by accumulated per-user core-seconds (ascending)
+        before submit order — the policy §6.2 notes Cromwell lacks.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        backfill: bool = True,
+        fair_share: bool = False,
+    ):
+        self.env = env
+        self.cluster = cluster
+        self.backfill = backfill
+        self.fair_share = fair_share
+        self.queue: list[Job] = []
+        self.running: list[Job] = []
+        self.finished: list[Job] = []
+        #: Per-user consumed core-seconds (fair-share input).
+        self.usage: dict[str, float] = defaultdict(float)
+        self._submit_seq: dict[str, int] = {}
+        self._seq = 0
+        self._wake = env.event()
+        env.process(self._scheduler_loop(), name="batch-scheduler")
+
+    # -- client API ------------------------------------------------------------
+
+    def submit(self, job: Job) -> Job:
+        """Enqueue a job; ``job.completion`` triggers at terminal state."""
+        if job.state != JobState.PENDING:
+            raise ValueError(f"{job} is not pending")
+        job.submit_time = self.env.now
+        job.completion = self.env.event()
+        self._seq += 1
+        self._submit_seq[job.job_id] = self._seq
+        self.queue.append(job)
+        self._kick()
+        return job
+
+    def cancel(self, job: Job) -> None:
+        """Remove a still-queued job (running jobs are not preempted)."""
+        if job in self.queue:
+            self.queue.remove(job)
+            job.state = JobState.CANCELLED
+            job.end_time = self.env.now
+            self.finished.append(job)
+            job.completion.succeed(job)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.queue)
+
+    # -- scheduling loop ------------------------------------------------------------
+
+    def _kick(self) -> None:
+        if not self._wake.triggered:
+            self._wake.succeed()
+
+    def _scheduler_loop(self):
+        while True:
+            self._cancel_doomed()
+            self._try_schedule()
+            yield self._wake
+            self._wake = self.env.event()
+
+    def _dependency_state(self, job: Job) -> str:
+        """'ready' | 'waiting' | 'doomed' for afterok dependencies."""
+        state = "ready"
+        for dep in job.depends_on:
+            if dep.state == JobState.COMPLETED:
+                continue
+            if dep.state.terminal:  # failed or cancelled
+                return "doomed"
+            state = "waiting"
+        return state
+
+    def _cancel_doomed(self) -> None:
+        """Cancel queued jobs whose afterok dependencies failed."""
+        for job in list(self.queue):
+            if self._dependency_state(job) == "doomed":
+                self.cancel(job)
+
+    def _ordered_queue(self) -> list[Job]:
+        eligible = [
+            j for j in self.queue if self._dependency_state(j) == "ready"
+        ]
+        if not self.fair_share:
+            return eligible
+        return sorted(
+            eligible,
+            key=lambda j: (self.usage[j.user], self._submit_seq[j.job_id]),
+        )
+
+    def _free_nodes_for(self, request: ResourceRequest, exclude=()) -> Optional[list[Node]]:
+        found = []
+        for node in self.cluster.nodes:
+            if node in exclude or not node.is_up or node.allocations:
+                continue
+            spec = node.spec
+            if (
+                spec.cores >= request.cores_per_node
+                and spec.gpus >= request.gpus_per_node
+                and spec.memory_gb >= request.memory_gb_per_node - 1e-9
+            ):
+                found.append(node)
+                if len(found) == request.nodes:
+                    return found
+        return None
+
+    def _try_schedule(self) -> None:
+        ordered = self._ordered_queue()
+        started = True
+        while started and ordered:
+            started = False
+            head = ordered[0]
+            nodes = self._free_nodes_for(head.request)
+            if nodes is not None:
+                self._start(head, nodes)
+                ordered.pop(0)
+                started = True
+        if not ordered or not self.backfill:
+            return
+        # EASY backfill: reserve for the head, let later jobs squeeze in.
+        head = ordered[0]
+        shadow, reserved = self._head_reservation(head)
+        for job in ordered[1:]:
+            nodes = self._free_nodes_for(job.request, exclude=reserved)
+            fits_outside_reservation = nodes is not None
+            if not fits_outside_reservation:
+                nodes = self._free_nodes_for(job.request)
+                if nodes is None:
+                    continue
+                # Using reserved nodes is fine only if we finish before
+                # the head could start.
+                if self.env.now + job.request.walltime_s > shadow + 1e-9:
+                    continue
+            self._start(job, nodes)
+
+    def _head_reservation(self, head: Job) -> tuple[float, set]:
+        """(shadow start time, nodes reserved for the head job).
+
+        Walks running jobs in projected-end order, freeing their nodes
+        until the head's request fits; the fit time is the shadow.
+        """
+        free = {
+            n
+            for n in self.cluster.nodes
+            if n.is_up and not n.allocations and self._node_satisfies(n, head.request)
+        }
+        if len(free) >= head.request.nodes:
+            # Head fits now in principle (race with in-flight starts);
+            # reserve the first-fit set immediately.
+            reserved = set(sorted(free, key=lambda n: n.id)[: head.request.nodes])
+            return self.env.now, reserved
+        ending = sorted(
+            (j for j in self.running if j.start_time is not None),
+            key=lambda j: j.start_time + j.request.walltime_s,
+        )
+        pool = set(free)
+        for j in ending:
+            for n in j.nodes:
+                if self._node_satisfies(n, head.request):
+                    pool.add(n)
+            if len(pool) >= head.request.nodes:
+                shadow = j.start_time + j.request.walltime_s
+                reserved = set(sorted(pool, key=lambda n: n.id)[: head.request.nodes])
+                return shadow, reserved
+        # Not satisfiable from running jobs either; reserve nothing and
+        # disallow delay-free backfill beyond current free nodes.
+        return float("inf"), set()
+
+    @staticmethod
+    def _node_satisfies(node: Node, request: ResourceRequest) -> bool:
+        spec = node.spec
+        return (
+            spec.cores >= request.cores_per_node
+            and spec.gpus >= request.gpus_per_node
+            and spec.memory_gb >= request.memory_gb_per_node - 1e-9
+        )
+
+    # -- job execution ---------------------------------------------------------------
+
+    def _start(self, job: Job, nodes: list[Node]) -> None:
+        self.queue.remove(job)
+        job.state = JobState.RUNNING
+        job.start_time = self.env.now
+        job.nodes = list(nodes)
+        # Allocate synchronously so the scheduling pass that picked these
+        # nodes cannot hand them to another job before the run process
+        # gets a turn.
+        allocs = [
+            node.allocate(
+                cores=node.spec.cores,  # whole-node grant
+                gpus=node.spec.gpus,
+                memory_gb=node.spec.memory_gb,
+                owner=job.job_id,
+            )
+            for node in nodes
+        ]
+        self.running.append(job)
+        self.env.process(self._run_job(job, allocs), name=f"run:{job.job_id}")
+
+    def _run_job(self, job: Job, allocs):
+        request = job.request
+        tracked_cores = sum(n.spec.cores for n in job.nodes)
+        tracked_gpus = sum(n.spec.gpus for n in job.nodes)
+        self.cluster.track_acquire(cores=tracked_cores, gpus=tracked_gpus)
+
+        me = self.env.active_process
+        for node in job.nodes:
+            node.register_occupant(job.job_id, me)
+
+        payload = self.env.process(self._payload(job), name=f"payload:{job.job_id}")
+        walltime = self.env.timeout(request.walltime_s)
+        failure_cause = None
+        try:
+            while True:
+                try:
+                    yield self.env.any_of([payload, walltime])
+                except Interrupt as intr:
+                    # A node under this job died.  Resilient (pilot)
+                    # jobs shrug and keep running on the survivors;
+                    # plain jobs fail.
+                    if job.resilient and payload.is_alive:
+                        job.nodes = [n for n in job.nodes if n.is_up]
+                        continue
+                    job.state = JobState.FAILED
+                    failure_cause = intr.cause
+                    if payload.is_alive:
+                        payload.interrupt(cause=intr.cause)
+                    break
+                if payload.is_alive:  # walltime fired first
+                    payload.interrupt(cause="walltime")
+                    job.state = JobState.FAILED
+                    failure_cause = "walltime"
+                elif payload.ok:
+                    job.state = JobState.COMPLETED
+                else:
+                    job.state = JobState.FAILED
+                    failure_cause = payload.value
+                break
+        except BaseException as exc:  # payload raised (propagated via any_of)
+            job.state = JobState.FAILED
+            failure_cause = exc
+        finally:
+            for node in job.nodes:
+                node.unregister_occupant(job.job_id)
+            for alloc in allocs:
+                alloc.release()
+            self.cluster.track_release(cores=tracked_cores, gpus=tracked_gpus)
+            job.end_time = self.env.now
+            job.failure_cause = failure_cause
+            if job in self.running:
+                self.running.remove(job)
+            self.finished.append(job)
+            self.usage[job.user] += (job.end_time - job.start_time) * request.total_cores
+            job.completion.succeed(job)
+            self._kick()
+
+    def _payload(self, job: Job):
+        """The job's actual work, scaled by the slowest granted node."""
+        inner = None
+        try:
+            if job.duration is not None:
+                speed = min(n.spec.speed for n in job.nodes)
+                yield self.env.timeout(job.duration / speed)
+            else:
+                inner = self.env.process(
+                    job.work(self.env, job, job.nodes), name=f"work:{job.job_id}"
+                )
+                yield inner
+        except Interrupt as intr:
+            # Killed by walltime or node failure; propagate into the
+            # work generator so it can clean up, absorbing its outcome.
+            if inner is not None and inner.is_alive:
+                inner.interrupt(cause=intr.cause)
+                try:
+                    yield inner
+                except BaseException:
+                    pass
+            return

@@ -1,0 +1,270 @@
+"""Kubernetes-like pod scheduler with pluggable strategies.
+
+Pods request cores/GPUs/memory (not whole nodes) and are bin-packed
+onto the cluster.  The default behaviour is the workflow-blind FIFO +
+best-fit the paper's §3 describes as the status quo ("Kubernetes then
+schedules them in a FIFO manner").  :class:`SchedulingStrategy` is the
+extension point the Common Workflow Scheduler installs into — exactly
+where Fig 2 places the CWS inside the resource manager.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.simkernel import Environment, Interrupt
+from repro.cluster import Cluster, Node
+from repro.rm.base import JobState
+
+
+class PodFailed(RuntimeError):
+    """A pod's payload raised or its node died."""
+
+    def __init__(self, pod_name: str, cause: Any = None):
+        super().__init__(f"Pod {pod_name} failed: {cause!r}")
+        self.pod_name = pod_name
+        self.cause = cause
+
+
+_pod_counter = itertools.count()
+
+
+@dataclass(eq=False)  # identity semantics: pods are mutable lifecycle objects
+class Pod:
+    """A schedulable unit of work at container granularity.
+
+    ``duration`` is the *nominal* runtime on a speed-1.0 node; the
+    actual runtime is ``duration / node.spec.speed``.  ``labels`` carry
+    workflow context (workflow id, task id, input sizes) — opaque to
+    the vanilla scheduler, meaningful to CWS strategies.
+    """
+
+    cores: int = 1
+    gpus: int = 0
+    memory_gb: float = 1.0
+    duration: Optional[float] = None
+    work: Optional[Callable] = None
+    name: str = field(default_factory=lambda: f"pod-{next(_pod_counter):06d}")
+    labels: dict = field(default_factory=dict)
+
+    state: JobState = JobState.PENDING
+    node: Optional[Node] = None
+    submit_time: Optional[float] = None
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    completion: Any = None
+    failure_cause: Any = None
+
+    def __post_init__(self):
+        if (self.duration is None) == (self.work is None):
+            raise ValueError("Provide exactly one of duration= or work=")
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+        if self.gpus < 0 or self.memory_gb < 0:
+            raise ValueError("gpus/memory must be non-negative")
+
+    @property
+    def queue_wait(self) -> Optional[float]:
+        if self.submit_time is None or self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    @property
+    def runtime(self) -> Optional[float]:
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def __repr__(self) -> str:
+        return f"<Pod {self.name} {self.state.value} {self.cores}c/{self.memory_gb:g}GiB>"
+
+
+class SchedulingStrategy:
+    """Hook pair the scheduler consults each scheduling cycle.
+
+    Subclass and override either method; the base class implements the
+    workflow-blind defaults (FIFO order, best-fit-by-cores placement).
+    """
+
+    name = "base"
+
+    def prioritize(self, pending: list[Pod], scheduler: "KubeScheduler") -> list[Pod]:
+        """Order pending pods; earlier pods get first pick of nodes."""
+        return pending
+
+    def select_node(
+        self, pod: Pod, candidates: list[Node], scheduler: "KubeScheduler"
+    ) -> Optional[Node]:
+        """Choose among nodes that fit the pod (best fit by free cores).
+
+        A strategy may return ``None`` to *decline* placing this pod in
+        this cycle (delay scheduling: wait for a preferred node to free
+        up).  The scheduler re-evaluates on the next completion and on
+        a periodic recheck tick, so declining cannot deadlock.
+        """
+        return min(candidates, key=lambda n: (n.free_cores, n.id))
+
+    def stage_cost_s(self, pod: Pod, node: Node, scheduler: "KubeScheduler") -> float:
+        """Extra seconds the pod pays before running on ``node``
+        (e.g. pulling remote input data).  Workflow-blind default: 0.
+        Data-locality strategies override this; the scheduler charges
+        it at bind time."""
+        return 0.0
+
+
+class FifoStrategy(SchedulingStrategy):
+    """Explicit name for the baseline (identical to the base class)."""
+
+    name = "fifo"
+
+
+class KubeScheduler:
+    """Bin-packing pod scheduler over a heterogeneous cluster."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        strategy: Optional[SchedulingStrategy] = None,
+        recheck_s: float = 5.0,
+    ):
+        if recheck_s <= 0:
+            raise ValueError("recheck_s must be positive")
+        self.env = env
+        self.cluster = cluster
+        self.strategy = strategy or FifoStrategy()
+        self.recheck_s = recheck_s
+        self.pending: list[Pod] = []
+        self.running: list[Pod] = []
+        self.finished: list[Pod] = []
+        self._wake = env.event()
+        self._recheck_armed = False
+        env.process(self._scheduler_loop(), name="kube-scheduler")
+
+    # -- client API ------------------------------------------------------------
+
+    def submit(self, pod: Pod) -> Pod:
+        """Enqueue a pod; ``pod.completion`` triggers at terminal state."""
+        if pod.state != JobState.PENDING:
+            raise ValueError(f"{pod} is not pending")
+        pod.submit_time = self.env.now
+        pod.completion = self.env.event()
+        self.pending.append(pod)
+        self._kick()
+        return pod
+
+    def set_strategy(self, strategy: SchedulingStrategy) -> None:
+        """Swap the scheduling strategy (how CWS installs itself)."""
+        self.strategy = strategy
+        self._kick()
+
+    @property
+    def pending_count(self) -> int:
+        return len(self.pending)
+
+    # -- scheduling loop ------------------------------------------------------------
+
+    def _kick(self) -> None:
+        if not self._wake.triggered:
+            self._wake.succeed()
+
+    def _scheduler_loop(self):
+        while True:
+            self._try_schedule()
+            yield self._wake
+            self._wake = self.env.event()
+
+    def _try_schedule(self) -> None:
+        declined = False
+        progressed = True
+        while progressed:
+            progressed = False
+            if not self.pending:
+                break
+            ordered = self.strategy.prioritize(list(self.pending), self)
+            for pod in ordered:
+                candidates = [
+                    n
+                    for n in self.cluster.nodes
+                    if n.fits(pod.cores, pod.gpus, pod.memory_gb)
+                ]
+                if not candidates:
+                    continue
+                node = self.strategy.select_node(pod, candidates, self)
+                if node is None:  # delay scheduling: pod waits
+                    declined = True
+                    continue
+                self._bind(pod, node)
+                progressed = True
+                break  # re-prioritize after each placement
+        if declined and not self._recheck_armed:
+            # Guarantee the declined pods get another look even if no
+            # completion happens soon (e.g. their patience expiring).
+            self._recheck_armed = True
+            self.env.process(self._recheck(), name="kube-recheck")
+
+    def _recheck(self):
+        yield self.env.timeout(self.recheck_s)
+        self._recheck_armed = False
+        self._kick()
+
+    # -- pod execution ---------------------------------------------------------------
+
+    def _bind(self, pod: Pod, node: Node) -> None:
+        self.pending.remove(pod)
+        pod.state = JobState.RUNNING
+        pod.start_time = self.env.now
+        pod.node = node
+        # Allocate synchronously so this scheduling pass sees the node's
+        # reduced capacity before placing the next pod.
+        alloc = node.allocate(
+            cores=pod.cores, gpus=pod.gpus, memory_gb=pod.memory_gb, owner=pod.name
+        )
+        self.running.append(pod)
+        self.env.process(self._run_pod(pod, node, alloc), name=f"pod:{pod.name}")
+
+    def _run_pod(self, pod: Pod, node: Node, alloc):
+        self.cluster.track_acquire(cores=pod.cores, gpus=pod.gpus)
+        me = self.env.active_process
+        node.register_occupant(pod.name, me)
+        inner = None
+        try:
+            stage_s = self.strategy.stage_cost_s(pod, node, self)
+            if stage_s > 0:
+                pod.labels["stage_cost_s"] = stage_s
+                yield self.env.timeout(stage_s)
+            if pod.duration is not None:
+                yield self.env.timeout(pod.duration / node.spec.speed)
+            else:
+                inner = self.env.process(
+                    pod.work(self.env, pod, node), name=f"podwork:{pod.name}"
+                )
+                yield inner
+            pod.state = JobState.COMPLETED
+        except Interrupt as intr:
+            pod.state = JobState.FAILED
+            pod.failure_cause = intr.cause
+            # Propagate into the work generator so it stops consuming
+            # (simulated) resources on a node that no longer exists,
+            # absorbing its outcome.
+            if inner is not None and inner.is_alive:
+                inner.interrupt(cause=intr.cause)
+                try:
+                    yield inner
+                except BaseException:
+                    pass
+        except BaseException as exc:
+            pod.state = JobState.FAILED
+            pod.failure_cause = exc
+        finally:
+            node.unregister_occupant(pod.name)
+            alloc.release()
+            self.cluster.track_release(cores=pod.cores, gpus=pod.gpus)
+            pod.end_time = self.env.now
+            if pod in self.running:
+                self.running.remove(pod)
+            self.finished.append(pod)
+            pod.completion.succeed(pod)
+            self._kick()

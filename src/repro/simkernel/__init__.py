@@ -1,0 +1,73 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the single source of simulated time for every substrate
+in :mod:`repro`.  It provides a small, dependency-free event loop in the
+style of SimPy: *processes* are Python generators that ``yield`` events
+(timeouts, resource requests, other processes) and are resumed when
+those events trigger.
+
+Design goals, in order:
+
+1. **Determinism** — identical inputs produce identical event orderings.
+   Ties in simulated time are broken by (priority, creation sequence),
+   never by hash order or wall-clock time.
+2. **Legibility** — the kernel is small and aggressively documented so
+   the higher layers (cluster, resource managers, workflow engines) are
+   auditable end to end.
+3. **Speed where it matters** — the hot path (heap push/pop, callback
+   dispatch) avoids allocation beyond what correctness requires; see the
+   HPC guide's advice to profile before optimizing further.
+
+Public API
+----------
+
+- :class:`Environment` — event queue + simulated clock.
+- :class:`Event`, :class:`Timeout`, :class:`Process` — awaitable events.
+- :class:`AllOf`, :class:`AnyOf` — condition events.
+- :class:`Interrupt` — exception thrown into interrupted processes.
+- :class:`Resource`, :class:`PriorityResource` — capacity-limited shared
+  resources with FIFO / priority queues.
+- :class:`Container` — continuous quantity (e.g. bytes, memory MB).
+- :class:`Store`, :class:`FilterStore` — object queues.
+"""
+
+from repro.simkernel.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    EventAlreadyTriggered,
+    Interrupt,
+    PENDING,
+    Process,
+    Timeout,
+)
+from repro.simkernel.core import Environment, SimulationError, StopSimulation
+from repro.simkernel.resources import (
+    Container,
+    FilterStore,
+    PriorityResource,
+    Resource,
+    Store,
+)
+from repro.simkernel.monitor import TimeSeriesMonitor, UtilizationTracker
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Environment",
+    "Event",
+    "EventAlreadyTriggered",
+    "FilterStore",
+    "Interrupt",
+    "PENDING",
+    "PriorityResource",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "StopSimulation",
+    "Store",
+    "TimeSeriesMonitor",
+    "Timeout",
+    "UtilizationTracker",
+]

@@ -1,0 +1,187 @@
+"""The event loop: :class:`Environment`.
+
+The environment owns the simulated clock and a binary heap of scheduled
+events.  Heap entries are keyed ``(time, priority, sequence)`` so that
+simultaneous events process in a deterministic, reproducible order:
+urgent events (process initialization, interrupts) before normal ones,
+then FIFO by creation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, Optional
+
+from repro.simkernel.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    NORMAL,
+    Process,
+    Timeout,
+)
+
+
+class SimulationError(RuntimeError):
+    """An unhandled failure propagated out of the event loop."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` at an event."""
+
+
+class Environment:
+    """Discrete-event simulation environment.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulated clock (default ``0.0``).
+
+    Examples
+    --------
+    >>> env = Environment()
+    >>> def proc(env):
+    ...     yield env.timeout(3)
+    ...     return env.now
+    >>> p = env.process(proc(env))
+    >>> env.run()
+    >>> p.value
+    3.0
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_proc: Optional[Process] = None
+
+    # -- clock --------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    @property
+    def active_process_generator(self):
+        return self._active_proc.generator if self._active_proc else None
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Queue ``event`` to be processed ``delay`` time units from now."""
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    # -- event factories -----------------------------------------------------
+
+    def event(self) -> Event:
+        """A pending event to be triggered manually."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event triggering ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event triggering when all ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event triggering when any of ``events`` triggers."""
+        return AnyOf(self, events)
+
+    # -- running ---------------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises
+        ------
+        IndexError
+            If the queue is empty.
+        SimulationError
+            If the event failed and nobody defused the failure.
+        """
+        time, _prio, _eid, event = heapq.heappop(self._queue)
+        self._now = time
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event.defused:
+            exc = event._value
+            raise SimulationError(
+                f"Unhandled failure in {event!r}: {exc!r}"
+            ) from exc
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run until the queue empties, a time is reached, or an event fires.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until no events remain.
+            number — run until the clock reaches that time (clock is set
+            to exactly ``until`` even if no event lands there).
+            :class:`Event` — run until that event is processed; returns
+            its value (re-raising its exception on failure).
+        """
+        stop_at: Optional[float] = None
+        stop_event: Optional[Event] = None
+
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is None:  # already processed
+                if stop_event._ok:
+                    return stop_event._value
+                raise stop_event._value
+            stop_event.callbacks.append(self._stop_callback)
+        elif until is not None:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise ValueError(f"until={stop_at} is in the past (now={self._now})")
+
+        try:
+            while self._queue:
+                if stop_at is not None and self._queue[0][0] > stop_at:
+                    break
+                self.step()
+        except StopSimulation:
+            pass
+
+        if stop_at is not None and self._now < stop_at:
+            self._now = stop_at
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "run(until=event) ran out of events before the event triggered"
+                )
+            if stop_event._ok:
+                return stop_event._value
+            stop_event.defused = True
+            raise stop_event._value
+        return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        raise StopSimulation()
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now} queued={len(self._queue)}>"

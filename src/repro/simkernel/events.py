@@ -1,0 +1,379 @@
+"""Event types for the discrete-event kernel.
+
+An :class:`Event` moves through three states:
+
+``PENDING``
+    Created but not yet triggered.  Processes may register callbacks.
+``TRIGGERED``
+    ``succeed()`` / ``fail()`` was called; the event sits in the
+    environment's queue waiting to be *processed*.
+``PROCESSED``
+    The environment popped the event and ran its callbacks.
+
+The distinction between *triggered* and *processed* is what gives the
+kernel deterministic semantics: all state changes caused by an event
+happen at a single well-defined point in the event loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, Optional
+
+#: Sentinel for an event value that has not been set yet.
+PENDING = object()
+
+#: Scheduling priorities.  Lower sorts earlier at equal simulated time.
+URGENT = 0
+NORMAL = 1
+
+
+class EventAlreadyTriggered(RuntimeError):
+    """Raised when ``succeed``/``fail`` is called on a triggered event."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`, e.g. a description of a node failure.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A happening in simulated time that processes can wait on.
+
+    Events are single-shot: they trigger at most once, with either a
+    value (success) or an exception (failure).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment"):  # noqa: F821 (forward ref)
+        self.env = env
+        #: Callbacks invoked (in registration order) when processed.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    # -- state inspection -------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once ``succeed``/``fail`` has been called."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (callbacks list is discarded)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        if self._value is PENDING:
+            raise AttributeError("Event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception."""
+        if self._value is PENDING:
+            raise AttributeError("Event has not been triggered yet")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception.
+
+        If no waiting process handles the exception the environment will
+        re-raise it from :meth:`Environment.run` (unless ``defused``).
+        """
+        if self._value is not PENDING:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, priority=priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy the outcome of ``event`` onto this event (chaining)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event.defused = True
+            self.fail(event._value)
+
+    # -- failure bookkeeping ------------------------------------------------
+
+    @property
+    def defused(self) -> bool:
+        """True when a failure was handled and must not crash the run."""
+        return self._defused
+
+    @defused.setter
+    def defused(self, value: bool) -> None:
+        self._defused = bool(value)
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self.processed
+            else ("triggered" if self.triggered else "pending")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env, delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"Negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+class Initialize(Event):
+    """Internal event that starts a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env, process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class _InterruptEvent(Event):
+    """Internal event delivering an :class:`Interrupt` to a process."""
+
+    __slots__ = ()
+
+    def __init__(self, env, process: "Process", cause: Any):
+        super().__init__(env)
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        self.callbacks.append(process._resume_interrupt)
+        env.schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A process: a generator driven by the events it yields.
+
+    The process event itself triggers when the generator returns (with
+    the return value) or raises (with the exception), so processes can
+    be waited on like any other event::
+
+        def child(env):
+            yield env.timeout(5)
+            return 42
+
+        def parent(env):
+            result = yield env.process(child(env))
+            assert result == 42
+    """
+
+    __slots__ = ("generator", "target", "name")
+
+    def __init__(self, env, generator: Generator, name: Optional[str] = None):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (None if not
+        #: started or already terminated).
+        self.target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process is an error; interrupting a process
+        that is about to be resumed is allowed (the interrupt wins,
+        because interrupt events are URGENT).
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self.generator is self.env.active_process_generator:
+            raise RuntimeError("A process is not allowed to interrupt itself")
+        _InterruptEvent(self.env, self, cause)
+
+    # -- generator driving (called by the event loop via callbacks) --------
+
+    def _resume_interrupt(self, event: Event) -> None:
+        if not self.is_alive:  # terminated before interrupt delivery
+            return
+        # Detach from whatever we were waiting on.
+        target = self.target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            # A condition left with no waiters may still fail later when
+            # a constituent fails (e.g. children being torn down after
+            # this same interrupt).  Nobody can handle that failure any
+            # more, so defuse it now rather than crash the simulation.
+            if not target.callbacks and isinstance(target, Condition):
+                target.defused = True
+        self._do_resume(event)
+
+    def _resume(self, event: Event) -> None:
+        self._do_resume(event)
+
+    def _do_resume(self, event: Event) -> None:
+        env = self.env
+        env._active_proc = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self.generator.send(event._value)
+                else:
+                    event.defused = True
+                    next_event = self.generator.throw(event._value)
+            except StopIteration as exc:
+                env._active_proc = None
+                self.target = None
+                self._ok = True
+                self._value = exc.value
+                env.schedule(self)
+                return
+            except BaseException as exc:
+                env._active_proc = None
+                self.target = None
+                self._ok = False
+                self._value = exc
+                env.schedule(self)
+                return
+
+            if not isinstance(next_event, Event):
+                env._active_proc = None
+                self.generator.throw(
+                    TypeError(f"Process {self.name} yielded non-event {next_event!r}")
+                )
+                return
+
+            if next_event.callbacks is not None:
+                # Event still pending or triggered-but-unprocessed: wait.
+                next_event.callbacks.append(self._resume)
+                self.target = next_event
+                env._active_proc = None
+                return
+            # Event already processed: resume immediately with its value.
+            event = next_event
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name} {'alive' if self.is_alive else 'done'}>"
+
+
+class Condition(Event):
+    """Base for events composed of other events (``AllOf`` / ``AnyOf``).
+
+    The condition's value is a dict mapping each *triggered* constituent
+    event to its value, preserving construction order.
+    """
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, env, events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._count = 0
+        for ev in self.events:
+            if ev.env is not env:
+                raise ValueError("Cannot mix events from different environments")
+        if self._evaluate_immediately():
+            return
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _evaluate_immediately(self) -> bool:
+        if not self.events:
+            self.succeed({})
+            return True
+        return False
+
+    def _satisfied(self, count: int) -> bool:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            # The condition already resolved; a constituent failing now
+            # has been "observed" through the condition, so defuse it
+            # rather than crash the run (e.g. children failing during a
+            # teardown that already detached from this condition).
+            if not event._ok:
+                event.defused = True
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._satisfied(self._count):
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict:
+        # Only *processed* events count: a Timeout is "triggered" at
+        # creation (its value is pre-set) but has not happened until the
+        # event loop reaches it.
+        return {
+            ev: ev._value
+            for ev in self.events
+            if ev.callbacks is None and ev._ok
+        }
+
+
+class AllOf(Condition):
+    """Triggers when every constituent event has triggered successfully."""
+
+    __slots__ = ()
+
+    def _satisfied(self, count: int) -> bool:
+        return count == len(self.events)
+
+
+class AnyOf(Condition):
+    """Triggers when at least one constituent event triggers."""
+
+    __slots__ = ()
+
+    def _satisfied(self, count: int) -> bool:
+        return count >= 1

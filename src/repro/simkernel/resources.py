@@ -1,0 +1,260 @@
+"""Shared-resource primitives built on the event kernel.
+
+These mirror the classic DES resource trio:
+
+- :class:`Resource` — ``capacity`` identical slots with a FIFO queue
+  (cores on a node, pilot slots, EC2 instance pool).
+- :class:`Container` — a continuous quantity with put/get (memory
+  bytes, storage capacity, network tokens).
+- :class:`Store` / :class:`FilterStore` — queues of Python objects
+  (work queues, message queues).
+
+All queue disciplines are deterministic: requests are served strictly
+in arrival order (or priority then arrival order for the priority
+variants).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.simkernel.events import Event
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Usable as a context manager so the slot is always released::
+
+        with resource.request() as req:
+            yield req
+            ... hold the slot ...
+    """
+
+    __slots__ = ("resource", "priority", "_seq")
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        resource._seq += 1
+        self._seq = resource._seq
+        resource._queue.append(self)
+        resource._queue.sort(key=lambda r: (r.priority, r._seq))
+        resource._trigger_queued()
+
+    def cancel(self) -> None:
+        """Withdraw an ungranted request (no-op if already granted)."""
+        if self.triggered:
+            return
+        try:
+            self.resource._queue.remove(self)
+        except ValueError:
+            pass
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """``capacity`` interchangeable slots with a deterministic queue."""
+
+    def __init__(self, env, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        #: Requests currently holding a slot.
+        self.users: list[Request] = []
+        self._queue: list[Request] = []
+        self._seq = 0
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim a slot; the returned event triggers when granted."""
+        return Request(self, priority)
+
+    def release(self, request: Request) -> None:
+        """Return a slot previously granted to ``request``.
+
+        Releasing an ungranted request cancels it instead.
+        """
+        if request in self.users:
+            self.users.remove(request)
+            self._trigger_queued()
+        else:
+            request.cancel()
+
+    def _trigger_queued(self) -> None:
+        while self._queue and len(self.users) < self.capacity:
+            req = self._queue.pop(0)
+            self.users.append(req)
+            req.succeed()
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose queue orders by ``priority`` (low first)."""
+
+    def request(self, priority: int = 0) -> Request:
+        return Request(self, priority)
+
+
+class Container:
+    """A continuous quantity between 0 and ``capacity``.
+
+    ``put``/``get`` events trigger once the operation can complete in
+    full (no partial fills).  Waiters are served FIFO — a large ``get``
+    at the head of the queue blocks smaller ones behind it, which is the
+    conservative (non-starving) discipline batch schedulers use.
+    """
+
+    def __init__(self, env, capacity: float = float("inf"), init: float = 0.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must be within [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: list[tuple[float, Event]] = []
+        self._putters: list[tuple[float, Event]] = []
+
+    @property
+    def level(self) -> float:
+        """Current stored amount."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; triggers when it fits under ``capacity``."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        ev = Event(self.env)
+        self._putters.append((amount, ev))
+        self._drain()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; triggers when at least that much is stored."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        if amount > self.capacity:
+            raise ValueError(f"get({amount}) exceeds capacity {self.capacity}")
+        ev = Event(self.env)
+        self._getters.append((amount, ev))
+        self._drain()
+        return ev
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                amount, ev = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._level += amount
+                    self._putters.pop(0)
+                    ev.succeed(amount)
+                    progressed = True
+            if self._getters:
+                amount, ev = self._getters[0]
+                if amount <= self._level:
+                    self._level -= amount
+                    self._getters.pop(0)
+                    ev.succeed(amount)
+                    progressed = True
+
+
+class Store:
+    """A FIFO queue of arbitrary objects with optional capacity."""
+
+    def __init__(self, env, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._getters: list[Event] = []
+        self._putters: list[tuple[Any, Event]] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; triggers once there is room."""
+        ev = Event(self.env)
+        self._putters.append((item, ev))
+        self._drain()
+        return ev
+
+    def get(self) -> Event:
+        """Remove the oldest item; triggers once one is available."""
+        ev = Event(self.env)
+        self._getters.append(ev)
+        self._drain()
+        return ev
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and len(self.items) < self.capacity:
+                item, ev = self._putters.pop(0)
+                self.items.append(item)
+                ev.succeed(item)
+                progressed = True
+            while self._getters and self.items:
+                ev = self._getters.pop(0)
+                item = self.items.pop(0)
+                ev.succeed(item)
+                progressed = True
+
+
+class FilterStore(Store):
+    """A :class:`Store` whose getters may select items by predicate.
+
+    Getters are records of ``(predicate, event)``; each is granted the
+    first stored item its predicate accepts, in getter arrival order.
+    """
+
+    def __init__(self, env, capacity: float = float("inf")):
+        super().__init__(env, capacity)
+        self._getters: list[tuple[Callable[[Any], bool], Event]] = []  # type: ignore[assignment]
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> Event:  # noqa: A002
+        ev = Event(self.env)
+        self._getters.append((filter or (lambda item: True), ev))
+        self._drain()
+        return ev
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and len(self.items) < self.capacity:
+                item, ev = self._putters.pop(0)
+                self.items.append(item)
+                ev.succeed(item)
+                progressed = True
+            for record in list(self._getters):
+                predicate, ev = record
+                match = next((i for i in self.items if predicate(i)), _NO_MATCH)
+                if match is not _NO_MATCH:
+                    self.items.remove(match)
+                    self._getters.remove(record)
+                    ev.succeed(match)
+                    progressed = True
+
+
+_NO_MATCH = object()

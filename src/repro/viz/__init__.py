@@ -1,0 +1,10 @@
+"""Text renderers for the paper's figures (terminal-friendly)."""
+
+from repro.viz.ascii_charts import (
+    render_dag,
+    render_series,
+    render_stacked_bar,
+    render_table,
+)
+
+__all__ = ["render_dag", "render_series", "render_stacked_bar", "render_table"]

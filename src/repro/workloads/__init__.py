@@ -1,0 +1,26 @@
+"""Synthetic workflow workload generators.
+
+Seeded generators for the workflow classes the CWS evaluation mixes
+(E1): chains, fork-joins, Montage-like mosaics, bioinformatics-like
+per-sample pipelines, and random layered DAGs.  All runtimes and file
+sizes come from explicit distributions so benchmarks are reproducible
+run to run.
+"""
+
+from repro.workloads.synthetic import (
+    bioinformatics_like,
+    chain,
+    fork_join,
+    montage_like,
+    random_layered_dag,
+    workflow_mix,
+)
+
+__all__ = [
+    "bioinformatics_like",
+    "chain",
+    "fork_join",
+    "montage_like",
+    "random_layered_dag",
+    "workflow_mix",
+]

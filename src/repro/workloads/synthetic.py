@@ -1,0 +1,286 @@
+"""Synthetic workflow generators (see package docstring)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.task import TaskSpec
+from repro.core.workflow import Workflow
+from repro.data.files import File
+
+
+def _rng(seed) -> np.random.Generator:
+    return seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+
+def _runtime(rng: np.random.Generator, mean: float, cv: float = 0.5) -> float:
+    """Log-normal runtime with the given mean and coefficient of variation."""
+    sigma2 = np.log(1 + cv**2)
+    mu = np.log(mean) - sigma2 / 2
+    return float(rng.lognormal(mu, np.sqrt(sigma2)))
+
+
+def _size(rng: np.random.Generator, runtime: float, bytes_per_s: float = 2e6) -> int:
+    """Output size loosely correlated with runtime (data-intensive tasks
+    run longer), with multiplicative noise."""
+    return max(1, int(runtime * bytes_per_s * rng.uniform(0.3, 3.0)))
+
+
+def chain(n: int = 8, mean_runtime: float = 60.0, seed=0, name: str = "chain") -> Workflow:
+    """A linear pipeline: t0 → t1 → ... → t(n-1)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = _rng(seed)
+    wf = Workflow(name)
+    prev_out = None
+    for i in range(n):
+        rt = _runtime(rng, mean_runtime)
+        out = File(f"{name}.f{i}", _size(rng, rt))
+        wf.add_task(
+            TaskSpec(
+                f"t{i:03d}",
+                runtime_s=rt,
+                cores=1,
+                memory_gb=2.0,
+                inputs=(prev_out.name,) if prev_out else (),
+                outputs=(out,),
+            )
+        )
+        prev_out = out
+    return wf
+
+
+def fork_join(
+    width: int = 12,
+    mean_runtime: float = 60.0,
+    skew: float = 1.0,
+    seed=0,
+    name: str = "forkjoin",
+) -> Workflow:
+    """src → ``width`` parallel branches → sink.
+
+    ``skew`` > 1 stretches the runtime spread across branches — the
+    knob that makes workflow-blind FIFO expensive at the merge point.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    rng = _rng(seed)
+    wf = Workflow(name)
+    src_out = File(f"{name}.src", 10_000_000)
+    wf.add_task(TaskSpec("src", runtime_s=_runtime(rng, 10), outputs=(src_out,)))
+    branch_outs = []
+    for i in range(width):
+        rt = _runtime(rng, mean_runtime, cv=0.5 * skew)
+        out = File(f"{name}.b{i}", _size(rng, rt))
+        wf.add_task(
+            TaskSpec(
+                f"branch{i:03d}",
+                runtime_s=rt,
+                cores=1,
+                memory_gb=2.0,
+                inputs=(src_out.name,),
+                outputs=(out,),
+            )
+        )
+        branch_outs.append(out)
+    wf.add_task(
+        TaskSpec(
+            "join",
+            runtime_s=_runtime(rng, 20),
+            inputs=tuple(o.name for o in branch_outs),
+        )
+    )
+    return wf
+
+
+def montage_like(width: int = 8, seed=0, name: str = "montage") -> Workflow:
+    """Montage mosaic shape: project (fan) → diff (pairwise) →
+    concat (merge) → bgcorrect (fan) → mosaic (merge)."""
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    rng = _rng(seed)
+    wf = Workflow(name)
+    proj_outs = []
+    for i in range(width):
+        rt = _runtime(rng, 40)
+        out = File(f"{name}.proj{i}", _size(rng, rt))
+        wf.add_task(
+            TaskSpec(f"project{i:03d}", runtime_s=rt, outputs=(out,), memory_gb=2.0)
+        )
+        proj_outs.append(out)
+    diff_outs = []
+    for i in range(width - 1):
+        rt = _runtime(rng, 15)
+        out = File(f"{name}.diff{i}", _size(rng, rt))
+        wf.add_task(
+            TaskSpec(
+                f"diff{i:03d}",
+                runtime_s=rt,
+                inputs=(proj_outs[i].name, proj_outs[i + 1].name),
+                outputs=(out,),
+            )
+        )
+        diff_outs.append(out)
+    concat_out = File(f"{name}.table", 5_000_000)
+    wf.add_task(
+        TaskSpec(
+            "concat",
+            runtime_s=_runtime(rng, 30),
+            inputs=tuple(o.name for o in diff_outs),
+            outputs=(concat_out,),
+        )
+    )
+    bg_outs = []
+    for i in range(width):
+        rt = _runtime(rng, 25)
+        out = File(f"{name}.bg{i}", _size(rng, rt))
+        wf.add_task(
+            TaskSpec(
+                f"bgcorrect{i:03d}",
+                runtime_s=rt,
+                inputs=(proj_outs[i].name, concat_out.name),
+                outputs=(out,),
+            )
+        )
+        bg_outs.append(out)
+    wf.add_task(
+        TaskSpec(
+            "mosaic",
+            runtime_s=_runtime(rng, 60),
+            cores=2,
+            memory_gb=8.0,
+            inputs=tuple(o.name for o in bg_outs),
+        )
+    )
+    return wf
+
+
+def bioinformatics_like(
+    samples: int = 6, seed=0, name: str = "bioinf"
+) -> Workflow:
+    """Variant-calling shape: per-sample align → sort → call chains,
+    then a joint-genotyping merge and a final report."""
+    if samples < 1:
+        raise ValueError("samples must be >= 1")
+    rng = _rng(seed)
+    wf = Workflow(name)
+    call_outs = []
+    for s in range(samples):
+        align_rt = _runtime(rng, 120)
+        align_out = File(f"{name}.s{s}.bam", _size(rng, align_rt, 5e6))
+        wf.add_task(
+            TaskSpec(
+                f"align{s:03d}",
+                runtime_s=align_rt,
+                cores=4,
+                memory_gb=8.0,
+                outputs=(align_out,),
+            )
+        )
+        sort_rt = _runtime(rng, 30)
+        sort_out = File(f"{name}.s{s}.sorted.bam", _size(rng, sort_rt, 5e6))
+        wf.add_task(
+            TaskSpec(
+                f"sort{s:03d}",
+                runtime_s=sort_rt,
+                cores=2,
+                memory_gb=4.0,
+                inputs=(align_out.name,),
+                outputs=(sort_out,),
+            )
+        )
+        call_rt = _runtime(rng, 90)
+        call_out = File(f"{name}.s{s}.vcf", _size(rng, call_rt))
+        wf.add_task(
+            TaskSpec(
+                f"call{s:03d}",
+                runtime_s=call_rt,
+                cores=2,
+                memory_gb=6.0,
+                inputs=(sort_out.name,),
+                outputs=(call_out,),
+            )
+        )
+        call_outs.append(call_out)
+    joint_out = File(f"{name}.joint.vcf", 50_000_000)
+    wf.add_task(
+        TaskSpec(
+            "joint_genotype",
+            runtime_s=_runtime(rng, 150),
+            cores=4,
+            memory_gb=16.0,
+            inputs=tuple(o.name for o in call_outs),
+            outputs=(joint_out,),
+        )
+    )
+    wf.add_task(
+        TaskSpec("report", runtime_s=_runtime(rng, 20), inputs=(joint_out.name,))
+    )
+    return wf
+
+
+def random_layered_dag(
+    n_tasks: int = 30,
+    levels: int = 5,
+    edge_prob: float = 0.4,
+    mean_runtime: float = 60.0,
+    seed=0,
+    name: str = "random",
+) -> Workflow:
+    """Random DAG: tasks spread over levels, edges only level i → j>i.
+
+    Every non-root task gets at least one parent so the graph is
+    connected forward; sizes/runtimes are log-normal.
+    """
+    if n_tasks < levels:
+        raise ValueError("need at least one task per level")
+    rng = _rng(seed)
+    wf = Workflow(name)
+    # Assign tasks to levels: one guaranteed per level, rest random.
+    assignment = list(range(levels)) + [
+        int(rng.integers(levels)) for _ in range(n_tasks - levels)
+    ]
+    rng.shuffle(assignment)
+    by_level: dict[int, list[str]] = {lv: [] for lv in range(levels)}
+    outputs: dict[str, File] = {}
+    names = [f"t{i:03d}" for i in range(n_tasks)]
+    order = sorted(range(n_tasks), key=lambda i: assignment[i])
+    for idx in order:
+        tname = names[idx]
+        lv = assignment[idx]
+        rt = _runtime(rng, mean_runtime)
+        out = File(f"{name}.{tname}.out", _size(rng, rt))
+        inputs = []
+        if lv > 0:
+            # At least one parent from an earlier level.
+            earlier = [t for l in range(lv) for t in by_level[l]]
+            must = earlier[int(rng.integers(len(earlier)))]
+            inputs.append(outputs[must].name)
+            for t in earlier:
+                if t != must and rng.random() < edge_prob / max(1, len(earlier) ** 0.5):
+                    inputs.append(outputs[t].name)
+        wf.add_task(
+            TaskSpec(
+                tname,
+                runtime_s=rt,
+                cores=int(rng.integers(1, 3)),
+                memory_gb=float(rng.uniform(1, 8)),
+                inputs=tuple(sorted(set(inputs))),
+                outputs=(out,),
+            )
+        )
+        outputs[tname] = out
+        by_level[lv].append(tname)
+    return wf
+
+
+def workflow_mix(seed=0) -> list[Workflow]:
+    """The five-class mix used by the E1 makespan bench."""
+    rng = _rng(seed)
+    return [
+        chain(n=10, seed=rng, name="mix-chain"),
+        fork_join(width=16, skew=1.5, seed=rng, name="mix-forkjoin"),
+        montage_like(width=10, seed=rng, name="mix-montage"),
+        bioinformatics_like(samples=8, seed=rng, name="mix-bioinf"),
+        random_layered_dag(n_tasks=40, levels=6, seed=rng, name="mix-random"),
+    ]

@@ -1,0 +1,46 @@
+"""Tests for cloud cost accounting (§5.2.1 cost-efficiency)."""
+
+import numpy as np
+import pytest
+
+from repro.atlas import CloudDeployment, make_workload
+from repro.simkernel import Environment
+
+
+def run(pathway="salmon", hourly=None, n_files=8, max_instances=4):
+    env = Environment()
+    dep = CloudDeployment(
+        env,
+        max_instances=max_instances,
+        pathway=pathway,
+        hourly_usd=hourly,
+        rng=np.random.default_rng(0),
+    )
+    result = dep.run(make_workload(n_files=n_files, seed=0))
+    env.run(until=result.done)
+    return result
+
+
+class TestCostAccounting:
+    def test_cost_is_hours_times_rate(self):
+        result = run(hourly=1.0)
+        assert result.cost_usd == pytest.approx(result.instance_hours)
+        assert result.cost_per_file_usd() == pytest.approx(result.cost_usd / 8)
+
+    def test_default_rates_per_pathway(self):
+        salmon = run(pathway="salmon", n_files=4, max_instances=2)
+        star = run(pathway="star", n_files=4, max_instances=2)
+        assert salmon.hourly_usd == pytest.approx(0.0765)
+        assert star.hourly_usd == pytest.approx(3.336)
+        # STAR costs dramatically more per file: pricier instances AND
+        # longer runtimes (alignment + index load).
+        assert star.cost_per_file_usd() > 20 * salmon.cost_per_file_usd()
+
+    def test_fewer_instances_cost_no_more(self):
+        """Same work, fewer instances: total instance-hours (and cost)
+        should not grow materially — only makespan does."""
+        narrow = run(hourly=1.0, max_instances=2)
+        wide = run(hourly=1.0, max_instances=8)
+        assert narrow.makespan > wide.makespan
+        # Instance-hours dominated by work; boot overhead favors narrow.
+        assert narrow.cost_usd <= wide.cost_usd * 1.2

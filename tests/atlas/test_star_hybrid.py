@@ -1,0 +1,158 @@
+"""Tests for the §5.3 future-work extensions: STAR pathway and hybrid."""
+
+import numpy as np
+import pytest
+
+from repro.atlas import (
+    CloudDeployment,
+    HpcDeployment,
+    HybridDeployment,
+    cloud_profile,
+    hpc_profile,
+    make_workload,
+    pipeline_steps,
+    run_experiment,
+    run_step_model,
+    star_index_load_seconds,
+    table1,
+)
+from repro.simkernel import Environment
+
+
+class TestStarStepModel:
+    def test_pathway_selection(self):
+        assert pipeline_steps("salmon")[2] == "salmon"
+        assert pipeline_steps("star")[2] == "star"
+        with pytest.raises(ValueError):
+            pipeline_steps("bowtie")
+
+    def test_star_much_slower_than_salmon(self):
+        rng = np.random.default_rng(0)
+        star = run_step_model("star", 1.0, cloud_profile(), rng)
+        salmon = run_step_model("salmon", 1.0, cloud_profile(), rng)
+        assert star.duration_s > 2.5 * salmon.duration_s
+
+    def test_star_memory_exceeds_250gb(self):
+        s = run_step_model("star", 1.0, cloud_profile(), np.random.default_rng(0))
+        assert s.mem_mb_mean > 250_000  # "over 250GB of RAM" (§5.1)
+
+    def test_index_load_cost(self):
+        # 90 GB over EBS vs SCRATCH: HPC loads faster.
+        assert star_index_load_seconds(hpc_profile()) < star_index_load_seconds(
+            cloud_profile()
+        )
+        assert star_index_load_seconds(cloud_profile()) > 600  # ~16 min
+
+
+class TestStarDeployments:
+    def test_cloud_star_amortizes_index_across_files(self):
+        env = Environment()
+        dep = CloudDeployment(
+            env, max_instances=2, pathway="star", rng=np.random.default_rng(0)
+        )
+        result = dep.run(make_workload(n_files=6, seed=0))
+        env.run(until=result.done)
+        assert len(result.records) == 6
+        assert all("star" in r.steps for r in result.records)
+        # Index loaded once per instance (2), not once per file (6):
+        # first file on each instance starts after boot + index load.
+        starts = sorted(r.t_start for r in result.records)
+        index_s = star_index_load_seconds(cloud_profile())
+        assert starts[0] >= 60.0 + index_s
+        # Later files on the same instance do NOT pay it again: the gap
+        # between consecutive files on one instance is far below index_s
+        # plus a pipeline run.
+        by_worker = {}
+        for r in result.records:
+            by_worker.setdefault(r.worker, []).append(r)
+        for records in by_worker.values():
+            records.sort(key=lambda r: r.t_start)
+            for prev, nxt in zip(records, records[1:]):
+                assert nxt.t_start - prev.t_end < 30.0
+
+    def test_hpc_star_pays_index_per_job(self):
+        env = Environment()
+        dep = HpcDeployment(
+            env, slots=2, pathway="star", rng=np.random.default_rng(0)
+        )
+        result = dep.run(make_workload(n_files=2, seed=0))
+        env.run(until=result.done)
+        index_s = star_index_load_seconds(hpc_profile())
+        for r in result.records:
+            # Job start -> first step end includes the per-job index load.
+            first_step_total = sum(s.duration_s for s in r.steps.values())
+            assert (r.t_end - r.t_start) >= first_step_total + index_s
+
+    def test_star_table1_renders(self):
+        result = run_experiment("cloud", n_files=8, seed=1, pathway="star",
+                                max_instances=4)
+        rows = table1(result.records)
+        assert [r.step for r in rows] == list(pipeline_steps("star"))
+        by_step = {r.step: r for r in rows}
+        assert by_step["star"].mem_max_mb > 250_000
+
+
+class TestHybridDeployment:
+    def make_hybrid(self, env, policy="balance"):
+        cloud = CloudDeployment(env, max_instances=6, rng=np.random.default_rng(1))
+        hpc = HpcDeployment(env, slots=6, rng=np.random.default_rng(2))
+        return HybridDeployment(env, cloud, hpc, policy=policy)
+
+    def test_processes_everything_across_backends(self):
+        env = Environment()
+        hybrid = self.make_hybrid(env)
+        wl = make_workload(n_files=20, seed=3)
+        result = hybrid.run(wl)
+        env.run(until=result.done)
+        assert result.cloud_share + result.hpc_share == 20
+        assert result.cloud_share > 0 and result.hpc_share > 0
+        assert len(result.records) == 20
+        assert {r.accession.accession for r in result.records} == {
+            a.accession for a in wl
+        }
+
+    def test_size_policy_routes_small_files_to_cloud(self):
+        env = Environment()
+        hybrid = self.make_hybrid(env, policy="size")
+        wl = make_workload(n_files=10, seed=3)
+        cloud_files, hpc_files = hybrid.partition(wl)
+        assert max(a.size_gb for a in cloud_files) <= min(
+            a.size_gb for a in hpc_files
+        )
+
+    def test_hybrid_beats_either_half_alone(self):
+        """Same total capacity split across backends still finishes the
+        batch roughly as fast as routing everything to one side with
+        only its half of the capacity."""
+        wl_files = 30
+
+        def solo(environment):
+            return run_experiment(
+                environment, n_files=wl_files, seed=4,
+                max_instances=6, slots=6,
+            ).makespan
+
+        hybrid = run_experiment(
+            "hybrid", n_files=wl_files, seed=4, max_instances=6, slots=6
+        )
+        assert hybrid.makespan < solo("cloud")
+        assert hybrid.makespan < solo("hpc")
+
+    def test_policy_validation(self):
+        env = Environment()
+        cloud = CloudDeployment(env, max_instances=2)
+        hpc = HpcDeployment(env, slots=2)
+        with pytest.raises(ValueError):
+            HybridDeployment(env, cloud, hpc, policy="roulette")
+
+    def test_pathway_mismatch_rejected(self):
+        env = Environment()
+        cloud = CloudDeployment(env, pathway="star")
+        hpc = HpcDeployment(env, pathway="salmon")
+        with pytest.raises(ValueError):
+            HybridDeployment(env, cloud, hpc)
+
+    def test_empty_workload_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            self.make_hybrid(env).run([])

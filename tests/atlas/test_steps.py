@@ -1,0 +1,138 @@
+"""Tests for step models and the reference algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.atlas import (
+    cloud_profile,
+    hpc_profile,
+    median_of_ratios,
+    pseudo_align,
+    run_step_model,
+)
+from repro.atlas.steps import PIPELINE_STEPS, step_components
+
+
+class TestStepComponents:
+    def test_all_steps_defined(self):
+        for step in PIPELINE_STEPS:
+            net, io, cpu = step_components(step, 1.0, cloud_profile())
+            assert net >= 0 and io >= 0 and cpu >= 0
+            assert net + io + cpu > 0
+
+    def test_unknown_step(self):
+        with pytest.raises(KeyError):
+            step_components("blastn", 1.0, cloud_profile())
+
+    def test_negative_size(self):
+        with pytest.raises(ValueError):
+            step_components("salmon", -1.0, cloud_profile())
+
+    def test_prefetch_faster_on_cloud(self):
+        n_c, _, _ = step_components("prefetch", 1.0, cloud_profile())
+        n_h, _, _ = step_components("prefetch", 1.0, hpc_profile())
+        assert n_h > n_c  # public internet vs S3 backbone
+
+    def test_salmon_faster_on_hpc(self):
+        _, _, c_c = step_components("salmon", 1.0, cloud_profile())
+        _, _, c_h = step_components("salmon", 1.0, hpc_profile())
+        assert c_h < c_c
+
+    def test_times_scale_with_size(self):
+        small = sum(step_components("salmon", 0.5, cloud_profile()))
+        big = sum(step_components("salmon", 3.0, cloud_profile()))
+        assert big > small * 3
+
+
+class TestStepSampleShape:
+    def test_salmon_is_cpu_bound(self):
+        s = run_step_model("salmon", 1.0, cloud_profile(), np.random.default_rng(0))
+        assert s.cpu_pct_mean > 90
+        assert s.iowait_pct_mean < 5
+
+    def test_fasterq_has_high_iowait(self):
+        s = run_step_model(
+            "fasterq_dump", 1.0, cloud_profile(), np.random.default_rng(0)
+        )
+        assert s.iowait_pct_mean > 20  # Table 1: 26% mean
+
+    def test_prefetch_low_cpu(self):
+        s = run_step_model("prefetch", 1.0, cloud_profile(), np.random.default_rng(0))
+        assert s.cpu_pct_mean < 40
+
+    def test_memory_ordering_matches_table1(self):
+        rng = np.random.default_rng(0)
+        mems = {
+            step: run_step_model(step, 1.0, cloud_profile(), rng).mem_mb_mean
+            for step in PIPELINE_STEPS
+        }
+        assert mems["salmon"] == max(mems.values())
+        assert mems["prefetch"] == min(mems.values())
+
+    def test_percentages_bounded(self):
+        rng = np.random.default_rng(3)
+        for step in PIPELINE_STEPS:
+            for size in (0.1, 1.0, 5.0):
+                s = run_step_model(step, size, cloud_profile(), rng)
+                assert 0 <= s.cpu_pct_mean <= 100
+                assert 0 <= s.cpu_pct_max <= 100
+                assert 0 <= s.iowait_pct_max <= 100
+
+
+class TestPseudoAlign:
+    INDEX = {
+        "tA": "ACGTACGTACGTACGTACGT",
+        "tB": "TTTTGGGGCCCCAAAATTTT",
+    }
+
+    def test_reads_map_to_matching_transcript(self):
+        reads = ["ACGTACGTACGT", "TTTTGGGGCCCC"]
+        counts = pseudo_align(reads, self.INDEX, k=8)
+        assert counts["tA"] == pytest.approx(1.0)
+        assert counts["tB"] == pytest.approx(1.0)
+
+    def test_unmappable_read_ignored(self):
+        counts = pseudo_align(["NNNNNNNNNNNN"], self.INDEX, k=8)
+        assert sum(counts.values()) == 0
+
+    def test_ambiguous_read_splits_count(self):
+        index = {"t1": "AAAAAAAAAACG", "t2": "AAAAAAAAAAGT"}
+        counts = pseudo_align(["AAAAAAAAAA"], index, k=8)
+        assert counts["t1"] == pytest.approx(0.5)
+        assert counts["t2"] == pytest.approx(0.5)
+
+    def test_count_conservation(self):
+        reads = ["ACGTACGTACGT"] * 7 + ["TTTTGGGGCCCC"] * 3
+        counts = pseudo_align(reads, self.INDEX, k=8)
+        assert sum(counts.values()) == pytest.approx(10.0)
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            pseudo_align([], self.INDEX, k=0)
+
+
+class TestMedianOfRatios:
+    def test_recovers_depth_factors(self):
+        rng = np.random.default_rng(0)
+        base = rng.integers(10, 1000, size=(200, 1)).astype(float)
+        depths = np.array([1.0, 2.0, 0.5])
+        counts = base * depths
+        factors, normalized = median_of_ratios(counts)
+        # Factors are defined up to the geometric mean; ratios must match.
+        np.testing.assert_allclose(factors / factors[0], depths / depths[0], rtol=1e-9)
+        # After normalization all samples have identical profiles.
+        np.testing.assert_allclose(normalized[:, 0], normalized[:, 1], rtol=1e-9)
+
+    def test_zero_genes_excluded(self):
+        counts = np.array([[100.0, 200.0], [0.0, 50.0], [10.0, 20.0]])
+        factors, _ = median_of_ratios(counts)
+        assert factors.shape == (2,)
+        assert (factors > 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            median_of_ratios(np.array([1.0, 2.0]))  # 1-D
+        with pytest.raises(ValueError):
+            median_of_ratios(np.array([[-1.0, 2.0]]))
+        with pytest.raises(ValueError):
+            median_of_ratios(np.array([[0.0, 1.0], [1.0, 0.0]]))

@@ -1,0 +1,140 @@
+"""Tests for Node/NodeSpec/Allocation."""
+
+import pytest
+
+from repro.cluster import Node, NodeSpec, NodeState
+from repro.cluster.node import NodeFailureCause
+
+
+def make_node(**kw) -> Node:
+    defaults = dict(name="t", cores=8, gpus=2, memory_gb=64.0)
+    defaults.update(kw)
+    return Node("t-0", NodeSpec(**defaults))
+
+
+class TestNodeSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeSpec("x", cores=0)
+        with pytest.raises(ValueError):
+            NodeSpec("x", cores=1, gpus=-1)
+        with pytest.raises(ValueError):
+            NodeSpec("x", cores=1, memory_gb=0)
+        with pytest.raises(ValueError):
+            NodeSpec("x", cores=1, speed=0)
+
+    def test_frozen(self):
+        spec = NodeSpec("x", cores=4)
+        with pytest.raises(Exception):
+            spec.cores = 8  # type: ignore[misc]
+
+    def test_speed_scales_duration_contract(self):
+        # The contract used throughout: duration = nominal / speed.
+        spec = NodeSpec("fast", cores=4, speed=2.0)
+        assert 100 / spec.speed == 50
+
+
+class TestAllocation:
+    def test_allocate_reduces_free(self):
+        node = make_node()
+        node.allocate(cores=3, gpus=1, memory_gb=16)
+        assert node.free_cores == 5
+        assert node.free_gpus == 1
+        assert node.free_memory_gb == 48
+
+    def test_release_restores(self):
+        node = make_node()
+        alloc = node.allocate(cores=3, gpus=1, memory_gb=16)
+        alloc.release()
+        assert node.free_cores == 8
+        assert node.free_gpus == 2
+        assert node.free_memory_gb == 64
+        assert node.is_idle()
+
+    def test_release_idempotent(self):
+        node = make_node()
+        alloc = node.allocate(cores=4)
+        alloc.release()
+        alloc.release()
+        assert node.free_cores == 8
+
+    def test_overallocation_rejected(self):
+        node = make_node()
+        with pytest.raises(ValueError):
+            node.allocate(cores=9)
+        with pytest.raises(ValueError):
+            node.allocate(gpus=3)
+        with pytest.raises(ValueError):
+            node.allocate(memory_gb=65)
+
+    def test_negative_request_rejected(self):
+        node = make_node()
+        with pytest.raises(ValueError):
+            node.allocate(cores=-1)
+
+    def test_fits(self):
+        node = make_node()
+        assert node.fits(cores=8, gpus=2, memory_gb=64)
+        assert not node.fits(cores=9)
+        node.allocate(cores=8)
+        assert not node.fits(cores=1)
+        assert node.fits(gpus=2)
+
+    def test_total_allocations_counter(self):
+        node = make_node()
+        node.allocate(cores=1).release()
+        node.allocate(cores=1).release()
+        assert node.total_allocations == 2
+
+
+class TestFailure:
+    def test_fail_releases_allocations(self):
+        node = make_node()
+        node.allocate(cores=8, gpus=2)
+        node.fail()
+        assert node.state == NodeState.DOWN
+        assert not node.is_up
+        assert node.allocations == []
+        assert not node.fits(cores=1)  # down nodes fit nothing
+
+    def test_fail_interrupts_occupants(self):
+        from repro.simkernel import Environment, Interrupt
+
+        env = Environment()
+        causes = []
+
+        def task(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as i:
+                causes.append(i.cause)
+
+        node = make_node()
+
+        def driver(env):
+            p = env.process(task(env))
+            node.register_occupant("t1", p)
+            yield env.timeout(5)
+            node.fail()
+
+        env.process(driver(env))
+        env.run()
+        assert len(causes) == 1
+        assert isinstance(causes[0], NodeFailureCause)
+        assert causes[0].node_id == "t-0"
+
+    def test_recover_restores_capacity(self):
+        node = make_node()
+        node.allocate(cores=5)
+        node.fail()
+        node.recover()
+        assert node.is_up
+        assert node.free_cores == 8
+        assert node.failure_count == 1
+
+    def test_unregister_occupant(self):
+        node = make_node()
+        node.register_occupant("k", object())
+        node.unregister_occupant("k")
+        node.unregister_occupant("missing")  # no error
+        assert node.occupants == {}

@@ -1,0 +1,122 @@
+"""Tests for the Parsl-like futures API (real local execution)."""
+
+import pytest
+
+from repro.core import AppFuture, DataFuture, LocalExecutor, python_app
+from repro.core.futures import FutureError
+
+
+@python_app
+def add(a, b):
+    return a + b
+
+
+@python_app
+def fail(msg):
+    raise ValueError(msg)
+
+
+@python_app(outputs=("total", "count"))
+def summarize(values):
+    return {"total": sum(values), "count": len(values)}
+
+
+class TestAppFuture:
+    def test_lazy_and_memoized(self):
+        calls = []
+
+        @python_app
+        def tracked(x):
+            calls.append(x)
+            return x
+
+        fut = tracked(5)
+        assert not fut.done
+        assert calls == []
+        assert fut.result() == 5
+        assert fut.result() == 5
+        assert calls == [5]  # executed once
+
+    def test_future_chaining(self):
+        fut = add(add(1, 2), add(3, 4))
+        assert fut.result() == 10
+
+    def test_futures_in_containers_resolved(self):
+        @python_app
+        def total(values):
+            return sum(values)
+
+        fut = total([add(1, 1), add(2, 2), 10])
+        assert fut.result() == 16
+
+    def test_failure_wrapped_and_memoized(self):
+        fut = fail("boom")
+        with pytest.raises(FutureError):
+            fut.result()
+        with pytest.raises(FutureError):
+            fut.result()
+        assert isinstance(fut.exception(), ValueError)
+
+    def test_exception_none_on_success(self):
+        assert add(1, 1).exception() is None
+
+    def test_unique_ids(self):
+        f1, f2 = add(1, 1), add(2, 2)
+        assert f1.future_id != f2.future_id
+
+    def test_dependency_failure_propagates(self):
+        fut = add(fail("upstream"), 1)
+        with pytest.raises(FutureError):
+            fut.result()
+
+
+class TestDataFuture:
+    def test_outputs_exposed(self):
+        fut = summarize([1, 2, 3])
+        assert len(fut.outputs) == 2
+        names = {d.name for d in fut.outputs}
+        assert names == {"total", "count"}
+
+    def test_data_future_resolves_key(self):
+        fut = summarize([1, 2, 3])
+        by_name = {d.name: d for d in fut.outputs}
+        assert by_name["total"].result() == 6
+        assert by_name["count"].result() == 3
+
+    def test_data_future_as_argument(self):
+        fut = summarize([1, 2, 3])
+        by_name = {d.name: d for d in fut.outputs}
+        downstream = add(by_name["total"], 4)
+        assert downstream.result() == 10
+
+    def test_missing_output_key(self):
+        @python_app(outputs=("missing",))
+        def bad():
+            return {}
+
+        fut = bad()
+        with pytest.raises(FutureError):
+            fut.outputs[0].result()
+
+
+class TestLocalExecutor:
+    def test_register_and_get(self):
+        ex = LocalExecutor()
+        fut = add(1, 2)
+        fid = ex.register(fut)
+        assert fid == fut.future_id
+        assert ex.get(fid) is fut
+        assert fid in ex
+        assert len(ex) == 1
+
+    def test_wait_all(self):
+        ex = LocalExecutor()
+        futs = [add(i, i) for i in range(3)]
+        for f in futs:
+            ex.register(f)
+        results = ex.wait_all()
+        assert sorted(results.values()) == [0, 2, 4]
+
+    def test_decorator_marks_app(self):
+        assert add.is_parsl_app
+        assert add.raw(2, 3) == 5

@@ -1,0 +1,102 @@
+"""Tests for workflow graph metrics (upward rank, critical path...)."""
+
+import pytest
+
+from repro.core import (
+    TaskSpec,
+    Workflow,
+    bottom_levels,
+    critical_path_length,
+    merge_points,
+    upward_ranks,
+    workflow_width,
+)
+from repro.data import File
+
+
+def t(name, runtime, inputs=(), outputs=()):
+    return TaskSpec(
+        name,
+        runtime_s=runtime,
+        inputs=inputs,
+        outputs=tuple(File(o, 1) for o in outputs),
+    )
+
+
+def chain_wf():
+    wf = Workflow("chain")
+    wf.add_task(t("a", 10, outputs=("x",)))
+    wf.add_task(t("b", 20, inputs=("x",), outputs=("y",)))
+    wf.add_task(t("c", 30, inputs=("y",)))
+    return wf
+
+
+def diamond_wf():
+    wf = Workflow("diamond")
+    wf.add_task(t("src", 5, outputs=("s",)))
+    wf.add_task(t("long", 100, inputs=("s",), outputs=("l",)))
+    wf.add_task(t("short", 1, inputs=("s",), outputs=("r",)))
+    wf.add_task(t("sink", 5, inputs=("l", "r")))
+    return wf
+
+
+class TestUpwardRanks:
+    def test_chain(self):
+        ranks = upward_ranks(chain_wf())
+        assert ranks == {"c": 30, "b": 50, "a": 60}
+
+    def test_diamond_long_branch_dominates(self):
+        ranks = upward_ranks(diamond_wf())
+        assert ranks["long"] == 105
+        assert ranks["short"] == 6
+        assert ranks["src"] == 110
+        assert ranks["sink"] == 5
+
+    def test_custom_runtime_estimator(self):
+        # Predictor that believes everything takes 1s.
+        ranks = upward_ranks(chain_wf(), runtime_of=lambda n: 1.0)
+        assert ranks == {"c": 1, "b": 2, "a": 3}
+
+
+class TestBottomLevelsAndWidth:
+    def test_bottom_levels_chain(self):
+        levels = bottom_levels(chain_wf())
+        assert levels == {"c": 0, "b": 1, "a": 2}
+
+    def test_width_diamond(self):
+        assert workflow_width(diamond_wf()) == 2
+
+    def test_width_chain(self):
+        assert workflow_width(chain_wf()) == 1
+
+    def test_width_fan(self):
+        wf = Workflow("fan")
+        wf.add_task(t("src", 1, outputs=("s",)))
+        for i in range(7):
+            wf.add_task(t(f"w{i}", 1, inputs=("s",)))
+        assert workflow_width(wf) == 7
+
+
+class TestCriticalPath:
+    def test_chain_sum(self):
+        assert critical_path_length(chain_wf()) == 60
+
+    def test_diamond_longest_branch(self):
+        assert critical_path_length(diamond_wf()) == 110
+
+
+class TestMergePoints:
+    def test_diamond_has_one_merge(self):
+        assert merge_points(diamond_wf()) == ["sink"]
+
+    def test_chain_has_none(self):
+        assert merge_points(chain_wf()) == []
+
+    def test_sorted_by_in_degree(self):
+        wf = Workflow("m")
+        wf.add_task(t("a", 1, outputs=("x",)))
+        wf.add_task(t("b", 1, outputs=("y",)))
+        wf.add_task(t("c", 1, outputs=("z",)))
+        wf.add_task(t("m2", 1, inputs=("x", "y")))
+        wf.add_task(t("m3", 1, inputs=("x", "y", "z")))
+        assert merge_points(wf) == ["m3", "m2"]

@@ -1,0 +1,48 @@
+"""Tests for the provenance bottleneck report."""
+
+import pytest
+
+from repro.cws import ProvenanceStore, TaskTrace
+
+
+def trace(task, runtime, wait=0.0, wf="w"):
+    return TaskTrace(
+        workflow=wf, task=task, attempt=1, node_id="n", node_type="n",
+        node_speed=1.0, cores=1, memory_gb=1.0, input_bytes=0,
+        submit_time=0.0, start_time=wait, end_time=wait + runtime,
+        succeeded=True,
+    )
+
+
+class TestBottleneckReport:
+    def make_store(self):
+        prov = ProvenanceStore()
+        prov.add_trace(trace("align", 500))
+        prov.add_trace(trace("align", 300))
+        prov.add_trace(trace("sort", 100))
+        prov.add_trace(trace("report", 10, wait=190))  # scheduling-bound
+        return prov
+
+    def test_ranked_by_total_cost(self):
+        rows = self.make_store().bottleneck_report()
+        assert [r["task"] for r in rows] == ["align", "report", "sort"]
+        assert rows[0]["runtime_s"] == 800
+        assert rows[0]["executions"] == 2
+
+    def test_shares_sum_to_one_when_all_included(self):
+        rows = self.make_store().bottleneck_report(top=10)
+        assert sum(r["share"] for r in rows) == pytest.approx(1.0)
+
+    def test_wait_ratio_flags_scheduling_bottleneck(self):
+        rows = self.make_store().bottleneck_report()
+        by_task = {r["task"]: r for r in rows}
+        assert by_task["report"]["wait_ratio"] == pytest.approx(19.0)
+        assert by_task["align"]["wait_ratio"] == pytest.approx(0.0)
+
+    def test_top_limits_rows(self):
+        assert len(self.make_store().bottleneck_report(top=1)) == 1
+        with pytest.raises(ValueError):
+            self.make_store().bottleneck_report(top=0)
+
+    def test_empty_store(self):
+        assert ProvenanceStore().bottleneck_report() == []

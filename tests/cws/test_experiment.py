@@ -1,0 +1,69 @@
+"""Tests for the E1 experiment driver (small-scale, fast)."""
+
+import pytest
+
+from repro.cws.experiment import (
+    DEFAULT_POOLS,
+    StrategyRow,
+    makespan_experiment,
+    run_workflow_once,
+    summarize,
+)
+from repro.workloads import fork_join
+
+
+def small_mix(seed=0):
+    return [fork_join(width=6, skew=1.5, seed=seed, name="small-fj")]
+
+
+class TestRunOnce:
+    def test_returns_positive_makespan(self):
+        m = run_workflow_once(fork_join(width=4, seed=0), "fifo")
+        assert m > 0
+
+    def test_deterministic(self):
+        a = run_workflow_once(fork_join(width=4, seed=0), "rank")
+        b = run_workflow_once(fork_join(width=4, seed=0), "rank")
+        assert a == b
+
+    def test_all_strategies_complete(self):
+        for s in ("fifo", "rank", "filesize", "heft"):
+            assert run_workflow_once(fork_join(width=4, seed=1), s) > 0
+
+
+class TestExperiment:
+    def test_grid_shape(self):
+        rows = makespan_experiment(
+            seeds=(0, 1), strategies=("fifo", "rank"), mix_factory=small_mix
+        )
+        assert len(rows) == 2  # 1 workflow x 2 seeds
+        assert all(isinstance(r, StrategyRow) for r in rows)
+        assert rows[0].strategies == ("fifo", "rank")
+
+    def test_reduction_math(self):
+        row = StrategyRow(
+            workflow="w", makespans=(100.0, 80.0), strategies=("fifo", "rank")
+        )
+        assert row.makespan("rank") == 80
+        assert row.reduction("rank") == pytest.approx(0.2)
+
+    def test_summary(self):
+        rows = [
+            StrategyRow("a", (100.0, 75.0), ("fifo", "rank")),
+            StrategyRow("b", (100.0, 95.0), ("fifo", "rank")),
+        ]
+        s = summarize(rows)
+        assert s["per_strategy"]["rank"]["mean_reduction"] == pytest.approx(0.15)
+        assert s["per_strategy"]["rank"]["max_reduction"] == pytest.approx(0.25)
+        assert s["per_strategy"]["rank"]["wins"] == 2
+
+    def test_summary_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_workflow_aware_usually_wins_on_skewed_forkjoin(self):
+        rows = makespan_experiment(
+            seeds=(0, 1, 2), strategies=("fifo", "rank"), mix_factory=small_mix
+        )
+        wins = sum(1 for r in rows if r.reduction("rank") >= 0)
+        assert wins >= 2

@@ -1,0 +1,100 @@
+"""Workflow-aware strategies with non-workflow traffic in the queue.
+
+The CWS lives inside a shared resource manager: pods with no workflow
+labels (other tenants) must keep flowing, in FIFO order among
+themselves, while labelled pods get prioritized — "the scheduler keeps
+working for everyone".
+"""
+
+import pytest
+
+from repro.cluster import Cluster, NodeSpec
+from repro.core import TaskSpec, Workflow
+from repro.cws import CWSI
+from repro.data import File
+from repro.engines import NextflowLikeEngine
+from repro.rm import JobState, KubeScheduler, Pod
+from repro.simkernel import Environment
+
+
+def one_node_cluster(env):
+    return Cluster(env, pools=[(NodeSpec("n", cores=1, memory_gb=8), 1)])
+
+
+class TestMixedTraffic:
+    def test_unlabelled_pods_complete_under_every_strategy(self):
+        for strategy in ("rank", "filesize", "heft", "locality"):
+            env = Environment()
+            cluster = Cluster(env, pools=[(NodeSpec("n", cores=4, memory_gb=32), 2)])
+            sched = KubeScheduler(env, cluster)
+            cwsi = CWSI(env, sched, strategy=strategy)
+            engine = NextflowLikeEngine(env, sched, cwsi=cwsi)
+
+            wf = Workflow("wf")
+            wf.add_task(TaskSpec("a", runtime_s=50, outputs=(File("x", 1000),)))
+            wf.add_task(TaskSpec("b", runtime_s=50, inputs=("x",)))
+            run = engine.run(wf)
+            tenants = [
+                sched.submit(Pod(cores=1, memory_gb=1, duration=20,
+                                 name=f"tenant-{i}"))
+                for i in range(4)
+            ]
+            env.run(until=run.done)
+            env.run()
+            assert run.succeeded, strategy
+            assert all(p.state == JobState.COMPLETED for p in tenants), strategy
+
+    def test_unlabelled_pods_keep_fifo_among_themselves(self):
+        env = Environment()
+        sched = KubeScheduler(env, one_node_cluster(env))
+        CWSI(env, sched, strategy="rank")
+        pods = [
+            sched.submit(Pod(cores=1, memory_gb=1, duration=10, name=f"t{i}"))
+            for i in range(5)
+        ]
+        env.run()
+        starts = [p.start_time for p in pods]
+        assert starts == sorted(starts)
+
+    def test_foreign_workflow_labels_ignored_gracefully(self):
+        """Pods labelled with a workflow the store never saw must not
+        crash the strategies."""
+        env = Environment()
+        sched = KubeScheduler(env, one_node_cluster(env))
+        CWSI(env, sched, strategy="rank")
+        pod = sched.submit(
+            Pod(cores=1, memory_gb=1, duration=5,
+                labels={"workflow": "alien", "task": "x"})
+        )
+        env.run()
+        assert pod.state == JobState.COMPLETED
+
+
+class TestCrossWorkflowPriorities:
+    def test_two_workflows_rank_independently(self):
+        """Rank ordering compares tasks across concurrently-running
+        workflows without mixing up their graphs."""
+        env = Environment()
+        cluster = Cluster(env, pools=[(NodeSpec("n", cores=2, memory_gb=16), 1)])
+        sched = KubeScheduler(env, cluster)
+        cwsi = CWSI(env, sched, strategy="rank")
+        engine = NextflowLikeEngine(env, sched, cwsi=cwsi)
+
+        def deep(name):
+            wf = Workflow(name)
+            prev = None
+            for i in range(4):
+                out = File(f"{name}.{i}", 1)
+                wf.add_task(
+                    TaskSpec(f"t{i}", runtime_s=20,
+                             inputs=(prev.name,) if prev else (),
+                             outputs=(out,))
+                )
+                prev = out
+            return wf
+
+        runs = [engine.run(deep("wf-a")), engine.run(deep("wf-b"))]
+        env.run()
+        assert all(r.succeeded for r in runs)
+        assert cwsi.store.rank_of("wf-a", "t0") == 3
+        assert cwsi.store.rank_of("wf-b", "t3") == 0

@@ -1,0 +1,92 @@
+"""Tests for runtime and memory predictors."""
+
+import pytest
+
+from repro.cws import LotaruLikePredictor, MemoryPredictor, NaiveMeanPredictor
+from repro.cws.provenance import TaskTrace
+
+
+def trace(task="t", speed=1.0, runtime=10.0, ok=True):
+    return TaskTrace(
+        workflow="w",
+        task=task,
+        attempt=1,
+        node_id="n-0",
+        node_type="n",
+        node_speed=speed,
+        cores=1,
+        memory_gb=4.0,
+        input_bytes=0,
+        submit_time=0,
+        start_time=0,
+        end_time=runtime,
+        succeeded=ok,
+    )
+
+
+class TestLotaruLikePredictor:
+    def test_unseen_task_returns_none(self):
+        p = LotaruLikePredictor()
+        assert p.predict("ghost") is None
+        assert p.uncertainty("ghost") is None
+        assert p.observations("ghost") == 0
+
+    def test_normalizes_by_node_speed(self):
+        p = LotaruLikePredictor()
+        # Same task observed on a slow and a fast node.
+        p.observe(trace(runtime=20, speed=1.0))  # nominal 20
+        p.observe(trace(runtime=10, speed=2.0))  # nominal 20
+        assert p.predict("t", node_speed=1.0) == pytest.approx(20)
+        assert p.predict("t", node_speed=2.0) == pytest.approx(10)
+        assert p.predict("t", node_speed=4.0) == pytest.approx(5)
+        assert p.uncertainty("t") == pytest.approx(0.0)
+
+    def test_ignores_failures(self):
+        p = LotaruLikePredictor()
+        p.observe(trace(runtime=10, ok=False))
+        assert p.predict("t") is None
+
+    def test_uncertainty_grows_with_spread(self):
+        p = LotaruLikePredictor()
+        p.observe(trace(runtime=10))
+        p.observe(trace(runtime=30))
+        assert p.uncertainty("t") > 0
+
+    def test_relative_error(self):
+        p = LotaruLikePredictor()
+        p.observe(trace(runtime=10, speed=1.0))
+        assert p.relative_error("t", node_speed=1.0, actual=10) == pytest.approx(0.0)
+        assert p.relative_error("t", node_speed=1.0, actual=20) == pytest.approx(0.5)
+        assert p.relative_error("ghost", 1.0, 10) is None
+
+
+class TestNaiveVsLotaru:
+    def test_naive_wrong_on_heterogeneous_cluster(self):
+        """The point of Lotaru: heterogeneity-blind means systematically
+        wrong when history comes from a node class you're not targeting."""
+        lotaru, naive = LotaruLikePredictor(), NaiveMeanPredictor()
+        # History exclusively from fast (speed 2.0) nodes.
+        for _ in range(5):
+            for p in (lotaru, naive):
+                p.observe(trace(runtime=10, speed=2.0))
+        # Ground truth on a slow node: nominal 20 / speed 1.0 = 20s.
+        assert lotaru.predict("t", node_speed=1.0) == pytest.approx(20)
+        assert naive.predict("t", node_speed=1.0) == pytest.approx(10)  # 2x off
+        assert lotaru.relative_error("t", 1.0, 20.0) == pytest.approx(0.0)
+        assert naive.relative_error("t", 1.0, 20.0) == pytest.approx(0.5)
+
+
+class TestMemoryPredictor:
+    def test_headroom_applied(self):
+        p = MemoryPredictor(headroom=1.5)
+        p.observe("t", 4.0)
+        p.observe("t", 8.0)
+        assert p.predict("t") == pytest.approx(12.0)
+        assert p.observations("t") == 2
+
+    def test_unseen_none(self):
+        assert MemoryPredictor().predict("ghost") is None
+
+    def test_invalid_headroom(self):
+        with pytest.raises(ValueError):
+            MemoryPredictor(headroom=0.9)

@@ -1,0 +1,74 @@
+"""Tests for the W3C-PROV-style provenance export (§3.3)."""
+
+import json
+
+import pytest
+
+from repro.cluster import Cluster, NodeSpec
+from repro.core import TaskSpec, Workflow
+from repro.cws import CWSI
+from repro.data import File
+from repro.engines import NextflowLikeEngine
+from repro.rm import KubeScheduler
+from repro.simkernel import Environment
+
+
+@pytest.fixture()
+def run_and_store():
+    env = Environment()
+    cluster = Cluster(env, pools=[(NodeSpec("n", cores=4, memory_gb=32), 2)])
+    sched = KubeScheduler(env, cluster)
+    cwsi = CWSI(env, sched, strategy="rank")
+    engine = NextflowLikeEngine(env, sched, cwsi=cwsi)
+    wf = Workflow("pipe")
+    wf.add_task(TaskSpec("make", runtime_s=10, outputs=(File("data.bin", 777),)))
+    wf.add_task(TaskSpec("use", runtime_s=10, inputs=("data.bin",)))
+    run = engine.run(wf)
+    env.run(until=run.done)
+    assert run.succeeded
+    return cwsi, wf, run
+
+
+class TestProvExport:
+    def test_activities_and_agents(self, run_and_store):
+        cwsi, wf, run = run_and_store
+        doc = cwsi.provenance.to_prov_document({"pipe": wf})
+        assert set(doc["activity"]) == {
+            "repro:pipe/make/1", "repro:pipe/use/1"
+        }
+        act = doc["activity"]["repro:pipe/make/1"]
+        assert act["prov:endTime"] - act["prov:startTime"] == pytest.approx(
+            run.records["make"].runtime
+        )
+        assert act["repro:succeeded"] is True
+        # One agent per node used.
+        used_nodes = {r.node_id for r in run.records.values()}
+        assert set(doc["agent"]) == {f"repro:node/{n}" for n in used_nodes}
+
+    def test_entity_lineage(self, run_and_store):
+        cwsi, wf, _ = run_and_store
+        doc = cwsi.provenance.to_prov_document({"pipe": wf})
+        assert doc["entity"]["repro:file/data.bin"]["repro:size_bytes"] == 777
+        gen = doc["wasGeneratedBy"]
+        assert {"prov:entity": "repro:file/data.bin",
+                "prov:activity": "repro:pipe/make/1"} in gen
+        assert {"prov:activity": "repro:pipe/use/1",
+                "prov:entity": "repro:file/data.bin"} in doc["used"]
+
+    def test_association_links_every_activity(self, run_and_store):
+        cwsi, wf, _ = run_and_store
+        doc = cwsi.provenance.to_prov_document({"pipe": wf})
+        associated = {a["prov:activity"] for a in doc["wasAssociatedWith"]}
+        assert associated == set(doc["activity"])
+
+    def test_without_workflow_graphs_still_valid(self, run_and_store):
+        cwsi, _, _ = run_and_store
+        doc = cwsi.provenance.to_prov_document()
+        assert doc["entity"] == {}
+        assert len(doc["activity"]) == 2
+
+    def test_json_serializable(self, run_and_store):
+        cwsi, wf, _ = run_and_store
+        doc = cwsi.provenance.to_prov_document({"pipe": wf})
+        round_tripped = json.loads(json.dumps(doc))
+        assert round_tripped["prefix"]["repro"] == "urn:repro:"

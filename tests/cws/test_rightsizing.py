@@ -1,0 +1,100 @@
+"""Tests for predictor-driven memory right-sizing (§3.4)."""
+
+import pytest
+
+from repro.cluster import Cluster, NodeSpec
+from repro.core import TaskSpec, Workflow
+from repro.cws import CWSI
+from repro.data import File
+from repro.engines import NextflowLikeEngine
+from repro.rm import KubeScheduler
+from repro.simkernel import Environment
+
+
+def overrequesting_workflow(width=6, name="greedy"):
+    """Users ask for 16 GiB; tasks actually use 3 GiB."""
+    wf = Workflow(name)
+    src = File(f"{name}.src", 1000)
+    wf.add_task(TaskSpec("src", runtime_s=5, outputs=(src,)))
+    for i in range(width):
+        wf.add_task(
+            TaskSpec(
+                f"work{i:02d}",
+                runtime_s=60,
+                memory_gb=16.0,
+                peak_memory_gb=3.0,
+                inputs=(src.name,),
+            )
+        )
+    return wf
+
+
+def tight_cluster(env):
+    # One node, 8 cores, 32 GiB: only 2 x 16GiB requests fit at once,
+    # but 8 x 3GiB (cores become the binding constraint).
+    return Cluster(env, pools=[(NodeSpec("n", cores=8, memory_gb=32), 1)])
+
+
+def run_twice(right_size: bool):
+    env = Environment()
+    scheduler = KubeScheduler(env, tight_cluster(env))
+    cwsi = CWSI(env, scheduler, strategy="rank")
+    engine = NextflowLikeEngine(
+        env, scheduler, cwsi=cwsi, right_size_memory=right_size
+    )
+    first = engine.run(overrequesting_workflow(name="greedy1"))
+    env.run(until=first.done)
+    second = engine.run(overrequesting_workflow(name="greedy2"))
+    env.run(until=second.done)
+    return first, second, cwsi
+
+
+class TestValidation:
+    def test_peak_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TaskSpec("t", runtime_s=1, peak_memory_gb=0)
+
+    def test_true_peak_defaults_to_request(self):
+        spec = TaskSpec("t", runtime_s=1, memory_gb=8.0)
+        assert spec.true_peak_memory_gb == 8.0
+        spec2 = TaskSpec("t", runtime_s=1, memory_gb=8.0, peak_memory_gb=2.0)
+        assert spec2.true_peak_memory_gb == 2.0
+
+    def test_rightsizing_requires_cwsi(self):
+        env = Environment()
+        scheduler = KubeScheduler(env, tight_cluster(env))
+        with pytest.raises(ValueError):
+            NextflowLikeEngine(env, scheduler, right_size_memory=True)
+
+
+class TestSuggestMemory:
+    def test_no_history_keeps_request(self):
+        env = Environment()
+        cwsi = CWSI(env, KubeScheduler(env, tight_cluster(env)))
+        assert cwsi.suggest_memory_gb("ghost", 16.0) == 16.0
+
+    def test_never_inflates_request(self):
+        env = Environment()
+        cwsi = CWSI(env, KubeScheduler(env, tight_cluster(env)))
+        cwsi.memory_predictor.observe("t", 20.0)
+        assert cwsi.suggest_memory_gb("t", 4.0) == 4.0
+
+
+class TestRightSizingEffect:
+    def test_predictor_learns_peaks_not_requests(self):
+        _, _, cwsi = run_twice(right_size=False)
+        # The observed peak is 3 GiB even though pods requested 16.
+        pred = cwsi.memory_predictor.predict("work00")
+        assert pred == pytest.approx(3.0 * 1.1)  # peak x headroom
+
+    def test_second_run_packs_tighter(self):
+        _, second_naive, _ = run_twice(right_size=False)
+        _, second_sized, _ = run_twice(right_size=True)
+        # Memory-bound 2-at-a-time becomes core-bound 8-at-a-time.
+        assert second_sized.makespan < second_naive.makespan * 0.6
+
+    def test_first_run_identical_cold(self):
+        first_naive, _, _ = run_twice(right_size=False)
+        first_sized, _, _ = run_twice(right_size=True)
+        # Without history the right-sizer must not change anything.
+        assert first_sized.makespan == first_naive.makespan

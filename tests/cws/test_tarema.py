@@ -1,0 +1,137 @@
+"""Tests for the Tarema-like heterogeneity-aware allocator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, NodeSpec
+from repro.core import TaskSpec, Workflow
+from repro.cws import LotaruLikePredictor, TaremaAllocator, WorkflowStore
+from repro.cws.provenance import TaskTrace
+from repro.data import File
+from repro.rm import JobState, KubeScheduler, Pod
+from repro.simkernel import Environment
+
+
+def tri_cluster(env):
+    return Cluster(
+        env,
+        pools=[
+            (NodeSpec("slow", cores=4, memory_gb=32, speed=1.0), 2),
+            (NodeSpec("mid", cores=4, memory_gb=32, speed=1.5), 2),
+            (NodeSpec("fast", cores=4, memory_gb=32, speed=2.0), 2),
+        ],
+    )
+
+
+def trace(task, runtime, speed=1.0):
+    return TaskTrace(
+        workflow="w", task=task, attempt=1, node_id="n", node_type="n",
+        node_speed=speed, cores=1, memory_gb=1, input_bytes=0,
+        submit_time=0, start_time=0, end_time=runtime, succeeded=True,
+    )
+
+
+def make_allocator(env=None, observations=()):
+    env = env or Environment()
+    cluster = tri_cluster(env)
+    store = WorkflowStore()
+    predictor = LotaruLikePredictor()
+    for task, runtime in observations:
+        predictor.observe(trace(task, runtime))
+    return cluster, TaremaAllocator(cluster, store, predictor), store
+
+
+class TestNodeLabelling:
+    def test_three_classes_by_speed(self):
+        cluster, tarema, _ = make_allocator()
+        classes = {tarema.node_class(n.id) for n in cluster.nodes}
+        assert classes == {0, 1, 2}
+        by_type = {
+            n.spec.name: tarema.node_class(n.id) for n in cluster.nodes
+        }
+        assert by_type["slow"] < by_type["mid"] < by_type["fast"]
+
+    def test_relabel_after_pool_change(self):
+        env = Environment()
+        cluster, tarema, _ = make_allocator(env)
+        cluster.add_pool(NodeSpec("turbo", cores=4, speed=4.0), 1)
+        tarema.label_nodes()
+        assert tarema.node_class("turbo-00000") == 2
+
+    def test_invalid_classes(self):
+        env = Environment()
+        cluster = tri_cluster(env)
+        with pytest.raises(ValueError):
+            TaremaAllocator(cluster, WorkflowStore(), LotaruLikePredictor(),
+                            n_classes=0)
+
+
+class TestTaskClassification:
+    def test_unknown_task_none(self):
+        _, tarema, _ = make_allocator()
+        assert tarema.task_class("ghost") is None
+
+    def test_demand_classes_order(self):
+        _, tarema, _ = make_allocator(
+            observations=[("short", 5), ("medium", 60), ("long", 600)]
+        )
+        assert tarema.task_class("short") < tarema.task_class("long")
+
+    def test_single_known_task_assumed_hungry(self):
+        _, tarema, _ = make_allocator(observations=[("only", 100)])
+        assert tarema.task_class("only") == 2
+
+
+class TestAllocationBehaviour:
+    def run_workflow(self, observations):
+        env = Environment()
+        cluster, tarema, store = make_allocator(env, observations)
+        sched = KubeScheduler(env, cluster, strategy=tarema)
+        wf = Workflow("t")
+        wf.add_task(TaskSpec("long", runtime_s=600, outputs=(File("l", 1),)))
+        wf.add_task(TaskSpec("short", runtime_s=5, outputs=(File("s", 1),)))
+        store.register(wf)
+        pods = {
+            name: Pod(
+                cores=1, memory_gb=1, duration=wf.task(name).runtime_s,
+                labels={"workflow": "t", "task": name}, name=name,
+            )
+            for name in ("long", "short")
+        }
+        for p in pods.values():
+            sched.submit(p)
+        env.run()
+        return pods
+
+    def test_long_task_goes_to_fast_class(self):
+        pods = self.run_workflow(
+            observations=[("short", 5), ("medium", 60), ("long", 600)]
+        )
+        assert pods["long"].node.spec.name == "fast"
+        assert pods["short"].node.spec.name == "slow"
+        assert all(p.state == JobState.COMPLETED for p in pods.values())
+
+    def test_no_history_falls_back_to_best_fit(self):
+        pods = self.run_workflow(observations=[])
+        # Without history, placement degrades gracefully (any node).
+        assert all(p.state == JobState.COMPLETED for p in pods.values())
+
+    def test_fallback_when_preferred_class_full(self):
+        env = Environment()
+        cluster, tarema, store = make_allocator(
+            env, observations=[("short", 5), ("medium", 60), ("long", 600)]
+        )
+        # Occupy both fast nodes.
+        for n in cluster.nodes:
+            if n.spec.name == "fast":
+                n.allocate(cores=4)
+        sched = KubeScheduler(env, cluster, strategy=tarema)
+        pod = Pod(cores=1, memory_gb=1, duration=600,
+                  labels={"workflow": "t", "task": "long"})
+        wf = Workflow("t")
+        wf.add_task(TaskSpec("long", runtime_s=600))
+        store.register(wf)
+        sched.submit(pod)
+        env.run()
+        assert pod.state == JobState.COMPLETED
+        assert pod.node.spec.name == "mid"  # nearest class below

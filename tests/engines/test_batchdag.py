@@ -1,0 +1,114 @@
+"""Tests for batch-level DAG submission (afterok dependencies)."""
+
+import pytest
+
+from repro.cluster import Cluster, FaultInjector, NodeSpec
+from repro.core import TaskSpec, Workflow
+from repro.data import File
+from repro.engines import BatchDagEngine
+from repro.rm import BatchScheduler, Job, JobState, ResourceRequest
+from repro.simkernel import Environment
+
+
+def make_world(env, nodes=4, cores=8):
+    cluster = Cluster(env, pools=[(NodeSpec("n", cores=cores, memory_gb=64), nodes)])
+    return cluster, BatchScheduler(env, cluster)
+
+
+def diamond():
+    wf = Workflow("diamond")
+    wf.add_task(TaskSpec("src", runtime_s=10, outputs=(File("s", 1),)))
+    wf.add_task(TaskSpec("left", runtime_s=20, inputs=("s",),
+                         outputs=(File("l", 1),)))
+    wf.add_task(TaskSpec("right", runtime_s=30, inputs=("s",),
+                         outputs=(File("r", 1),)))
+    wf.add_task(TaskSpec("sink", runtime_s=10, inputs=("l", "r")))
+    return wf
+
+
+class TestAfterokDependencies:
+    def test_dependent_waits_for_completion(self):
+        env = Environment()
+        _, batch = make_world(env)
+        j1 = Job(request=ResourceRequest(nodes=1, walltime_s=100), duration=50)
+        j2 = Job(request=ResourceRequest(nodes=1, walltime_s=100), duration=10,
+                 depends_on=[j1])
+        batch.submit(j1)
+        batch.submit(j2)
+        env.run()
+        assert j2.start_time >= j1.end_time
+        assert j2.state == JobState.COMPLETED
+
+    def test_failed_dependency_cancels_downstream(self):
+        env = Environment()
+        _, batch = make_world(env)
+        j1 = Job(request=ResourceRequest(nodes=1, walltime_s=20), duration=100)
+        j2 = Job(request=ResourceRequest(nodes=1, walltime_s=100), duration=10,
+                 depends_on=[j1])
+        j3 = Job(request=ResourceRequest(nodes=1, walltime_s=100), duration=10,
+                 depends_on=[j2])
+        for j in (j1, j2, j3):
+            batch.submit(j)
+        env.run()
+        assert j1.state == JobState.FAILED  # walltime
+        assert j2.state == JobState.CANCELLED
+        assert j3.state == JobState.CANCELLED  # transitively
+
+    def test_independent_jobs_unaffected(self):
+        env = Environment()
+        _, batch = make_world(env)
+        doomed = Job(request=ResourceRequest(nodes=1, walltime_s=10), duration=50)
+        free = Job(request=ResourceRequest(nodes=1, walltime_s=100), duration=10)
+        batch.submit(doomed)
+        batch.submit(free)
+        env.run()
+        assert free.state == JobState.COMPLETED
+
+
+class TestBatchDagEngine:
+    def test_diamond_executes_in_order(self):
+        env = Environment()
+        _, batch = make_world(env)
+        engine = BatchDagEngine(env, batch)
+        run = engine.run(diamond())
+        env.run(until=run.done)
+        assert run.succeeded
+        rec = run.records
+        assert rec["src"].end_time <= rec["left"].start_time
+        assert rec["src"].end_time <= rec["right"].start_time
+        assert max(rec["left"].end_time, rec["right"].end_time) <= (
+            rec["sink"].start_time
+        )
+        # Everything was submitted at t=0 — no WMS in the loop.
+        assert all(r.submit_time == 0 for r in rec.values())
+
+    def test_no_wms_roundtrip_latency(self):
+        """With the whole DAG queued, siblings start the moment their
+        parent's nodes free — same instant, not a poll later."""
+        env = Environment()
+        _, batch = make_world(env, nodes=4)
+        run = BatchDagEngine(env, batch).run(diamond())
+        env.run(until=run.done)
+        rec = run.records
+        assert rec["left"].start_time == rec["src"].end_time
+        assert rec["right"].start_time == rec["src"].end_time
+
+    def test_task_failure_cancels_downstream_cone(self):
+        env = Environment()
+        cluster, batch = make_world(env, nodes=1)
+        engine = BatchDagEngine(env, batch)
+        wf = Workflow("chain")
+        wf.add_task(TaskSpec("a", runtime_s=100, outputs=(File("x", 1),)))
+        wf.add_task(TaskSpec("b", runtime_s=10, inputs=("x",)))
+        run = engine.run(wf)
+        FaultInjector(env, cluster, schedule=[(20.0, "n-00000")], downtime=None)
+        env.run(until=run.done)
+        assert not run.succeeded
+        assert run.records["a"].state == "failed"
+        assert run.records["b"].state == "cancelled"
+
+    def test_walltime_factor_validation(self):
+        env = Environment()
+        _, batch = make_world(env)
+        with pytest.raises(ValueError):
+            BatchDagEngine(env, batch, walltime_factor=1.0)

@@ -1,0 +1,227 @@
+"""Tests for the pilot agent: throughput, concurrency, failures."""
+
+import pytest
+
+from repro.cluster import Cluster, FaultInjector, NodeSpec
+from repro.entk import AgentConfig, EnTask, PilotAgent, TaskState
+from repro.simkernel import Environment
+
+
+def make_agent(env, n_nodes=8, cores=4, gpus=0, **cfg):
+    cluster = Cluster(
+        env, pools=[(NodeSpec("n", cores=cores, gpus=gpus, memory_gb=64), n_nodes)]
+    )
+    defaults = dict(
+        schedule_rate=100.0, launch_rate=50.0, bootstrap_s=5.0, fail_detect_s=1.0
+    )
+    defaults.update(cfg)
+    return cluster, PilotAgent(env, cluster.nodes, AgentConfig(**defaults))
+
+
+def run_stage(env, agent, tasks):
+    holder = {}
+
+    def driver(env):
+        holder["result"] = yield from agent.run_stage(tasks)
+
+    env.process(driver(env))
+    env.run()
+    return holder["result"]
+
+
+class TestConfigValidation:
+    def test_bad_rates(self):
+        with pytest.raises(ValueError):
+            AgentConfig(schedule_rate=0)
+        with pytest.raises(ValueError):
+            AgentConfig(launch_rate=-1)
+        with pytest.raises(ValueError):
+            AgentConfig(bootstrap_s=-1)
+        with pytest.raises(ValueError):
+            AgentConfig(node_strikes=0)
+
+    def test_empty_agent_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            PilotAgent(env, [])
+
+
+class TestBasicExecution:
+    def test_tasks_complete(self):
+        env = Environment()
+        _, agent = make_agent(env)
+        tasks = [EnTask(duration=10) for _ in range(4)]
+        done, failed = run_stage(env, agent, tasks)
+        assert len(done) == 4 and not failed
+        assert all(t.state == TaskState.DONE for t in tasks)
+        assert agent.done_count.current == 4
+
+    def test_bootstrap_delays_first_task(self):
+        env = Environment()
+        _, agent = make_agent(env, bootstrap_s=20.0)
+        tasks = [EnTask(duration=1)]
+        run_stage(env, agent, tasks)
+        assert tasks[0].start_time >= 20.0
+        assert agent.bootstrap_overhead == 20.0
+
+    def test_multi_node_task(self):
+        env = Environment()
+        _, agent = make_agent(env, n_nodes=8)
+        t = EnTask(duration=10, nodes=8)
+        done, failed = run_stage(env, agent, [t])
+        assert done == [t]
+        assert len(t.executed_on) == 8
+
+    def test_oversized_task_rejected(self):
+        env = Environment()
+        _, agent = make_agent(env, n_nodes=2, cores=4)
+        # Validation fires on the first step of the generator.
+        with pytest.raises(ValueError):
+            next(agent.run_stage([EnTask(duration=1, nodes=3)]))
+        with pytest.raises(ValueError):
+            next(agent.run_stage([EnTask(duration=1, cores_per_node=8)]))
+
+    def test_concurrency_bounded_by_nodes(self):
+        env = Environment()
+        _, agent = make_agent(env, n_nodes=4)
+        tasks = [EnTask(duration=50, nodes=1) for _ in range(12)]
+        run_stage(env, agent, tasks)
+        assert agent.executing.peak == 4
+
+    def test_launch_rate_limits_ramp(self):
+        env = Environment()
+        # 2 tasks/s launch: 10 tasks need >= 5s to all start.
+        _, agent = make_agent(
+            env, n_nodes=16, launch_rate=2.0, schedule_rate=1000.0, bootstrap_s=0.0
+        )
+        tasks = [EnTask(duration=100) for _ in range(10)]
+        run_stage(env, agent, tasks)
+        starts = sorted(t.start_time for t in tasks)
+        assert starts[-1] - starts[0] >= 4.0
+
+    def test_schedule_rate_faster_than_launch(self):
+        env = Environment()
+        _, agent = make_agent(
+            env,
+            n_nodes=16,
+            schedule_rate=100.0,
+            launch_rate=10.0,
+            bootstrap_s=0.0,
+        )
+        tasks = [EnTask(duration=30) for _ in range(40)]
+        run_stage(env, agent, tasks)
+        # Pending-launch queue must have built up (blue over orange).
+        assert agent.pending_launch.peak > 10
+        assert agent.scheduling_throughput(2.0) > agent.launch_throughput(2.0)
+
+    def test_utilization_accounting(self):
+        env = Environment()
+        _, agent = make_agent(env, n_nodes=2, cores=4, bootstrap_s=0.0)
+        # 2 tasks fully occupying both nodes for 100s.
+        tasks = [EnTask(duration=100, cores_per_node=4) for _ in range(2)]
+        run_stage(env, agent, tasks)
+        util = agent.core_util.utilization(0, env.now)
+        assert util > 0.9
+
+
+class TestWorkPayload:
+    def test_work_task(self):
+        env = Environment()
+        _, agent = make_agent(env)
+        seen = {}
+
+        def work(env, task, nodes):
+            seen["nodes"] = len(nodes)
+            yield env.timeout(5)
+
+        t = EnTask(work=work, nodes=2)
+        done, failed = run_stage(env, agent, [t])
+        assert done == [t]
+        assert seen["nodes"] == 2
+
+    def test_work_exception_fails_then_retries(self):
+        env = Environment()
+        _, agent = make_agent(env)
+        calls = []
+
+        def flaky(env, task, nodes):
+            calls.append(1)
+            yield env.timeout(1)
+            if len(calls) < 2:
+                raise RuntimeError("transient")
+
+        t = EnTask(work=flaky)
+        done, failed = run_stage(env, agent, [t])
+        assert done == [t]
+        assert t.attempts == 2
+        assert len(agent.failures) == 1
+
+
+class TestNodeFailures:
+    def test_task_killed_by_node_failure_is_retried(self):
+        env = Environment()
+        cluster, agent = make_agent(env, n_nodes=4, bootstrap_s=0.0)
+        tasks = [EnTask(duration=100, name=f"t{i}") for i in range(4)]
+        FaultInjector(env, cluster, schedule=[(20.0, "n-00000")], downtime=None)
+        done, failed = run_stage(env, agent, tasks)
+        assert len(done) == 4 and not failed
+        assert len(agent.failures) >= 1
+        # The failed node is blacklisted after its strike.
+        assert "n-00000" in agent._blacklist
+        assert agent.usable_nodes == 3
+
+    def test_detection_lag_cascades_failures(self):
+        """With node_strikes > 1, a dead node keeps poisoning launches —
+        the mechanism behind '8 tasks failed due to a single node
+        failure' (§4.3)."""
+        env = Environment()
+        cluster, agent = make_agent(
+            env,
+            n_nodes=2,
+            bootstrap_s=0.0,
+            node_strikes=3,
+            fail_detect_s=0.5,
+            launch_rate=100.0,
+            schedule_rate=1000.0,
+        )
+        tasks = [EnTask(duration=30, name=f"t{i}") for i in range(8)]
+        FaultInjector(env, cluster, schedule=[(1.0, "n-00000")], downtime=None)
+        done, failed = run_stage(env, agent, tasks)
+        assert len(done) == 8 and not failed
+        # Several distinct failures before blacklisting at 3 strikes.
+        assert len(agent.failures) >= 3
+        assert "n-00000" in agent._blacklist
+
+    def test_exhausted_retries_reports_failed(self):
+        env = Environment()
+        cluster, agent = make_agent(
+            env, n_nodes=1, bootstrap_s=0.0, max_task_retries=1, node_strikes=99
+        )
+        # The only node dies and is never blacklisted -> all retries fail.
+        FaultInjector(env, cluster, schedule=[(5.0, "n-00000")], downtime=None)
+        tasks = [EnTask(duration=100, name="doomed")]
+        done, failed = run_stage(env, agent, tasks)
+        assert not done
+        assert [t.name for t in failed] == ["doomed"]
+        assert tasks[0].attempts == 2
+
+
+class TestShutdown:
+    def test_shutdown_fails_inflight_tasks(self):
+        env = Environment()
+        _, agent = make_agent(env, bootstrap_s=0.0)
+        tasks = [EnTask(duration=1000, name=f"t{i}") for i in range(2)]
+        holder = {}
+
+        def driver(env):
+            holder["result"] = yield from agent.run_stage(tasks)
+
+        def killer(env):
+            yield env.timeout(50)
+            agent.shutdown(cause="walltime")
+
+        env.process(driver(env))
+        env.process(killer(env))
+        env.run()
+        assert all(t.state == TaskState.FAILED for t in tasks)
+        assert all("walltime" in str(c) for t in tasks for c in t.failure_causes)

@@ -1,0 +1,196 @@
+"""Tests for the AppManager: pilots, walltime carry-over, profiles."""
+
+import pytest
+
+from repro.cluster import Cluster, FaultInjector, NodeSpec
+from repro.entk import (
+    AgentConfig,
+    AppManager,
+    EnTask,
+    Pipeline,
+    ResourceDescription,
+    Stage,
+    TaskState,
+)
+from repro.rm import BatchScheduler
+from repro.simkernel import Environment
+
+
+def make_world(env, nodes=8, cores=4, gpus=0):
+    cluster = Cluster(
+        env, pools=[(NodeSpec("n", cores=cores, gpus=gpus, memory_gb=64), nodes)]
+    )
+    return cluster, BatchScheduler(env, cluster)
+
+
+def two_stage_pipeline(n1=6, n2=3, dur=20) -> Pipeline:
+    p = Pipeline(name="p")
+    s1 = Stage(name="s1")
+    s1.add_tasks([EnTask(duration=dur, name=f"s1t{i}") for i in range(n1)])
+    p.add_stage(s1)
+    s2 = Stage(name="s2")
+    s2.add_tasks([EnTask(duration=dur, name=f"s2t{i}") for i in range(n2)])
+    p.add_stage(s2)
+    return p
+
+
+def agent_cfg(**kw):
+    base = dict(schedule_rate=200.0, launch_rate=100.0, bootstrap_s=5.0,
+                fail_detect_s=1.0)
+    base.update(kw)
+    return AgentConfig(**base)
+
+
+class TestResourceDescription:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResourceDescription(nodes=0, walltime_s=10)
+        with pytest.raises(ValueError):
+            ResourceDescription(nodes=1, walltime_s=0)
+        with pytest.raises(ValueError):
+            ResourceDescription(nodes=1, walltime_s=10, max_jobs=0)
+
+
+class TestSingleJobRun:
+    def test_pipeline_completes_in_one_job(self):
+        env = Environment()
+        _, batch = make_world(env)
+        am = AppManager(
+            env, batch, ResourceDescription(nodes=8, walltime_s=10_000, agent=agent_cfg())
+        )
+        pipeline = two_stage_pipeline()
+        result = am.run([pipeline])
+        env.run(until=result.done)
+        assert result.succeeded
+        assert result.jobs_used == 1
+        assert pipeline.done
+        assert result.tasks_done() == 9
+
+    def test_stages_execute_sequentially(self):
+        env = Environment()
+        _, batch = make_world(env)
+        am = AppManager(
+            env, batch, ResourceDescription(nodes=8, walltime_s=10_000, agent=agent_cfg())
+        )
+        pipeline = two_stage_pipeline()
+        result = am.run([pipeline])
+        env.run(until=result.done)
+        s1_end = max(t.end_time for t in pipeline.stages[0].tasks)
+        s2_start = min(t.start_time for t in pipeline.stages[1].tasks)
+        assert s2_start >= s1_end
+
+    def test_multiple_pipelines_concurrent(self):
+        env = Environment()
+        _, batch = make_world(env, nodes=8)
+        am = AppManager(
+            env, batch, ResourceDescription(nodes=8, walltime_s=10_000, agent=agent_cfg())
+        )
+        p1 = two_stage_pipeline(n1=2, n2=2)
+        p1.name = "p1"
+        p2 = two_stage_pipeline(n1=2, n2=2)
+        p2.name = "p2"
+        result = am.run([p1, p2])
+        env.run(until=result.done)
+        assert result.succeeded
+        # Both pipelines' stage-1 tasks overlap in time.
+        p1_s1 = [t for t in p1.stages[0].tasks]
+        p2_s1 = [t for t in p2.stages[0].tasks]
+        assert min(t.start_time for t in p2_s1) < max(t.end_time for t in p1_s1)
+
+    def test_profile_recorded(self):
+        env = Environment()
+        _, batch = make_world(env)
+        am = AppManager(
+            env, batch,
+            ResourceDescription(nodes=8, walltime_s=10_000, agent=agent_cfg(bootstrap_s=7.0)),
+        )
+        result = am.run([two_stage_pipeline()])
+        env.run(until=result.done)
+        prof = result.profiles[0]
+        assert prof.ovh == pytest.approx(7.0)
+        assert prof.ttx > 0
+        assert prof.job_runtime == pytest.approx(prof.ovh + prof.ttx)
+        assert prof.tasks_done == 9
+        assert 0 < prof.core_utilization <= 1
+        assert len(prof.summary_lines()) >= 8
+
+    def test_empty_pipeline_rejected(self):
+        env = Environment()
+        _, batch = make_world(env)
+        am = AppManager(env, batch, ResourceDescription(nodes=8, walltime_s=100))
+        with pytest.raises(ValueError):
+            am.run([Pipeline(name="empty")])
+
+
+class TestWalltimeCarryOver:
+    def test_unfinished_work_moves_to_next_job(self):
+        env = Environment()
+        _, batch = make_world(env, nodes=4)
+        # Walltime only fits stage 1 (~bootstrap 5 + 2 waves of 20s).
+        am = AppManager(
+            env,
+            batch,
+            ResourceDescription(nodes=4, walltime_s=60, agent=agent_cfg(), max_jobs=5),
+        )
+        pipeline = two_stage_pipeline(n1=8, n2=4, dur=20)
+        result = am.run([pipeline])
+        env.run(until=result.done)
+        assert result.succeeded
+        assert result.jobs_used >= 2
+        assert pipeline.done
+
+    def test_followup_job_sized_to_remaining_work(self):
+        env = Environment()
+        _, batch = make_world(env, nodes=8)
+        am = AppManager(
+            env,
+            batch,
+            ResourceDescription(nodes=8, walltime_s=40, agent=agent_cfg(), max_jobs=5),
+        )
+        # Stage 1: 8 single-node tasks (fits in job 1); stage 2: 2 tasks
+        # that won't fit the first walltime.
+        pipeline = two_stage_pipeline(n1=8, n2=2, dur=25)
+        result = am.run([pipeline])
+        env.run(until=result.done)
+        assert result.succeeded
+        assert result.job_sizes[0] == 8
+        # "re-submitted job size is smaller and correlates to the number
+        # of failed tasks"
+        assert result.job_sizes[-1] <= 2
+
+    def test_gives_up_after_max_jobs(self):
+        env = Environment()
+        _, batch = make_world(env, nodes=2)
+        am = AppManager(
+            env,
+            batch,
+            # Walltime shorter than any task: nothing ever finishes.
+            ResourceDescription(nodes=2, walltime_s=10, agent=agent_cfg(), max_jobs=2),
+        )
+        pipeline = two_stage_pipeline(n1=2, n2=1, dur=50)
+        result = am.run([pipeline])
+        env.run(until=result.done)
+        assert not result.succeeded
+        assert result.jobs_used == 2
+
+
+class TestFaultTolerance:
+    def test_node_failure_does_not_kill_pilot(self):
+        env = Environment()
+        cluster, batch = make_world(env, nodes=4)
+        am = AppManager(
+            env,
+            batch,
+            ResourceDescription(nodes=4, walltime_s=10_000, agent=agent_cfg()),
+        )
+        pipeline = two_stage_pipeline(n1=4, n2=2, dur=60)
+        result = am.run([pipeline])
+        FaultInjector(env, cluster, schedule=[(30.0, "n-00001")], downtime=None)
+        env.run(until=result.done)
+        assert result.succeeded  # resilient pilot + agent retries
+        assert result.jobs_used == 1
+        assert result.total_failures() >= 1
+        # The task that died ran again successfully.
+        retried = [t for t in pipeline.all_tasks() if t.attempts > 1]
+        assert retried
+        assert all(t.state == TaskState.DONE for t in retried)

@@ -1,0 +1,81 @@
+"""Property-based stress tests for AppManager's cross-job carry-over."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, NodeSpec
+from repro.entk import (
+    AgentConfig,
+    AppManager,
+    EnTask,
+    Pipeline,
+    ResourceDescription,
+    Stage,
+    TaskState,
+)
+from repro.rm import BatchScheduler
+from repro.simkernel import Environment
+
+
+@given(
+    durations=st.lists(
+        st.integers(min_value=5, max_value=120), min_size=1, max_size=12
+    ),
+    walltime=st.integers(min_value=150, max_value=600),
+    stages=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=25, deadline=None)
+def test_carryover_invariants(durations, walltime, stages):
+    """Regardless of how the walltime slices the work:
+
+    - the run terminates,
+    - no task is left in a non-terminal state,
+    - with enough follow-up jobs every task that fits a single
+      walltime completes,
+    - stage order is never violated.
+    """
+    env = Environment()
+    cluster = Cluster(env, pools=[(NodeSpec("n", cores=4, memory_gb=32), 4)])
+    batch = BatchScheduler(env, cluster)
+    am = AppManager(
+        env,
+        batch,
+        ResourceDescription(
+            nodes=4,
+            walltime_s=float(walltime),
+            agent=AgentConfig(
+                schedule_rate=500, launch_rate=250, bootstrap_s=2.0
+            ),
+            max_jobs=10,
+        ),
+    )
+    pipeline = Pipeline(name="p")
+    per_stage = max(1, len(durations) // stages)
+    chunks = [
+        durations[i : i + per_stage] for i in range(0, len(durations), per_stage)
+    ]
+    for si, chunk in enumerate(chunks):
+        stage = Stage(name=f"s{si}")
+        stage.add_tasks(
+            [EnTask(duration=float(d), name=f"s{si}t{j}")
+             for j, d in enumerate(chunk)]
+        )
+        pipeline.add_stage(stage)
+
+    result = am.run([pipeline])
+    env.run(until=result.done)
+
+    all_tasks = pipeline.all_tasks()
+    # Terminal or untouched — never stuck mid-flight.
+    for t in all_tasks:
+        assert t.state in (TaskState.DONE, TaskState.FAILED, TaskState.NEW)
+    # Every task fits one walltime (max duration 120 + bootstrap 2 <
+    # min walltime 150), so with 10 jobs everything must finish.
+    assert result.succeeded, (
+        f"jobs={result.jobs_used} states={[t.state for t in all_tasks]}"
+    )
+    # Stage ordering held across job boundaries.
+    for earlier, later in zip(pipeline.stages, pipeline.stages[1:]):
+        end_earlier = max(t.end_time for t in earlier.tasks)
+        start_later = min(t.start_time for t in later.tasks)
+        assert start_later >= end_earlier - 1e-9

@@ -1,0 +1,150 @@
+"""Dynamic (adaptive) pipelines — §4's "handle the size of a workflow
+dynamically, e.g., create a new workflow stages based on the status of
+previously executed stages"."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, NodeSpec
+from repro.entk import (
+    AgentConfig,
+    AppManager,
+    EnTask,
+    Pipeline,
+    ResourceDescription,
+    Stage,
+    TaskState,
+)
+from repro.rm import BatchScheduler
+from repro.simkernel import Environment
+
+
+def make_manager(env, nodes=8):
+    cluster = Cluster(env, pools=[(NodeSpec("n", cores=4, memory_gb=32), nodes)])
+    batch = BatchScheduler(env, cluster)
+    return AppManager(
+        env,
+        batch,
+        ResourceDescription(
+            nodes=nodes,
+            walltime_s=1e6,
+            agent=AgentConfig(schedule_rate=200, launch_rate=100, bootstrap_s=1.0),
+        ),
+    )
+
+
+class TestAdaptivePipelines:
+    def test_adaptor_appends_refinement_stage(self):
+        """UQ-refinement shape: after the coarse stage, decide (from its
+        results) to add a finer stage once."""
+        env = Environment()
+        am = make_manager(env)
+
+        def adaptor(pipeline, completed_stage):
+            if completed_stage.name == "coarse":
+                # "Variance too high" -> refine with 4 more samples.
+                refine = Stage(name="refine")
+                refine.add_tasks([EnTask(duration=10, name=f"fine{i}")
+                                  for i in range(4)])
+                return [refine]
+            return None
+
+        pipeline = Pipeline(name="adaptive", adaptor=adaptor)
+        coarse = Stage(name="coarse")
+        coarse.add_tasks([EnTask(duration=10, name=f"coarse{i}") for i in range(2)])
+        pipeline.add_stage(coarse)
+
+        result = am.run([pipeline])
+        env.run(until=result.done)
+        assert result.succeeded
+        assert [s.name for s in pipeline.stages] == ["coarse", "refine"]
+        assert result.tasks_done() == 6
+        # Refinement ran strictly after the coarse stage.
+        coarse_end = max(t.end_time for t in coarse.tasks)
+        fine_start = min(t.start_time for t in pipeline.stages[1].tasks)
+        assert fine_start >= coarse_end
+
+    def test_iterative_refinement_until_converged(self):
+        """Multi-round adaptation: keep adding rounds until a budget."""
+        env = Environment()
+        am = make_manager(env)
+        rounds = {"n": 0}
+
+        def adaptor(pipeline, completed_stage):
+            if rounds["n"] >= 3:
+                return None
+            rounds["n"] += 1
+            s = Stage(name=f"round{rounds['n']}")
+            s.add_task(EnTask(duration=5, name=f"r{rounds['n']}"))
+            return [s]
+
+        pipeline = Pipeline(name="iter", adaptor=adaptor)
+        seed = Stage(name="seed")
+        seed.add_task(EnTask(duration=5, name="seed0"))
+        pipeline.add_stage(seed)
+        result = am.run([pipeline])
+        env.run(until=result.done)
+        assert result.succeeded
+        assert len(pipeline.stages) == 4  # seed + 3 rounds
+        assert result.tasks_done() == 4
+
+    def test_non_adaptive_pipeline_unchanged(self):
+        env = Environment()
+        am = make_manager(env)
+        pipeline = Pipeline(name="static")
+        s = Stage(name="only")
+        s.add_task(EnTask(duration=5))
+        pipeline.add_stage(s)
+        result = am.run([pipeline])
+        env.run(until=result.done)
+        assert result.succeeded
+        assert len(pipeline.stages) == 1
+
+    def test_adaptive_sparse_grid_refinement(self):
+        """The real use: refine the UQ grid where the response varies.
+
+        Coarse sparse grid -> compute response variance -> if above a
+        threshold, add a level-3 refinement stage whose tasks evaluate
+        the extra points."""
+        from repro.exaam import sparse_grid, weighted_moments
+
+        env = Environment()
+        am = make_manager(env)
+        responses = {}
+
+        def evaluate(point):
+            def work(env_, task, nodes):
+                # A bumpy response: needs the finer grid to resolve.
+                responses[task.name] = float(np.cos(3 * point[0]) * point[1])
+                yield env_.timeout(5)
+
+            return work
+
+        def stage_for(level, tag):
+            pts, wts = sparse_grid(2, level)
+            s = Stage(name=f"grid-l{level}-{tag}")
+            for i, p in enumerate(pts):
+                s.add_task(EnTask(work=evaluate(p), name=f"{tag}-{i:03d}"))
+            s.points, s.weights = pts, wts  # type: ignore[attr-defined]
+            return s
+
+        refined = {"done": False}
+
+        def adaptor(pipeline, completed_stage):
+            if refined["done"] or not completed_stage.name.startswith("grid"):
+                return None
+            vals = [responses[t.name] for t in completed_stage.tasks]
+            m = weighted_moments(vals, completed_stage.weights)
+            if m["std"] > 0.1:  # not converged: refine
+                refined["done"] = True
+                return [stage_for(3, "fine")]
+            return None
+
+        pipeline = Pipeline(name="uq-adapt", adaptor=adaptor)
+        pipeline.add_stage(stage_for(1, "coarse"))
+        result = am.run([pipeline])
+        env.run(until=result.done)
+        assert result.succeeded
+        assert len(pipeline.stages) == 2  # refinement triggered
+        # The fine grid evaluated strictly more points.
+        assert len(pipeline.stages[1].tasks) > len(pipeline.stages[0].tasks)

@@ -1,0 +1,86 @@
+"""Task-level heterogeneity within one pilot (§4.1).
+
+"RCT enable writing workflow applications with task-, resource- and
+platform-level heterogeneity" — one stage can mix CPU-only multi-node
+tasks, single-node GPU tasks, and sub-node tasks, all sharing the same
+allocation.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, NodeSpec
+from repro.entk import AgentConfig, EnTask, PilotAgent, TaskState
+from repro.simkernel import Environment
+
+
+def frontier_like(env, nodes=12):
+    return Cluster(
+        env,
+        pools=[(NodeSpec("f", cores=56, gpus=8, memory_gb=512), nodes)],
+    )
+
+
+def run_stage(env, agent, tasks):
+    holder = {}
+
+    def driver(env):
+        holder["result"] = yield from agent.run_stage(tasks)
+
+    env.process(driver(env))
+    env.run()
+    return holder["result"]
+
+
+class TestMixedStage:
+    def test_cpu_and_gpu_tasks_share_pilot(self):
+        env = Environment()
+        cluster = frontier_like(env)
+        agent = PilotAgent(
+            env,
+            cluster.nodes,
+            AgentConfig(schedule_rate=200, launch_rate=100, bootstrap_s=1.0),
+        )
+        tasks = (
+            # AdditiveFOAM-like: 4-node CPU-only.
+            [EnTask(duration=100, nodes=4, cores_per_node=56,
+                    name=f"foam{i}") for i in range(2)]
+            # ExaCA-like: 1-node CPU+GPU.
+            + [EnTask(duration=80, nodes=1, cores_per_node=56,
+                      gpus_per_node=8, name=f"ca{i}") for i in range(3)]
+            # Small pre/post-processing single-core tasks.
+            + [EnTask(duration=10, nodes=1, cores_per_node=1,
+                      name=f"pp{i}") for i in range(4)]
+        )
+        done, failed = run_stage(env, agent, tasks)
+        assert len(done) == 9 and not failed
+        assert all(t.state == TaskState.DONE for t in tasks)
+        # The 4-node tasks really held 4 distinct nodes each.
+        for t in tasks:
+            assert len(set(t.executed_on)) == t.nodes
+
+    def test_gpu_demand_validated_against_pilot(self):
+        env = Environment()
+        cluster = Cluster(
+            env, pools=[(NodeSpec("cpuonly", cores=56, gpus=0), 4)]
+        )
+        agent = PilotAgent(env, cluster.nodes, AgentConfig(bootstrap_s=0.0))
+        with pytest.raises(ValueError):
+            next(agent.run_stage([EnTask(duration=1, gpus_per_node=1)]))
+
+    def test_large_tasks_do_not_starve_behind_small(self):
+        """With LIFO node reuse and serial launching, a multi-node task
+        queued behind many small ones must still run."""
+        env = Environment()
+        cluster = frontier_like(env, nodes=8)
+        agent = PilotAgent(
+            env,
+            cluster.nodes,
+            AgentConfig(schedule_rate=1000, launch_rate=500, bootstrap_s=0.0),
+        )
+        tasks = [EnTask(duration=50, nodes=1, name=f"small{i}")
+                 for i in range(16)]
+        tasks.append(EnTask(duration=50, nodes=8, name="huge"))
+        done, failed = run_stage(env, agent, tasks)
+        assert not failed
+        huge = next(t for t in tasks if t.name == "huge")
+        assert huge.state == TaskState.DONE

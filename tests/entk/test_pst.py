@@ -1,0 +1,80 @@
+"""Tests for the PST model."""
+
+import pytest
+
+from repro.entk import EnTask, Pipeline, Stage, TaskState
+
+
+class TestEnTask:
+    def test_payload_exclusivity(self):
+        with pytest.raises(ValueError):
+            EnTask()
+        with pytest.raises(ValueError):
+            EnTask(duration=1, work=lambda e, t, n: iter(()))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnTask(duration=1, nodes=0)
+        with pytest.raises(ValueError):
+            EnTask(duration=1, cores_per_node=0)
+        with pytest.raises(ValueError):
+            EnTask(duration=1, gpus_per_node=-1)
+
+    def test_totals(self):
+        t = EnTask(duration=600, nodes=8, cores_per_node=56, gpus_per_node=8)
+        assert t.total_cores == 448
+        assert t.total_gpus == 64
+
+    def test_reset_for_retry_preserves_history(self):
+        t = EnTask(duration=1)
+        t.state = TaskState.FAILED
+        t.attempts = 2
+        t.start_time = 5.0
+        t.end_time = 7.0
+        t.failure_causes.append("x")
+        t.reset_for_retry()
+        assert t.state == TaskState.NEW
+        assert t.attempts == 2
+        assert t.start_time is None
+        assert t.failure_causes == ["x"]
+
+    def test_terminal_states(self):
+        assert TaskState.DONE.terminal
+        assert TaskState.FAILED.terminal
+        assert not TaskState.EXECUTING.terminal
+
+
+class TestStagePipeline:
+    def make_pipeline(self):
+        p = Pipeline(name="p")
+        s1 = Stage(name="s1")
+        s1.add_task(EnTask(duration=1))
+        s1.add_tasks([EnTask(duration=2), EnTask(duration=3)])
+        p.add_stage(s1)
+        s2 = Stage(name="s2")
+        s2.add_task(EnTask(duration=4))
+        p.add_stage(s2)
+        return p
+
+    def test_counts(self):
+        p = self.make_pipeline()
+        assert len(p) == 2
+        assert p.task_count() == 4
+        assert len(p.all_tasks()) == 4
+
+    def test_done_tracking(self):
+        p = self.make_pipeline()
+        assert not p.done
+        for t in p.all_tasks():
+            t.state = TaskState.DONE
+        assert p.done
+        assert p.stages[0].unfinished_tasks() == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Pipeline(name="empty").validate()
+        p = Pipeline(name="p")
+        p.add_stage(Stage(name="hollow"))
+        with pytest.raises(ValueError):
+            p.validate()
+        self.make_pipeline().validate()

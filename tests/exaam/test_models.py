@@ -1,0 +1,139 @@
+"""Tests for the surrogate physics models."""
+
+import numpy as np
+import pytest
+
+from repro.exaam import (
+    exaca_grain_growth,
+    exaconstit_homogenize,
+    fit_material_model,
+    rosenthal_meltpool,
+)
+
+
+class TestRosenthal:
+    def test_basic_pool_geometry(self):
+        mp = rosenthal_meltpool(power_W=250, speed_m_per_s=0.8)
+        assert mp.length_m > 0
+        assert mp.width_m > 0
+        assert mp.depth_m == pytest.approx(mp.width_m / 2)  # axisymmetric
+        assert mp.length_m > mp.width_m  # elongated pool
+        assert mp.peak_temperature_K > 1620
+
+    def test_more_power_bigger_pool(self):
+        small = rosenthal_meltpool(power_W=180)
+        big = rosenthal_meltpool(power_W=350)
+        assert big.length_m > small.length_m
+        assert big.width_m > small.width_m
+
+    def test_faster_scan_narrower_pool(self):
+        slow = rosenthal_meltpool(speed_m_per_s=0.4)
+        fast = rosenthal_meltpool(speed_m_per_s=1.2)
+        assert fast.width_m < slow.width_m
+
+    def test_cooling_rate_positive_and_scales_with_speed(self):
+        slow = rosenthal_meltpool(speed_m_per_s=0.4)
+        fast = rosenthal_meltpool(speed_m_per_s=1.2)
+        assert slow.cooling_rate_K_per_s > 0
+        assert fast.cooling_rate_K_per_s > slow.cooling_rate_K_per_s
+
+    def test_no_melting_rejected(self):
+        with pytest.raises(ValueError):
+            rosenthal_meltpool(power_W=0.5, absorptivity=0.01)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            rosenthal_meltpool(power_W=-1)
+        with pytest.raises(ValueError):
+            rosenthal_meltpool(absorptivity=1.5)
+
+
+class TestExaCA:
+    def test_fills_domain_and_counts_grains(self):
+        s = exaca_grain_growth(nx=32, ny=32, n_seeds=12, rng=np.random.default_rng(1))
+        assert (s.grain_map > 0).all()
+        assert 1 <= s.n_grains <= 12
+        assert s.mean_grain_area > 0
+        assert len(s.orientations_deg) == s.n_grains
+
+    def test_area_conservation(self):
+        s = exaca_grain_growth(nx=24, ny=24, n_seeds=8, rng=np.random.default_rng(2))
+        ids, counts = np.unique(s.grain_map, return_counts=True)
+        assert counts.sum() == 24 * 24
+
+    def test_directional_bias_gives_columnar_grains(self):
+        rng1, rng2 = np.random.default_rng(3), np.random.default_rng(3)
+        equiaxed = exaca_grain_growth(nx=32, ny=32, n_seeds=15,
+                                      directional_bias=0.0, rng=rng1)
+        columnar = exaca_grain_growth(nx=32, ny=32, n_seeds=15,
+                                      directional_bias=0.9, rng=rng2)
+        assert columnar.aspect_ratio > equiaxed.aspect_ratio
+
+    def test_deterministic_with_seed(self):
+        a = exaca_grain_growth(nx=16, ny=16, n_seeds=5, rng=np.random.default_rng(7))
+        b = exaca_grain_growth(nx=16, ny=16, n_seeds=5, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a.grain_map, b.grain_map)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exaca_grain_growth(nx=2, ny=2)
+        with pytest.raises(ValueError):
+            exaca_grain_growth(directional_bias=1.5)
+        with pytest.raises(ValueError):
+            exaca_grain_growth(n_seeds=0)
+
+
+class TestExaConstit:
+    def test_stress_strain_monotone_hardening(self):
+        strain, stress = exaconstit_homogenize(np.array([10.0, 30.0, 50.0]))
+        assert stress[0] == 0.0
+        assert (np.diff(stress[1:]) > 0).all()  # hardening
+        assert stress[-1] > 200  # plausible MPa scale
+
+    def test_temperature_softens(self):
+        ori = np.array([20.0, 45.0])
+        _, cold = exaconstit_homogenize(ori, temperature_K=293.0)
+        _, hot = exaconstit_homogenize(ori, temperature_K=773.0)
+        assert hot[-1] < cold[-1]
+
+    def test_orientation_dependence(self):
+        # Grains near <001> (0 deg) have lower Taylor factor.
+        _, soft = exaconstit_homogenize(np.array([0.0]))
+        _, hard = exaconstit_homogenize(np.array([90.0]))
+        assert hard[-1] > soft[-1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exaconstit_homogenize(np.array([]))
+        with pytest.raises(ValueError):
+            exaconstit_homogenize(np.array([10.0]), strain=np.array([-0.1]))
+
+
+class TestMaterialFit:
+    def test_recovers_known_parameters(self):
+        rng = np.random.default_rng(0)
+        strain = np.linspace(0, 0.2, 50)
+        true = dict(sigma0=200.0, K=500.0, n=0.4)
+        curves = []
+        for _ in range(5):
+            stress = true["sigma0"] + true["K"] * strain**true["n"]
+            stress = stress + rng.normal(0, 1.0, size=stress.shape)
+            curves.append((strain, stress))
+        fit = fit_material_model(curves)
+        assert fit["sigma0_MPa"] == pytest.approx(true["sigma0"], rel=0.05)
+        assert fit["K_MPa"] == pytest.approx(true["K"], rel=0.05)
+        assert fit["n"] == pytest.approx(true["n"], rel=0.05)
+        assert fit["rms_residual_MPa"] < 5
+
+    def test_fits_surrogate_output(self):
+        curves = [
+            exaconstit_homogenize(np.array([15.0, 40.0, 70.0]), temperature_K=t)
+            for t in (293.0, 500.0, 773.0)
+        ]
+        fit = fit_material_model(curves)
+        assert fit["sigma0_MPa"] > 0
+        assert 0.01 <= fit["n"] <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_material_model([])

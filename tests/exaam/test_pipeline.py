@@ -1,0 +1,131 @@
+"""Tests for the UQ pipeline assembly and end-to-end execution."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, NodeSpec
+from repro.entk import (
+    AgentConfig,
+    AppManager,
+    ResourceDescription,
+    TaskState,
+)
+from repro.entk.platforms import PLATFORMS, platform_cluster
+from repro.exaam import (
+    UQCase,
+    build_stage0_cases,
+    build_uq_pipelines,
+    frontier_stage3_tasks,
+)
+from repro.rm import BatchScheduler
+from repro.simkernel import Environment
+
+
+class TestStage0:
+    def test_sparse_grid_cases(self):
+        cases = build_stage0_cases(level=2)
+        assert len(cases) > 5
+        for c in cases:
+            assert 150 <= c.power_W <= 350
+            assert 0.4 <= c.speed_m_per_s <= 1.2
+            assert 0.25 <= c.absorptivity <= 0.45
+        assert len({c.case_id for c in cases}) == len(cases)
+
+
+class TestPipelineAssembly:
+    def test_simulated_pipeline_structure(self):
+        cases = build_stage0_cases(level=1)
+        pipeline, _ = build_uq_pipelines(
+            cases=cases, mode="simulated", n_rves=2, loading_directions=2
+        )
+        pipeline.validate()
+        names = [s.name for s in pipeline.stages]
+        assert names == ["additivefoam", "exaca", "exaconstit", "optimize"]
+        n = len(cases)
+        assert len(pipeline.stages[0]) == n
+        assert len(pipeline.stages[1]) == n * 2  # cartesian with 2 micro params
+        assert len(pipeline.stages[2]) == n * 2 * 2 * 2 * 2
+        assert len(pipeline.stages[3]) == 1
+
+    def test_simulated_footprints_match_paper(self):
+        pipeline, _ = build_uq_pipelines(mode="simulated")
+        foam = pipeline.stages[0].tasks[0]
+        assert (foam.nodes, foam.cores_per_node, foam.gpus_per_node) == (4, 56, 0)
+        caa = pipeline.stages[1].tasks[0]
+        assert (caa.nodes, caa.gpus_per_node) == (1, 8)
+        constit = pipeline.stages[2].tasks[0]
+        assert (constit.nodes, constit.gpus_per_node) == (8, 8)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            build_uq_pipelines(mode="turbo")
+
+
+class TestEndToEndReal:
+    def test_real_pipeline_produces_material_model(self):
+        env = Environment()
+        cluster = platform_cluster(env, "frontier", nodes=16)
+        batch = BatchScheduler(env, cluster)
+        am = AppManager(
+            env,
+            batch,
+            ResourceDescription(
+                nodes=16,
+                walltime_s=1e7,
+                agent=AgentConfig(
+                    schedule_rate=500, launch_rate=200, bootstrap_s=10.0
+                ),
+            ),
+        )
+        cases = [
+            UQCase(0, 250.0, 0.8, 0.35, 1.0),
+            UQCase(1, 300.0, 0.6, 0.40, 1.0),
+        ]
+        pipeline, results = build_uq_pipelines(
+            cases=cases,
+            microstructure_params=[0.2, 0.8],
+            n_rves=1,
+            loading_directions=1,
+            temperatures=(293.0,),
+            mode="real",
+        )
+        run = am.run([pipeline])
+        env.run(until=run.done)
+        assert run.succeeded
+        # Data flowed through all stages.
+        assert len(results["meltpools"]) == 2
+        assert len(results["microstructures"]) == 4
+        assert len(results["curves"]) == 4
+        model = results["material_model"]
+        assert model["sigma0_MPa"] > 0
+        assert 0 < model["n"] <= 1
+        # Stage ordering held.
+        foam_end = max(t.end_time for t in pipeline.stages[0].tasks)
+        caa_start = min(t.start_time for t in pipeline.stages[1].tasks)
+        assert caa_start >= foam_end
+
+
+class TestFrontierWorkload:
+    def test_stage3_task_shape(self):
+        tasks = frontier_stage3_tasks(n_tasks=100, rng=np.random.default_rng(1))
+        assert len(tasks) == 100
+        for t in tasks:
+            assert t.nodes == 8
+            assert t.cores_per_node == 56
+            assert t.gpus_per_node == 8
+            assert 600 <= t.duration <= 1500
+
+    def test_platform_catalogue(self):
+        assert PLATFORMS["frontier"].cores == 56
+        assert PLATFORMS["frontier"].gpus == 8
+        env = Environment()
+        c = platform_cluster(env, "summit", nodes=4)
+        assert c.total_cores == 4 * 42
+        with pytest.raises(KeyError):
+            platform_cluster(env, "el-capitan", nodes=1)
+        with pytest.raises(ValueError):
+            platform_cluster(env, "frontier", nodes=0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            frontier_stage3_tasks(n_tasks=0)

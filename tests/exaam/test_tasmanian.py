@@ -1,0 +1,101 @@
+"""Tests for the sparse-grid generator: nesting, weights, exactness."""
+
+import numpy as np
+import pytest
+
+from repro.exaam import cc_points, cc_weights, sparse_grid
+
+
+class TestCCPoints:
+    def test_counts(self):
+        assert len(cc_points(0)) == 1
+        assert len(cc_points(1)) == 3
+        assert len(cc_points(2)) == 5
+        assert len(cc_points(4)) == 17
+
+    def test_nested(self):
+        for level in range(1, 5):
+            coarse = set(np.round(cc_points(level), 12))
+            fine = set(np.round(cc_points(level + 1), 12))
+            assert coarse <= fine
+
+    def test_bounds_and_symmetry(self):
+        pts = cc_points(3)
+        assert pts[0] == -1 and pts[-1] == 1
+        np.testing.assert_allclose(pts, -pts[::-1], atol=1e-14)
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            cc_points(-1)
+
+
+class TestCCWeights:
+    def test_sum_to_two(self):
+        for level in range(5):
+            assert cc_weights(level).sum() == pytest.approx(2.0)
+
+    def test_positive(self):
+        for level in range(5):
+            assert (cc_weights(level) > 0).all()
+
+    def test_1d_quadrature_exactness(self):
+        # CC at level l integrates polynomials up to degree m-1 exactly.
+        pts, wts = cc_points(3), cc_weights(3)  # 9 points
+        for deg, exact in [(0, 2.0), (2, 2 / 3), (4, 2 / 5), (6, 2 / 7), (8, 2 / 9)]:
+            assert np.dot(wts, pts**deg) == pytest.approx(exact, abs=1e-12)
+
+    def test_integrates_smooth_function(self):
+        pts, wts = cc_points(5), cc_weights(5)
+        # ∫_{-1}^{1} e^x dx = e − 1/e
+        assert np.dot(wts, np.exp(pts)) == pytest.approx(np.e - 1 / np.e, rel=1e-10)
+
+
+class TestSparseGrid:
+    def test_level0_single_point(self):
+        pts, wts = sparse_grid(3, 0)
+        assert pts.shape == (1, 3)
+        np.testing.assert_allclose(pts, 0)
+        assert wts.sum() == pytest.approx(8.0)  # volume of [-1,1]^3
+
+    def test_growth_much_slower_than_tensor(self):
+        pts, _ = sparse_grid(4, 3)
+        tensor_size = (2**3 + 1) ** 4
+        assert len(pts) < tensor_size / 10
+
+    def test_weights_sum_to_volume(self):
+        for dim in (1, 2, 3):
+            _, wts = sparse_grid(dim, 2)
+            assert wts.sum() == pytest.approx(2.0**dim, rel=1e-12)
+
+    def test_polynomial_exactness_2d(self):
+        pts, wts = sparse_grid(2, 3)
+        x, y = pts[:, 0], pts[:, 1]
+        # ∫∫ x^2 y^2 over [-1,1]^2 = 4/9
+        assert np.dot(wts, x**2 * y**2) == pytest.approx(4 / 9, abs=1e-10)
+        # odd moments vanish
+        assert np.dot(wts, x**3 * y) == pytest.approx(0.0, abs=1e-10)
+
+    def test_domain_transform(self):
+        lower, upper = np.array([0.0, 10.0]), np.array([2.0, 30.0])
+        pts, wts = sparse_grid(2, 2, lower=lower, upper=upper)
+        assert (pts[:, 0] >= 0).all() and (pts[:, 0] <= 2).all()
+        assert (pts[:, 1] >= 10).all() and (pts[:, 1] <= 30).all()
+        assert wts.sum() == pytest.approx(2.0 * 20.0, rel=1e-12)
+        # ∫_0^2 x dx * ∫_10^30 dy = 2 * 20
+        assert np.dot(wts, pts[:, 0]) == pytest.approx(40.0, rel=1e-10)
+
+    def test_matches_dense_quadrature_1d(self):
+        # In 1-D the sparse grid IS the CC rule of the same level.
+        pts_s, wts_s = sparse_grid(1, 3)
+        pts_d, wts_d = cc_points(3), cc_weights(3)
+        order = np.argsort(pts_d)
+        np.testing.assert_allclose(pts_s[:, 0], pts_d[order], atol=1e-13)
+        np.testing.assert_allclose(wts_s, wts_d[order], atol=1e-13)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sparse_grid(0, 1)
+        with pytest.raises(ValueError):
+            sparse_grid(2, -1)
+        with pytest.raises(ValueError):
+            sparse_grid(2, 1, lower=np.zeros(2), upper=np.zeros(2))

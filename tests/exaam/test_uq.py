@@ -1,0 +1,140 @@
+"""Tests for the UQ analysis layer: moments, sensitivities, calibration."""
+
+import numpy as np
+import pytest
+
+from repro.exaam import (
+    calibrate_absorptivity,
+    main_effects,
+    rosenthal_meltpool,
+    sparse_grid,
+    weighted_moments,
+)
+
+
+class TestWeightedMoments:
+    def test_constant_response(self):
+        _, w = sparse_grid(2, 2)
+        m = weighted_moments(np.full(w.size, 7.0), w)
+        assert m["mean"] == pytest.approx(7.0)
+        assert m["variance"] == pytest.approx(0.0, abs=1e-10)
+
+    def test_linear_response_exact(self):
+        # E[x] over uniform [-1,1] is 0; Var[x] = 1/3.
+        pts, w = sparse_grid(1, 3)
+        m = weighted_moments(pts[:, 0], w)
+        assert m["mean"] == pytest.approx(0.0, abs=1e-12)
+        assert m["variance"] == pytest.approx(1.0 / 3.0, rel=1e-9)
+
+    def test_quadratic_2d_exact(self):
+        # f = x^2 + y^2 over [-1,1]^2: mean 2/3, E[f^2] = 2/5 + 2*(1/3)^2... compute:
+        pts, w = sparse_grid(2, 3)
+        f = pts[:, 0] ** 2 + pts[:, 1] ** 2
+        m = weighted_moments(f, w)
+        assert m["mean"] == pytest.approx(2.0 / 3.0, rel=1e-9)
+        # E[f^2] = E[x^4] + 2E[x^2]E[y^2] + E[y^4] = 1/5 + 2/9 + 1/5.
+        expected_var = (1 / 5 + 2 / 9 + 1 / 5) - (2 / 3) ** 2
+        assert m["variance"] == pytest.approx(expected_var, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_moments([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_moments([], [])
+        with pytest.raises(ValueError):
+            weighted_moments([1.0, 2.0], [1.0, -1.0])  # zero-sum weights
+
+
+class TestMainEffects:
+    def test_single_active_parameter(self):
+        pts, w = sparse_grid(3, 4)
+        f = 10.0 * pts[:, 1]  # only dim 1 matters
+        effects = main_effects(pts, f, w)
+        # The quantile-bin estimator is coarse on clustered CC points;
+        # it must still make the active parameter dominate clearly.
+        assert effects[1] > 0.3
+        assert effects[1] > 5 * max(effects[0], effects[2])
+
+    def test_two_parameters_ranked(self):
+        pts, w = sparse_grid(2, 4)
+        f = 5.0 * pts[:, 0] + 1.0 * pts[:, 1]
+        effects = main_effects(pts, f, w)
+        assert effects[0] > effects[1] > 0
+
+    def test_constant_response_zero_effects(self):
+        pts, w = sparse_grid(2, 2)
+        effects = main_effects(pts, np.ones(len(pts)), w)
+        np.testing.assert_allclose(effects, 0.0)
+
+    def test_validation(self):
+        pts, w = sparse_grid(2, 2)
+        with pytest.raises(ValueError):
+            main_effects(pts, np.ones(3), w)
+        with pytest.raises(ValueError):
+            main_effects(pts, np.ones(len(pts)), w, n_bins=1)
+
+
+class TestCalibration:
+    def test_recovers_true_absorptivity(self):
+        true_eta = 0.42
+        powers = np.array([180.0, 250.0, 320.0])
+        speeds = np.array([0.5, 0.8, 1.1])
+        measured = [
+            rosenthal_meltpool(p, v, absorptivity=true_eta).width_m
+            for p, v in zip(powers, speeds)
+        ]
+        fit = calibrate_absorptivity(measured, powers, speeds)
+        assert fit["absorptivity"] == pytest.approx(true_eta, abs=0.02)
+        assert fit["rms_relative_error"] < 0.02
+        assert fit["n_experiments"] == 3
+
+    def test_robust_to_measurement_noise(self):
+        rng = np.random.default_rng(1)
+        true_eta = 0.35
+        powers = np.linspace(180, 340, 6)
+        speeds = np.linspace(0.5, 1.1, 6)
+        measured = [
+            rosenthal_meltpool(p, v, absorptivity=true_eta).width_m
+            * float(rng.uniform(0.95, 1.05))
+            for p, v in zip(powers, speeds)
+        ]
+        fit = calibrate_absorptivity(measured, powers, speeds)
+        assert fit["absorptivity"] == pytest.approx(true_eta, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_absorptivity([], [], [])
+        with pytest.raises(ValueError):
+            calibrate_absorptivity([-1.0], [200.0], [0.8])
+
+
+class TestEndToEndUQ:
+    def test_yield_stress_uncertainty_through_the_chain(self):
+        """The Fig 3 purpose: propagate process-parameter uncertainty to
+        a mechanical response and report its moments + sensitivities."""
+        from repro.exaam import build_stage0_cases
+        from repro.exaam.models import exaca_grain_growth, exaconstit_homogenize
+
+        cases = build_stage0_cases(level=2)
+        responses = []
+        for case in cases:
+            mp = rosenthal_meltpool(
+                case.power_W, case.speed_m_per_s, case.absorptivity
+            )
+            structure = exaca_grain_growth(
+                nx=16, ny=16, n_seeds=10,
+                directional_bias=min(0.9, mp.cooling_rate_K_per_s / 2e7),
+                rng=np.random.default_rng(case.case_id),
+            )
+            _, stress = exaconstit_homogenize(structure.orientations_deg)
+            responses.append(stress[-1])  # flow stress at 20% strain
+        weights = np.array([c.weight for c in cases])
+        pts = np.array(
+            [[c.power_W, c.speed_m_per_s, c.absorptivity] for c in cases]
+        )
+        m = weighted_moments(responses, weights)
+        effects = main_effects(pts, np.asarray(responses), weights)
+        assert 300 < m["mean"] < 1500       # plausible MPa scale
+        assert m["std"] >= 0
+        assert effects.shape == (3,)
+        assert np.all(effects >= 0) and np.all(effects <= 1)

@@ -1,0 +1,238 @@
+"""Tests for the Cromwell-like engine: dataflow, scatter, caching."""
+
+import pytest
+
+from repro.cluster import Cluster, NodeSpec
+from repro.jaws import CromwellEngine, EngineOptions, parse_wdl
+from repro.jaws.engine import parse_memory_gb, WdlRuntimeError
+from repro.rm import BatchScheduler
+from repro.simkernel import Environment
+
+
+def make_engine(env, nodes=8, cores=8, options=None):
+    cluster = Cluster(env, pools=[(NodeSpec("c", cores=cores, memory_gb=64), nodes)])
+    batch = BatchScheduler(env, cluster)
+    return CromwellEngine(env, batch, options or EngineOptions())
+
+
+CHAIN = """
+version 1.0
+task step1 {
+    input { String sample }
+    command <<< prepare >>>
+    output { File bam = "aligned.bam" }
+    runtime { cpu: 2, runtime_minutes: 2 }
+}
+task step2 {
+    input { File bam }
+    command <<< refine >>>
+    output { File vcf = "calls.vcf" }
+    runtime { cpu: 1, runtime_minutes: 3 }
+}
+workflow chain {
+    input { String sample = "s1" }
+    call step1 { input: sample = sample }
+    call step2 { input: bam = step1.bam }
+    output { File result = step2.vcf }
+}
+"""
+
+SCATTER = """
+version 1.0
+task work {
+    input { Int x }
+    command <<< crunch >>>
+    output { String out = "part" }
+    runtime { runtime_minutes: 10 }
+}
+workflow fan {
+    input { Int n = 6 }
+    scatter (i in range(n)) {
+        call work { input: x = i }
+    }
+}
+"""
+
+
+def run(env, engine, doc, inputs=None):
+    result = engine.run(doc, inputs)
+    env.run(until=result.done)
+    return result
+
+
+class TestDataflow:
+    def test_chain_executes_in_order(self):
+        env = Environment()
+        engine = make_engine(env)
+        result = run(env, engine, parse_wdl(CHAIN))
+        assert result.succeeded, result.error
+        recs = {r.call_name: r for r in result.records}
+        assert recs["step1"].end_time <= recs["step2"].start_time
+        assert result.outputs["result"].endswith("/calls.vcf")
+        assert result.outputs["result"].startswith("step2-")
+        assert result.shard_count == 2
+
+    def test_runtime_includes_overheads(self):
+        env = Environment()
+        opts = EngineOptions(container_start_s=10, stage_overhead_s=20)
+        engine = make_engine(env, options=opts)
+        result = run(env, engine, parse_wdl(CHAIN))
+        rec = next(r for r in result.records if r.call_name == "step1")
+        assert rec.runtime == pytest.approx(10 + 20 + 120)
+
+    def test_independent_calls_run_concurrently(self):
+        src = """
+        task a { command <<< x >>> output { String o = "a" } runtime { runtime_minutes: 5 } }
+        task b { command <<< y >>> output { String o = "b" } runtime { runtime_minutes: 5 } }
+        workflow par { call a call b }
+        """
+        env = Environment()
+        engine = make_engine(env)
+        result = run(env, engine, parse_wdl(src))
+        recs = {r.call_name: r for r in result.records}
+        assert recs["a"].start_time == recs["b"].start_time
+
+    def test_missing_required_input_fails_cleanly(self):
+        src = """
+        task t { input { String must } command <<< x >>> output { String o = "x" } }
+        workflow w { call t }
+        """
+        env = Environment()
+        engine = make_engine(env)
+        result = run(env, engine, parse_wdl(src))
+        assert not result.succeeded
+        assert "missing input" in result.error
+
+    def test_workflow_input_override(self):
+        env = Environment()
+        engine = make_engine(env)
+        result = run(env, engine, parse_wdl(CHAIN), inputs={"sample": "s42"})
+        assert result.succeeded
+
+
+class TestScatter:
+    def test_shard_fanout(self):
+        env = Environment()
+        engine = make_engine(env, nodes=8)
+        result = run(env, engine, parse_wdl(SCATTER))
+        assert result.succeeded, result.error
+        assert result.shard_count == 6
+        shards = sorted(r.shard for r in result.records)
+        assert shards == [0, 1, 2, 3, 4, 5]
+
+    def test_shards_run_concurrently_without_cap(self):
+        env = Environment()
+        engine = make_engine(env, nodes=8)
+        result = run(env, engine, parse_wdl(SCATTER))
+        starts = {r.start_time for r in result.records}
+        assert len(starts) == 1  # all started together
+
+    def test_concurrency_cap_serializes(self):
+        env = Environment()
+        opts = EngineOptions(max_scatter_concurrency=2)
+        engine = make_engine(env, nodes=8, options=opts)
+        result = run(env, engine, parse_wdl(SCATTER))
+        assert result.succeeded
+        starts = sorted(r.start_time for r in result.records)
+        # Only two may start at t=0.
+        assert starts[2] > starts[0]
+
+    def test_scatter_over_input_array(self):
+        src = """
+        task t { input { String s } command <<< x >>> output { String o = s }
+                 runtime { runtime_minutes: 1 } }
+        workflow w {
+            input { Array[String] samples = ["a", "b", "c"] }
+            scatter (s in samples) { call t { input: s = s } }
+        }
+        """
+        env = Environment()
+        engine = make_engine(env)
+        result = run(env, engine, parse_wdl(src))
+        assert result.succeeded
+        assert result.shard_count == 3
+
+    def test_reference_to_scattered_output_is_array(self):
+        src = """
+        task t { input { Int x } command <<< c >>> output { Int o = x }
+                 runtime { runtime_minutes: 1 } }
+        workflow w {
+            scatter (i in range(3)) { call t { input: x = i } }
+            output { Array[Int] all = t.o }
+        }
+        """
+        env = Environment()
+        engine = make_engine(env)
+        result = run(env, engine, parse_wdl(src))
+        assert result.succeeded, result.error
+        assert sorted(result.outputs["all"]) == [0, 1, 2]
+
+
+class TestCallCaching:
+    def test_identical_rerun_hits_cache(self):
+        env = Environment()
+        engine = make_engine(env)
+        doc = parse_wdl(CHAIN)
+        first = run(env, engine, doc)
+        second = run(env, engine, doc)
+        assert first.cache_hits == 0
+        assert second.cache_hits == 2
+        assert second.shard_count == 0
+        assert second.makespan < first.makespan
+
+    def test_different_inputs_miss_cache(self):
+        env = Environment()
+        engine = make_engine(env)
+        doc = parse_wdl(CHAIN)
+        run(env, engine, doc, inputs={"sample": "s1"})
+        second = run(env, engine, doc, inputs={"sample": "s2"})
+        assert second.cache_hits == 0
+
+    def test_caching_can_be_disabled(self):
+        env = Environment()
+        engine = make_engine(env, options=EngineOptions(call_caching=False))
+        doc = parse_wdl(CHAIN)
+        run(env, engine, doc)
+        second = run(env, engine, doc)
+        assert second.cache_hits == 0
+
+
+class TestMemoryParsing:
+    def test_units(self):
+        assert parse_memory_gb("8 GB") == 8.0
+        assert parse_memory_gb("512 MB") == pytest.approx(0.512)
+        assert parse_memory_gb("4GiB") == 4.0
+        assert parse_memory_gb(16) == 16.0
+        assert parse_memory_gb(None, default=3.0) == 3.0
+
+    def test_invalid(self):
+        with pytest.raises(WdlRuntimeError):
+            parse_memory_gb("lots")
+
+
+class TestOptionsValidation:
+    def test_bad_options(self):
+        with pytest.raises(ValueError):
+            EngineOptions(container_start_s=-1)
+        with pytest.raises(ValueError):
+            EngineOptions(max_scatter_concurrency=0)
+
+
+class TestNestedScatter:
+    def test_nested_scatter_fails_loudly(self):
+        src = """
+        task t { input { Int x } command <<< c >>> output { Int o = x }
+                 runtime { runtime_minutes: 1 } }
+        workflow w {
+            scatter (i in range(2)) {
+                scatter (j in range(2)) {
+                    call t { input: x = j }
+                }
+            }
+        }
+        """
+        env = Environment()
+        engine = make_engine(env)
+        result = run(env, engine, parse_wdl(src))
+        assert not result.succeeded
+        assert "nested scatters" in result.error

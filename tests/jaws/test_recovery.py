@@ -1,0 +1,95 @@
+"""Workflow recovery via call caching (§6.1).
+
+"Most workflow managers can efficiently handle fault-tolerance, task
+interruptions, workflow recovery, and detect when an identical task
+has been run in the past and avoid re-computing the results."
+
+The Cromwell-style recovery model: a run that dies partway is simply
+resubmitted; completed calls hit the cache and only the missing work
+re-executes.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, NodeSpec
+from repro.jaws import CromwellEngine, EngineOptions, parse_wdl
+from repro.rm import BatchScheduler
+from repro.simkernel import Environment
+
+PIPELINE = """
+version 1.0
+task stage1 {
+    input { String sample }
+    command <<< s1 >>>
+    output { File o = "s1.out" }
+    runtime { cpu: 1, runtime_minutes: 5 }
+}
+task stage2 {
+    input { File f }
+    command <<< s2 >>>
+    output { File o = "s2.out" }
+    runtime { cpu: 1, runtime_minutes: 5 }
+}
+task stage3 {
+    input { File f }
+    command <<< s3 >>>
+    output { File o = "s3.out" }
+    runtime { cpu: 1, runtime_minutes: 60 }
+}
+workflow chain3 {
+    input { String sample = "s" }
+    call stage1 { input: sample = sample }
+    call stage2 { input: f = stage1.o }
+    call stage3 { input: f = stage2.o }
+}
+"""
+
+
+def make_engine(env, walltime_s):
+    cluster = Cluster(env, pools=[(NodeSpec("c", cores=4, memory_gb=32), 4)])
+    batch = BatchScheduler(env, cluster)
+    # The engine's default walltime clamps each call's batch job.
+    return CromwellEngine(
+        env, batch,
+        EngineOptions(container_start_s=5, stage_overhead_s=10,
+                      default_walltime_s=walltime_s),
+    )
+
+
+class TestRecoveryFromPartialRun:
+    def test_resubmission_resumes_from_cache(self):
+        env = Environment()
+        # Walltime fits stages 1-2 (~5min each) but kills stage 3 (60min).
+        engine = make_engine(env, walltime_s=20 * 60)
+        doc = parse_wdl(PIPELINE)
+        first = engine.run(doc)
+        env.run(until=first.done)
+        assert not first.succeeded
+        assert "failed" in first.error
+        # Stages 1 and 2 completed and were cached before the crash.
+        done_calls = {
+            r.call_name for r in first.records if r.end_time is not None
+        }
+        assert {"stage1", "stage2"} <= done_calls
+
+        # Recovery: bump the walltime (the operator's fix) and resubmit.
+        engine.options = EngineOptions(
+            container_start_s=5, stage_overhead_s=10,
+            default_walltime_s=2 * 3600,
+        )
+        second = engine.run(doc)
+        env.run(until=second.done)
+        assert second.succeeded, second.error
+        assert second.cache_hits == 2          # stages 1-2 from cache
+        assert second.shard_count == 1         # only stage 3 re-ran
+        executed = [r.call_name for r in second.records if not r.cached]
+        assert executed == ["stage3"]
+
+    def test_clean_run_has_no_cache_hits(self):
+        env = Environment()
+        engine = make_engine(env, walltime_s=2 * 3600)
+        result = engine.run(parse_wdl(PIPELINE))
+        env.run(until=result.done)
+        assert result.succeeded
+        assert result.cache_hits == 0
+        assert result.shard_count == 3

@@ -1,0 +1,56 @@
+"""Tests for automatic site routing (§6.3)."""
+
+import pytest
+
+from repro.jaws import JawsService, parse_wdl
+from repro.simkernel import Environment
+
+WDL = """
+version 1.0
+task t {
+    command <<< work >>>
+    output { String o = "x" }
+    runtime { cpu: 2, runtime_minutes: 30, docker: "i@sha256:aa" }
+}
+workflow w { call t }
+"""
+
+
+class TestAutoRouting:
+    def test_auto_picks_fastest_when_all_idle(self):
+        env = Environment()
+        svc = JawsService(env)
+        # perlmutter: 16 nodes x 64 cores x 2.0 speed — highest capacity.
+        assert svc.pick_site(parse_wdl(WDL)) == "perlmutter"
+
+    def test_auto_avoids_loaded_site(self):
+        env = Environment()
+        svc = JawsService(env)
+        doc = parse_wdl(WDL)
+        # Saturate perlmutter's batch queue with long jobs.
+        from repro.rm import Job, ResourceRequest
+
+        perl = svc.sites["perlmutter"]
+        for _ in range(64):
+            perl.batch.submit(
+                Job(request=ResourceRequest(nodes=16, cores_per_node=64,
+                                            walltime_s=86_400),
+                    duration=86_000)
+            )
+        assert svc.pick_site(doc) != "perlmutter"
+
+    def test_auto_submission_end_to_end(self):
+        env = Environment()
+        svc = JawsService(env)
+        sub = svc.submit(parse_wdl(WDL))  # site_name defaults to auto
+        env.run(until=sub.done)
+        assert sub.run.succeeded
+        assert sub.site in svc.sites
+
+    def test_explicit_site_still_honoured(self):
+        env = Environment()
+        svc = JawsService(env)
+        sub = svc.submit(parse_wdl(WDL), site_name="dori")
+        env.run(until=sub.done)
+        assert sub.site == "dori"
+        assert sub.run.succeeded

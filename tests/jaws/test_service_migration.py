@@ -1,0 +1,292 @@
+"""Tests for the JAWS service, task fusion (E7), and the linter."""
+
+import pytest
+
+from repro.data import File, MB
+from repro.jaws import (
+    CromwellEngine,
+    EngineOptions,
+    JawsService,
+    fuse_linear_chains,
+    lint_workflow,
+    parse_wdl,
+)
+from repro.rm import BatchScheduler
+from repro.cluster import Cluster, NodeSpec
+from repro.simkernel import Environment
+
+
+JGI_LIKE = """
+version 1.0
+task qc {
+    input { File reads }
+    command <<< run_qc >>>
+    output { File cleaned = "cleaned.fq" }
+    runtime { cpu: 2, runtime_minutes: 1, docker: "jgi/qc@sha256:aa" }
+}
+task trim {
+    input { File cleaned }
+    command <<< run_trim >>>
+    output { File trimmed = "trimmed.fq" }
+    runtime { cpu: 2, runtime_minutes: 1, docker: "jgi/qc@sha256:aa" }
+}
+task align {
+    input { File trimmed }
+    command <<< run_align >>>
+    output { File bam = "out.bam" }
+    runtime { cpu: 4, runtime_minutes: 2, docker: "jgi/align@sha256:bb" }
+}
+task stats {
+    input { File bam }
+    command <<< run_stats >>>
+    output { File report = "stats.txt" }
+    runtime { cpu: 1, runtime_minutes: 1, docker: "jgi/qc@sha256:aa" }
+}
+workflow sample_qc {
+    input { Array[File] samples = ["a.fq", "b.fq", "c.fq"] }
+    scatter (s in samples) {
+        call qc { input: reads = s }
+        call trim { input: cleaned = qc.cleaned }
+        call align { input: trimmed = trim.trimmed }
+        call stats { input: bam = align.bam }
+    }
+}
+"""
+
+
+class TestJawsService:
+    def test_default_sites_registered(self):
+        env = Environment()
+        svc = JawsService(env)
+        assert set(svc.sites) == {"perlmutter", "tahoma", "dori", "lawrencium"}
+
+    def test_duplicate_site_rejected(self):
+        env = Environment()
+        svc = JawsService(env)
+        with pytest.raises(ValueError):
+            svc.add_site("dori", 1, 4, 1.0)
+
+    def test_unknown_site_rejected(self):
+        env = Environment()
+        svc = JawsService(env)
+        with pytest.raises(KeyError):
+            svc.submit(parse_wdl(JGI_LIKE), site_name="azure")
+
+    def test_submission_stages_runs_and_returns(self):
+        env = Environment()
+        svc = JawsService(env)
+        inputs = [File("a.fq", 50 * MB), File("b.fq", 60 * MB)]
+        sub = svc.submit(parse_wdl(JGI_LIKE), site_name="dori", input_files=inputs)
+        env.run(until=sub.done)
+        assert sub.run.succeeded, sub.run.error
+        assert sub.staged_bytes == 110 * MB
+        assert sub.image_pulls == 2  # two distinct digests
+        assert svc.catalog.present_at("a.fq", "dori")
+
+    def test_image_pulled_once_per_site(self):
+        env = Environment()
+        svc = JawsService(env)
+        doc = parse_wdl(JGI_LIKE)
+        s1 = svc.submit(doc, site_name="dori")
+        env.run(until=s1.done)
+        s2 = svc.submit(doc, site_name="dori")
+        env.run(until=s2.done)
+        assert s2.image_pulls == 0
+        # A different site must pull again (portability cost).
+        s3 = svc.submit(doc, site_name="tahoma")
+        env.run(until=s3.done)
+        assert s3.image_pulls == 2
+
+    def test_pin_image_deterministic(self):
+        env = Environment()
+        svc = JawsService(env)
+        d1 = svc.pin_image("jgi/qc:1.2")
+        d2 = svc.pin_image("jgi/qc:1.2")
+        assert d1 == d2
+        assert d1.startswith("sha256:")
+        assert svc.image_digest("jgi/qc:1.2") == d1
+        assert svc.image_digest("ghost") is None
+
+    def test_faster_site_finishes_sooner(self):
+        env = Environment()
+        svc = JawsService(env)
+        doc = parse_wdl(JGI_LIKE)
+        fast = svc.submit(doc, site_name="perlmutter")  # speed 2.0
+        env.run(until=fast.done)
+        env2 = Environment()
+        svc2 = JawsService(env2)
+        slow = svc2.submit(parse_wdl(JGI_LIKE), site_name="dori")  # speed 1.0
+        env2.run(until=slow.done)
+        assert fast.run.makespan < slow.run.makespan
+
+
+class TestTaskFusion:
+    def test_fuses_four_task_chain(self):
+        doc = parse_wdl(JGI_LIKE)
+        fused, fusions = fuse_linear_chains(doc)
+        assert len(fusions) == 1
+        members = list(fusions.values())[0]
+        assert members == ["qc", "trim", "align", "stats"]
+        # The scatter now holds a single call.
+        scatter = fused.workflow.body[0]
+        assert len(scatter.body) == 1
+        task = fused.tasks[scatter.body[0].task_name]
+        assert task.runtime_value("runtime_minutes") == 5.0  # 1+1+2+1
+        assert task.runtime_value("cpu") == 4  # max
+        assert "run_qc" in task.command and "run_stats" in task.command
+
+    def test_fused_workflow_still_executes(self):
+        env = Environment()
+        cluster = Cluster(env, pools=[(NodeSpec("c", cores=8, memory_gb=64), 8)])
+        engine = CromwellEngine(env, BatchScheduler(env, cluster))
+        fused, _ = fuse_linear_chains(parse_wdl(JGI_LIKE))
+        result = engine.run(fused)
+        env.run(until=result.done)
+        assert result.succeeded, result.error
+        assert result.shard_count == 3  # one fused call per sample
+
+    def test_fusion_cuts_shards_and_time(self):
+        """The E7 shape: overhead-dominated chains collapse."""
+        opts = EngineOptions(container_start_s=60, stage_overhead_s=360)
+
+        def execute(doc):
+            env = Environment()
+            cluster = Cluster(env, pools=[(NodeSpec("c", cores=8, memory_gb=64), 16)])
+            engine = CromwellEngine(env, BatchScheduler(env, cluster), opts)
+            result = engine.run(doc)
+            env.run(until=result.done)
+            assert result.succeeded
+            return result
+
+        baseline = execute(parse_wdl(JGI_LIKE))
+        fused_doc, _ = fuse_linear_chains(parse_wdl(JGI_LIKE))
+        fused = execute(fused_doc)
+        shard_cut = 1 - fused.shard_count / baseline.shard_count
+        time_cut = 1 - fused.makespan / baseline.makespan
+        assert shard_cut == pytest.approx(0.75)  # 12 -> 3 shards
+        assert time_cut > 0.5  # overhead-dominated: large time saving
+
+    def test_no_chain_no_change(self):
+        src = """
+        task a { command <<< x >>> output { String o = "a" } runtime { runtime_minutes: 1 } }
+        task b { command <<< y >>> output { String o = "b" } runtime { runtime_minutes: 1 } }
+        workflow w { call a call b }
+        """
+        doc = parse_wdl(src)
+        fused, fusions = fuse_linear_chains(doc)
+        assert fusions == {}
+        assert [c.name for c in fused.workflow.calls()] == ["a", "b"]
+
+    def test_branching_breaks_chain(self):
+        # align feeds two consumers: qc->trim->align can fuse, the rest not.
+        src = """
+        task a { input { File f } command <<< a >>> output { File o = "a" } runtime { runtime_minutes: 1 } }
+        task b { input { File f } command <<< b >>> output { File o = "b" } runtime { runtime_minutes: 1 } }
+        task c1 { input { File f } command <<< c >>> output { File o = "c" } runtime { runtime_minutes: 1 } }
+        task c2 { input { File f } command <<< d >>> output { File o = "d" } runtime { runtime_minutes: 1 } }
+        workflow w {
+            input { File start = "x.dat" }
+            call a { input: f = start }
+            call b { input: f = a.o }
+            call c1 { input: f = b.o }
+            call c2 { input: f = b.o }
+        }
+        """
+        fused, fusions = fuse_linear_chains(parse_wdl(src))
+        assert len(fusions) == 1
+        assert list(fusions.values())[0] == ["a", "b"]
+        names = [c.name for c in fused.workflow.calls()]
+        assert "c1" in names and "c2" in names
+
+
+class TestLinter:
+    def test_short_shard_warning(self):
+        findings = lint_workflow(parse_wdl(JGI_LIKE))
+        codes = {f.code for f in findings}
+        assert "JAWS001" in codes  # 1-2 minute scattered tasks
+        assert "JAWS004" in codes  # unconstrained scatter
+
+    def test_concurrency_cap_silences_jaws004(self):
+        findings = lint_workflow(
+            parse_wdl(JGI_LIKE),
+            options=EngineOptions(max_scatter_concurrency=8),
+        )
+        assert "JAWS004" not in {f.code for f in findings}
+
+    def test_unpinned_container_flagged(self):
+        src = """
+        task t { command <<< x >>> output { String o = "x" }
+                 runtime { runtime_minutes: 60, docker: "ubuntu:latest" } }
+        workflow w { call t }
+        """
+        findings = lint_workflow(parse_wdl(src))
+        assert "JAWS002" in {f.code for f in findings}
+
+    def test_pinned_container_clean(self):
+        src = """
+        task t { command <<< x >>> output { String o = "x" }
+                 runtime { runtime_minutes: 60, docker: "img@sha256:ab12" } }
+        workflow w { call t }
+        """
+        findings = lint_workflow(parse_wdl(src))
+        assert "JAWS002" not in {f.code for f in findings}
+
+    def test_missing_runtime_and_container(self):
+        src = """
+        task t { command <<< x >>> output { String o = "x" } }
+        workflow w { call t }
+        """
+        codes = {f.code for f in lint_workflow(parse_wdl(src))}
+        assert {"JAWS003", "JAWS006"} <= codes
+
+    def test_monolithic_command_flagged(self):
+        body = "\n".join(f"step_{i}" for i in range(12))
+        src = f"""
+        task mono {{ command <<<
+{body}
+        >>> output {{ String o = "x" }}
+                 runtime {{ runtime_minutes: 60, docker: "i@sha256:ff" }} }}
+        workflow w {{ call mono }}
+        """
+        findings = lint_workflow(parse_wdl(src))
+        assert "JAWS005" in {f.code for f in findings}
+
+
+class TestPlaceholderLint:
+    def test_undefined_placeholder_is_error(self):
+        src = """
+        task t { input { String name } command <<< echo ~{name} ~{ghost} >>>
+                 output { String o = "x" }
+                 runtime { runtime_minutes: 60, docker: "i@sha256:aa" } }
+        workflow w { call t }
+        """
+        findings = lint_workflow(parse_wdl(src))
+        j7 = [f for f in findings if f.code == "JAWS007"]
+        assert len(j7) == 1
+        assert j7[0].severity == "error"
+        assert "ghost" in j7[0].message
+
+    def test_defined_placeholders_clean(self):
+        src = """
+        task t { input { String name } command <<< echo ~{name} >>>
+                 output { String o = "x" }
+                 runtime { runtime_minutes: 60, docker: "i@sha256:aa" } }
+        workflow w { call t }
+        """
+        assert not [f for f in lint_workflow(parse_wdl(src))
+                    if f.code == "JAWS007"]
+
+
+class TestWorkflowDot:
+    def test_dot_export(self):
+        from repro.core import TaskSpec, Workflow
+        from repro.data import File
+
+        wf = Workflow("d")
+        wf.add_task(TaskSpec("a", runtime_s=5, outputs=(File("x.dat", 1),)))
+        wf.add_task(TaskSpec("b", runtime_s=10, cores=2, inputs=("x.dat",)))
+        dot = wf.to_dot()
+        assert dot.startswith('digraph "d"')
+        assert '"a" -> "b" [label="x.dat"];' in dot
+        assert "5s x 1c" in dot and "10s x 2c" in dot
+        assert dot.rstrip().endswith("}")

@@ -1,0 +1,140 @@
+"""Tests for hierarchical task decomposition (§2.1 token-limit fix)."""
+
+import pytest
+
+from repro.llm import (
+    ChatWorkflowDriver,
+    ContextLimitExceeded,
+    FunctionGroup,
+    HierarchicalChatDriver,
+    MockFunctionCallingLLM,
+    PHYLOFLOW_GROUPS,
+    PhyloflowAdapters,
+    estimate_tokens,
+    make_synthetic_vcf,
+)
+
+VCF = make_synthetic_vcf(n_mutations=60, n_clones=3, depth=500, seed=7)
+INSTRUCTION = (
+    "Run the full phyloflow pipeline on tumor.vcf with 3 clusters and "
+    "build the phylogeny."
+)
+
+
+def adapters():
+    return PhyloflowAdapters(files={"tumor.vcf": VCF})
+
+
+class TestTokenAccounting:
+    def test_estimate_monotone(self):
+        assert estimate_tokens("abcd" * 100) > estimate_tokens("abcd")
+        assert estimate_tokens("") == 1
+
+    def test_prompt_tokens_grow_with_transcript(self):
+        llm = MockFunctionCallingLLM()
+        driver = ChatWorkflowDriver(llm, adapters())
+        driver.run(INSTRUCTION)
+        # The recorded peak includes the full final transcript.
+        assert llm.max_prompt_tokens > 300
+
+    def test_context_limit_enforced(self):
+        llm = MockFunctionCallingLLM(context_limit_tokens=50)
+        driver = ChatWorkflowDriver(llm, adapters())
+        with pytest.raises(ContextLimitExceeded):
+            driver.run(INSTRUCTION)
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            MockFunctionCallingLLM(context_limit_tokens=0)
+
+
+class TestGroupValidation:
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionGroup("g", "d", ())
+
+    def test_overlapping_groups_rejected(self):
+        groups = (
+            FunctionGroup("a", "d", ("vcf_transform_from_file",)),
+            FunctionGroup("b", "d", ("vcf_transform_from_file",)),
+        )
+        with pytest.raises(ValueError, match="overlap"):
+            HierarchicalChatDriver(adapters(), groups=groups)
+
+    def test_unknown_function_rejected(self):
+        groups = (FunctionGroup("a", "d", ("teleport",)),)
+        with pytest.raises(ValueError, match="unknown"):
+            HierarchicalChatDriver(adapters(), groups=groups)
+
+
+class TestCompositeSchemas:
+    def test_external_inputs_only(self):
+        driver = HierarchicalChatDriver(adapters())
+        schemas = {
+            g.name: driver.composite_schema(g) for g in PHYLOFLOW_GROUPS
+        }
+        assert schemas["transform"].required == ("vcf_file",)
+        assert "input_future_id" in schemas["clustering"].required
+        assert "n_clusters" in schemas["clustering"].required
+        # The phylogeny group's internal hand-off (spruce_future_id)
+        # does not leak into the composite.
+        assert schemas["phylogeny"].required == ("input_future_id",)
+
+
+class TestHierarchicalExecution:
+    def test_executes_all_groups_in_order(self):
+        driver = HierarchicalChatDriver(adapters())
+        result = driver.run(INSTRUCTION)
+        assert result.stopped
+        assert result.top_calls == [
+            "transform_subworkflow",
+            "clustering_subworkflow",
+            "phylogeny_subworkflow",
+        ]
+        tree = driver.final_value(result)
+        assert tree["n_clones"] == 3
+
+    def test_subsessions_are_isolated(self):
+        driver = HierarchicalChatDriver(adapters())
+        result = driver.run(INSTRUCTION)
+        # Each group got its own session over only its functions.
+        assert set(result.sub_results) == {"transform", "clustering", "phylogeny"}
+        assert result.sub_results["phylogeny"].calls_made() == [
+            "spruce_format_from_futures",
+            "spruce_phylogeny_from_futures",
+        ]
+        assert result.sub_results["clustering"].calls_made() == [
+            "pyclone_vi_from_futures"
+        ]
+
+    def test_hierarchy_lowers_peak_tokens(self):
+        flat_llm = MockFunctionCallingLLM()
+        ChatWorkflowDriver(flat_llm, adapters()).run(INSTRUCTION)
+
+        hier = HierarchicalChatDriver(adapters())
+        result = hier.run(INSTRUCTION)
+        assert result.peak_prompt_tokens < flat_llm.max_prompt_tokens
+
+    def test_hierarchy_fits_where_flat_overflows(self):
+        """The §2.1 scenario: a context the flat scheme cannot fit."""
+        # Pick a limit between the two peaks.
+        flat_llm = MockFunctionCallingLLM()
+        ChatWorkflowDriver(flat_llm, adapters()).run(INSTRUCTION)
+        hier_probe = HierarchicalChatDriver(adapters())
+        hier_peak = hier_probe.run(INSTRUCTION).peak_prompt_tokens
+        limit = (hier_peak + flat_llm.max_prompt_tokens) // 2
+
+        with pytest.raises(ContextLimitExceeded):
+            ChatWorkflowDriver(
+                MockFunctionCallingLLM(context_limit_tokens=limit), adapters()
+            ).run(INSTRUCTION)
+
+        constrained = HierarchicalChatDriver(
+            adapters(),
+            llm_factory=lambda: MockFunctionCallingLLM(
+                context_limit_tokens=limit
+            ),
+        )
+        result = constrained.run(INSTRUCTION)
+        assert result.stopped
+        assert constrained.final_value(result)["n_clones"] == 3

@@ -1,0 +1,75 @@
+"""Robustness properties of the mock function-calling model.
+
+Whatever transcript arrives — garbled IDs, repeated errors, foreign
+text — the model must answer with a well-formed response (or a clean
+context-limit error), never crash, and never invent a function that
+was not advertised.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm import (
+    FunctionCall,
+    FunctionSchema,
+    Message,
+    MockFunctionCallingLLM,
+)
+
+SCHEMAS = [
+    FunctionSchema(
+        name="step_one_from_file",
+        description="first",
+        parameters=(("data_file", (("type", "string"),)),),
+        required=("data_file",),
+    ),
+    FunctionSchema(
+        name="step_two_from_futures",
+        description="second",
+        parameters=(("input_future_id", (("type", "string"),)),),
+        required=("input_future_id",),
+    ),
+]
+
+_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=120
+)
+_roles = st.sampled_from(["system", "user", "assistant"])
+
+
+@st.composite
+def transcripts(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    messages = []
+    for i in range(n):
+        role = draw(_roles) if i else "user"
+        fc = None
+        if role == "assistant" and draw(st.booleans()):
+            name = draw(st.sampled_from([s.name for s in SCHEMAS] + ["ghost_fn"]))
+            fc = FunctionCall.make(name, x=draw(_text))
+        messages.append(
+            Message(role=role, content=draw(_text), function_call=fc)
+        )
+    return messages
+
+
+@given(messages=transcripts())
+@settings(max_examples=150, deadline=None)
+def test_chat_never_crashes_and_stays_in_vocabulary(messages):
+    llm = MockFunctionCallingLLM()
+    response = llm.chat(SCHEMAS, messages)
+    assert response.finish_reason in ("function_call", "stop")
+    if response.wants_function:
+        call = response.message.function_call
+        assert call.name in {s.name for s in SCHEMAS}
+        # Every required parameter of the chosen function is bound.
+        schema = next(s for s in SCHEMAS if s.name == call.name)
+        assert set(schema.required) <= set(call.kwargs)
+
+
+@given(messages=transcripts())
+@settings(max_examples=60, deadline=None)
+def test_chat_is_deterministic(messages):
+    a = MockFunctionCallingLLM().chat(SCHEMAS, messages)
+    b = MockFunctionCallingLLM().chat(SCHEMAS, messages)
+    assert a == b

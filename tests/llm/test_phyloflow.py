@@ -1,0 +1,160 @@
+"""Tests for the real Phyloflow step implementations."""
+
+import numpy as np
+import pytest
+
+from repro.llm import (
+    make_synthetic_vcf,
+    pyclone_vi,
+    spruce_format,
+    spruce_phylogeny,
+    vcf_transform,
+)
+
+
+class TestVcfTransform:
+    def test_parses_synthetic_vcf(self):
+        vcf = make_synthetic_vcf(n_mutations=30, n_clones=3, seed=1)
+        rows = vcf_transform(vcf)
+        assert len(rows) == 30
+        for r in rows:
+            assert r["ref_counts"] + r["alt_counts"] == 200
+            assert 0 <= r["vaf"] <= 1
+            assert r["mutation_id"].startswith("mut")
+
+    def test_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            vcf_transform("chr1\t100\tonly\tthree")
+        with pytest.raises(ValueError):
+            vcf_transform("chr1\t1\tm\tA\tT\t9\tPASS\tDP=10")  # no AD
+        with pytest.raises(ValueError):
+            vcf_transform("chr1\t1\tm\tA\tT\t9\tPASS\tDP=10;AD=20")  # AD > DP
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            vcf_transform("##header only\n")
+
+    def test_synthetic_validation(self):
+        with pytest.raises(ValueError):
+            make_synthetic_vcf(n_mutations=2, n_clones=3)
+
+
+class TestPycloneVi:
+    def test_recovers_planted_clusters(self):
+        vcf = make_synthetic_vcf(n_mutations=90, n_clones=3, depth=500, seed=2)
+        rows = vcf_transform(vcf)
+        clusters = pyclone_vi(rows, n_clusters=3, seed=0)
+        assert len(clusters) == 3
+        # Clusters ordered by descending CCF, ~30 mutations each.
+        ccfs = [c["ccf"] for c in clusters]
+        assert ccfs == sorted(ccfs, reverse=True)
+        for c in clusters:
+            assert 20 <= c["n_mutations"] <= 40
+
+    def test_mutation_conservation(self):
+        rows = vcf_transform(make_synthetic_vcf(50, 2, seed=3))
+        clusters = pyclone_vi(rows, n_clusters=2)
+        all_ids = [m for c in clusters for m in c["mutation_ids"]]
+        assert sorted(all_ids) == sorted(r["mutation_id"] for r in rows)
+
+    def test_more_clusters_than_mutations_clamped(self):
+        rows = vcf_transform(make_synthetic_vcf(4, 2, seed=1))
+        clusters = pyclone_vi(rows, n_clusters=10)
+        assert len(clusters) <= 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pyclone_vi([])
+        with pytest.raises(ValueError):
+            pyclone_vi([{"vaf": 0.5, "mutation_id": "m"}], n_clusters=0)
+
+
+class TestSpruce:
+    def make_clusters(self):
+        rows = vcf_transform(make_synthetic_vcf(60, 3, depth=500, seed=4))
+        return pyclone_vi(rows, n_clusters=3)
+
+    def test_format_preserves_fields(self):
+        clusters = self.make_clusters()
+        spruce = spruce_format(clusters)
+        assert len(spruce) == len(clusters)
+        for row, c in zip(spruce, clusters):
+            assert row["cell_fraction"] == c["ccf"]
+            assert row["mutation_count"] == c["n_mutations"]
+
+    def test_phylogeny_structure(self):
+        tree = spruce_phylogeny(spruce_format(self.make_clusters()))
+        assert tree["n_clones"] == 3
+        assert len(tree["edges"]) == 2  # tree: n-1 edges
+        assert 0 <= tree["confidence"] <= 1
+        # Root is the highest-CCF clone.
+        root_cf = next(
+            n["cell_fraction"] for n in tree["nodes"] if n["id"] == tree["root"]
+        )
+        assert root_cf == max(n["cell_fraction"] for n in tree["nodes"])
+
+    def test_phylogeny_containment(self):
+        # Nested fractions -> clean chain with confidence 1.
+        rows = [
+            {"character_index": 0, "character_label": "c0", "cell_fraction": 0.9,
+             "mutation_count": 10},
+            {"character_index": 1, "character_label": "c1", "cell_fraction": 0.5,
+             "mutation_count": 5},
+            {"character_index": 2, "character_label": "c2", "cell_fraction": 0.3,
+             "mutation_count": 3},
+        ]
+        tree = spruce_phylogeny(rows)
+        assert tree["confidence"] > 0.85  # gaps of 0.2+ are unambiguous
+        parents = {e["child"]: e["parent"] for e in tree["edges"]}
+        assert parents[1] == 0
+        # Tightest-remaining-capacity rule: after placing c1, c0 has
+        # 0.4 left vs c1's 0.5, so c2 (0.3) attaches under c0.
+        assert parents[2] == 0
+
+    def test_close_fractions_reduce_confidence(self):
+        rows = [
+            {"character_index": 0, "character_label": "c0", "cell_fraction": 0.5,
+             "mutation_count": 5},
+            {"character_index": 1, "character_label": "c1", "cell_fraction": 0.49,
+             "mutation_count": 5},
+            {"character_index": 2, "character_label": "c2", "cell_fraction": 0.48,
+             "mutation_count": 5},
+        ]
+        tree = spruce_phylogeny(rows)
+        # Ordering of nearly-equal fractions is noise-driven.
+        assert tree["confidence"] < 0.5
+
+    def test_single_clone_fully_confident(self):
+        rows = [
+            {"character_index": 0, "character_label": "c0", "cell_fraction": 0.9,
+             "mutation_count": 10},
+        ]
+        tree = spruce_phylogeny(rows)
+        assert tree["confidence"] == 1.0
+        assert tree["edges"] == []
+
+    def test_noise_scale_validation(self):
+        rows = [
+            {"character_index": 0, "character_label": "c0", "cell_fraction": 0.9,
+             "mutation_count": 10},
+        ]
+        with pytest.raises(ValueError):
+            spruce_phylogeny(rows, noise_scale=0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spruce_format([])
+        with pytest.raises(ValueError):
+            spruce_phylogeny([])
+
+
+class TestEndToEndChain:
+    def test_full_pipeline_produces_valid_json(self):
+        import json
+
+        vcf = make_synthetic_vcf(n_mutations=60, n_clones=3, depth=500, seed=5)
+        tree = spruce_phylogeny(spruce_format(pyclone_vi(vcf_transform(vcf), 3)))
+        encoded = json.dumps(tree)
+        decoded = json.loads(encoded)
+        assert decoded["n_clones"] == 3
+        assert decoded["confidence"] > 0.5

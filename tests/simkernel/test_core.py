@@ -1,0 +1,378 @@
+"""Tests for the event-loop core: clock, ordering, processes, run modes."""
+
+import pytest
+
+from repro.simkernel import (
+    Environment,
+    Event,
+    EventAlreadyTriggered,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_clock_starts_at_initial_time():
+    assert Environment().now == 0.0
+    assert Environment(initial_time=42.5).now == 42.5
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    done = {}
+
+    def proc(env):
+        yield env.timeout(3.5)
+        done["t"] = env.now
+
+    env.process(proc(env))
+    env.run()
+    assert done["t"] == 3.5
+    assert env.now == 3.5
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_timeout_carries_value():
+    env = Environment()
+    result = {}
+
+    def proc(env):
+        result["v"] = yield env.timeout(1, value="payload")
+
+    env.process(proc(env))
+    env.run()
+    assert result["v"] == "payload"
+
+
+def test_process_return_value_is_event_value():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(5)
+        return 42
+
+    p = env.process(child(env))
+    env.run()
+    assert p.value == 42
+    assert p.ok
+
+
+def test_process_waits_on_process():
+    env = Environment()
+    order = []
+
+    def child(env):
+        yield env.timeout(2)
+        order.append(("child", env.now))
+        return "x"
+
+    def parent(env):
+        v = yield env.process(child(env))
+        order.append(("parent", env.now, v))
+
+    env.process(parent(env))
+    env.run()
+    assert order == [("child", 2.0), ("parent", 2.0, "x")]
+
+
+def test_simultaneous_events_fifo_order():
+    env = Environment()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(1)
+        order.append(tag)
+
+    for tag in ("a", "b", "c", "d"):
+        env.process(proc(env, tag))
+    env.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc(env):
+        while True:
+            yield env.timeout(10)
+
+    env.process(proc(env))
+    env.run(until=25)
+    assert env.now == 25
+
+
+def test_run_until_time_in_past_rejected():
+    env = Environment(initial_time=10)
+    with pytest.raises(ValueError):
+        env.run(until=5)
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(7)
+        return "done"
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == "done"
+    assert env.now == 7
+
+
+def test_run_until_event_never_triggering_raises():
+    env = Environment()
+    ev = env.event()  # never triggered
+    with pytest.raises(SimulationError):
+        env.run(until=ev)
+
+
+def test_manual_event_succeed_and_double_trigger():
+    env = Environment()
+    ev = env.event()
+    got = {}
+
+    def waiter(env):
+        got["v"] = yield ev
+
+    def trigger(env):
+        yield env.timeout(4)
+        ev.succeed(99)
+
+    env.process(waiter(env))
+    env.process(trigger(env))
+    env.run()
+    assert got["v"] == 99
+    with pytest.raises(EventAlreadyTriggered):
+        ev.succeed(1)
+
+
+def test_failed_event_raises_in_waiting_process():
+    env = Environment()
+    caught = {}
+
+    def proc(env):
+        ev = env.event()
+        ev.fail(RuntimeError("boom"))
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught["exc"] = str(exc)
+
+    env.process(proc(env))
+    env.run()
+    assert caught["exc"] == "boom"
+
+
+def test_unhandled_failure_crashes_run():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        raise ValueError("unhandled")
+
+    env.process(proc(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_failure_handled_by_parent_does_not_crash():
+    env = Environment()
+    seen = {}
+
+    def child(env):
+        yield env.timeout(1)
+        raise ValueError("child failed")
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except ValueError as exc:
+            seen["exc"] = str(exc)
+
+    env.process(parent(env))
+    env.run()
+    assert seen["exc"] == "child failed"
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    log = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as i:
+            log.append((env.now, i.cause))
+
+    def interrupter(env, victim_proc):
+        yield env.timeout(3)
+        victim_proc.interrupt(cause="node-failure")
+
+    v = env.process(victim(env))
+    env.process(interrupter(env, v))
+    env.run()
+    assert log == [(3.0, "node-failure")]
+
+
+def test_interrupt_dead_process_is_error():
+    env = Environment()
+
+    def victim(env):
+        yield env.timeout(1)
+
+    def late(env, v):
+        yield env.timeout(5)
+        with pytest.raises(RuntimeError):
+            v.interrupt()
+
+    v = env.process(victim(env))
+    env.process(late(env, v))
+    env.run()
+
+
+def test_self_interrupt_is_error():
+    env = Environment()
+
+    def proc(env):
+        me = env.active_process
+        yield env.timeout(0)
+        with pytest.raises(RuntimeError):
+            me.interrupt()
+
+    env.process(proc(env))
+    env.run()
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+    trace = []
+
+    def victim(env):
+        try:
+            yield env.timeout(50)
+        except Interrupt:
+            trace.append(("interrupted", env.now))
+        yield env.timeout(5)
+        trace.append(("resumed-done", env.now))
+
+    def interrupter(env, v):
+        yield env.timeout(10)
+        v.interrupt()
+
+    v = env.process(victim(env))
+    env.process(interrupter(env, v))
+    env.run()
+    assert trace == [("interrupted", 10.0), ("resumed-done", 15.0)]
+
+
+def test_all_of_collects_values():
+    env = Environment()
+    result = {}
+
+    def proc(env):
+        t1 = env.timeout(2, value="a")
+        t2 = env.timeout(5, value="b")
+        vals = yield env.all_of([t1, t2])
+        result["vals"] = list(vals.values())
+        result["t"] = env.now
+
+    env.process(proc(env))
+    env.run()
+    assert result["vals"] == ["a", "b"]
+    assert result["t"] == 5.0
+
+
+def test_any_of_triggers_on_first():
+    env = Environment()
+    result = {}
+
+    def proc(env):
+        t1 = env.timeout(2, value="fast")
+        t2 = env.timeout(9, value="slow")
+        vals = yield env.any_of([t1, t2])
+        result["vals"] = list(vals.values())
+        result["t"] = env.now
+
+    env.process(proc(env))
+    env.run()
+    assert result["vals"] == ["fast"]
+    assert result["t"] == 2.0
+
+
+def test_all_of_empty_triggers_immediately():
+    env = Environment()
+    result = {}
+
+    def proc(env):
+        vals = yield env.all_of([])
+        result["vals"] = vals
+        result["t"] = env.now
+
+    env.process(proc(env))
+    env.run()
+    assert result["vals"] == {}
+    assert result["t"] == 0.0
+
+
+def test_yield_non_event_is_error():
+    env = Environment()
+
+    def proc(env):
+        yield 42  # not an Event
+
+    env.process(proc(env))
+    with pytest.raises((SimulationError, TypeError)):
+        env.run()
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(3)
+    env.timeout(1)
+    assert env.peek() == 1.0
+    env.run()
+    assert env.peek() == float("inf")
+
+
+def test_determinism_identical_runs():
+    def build_and_run():
+        env = Environment()
+        order = []
+
+        def proc(env, tag, delay):
+            yield env.timeout(delay)
+            order.append((tag, env.now))
+            yield env.timeout(delay * 2)
+            order.append((tag + "!", env.now))
+
+        for i, d in enumerate([3, 1, 2, 1, 3]):
+            env.process(proc(env, f"p{i}", d))
+        env.run()
+        return order
+
+    assert build_and_run() == build_and_run()
+
+
+def test_nested_immediate_process_chain():
+    env = Environment()
+
+    def leaf(env):
+        return 1
+        yield  # pragma: no cover
+
+    def mid(env):
+        v = yield env.process(leaf(env))
+        return v + 1
+
+    def top(env):
+        v = yield env.process(mid(env))
+        return v + 1
+
+    p = env.process(top(env))
+    env.run()
+    assert p.value == 3
+    assert env.now == 0.0

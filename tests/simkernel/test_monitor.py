@@ -1,0 +1,108 @@
+"""Tests for TimeSeriesMonitor and UtilizationTracker."""
+
+import numpy as np
+import pytest
+
+from repro.simkernel import TimeSeriesMonitor, UtilizationTracker
+
+
+class TestTimeSeriesMonitor:
+    def test_initial_state(self):
+        m = TimeSeriesMonitor(initial=5.0)
+        assert m.current == 5.0
+        assert len(m) == 1
+
+    def test_record_and_current(self):
+        m = TimeSeriesMonitor()
+        m.record(1.0, 10)
+        m.record(2.0, 20)
+        assert m.current == 20
+        assert m.peak == 20
+
+    def test_record_same_time_overwrites(self):
+        m = TimeSeriesMonitor()
+        m.record(1.0, 10)
+        m.record(1.0, 99)
+        assert m.current == 99
+        assert len(m) == 2  # t=0 initial + t=1
+
+    def test_non_monotonic_rejected(self):
+        m = TimeSeriesMonitor()
+        m.record(5.0, 1)
+        with pytest.raises(ValueError):
+            m.record(4.0, 1)
+
+    def test_increment(self):
+        m = TimeSeriesMonitor()
+        m.increment(1.0)
+        m.increment(2.0, 3)
+        m.increment(3.0, -2)
+        assert m.current == 2.0
+
+    def test_value_at(self):
+        m = TimeSeriesMonitor(initial=0)
+        m.record(10, 5)
+        m.record(20, 7)
+        assert m.value_at(0) == 0
+        assert m.value_at(9.99) == 0
+        assert m.value_at(10) == 5
+        assert m.value_at(15) == 5
+        assert m.value_at(25) == 7
+
+    def test_integral_step_function(self):
+        m = TimeSeriesMonitor(initial=2)  # 2 on [0,10), then 4 on [10,20)
+        m.record(10, 4)
+        assert m.integral(t_end=20) == pytest.approx(2 * 10 + 4 * 10)
+
+    def test_time_average(self):
+        m = TimeSeriesMonitor(initial=0)
+        m.record(5, 10)  # 0 for 5s, 10 for 5s
+        assert m.time_average(t_end=10) == pytest.approx(5.0)
+
+    def test_time_average_zero_span(self):
+        m = TimeSeriesMonitor(initial=7)
+        assert m.time_average() == 7
+
+    def test_resample_shapes_and_values(self):
+        m = TimeSeriesMonitor(initial=1)
+        m.record(10, 2)
+        ts, vs = m.resample(n=5, t_end=20)
+        assert len(ts) == len(vs) == 5
+        np.testing.assert_allclose(vs, [1, 1, 2, 2, 2])
+
+
+class TestUtilizationTracker:
+    def test_full_utilization(self):
+        u = UtilizationTracker(capacity=4)
+        u.acquire(0, 4)
+        u.release(10, 4)
+        assert u.utilization(0, 10) == pytest.approx(1.0)
+
+    def test_half_utilization(self):
+        u = UtilizationTracker(capacity=2)
+        u.acquire(0, 1)
+        u.release(10, 1)
+        assert u.utilization(0, 10) == pytest.approx(0.5)
+
+    def test_oversubscription_rejected(self):
+        u = UtilizationTracker(capacity=2)
+        u.acquire(0, 2)
+        with pytest.raises(ValueError):
+            u.acquire(1, 1)
+
+    def test_over_release_rejected(self):
+        u = UtilizationTracker(capacity=2)
+        u.acquire(0, 1)
+        with pytest.raises(ValueError):
+            u.release(1, 2)
+
+    def test_windowed_utilization(self):
+        u = UtilizationTracker(capacity=1)
+        u.acquire(0, 1)
+        u.release(5, 1)
+        # Busy only on [0,5) of window [0,20).
+        assert u.utilization(0, 20) == pytest.approx(0.25)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            UtilizationTracker(capacity=0)

@@ -1,0 +1,122 @@
+"""Property-based tests for kernel invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkernel import Environment, Resource, TimeSeriesMonitor
+
+
+@given(delays=st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_events_process_in_nondecreasing_time(delays):
+    """No matter the creation order, events fire in time order."""
+    env = Environment()
+    fired = []
+
+    def proc(env, d):
+        yield env.timeout(d)
+        fired.append(env.now)
+
+    for d in delays:
+        env.process(proc(env, d))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(delays=st.lists(st.integers(min_value=0, max_value=100), min_size=2, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_equal_time_events_fire_in_creation_order(delays):
+    """Ties in simulated time break by creation sequence (determinism)."""
+    env = Environment()
+    fired = []
+
+    def proc(env, idx, d):
+        yield env.timeout(d)
+        fired.append((env.now, idx))
+
+    for idx, d in enumerate(delays):
+        env.process(proc(env, idx, d))
+    env.run()
+    # Within each timestamp, indices must be increasing.
+    for (t1, i1), (t2, i2) in zip(fired, fired[1:]):
+        if t1 == t2:
+            assert i1 < i2
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    holds=st.lists(st.integers(min_value=1, max_value=20), min_size=1, max_size=40),
+)
+@settings(max_examples=60, deadline=None)
+def test_resource_never_oversubscribed(capacity, holds):
+    """At no point do more than ``capacity`` processes hold the resource."""
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    active = [0]
+    peak = [0]
+
+    def user(env, hold):
+        with res.request() as req:
+            yield req
+            active[0] += 1
+            peak[0] = max(peak[0], active[0])
+            assert res.count <= capacity
+            yield env.timeout(hold)
+            active[0] -= 1
+
+    for h in holds:
+        env.process(user(env, h))
+    env.run()
+    assert peak[0] <= capacity
+    assert active[0] == 0
+    assert res.count == 0
+    assert res.queue_length == 0
+
+
+@given(
+    records=st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1000, allow_nan=False),
+            st.floats(min_value=-50, max_value=50, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_monitor_integral_additive(records):
+    """integral(a) + (integral(b) - integral(a)) == integral(b)."""
+    m = TimeSeriesMonitor()
+    for t, v in sorted(records, key=lambda r: r[0]):
+        m.record(t, v)
+    t_last = m.times[-1]
+    mid = t_last / 2
+    total = m.integral(t_last)
+    assert abs(m.integral(mid) + (total - m.integral(mid)) - total) < 1e-9
+
+
+@given(
+    n_tasks=st.integers(min_value=1, max_value=25),
+    capacity=st.integers(min_value=1, max_value=5),
+    hold=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=50, deadline=None)
+def test_fifo_resource_conserves_work(n_tasks, capacity, hold):
+    """Total makespan equals ceil(n/capacity) * hold for uniform tasks."""
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    done = []
+
+    def user(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(hold)
+            done.append(env.now)
+
+    for _ in range(n_tasks):
+        env.process(user(env))
+    env.run()
+    waves = -(-n_tasks // capacity)  # ceil division
+    assert max(done) == waves * hold
+    assert len(done) == n_tasks

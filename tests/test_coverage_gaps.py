@@ -1,0 +1,141 @@
+"""Direct tests for helpers otherwise only exercised indirectly."""
+
+import pytest
+
+from repro.atlas.records import PipelineRecord
+from repro.atlas.steps import StepSample
+from repro.atlas.workload import SraAccession
+from repro.cws import ProvenanceStore, TaskTrace
+from repro.data import MB, StorageSite
+from repro.engines.base import TaskRecord, WorkflowRun
+from repro.jaws import parse_wdl
+from repro.jaws.migration import find_linear_chains
+from repro.simkernel import Environment
+from repro.workloads import chain
+
+
+def sample(step="salmon", duration=100.0, cpu=90.0):
+    return StepSample(
+        step=step, duration_s=duration, cpu_pct_mean=cpu, cpu_pct_max=100.0,
+        iowait_pct_mean=2.0, iowait_pct_max=10.0, mem_mb_mean=800.0,
+        mem_mb_max=2000.0,
+    )
+
+
+class TestPipelineRecord:
+    def make(self):
+        rec = PipelineRecord(
+            accession=SraAccession("SRR1", 1.0), environment="cloud",
+            t_start=10.0, t_end=210.0,
+        )
+        rec.steps = {"prefetch": sample("prefetch", 50.0, 20.0),
+                     "salmon": sample("salmon", 150.0, 90.0)}
+        return rec
+
+    def test_total_and_step_duration(self):
+        rec = self.make()
+        assert rec.total_duration == 200.0
+        assert rec.step_duration("salmon") == 150.0
+
+    def test_cpu_efficiency_weighted(self):
+        rec = self.make()
+        expected = (50 * 0.20 + 150 * 0.90) / 200
+        assert rec.cpu_efficiency() == pytest.approx(expected)
+
+    def test_empty_record_efficiency(self):
+        rec = PipelineRecord(accession=SraAccession("S", 1.0), environment="c")
+        assert rec.cpu_efficiency() == 0.0
+        assert rec.total_duration is None
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            StepSample(
+                step="x", duration_s=-1, cpu_pct_mean=0, cpu_pct_max=0,
+                iowait_pct_mean=0, iowait_pct_max=0, mem_mb_mean=0,
+                mem_mb_max=0,
+            )
+
+
+class TestWorkflowRunHelpers:
+    def make(self):
+        wf = chain(n=3, seed=0)
+        run = WorkflowRun(workflow=wf, engine="test", t_submit=0.0, t_done=100.0)
+        run.records = {
+            "t000": TaskRecord("t000", submit_time=0, start_time=5, end_time=25),
+            "t001": TaskRecord("t001", submit_time=25, start_time=30, end_time=70,
+                               attempts=2),
+            "t002": TaskRecord("t002"),
+        }
+        return run
+
+    def test_total_task_runtime(self):
+        assert self.make().total_task_runtime() == 60.0
+
+    def test_total_queue_wait(self):
+        assert self.make().total_queue_wait() == 10.0
+
+    def test_retried_tasks(self):
+        assert self.make().retried_tasks() == ["t001"]
+
+    def test_record_lookup_and_makespan(self):
+        run = self.make()
+        assert run.record("t000").runtime == 20
+        assert run.makespan == 100.0
+
+
+class TestProvenanceAccessors:
+    def test_for_node_and_as_row(self):
+        prov = ProvenanceStore()
+        t = TaskTrace(
+            workflow="w", task="a", attempt=1, node_id="n-3", node_type="n",
+            node_speed=2.0, cores=2, memory_gb=4.0, input_bytes=123,
+            submit_time=0, start_time=5, end_time=15, succeeded=True,
+        )
+        prov.add_trace(t)
+        assert prov.for_node("n-3") == [t]
+        assert prov.for_node("ghost") == []
+        row = t.as_row()
+        assert row["runtime_s"] == 10
+        assert row["queue_wait_s"] == 5
+        assert row["input_bytes"] == 123
+
+
+class TestStorageWrite:
+    def test_write_accounts_bytes_and_duration(self):
+        env = Environment()
+        site = StorageSite(env, "s", ingress_mbps=100.0, latency_s=0.0)
+        done = {}
+
+        def proc(env):
+            yield env.process(site.write(200 * MB))
+            done["t"] = env.now
+
+        env.process(proc(env))
+        env.run()
+        assert done["t"] == pytest.approx(2.0)
+        assert site.writes == 1
+        assert site.bytes_written == 200 * MB
+        assert site.used_bytes == 200 * MB
+
+
+class TestFindLinearChains:
+    def test_direct_chain_detection(self):
+        doc = parse_wdl(
+            """
+            task a { input { File f } command <<< a >>> output { File o = "a" }
+                     runtime { runtime_minutes: 1 } }
+            task b { input { File f } command <<< b >>> output { File o = "b" }
+                     runtime { runtime_minutes: 1 } }
+            task c { command <<< c >>> output { File o = "c" }
+                     runtime { runtime_minutes: 1 } }
+            workflow w {
+                input { File start = "x" }
+                call a { input: f = start }
+                call b { input: f = a.o }
+                call c
+            }
+            """
+        )
+        chains = find_linear_chains(doc.workflow.body)
+        assert len(chains) == 1
+        assert [call.name for call in chains[0]] == ["a", "b"]

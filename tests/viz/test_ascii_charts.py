@@ -1,0 +1,101 @@
+"""Tests for the ASCII chart/table renderers."""
+
+import numpy as np
+import pytest
+
+from repro.viz import render_series, render_stacked_bar, render_table
+
+
+class TestRenderSeries:
+    def test_single_series_dimensions(self):
+        out = render_series(
+            {"y": (np.linspace(0, 10, 50), np.linspace(0, 100, 50))},
+            width=40,
+            height=10,
+            title="t",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        # title + height rows + x-axis + labels + legend
+        assert len(lines) >= 10 + 3
+        assert "y" in lines[-1]
+
+    def test_two_series_use_distinct_markers(self):
+        ts = np.linspace(0, 1, 20)
+        out = render_series({"a": (ts, ts), "b": (ts, 1 - ts)}, width=30, height=8)
+        assert "o=a" in out and "x=b" in out
+        assert "o" in out and "x" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_series({})
+
+    def test_constant_zero_series(self):
+        ts = np.linspace(0, 5, 10)
+        out = render_series({"z": (ts, np.zeros(10))})
+        assert "z" in out  # renders without division errors
+
+
+class TestStackedBar:
+    def test_proportions(self):
+        out = render_stacked_bar([("a", 25), ("b", 75)], width=40)
+        bar = out.splitlines()[0]
+        assert bar.count("█") == 10
+        assert bar.count("▓") == 30
+        assert "a (25)" in out and "b (75)" in out
+
+    def test_explicit_total(self):
+        out = render_stacked_bar([("x", 10)], total=100, width=50)
+        assert out.splitlines()[0].count("█") == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_stacked_bar([])
+        with pytest.raises(ValueError):
+            render_stacked_bar([("a", 0)], total=0)
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["name", "v"], [["long-name", 1], ["x", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        # All rows equal width.
+        assert len(set(len(l.rstrip()) for l in lines[:2])) >= 1
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[2]
+
+    def test_empty_rows(self):
+        out = render_table(["a", "b"], [])
+        assert len(out.splitlines()) == 2
+
+
+class TestRenderDag:
+    def test_diamond_layers(self):
+        from repro.core import TaskSpec, Workflow
+        from repro.data import File
+        from repro.viz import render_dag
+
+        wf = Workflow("d")
+        wf.add_task(TaskSpec("src", runtime_s=1, outputs=(File("s", 1),)))
+        wf.add_task(TaskSpec("a", runtime_s=1, inputs=("s",),
+                             outputs=(File("x", 1),)))
+        wf.add_task(TaskSpec("b", runtime_s=1, inputs=("s",),
+                             outputs=(File("y", 1),)))
+        wf.add_task(TaskSpec("sink", runtime_s=1, inputs=("x", "y")))
+        out = render_dag(wf)
+        lines = out.splitlines()
+        assert lines[0] == "[0] src"
+        assert "a(<-src)" in lines[1] and "b(<-src)" in lines[1]
+        assert lines[2] == "[2] sink(<-a,b)"
+
+    def test_wide_level_truncated(self):
+        from repro.core import TaskSpec, Workflow
+        from repro.viz import render_dag
+
+        wf = Workflow("wide")
+        for i in range(40):
+            wf.add_task(TaskSpec(f"task{i:02d}", runtime_s=1))
+        out = render_dag(wf, max_width=60)
+        assert all(len(l) <= 60 for l in out.splitlines())
+        assert out.endswith("...")

@@ -1,0 +1,101 @@
+"""Tests for synthetic workflow generators."""
+
+import pytest
+
+from repro.core import critical_path_length, merge_points, workflow_width
+from repro.workloads import (
+    bioinformatics_like,
+    chain,
+    fork_join,
+    montage_like,
+    random_layered_dag,
+    workflow_mix,
+)
+
+
+class TestShapes:
+    def test_chain_structure(self):
+        wf = chain(n=5, seed=1)
+        assert len(wf) == 5
+        assert workflow_width(wf) == 1
+        assert wf.roots() == ["t000"]
+        assert wf.sinks() == ["t004"]
+
+    def test_fork_join_structure(self):
+        wf = fork_join(width=7, seed=1)
+        assert len(wf) == 9
+        assert workflow_width(wf) == 7
+        assert merge_points(wf) == ["join"]
+
+    def test_montage_structure(self):
+        wf = montage_like(width=6, seed=1)
+        wf.validate()
+        # concat merges all diffs; mosaic merges all bgcorrects.
+        merges = merge_points(wf)
+        assert "concat" in merges and "mosaic" in merges
+        assert wf.sinks() == ["mosaic"]
+
+    def test_bioinformatics_structure(self):
+        wf = bioinformatics_like(samples=4, seed=1)
+        wf.validate()
+        assert len(wf) == 4 * 3 + 2
+        assert "joint_genotype" in merge_points(wf)
+        assert wf.sinks() == ["report"]
+
+    def test_random_dag_connected_and_acyclic(self):
+        wf = random_layered_dag(n_tasks=25, levels=5, seed=3)
+        wf.validate()
+        assert len(wf) == 25
+        # Every non-root task has a parent.
+        roots = set(wf.roots())
+        for name in wf.tasks:
+            assert name in roots or wf.parents(name)
+
+    def test_workflow_mix_classes(self):
+        mix = workflow_mix(seed=0)
+        assert len(mix) == 5
+        for wf in mix:
+            wf.validate()
+            assert critical_path_length(wf) > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_workflow(self):
+        a, b = fork_join(width=5, seed=42), fork_join(width=5, seed=42)
+        assert {n: t.runtime_s for n, t in a.tasks.items()} == {
+            n: t.runtime_s for n, t in b.tasks.items()
+        }
+
+    def test_different_seed_different_runtimes(self):
+        a, b = fork_join(width=5, seed=1), fork_join(width=5, seed=2)
+        assert {n: t.runtime_s for n, t in a.tasks.items()} != {
+            n: t.runtime_s for n, t in b.tasks.items()
+        }
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            chain(n=0)
+        with pytest.raises(ValueError):
+            fork_join(width=0)
+        with pytest.raises(ValueError):
+            montage_like(width=1)
+        with pytest.raises(ValueError):
+            bioinformatics_like(samples=0)
+        with pytest.raises(ValueError):
+            random_layered_dag(n_tasks=3, levels=5)
+
+    def test_skew_widens_spread(self):
+        import numpy as np
+
+        low = fork_join(width=50, skew=0.2, seed=5)
+        high = fork_join(width=50, skew=3.0, seed=5)
+
+        def branch_cv(wf):
+            rts = [
+                t.runtime_s for n, t in wf.tasks.items() if n.startswith("branch")
+            ]
+            return np.std(rts) / np.mean(rts)
+
+        assert branch_cv(high) > branch_cv(low)
