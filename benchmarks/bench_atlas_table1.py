@@ -7,6 +7,8 @@ step exceeds 4 GB RAM; the whole batch takes ~2.7 h with zero
 failures.
 """
 
+import pytest
+
 from repro.atlas import run_experiment, table1
 from repro.atlas.steps import PIPELINE_STEPS
 from repro.viz import render_table
@@ -24,6 +26,7 @@ def run_cloud():
     return run_experiment("cloud", n_files=99, seed=0, max_instances=12)
 
 
+@pytest.mark.slow
 def test_atlas_table1(benchmark, report):
     result = benchmark.pedantic(run_cloud, rounds=1, iterations=1)
     rows = table1(result.records)

@@ -6,6 +6,8 @@ DESeq2 no difference; cloud batch ≈ 2.7 h, HPC ≈ 2.5 h, HPC job
 efficiency ≈ 72%.
 """
 
+import pytest
+
 from repro.atlas import compare_cloud_hpc, run_experiment
 from repro.viz import render_table
 
@@ -23,6 +25,7 @@ def run_both():
     return cloud, hpc
 
 
+@pytest.mark.slow
 def test_atlas_table2(benchmark, report):
     cloud, hpc = benchmark.pedantic(run_both, rounds=1, iterations=1)
     rows = compare_cloud_hpc(cloud.records, hpc.records)

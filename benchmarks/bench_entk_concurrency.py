@@ -11,17 +11,20 @@ tasks) and drains at the end.
 """
 
 import numpy as np
+import pytest
 
 from repro.entk import AppManager, Pipeline, ResourceDescription, Stage
 from repro.entk.platforms import platform_cluster
 from repro.exaam import frontier_stage3_tasks
+from repro.obs import enable_tracing
 from repro.rm import BatchScheduler
 from repro.simkernel import Environment
 from repro.viz import render_series, render_table
 
 
-def run_and_profile(n_tasks=7875, nodes=8000, seed=42):
+def run_and_profile(n_tasks=7875, nodes=8000, seed=42, trace=False):
     env = Environment()
+    tracer = enable_tracing(env) if trace else None
     cluster = platform_cluster(env, "frontier", nodes=nodes)
     batch = BatchScheduler(env, cluster, backfill=False)
     am = AppManager(
@@ -34,11 +37,16 @@ def run_and_profile(n_tasks=7875, nodes=8000, seed=42):
     result = am.run([pipeline])
     env.run(until=result.done)
     assert result.succeeded
+    if trace:
+        return result.profiles[0], tracer
     return result.profiles[0]
 
 
+@pytest.mark.slow
 def test_entk_concurrency_curves(benchmark, report):
-    prof = benchmark.pedantic(run_and_profile, rounds=1, iterations=1)
+    prof, tracer = benchmark.pedantic(
+        lambda: run_and_profile(trace=True), rounds=1, iterations=1
+    )
 
     # Measure the initial slopes inside the ramp (before capacity or the
     # scheduler backlog saturates them).
@@ -66,3 +74,20 @@ def test_entk_concurrency_curves(benchmark, report):
     assert prof.peak_concurrency == 1000
     # Drain: the executing curve ends at zero.
     assert prof.concurrency_series[1][-1] == 0
+
+    # Both Fig 5 curves regenerated from the trace query API match the
+    # live monitors' series (and hence the profile) exactly.
+    q = tracer.query()
+    pilot = "entk-pilot-0"
+    job = q.spans(category="rm.job", name=pilot)[0]
+    for category, metric_name, prof_series in [
+        ("entk.exec", "executing", prof.concurrency_series),
+        ("entk.pending", "pending_launch", prof.pending_series),
+    ]:
+        gauge = q.concurrency(category=category, component=pilot, t0=job.start)
+        live = tracer.metrics.get(metric_name, component=pilot)
+        assert gauge.series() == live.series()
+        times_q, values_q = gauge.resample(n=400, t_end=job.end)
+        assert np.array_equal(times_q, np.asarray(prof_series[0]))
+        assert np.array_equal(values_q, np.asarray(prof_series[1]))
+    assert q.concurrency(category="entk.exec", component=pilot).peak == 1000

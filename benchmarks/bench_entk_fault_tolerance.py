@@ -15,6 +15,7 @@ completes with only the two numerical casualties.
 """
 
 import numpy as np
+import pytest
 
 from repro.cluster import FaultInjector
 from repro.entk import (
@@ -79,6 +80,7 @@ def run_fault_scenario(n_tasks=790, nodes=800, seed=42):
     return result, tasks
 
 
+@pytest.mark.slow
 def test_entk_fault_tolerance(benchmark, report):
     result, tasks = benchmark.pedantic(run_fault_scenario, rounds=1, iterations=1)
     prof = result.profiles[0]

@@ -9,6 +9,7 @@ safe.
 """
 
 import numpy as np
+import pytest
 
 from repro.entk import AppManager, Pipeline, ResourceDescription, Stage
 from repro.entk.platforms import platform_cluster
@@ -52,6 +53,7 @@ def run_at_scale(platform: str, nodes: int, nodes_per_task: int, seed=7):
     return n_tasks, result.profiles[0]
 
 
+@pytest.mark.slow
 def test_entk_scaling_sweep(benchmark, report):
     results = benchmark.pedantic(
         lambda: [(p, n, *run_at_scale(p, n, npt)) for p, n, npt in SWEEP],

@@ -10,18 +10,24 @@ report the same decomposition.  Absolute TTX depends on the runtime
 draw; the shape targets are utilization ≈ 90% and OVH ≈ 1% of runtime.
 """
 
+import pathlib
+
 import numpy as np
+import pytest
 
 from repro.entk import AppManager, Pipeline, ResourceDescription, Stage
 from repro.entk.platforms import platform_cluster
 from repro.exaam import frontier_stage3_tasks
+from repro.obs import enable_tracing
+from repro.obs.export import write_chrome_trace
 from repro.rm import BatchScheduler
 from repro.simkernel import Environment
 from repro.viz import render_series, render_stacked_bar, render_table
 
 
-def run_frontier_stage3(n_tasks=7875, nodes=8000, seed=42):
+def run_frontier_stage3(n_tasks=7875, nodes=8000, seed=42, trace=False):
     env = Environment()
+    tracer = enable_tracing(env) if trace else None
     cluster = platform_cluster(env, "frontier", nodes=nodes)
     batch = BatchScheduler(env, cluster, backfill=False)
     am = AppManager(
@@ -34,11 +40,16 @@ def run_frontier_stage3(n_tasks=7875, nodes=8000, seed=42):
     result = am.run([pipeline])
     env.run(until=result.done)
     assert result.succeeded
+    if trace:
+        return result.profiles[0], tracer
     return result.profiles[0]
 
 
+@pytest.mark.slow
 def test_entk_frontier_utilization(benchmark, report):
-    prof = benchmark.pedantic(run_frontier_stage3, rounds=1, iterations=1)
+    prof, tracer = benchmark.pedantic(
+        lambda: run_frontier_stage3(trace=True), rounds=1, iterations=1
+    )
 
     bar = render_stacked_bar(
         [("OVH", prof.ovh), ("TTX", prof.ttx)], total=prof.job_runtime
@@ -72,3 +83,36 @@ def test_entk_frontier_utilization(benchmark, report):
     assert prof.ovh == 85.0                         # paper: 85 s
     assert prof.ovh / prof.job_runtime < 0.02       # overhead ≈ 1%
     assert prof.job_runtime == prof.ovh + prof.ttx
+
+    # The Fig 4 series regenerated purely from the trace query API must
+    # match what the live monitors recorded during the run.
+    q = tracer.query()
+    pilot = "entk-pilot-0"
+    job = q.spans(category="rm.job", name=pilot)[0]
+    exec_gauge = q.concurrency(
+        category="entk.exec", component=pilot, t0=job.start
+    )
+    live = tracer.metrics.get("executing", component=pilot)
+    assert exec_gauge.series() == live.series()
+    times_q, values_q = exec_gauge.resample(n=400, t_end=job.end)
+    assert np.array_equal(times_q, np.asarray(prof.concurrency_series[0]))
+    assert np.array_equal(values_q, np.asarray(prof.concurrency_series[1]))
+
+    # Fig 4's headline number, re-derived from spans alone.
+    cores_cap = tracer.metrics.get("cores", component=pilot).capacity
+    util_q = q.utilization(
+        capacity=cores_cap,
+        weight="cores",
+        category="entk.exec",
+        component=pilot,
+        t0=job.start,
+        t1=job.end,
+    )
+    assert util_q == prof.core_utilization
+
+    # Perfetto/chrome://tracing artifact alongside the text report.
+    out = pathlib.Path(__file__).parent / "results"
+    out.mkdir(exist_ok=True)
+    trace_path = out / "E2_fig4.trace.json"
+    write_chrome_trace(tracer, trace_path, include_metrics=False)
+    assert trace_path.stat().st_size > 0

@@ -172,6 +172,12 @@ class CloudDeployment:
                 yield self.env.timeout(star_index_load_seconds(self.profile))
             while self._queue.items:
                 acc: SraAccession = yield self._queue.get()
+                file_span = self.env.tracer.start(
+                    str(acc.accession),
+                    category="atlas.file",
+                    component="cloud",
+                    tags={"worker": iid, "pathway": self.pathway},
+                )
                 try:
                     record = PipelineRecord(
                         accession=acc,
@@ -183,7 +189,15 @@ class CloudDeployment:
                         sample = run_step_model(
                             step, acc.size_gb, self.profile, self.rng
                         )
+                        step_span = self.env.tracer.start(
+                            str(step),
+                            category="atlas.step",
+                            component="cloud",
+                            parent=file_span,
+                            tags={"file": str(acc.accession)},
+                        )
                         yield self.env.timeout(sample.duration_s)
+                        step_span.finish()
                         record.steps[step] = sample
                     # Upload results + metadata to S3 (Fig 7).
                     yield self.env.process(self.bucket.write(2_000_000))
@@ -191,10 +205,12 @@ class CloudDeployment:
                 except Interrupt:
                     # Spot reclaim mid-file: the accession goes back on
                     # the queue for another instance; partial work lost.
+                    file_span.tag(state="reclaimed").finish()
                     result.spot_interruptions += 1
                     self._queue.put(acc)
                     return
                 record.t_end = self.env.now
+                file_span.tag(state="completed").finish()
                 result.records.append(record)
                 remaining["n"] -= 1
                 if remaining["n"] == 0 and not finished.triggered:

@@ -127,14 +127,29 @@ class HpcDeployment:
         def work(env, job, nodes):
             record.t_start = env.now
             record.worker = nodes[0].id
+            file_span = env.tracer.start(
+                str(acc.accession),
+                category="atlas.file",
+                component="hpc",
+                tags={"worker": nodes[0].id, "pathway": self.pathway},
+            )
             yield env.timeout(self.container_start_s)
             if self.pathway == "star":
                 # Index mounted from SCRATCH, loaded into RAM per job.
                 yield env.timeout(star_index_load_seconds(self.profile))
             for step in self.steps:
                 sample = run_step_model(step, acc.size_gb, self.profile, self.rng)
+                step_span = env.tracer.start(
+                    str(step),
+                    category="atlas.step",
+                    component="hpc",
+                    parent=file_span,
+                    tags={"file": str(acc.accession)},
+                )
                 yield env.timeout(sample.duration_s)
+                step_span.finish()
                 record.steps[step] = sample
             record.t_end = env.now
+            file_span.tag(state="completed").finish()
 
         return work

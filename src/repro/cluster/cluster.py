@@ -70,6 +70,14 @@ class Cluster:
             self._gpu_tracker = UtilizationTracker(
                 capacity=self.total_gpus, name=f"{self.name}.gpus", t0=self.env.now
             )
+        # Adopt the trackers into the trace's metrics registry (no-op
+        # when tracing is disabled) so exported traces carry the same
+        # occupancy series core_utilization() reports — one recorder,
+        # two views.
+        registry = self.env.tracer.metrics
+        registry.register(self._core_tracker, component=self.name)
+        if self._gpu_tracker is not None:
+            registry.register(self._gpu_tracker, component=self.name)
 
     # -- lookup & aggregate capacity ------------------------------------------
 

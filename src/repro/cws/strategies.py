@@ -34,10 +34,30 @@ class _StoreBackedStrategy(SchedulingStrategy):
             return None
         return wf, task
 
+    def _trace_decision(self, pod: Pod, node: Node, scheduler: KubeScheduler) -> Node:
+        ctx = self._context(pod)
+        scheduler.env.tracer.instant(
+            "decision",
+            category="cws.strategy",
+            component="cws",
+            tags={
+                "strategy": self.name,
+                "workflow": ctx[0] if ctx else None,
+                "task": ctx[1] if ctx else None,
+                "pod": pod.name,
+                "node": node.id,
+            },
+        )
+        return node
+
     def select_node(self, pod: Pod, candidates: list, scheduler: KubeScheduler) -> Node:
         if self.place_fastest and self._context(pod) is not None:
-            return max(candidates, key=lambda n: (n.spec.speed, -n.free_cores, n.id))
-        return super().select_node(pod, candidates, scheduler)
+            chosen = max(
+                candidates, key=lambda n: (n.spec.speed, -n.free_cores, n.id)
+            )
+        else:
+            chosen = super().select_node(pod, candidates, scheduler)
+        return self._trace_decision(pod, chosen, scheduler)
 
 
 class RankStrategy(_StoreBackedStrategy):
@@ -127,13 +147,15 @@ class PredictiveHeftStrategy(_StoreBackedStrategy):
     def select_node(self, pod: Pod, candidates: list, scheduler: KubeScheduler) -> Node:
         ctx = self._context(pod)
         if ctx is None:
-            return SchedulingStrategy.select_node(self, pod, candidates, scheduler)
+            chosen = SchedulingStrategy.select_node(self, pod, candidates, scheduler)
+            return self._trace_decision(pod, chosen, scheduler)
         _, task = ctx
         nominal = self.predictor.predict(task, node_speed=1.0)
         if nominal is None:
             nominal = self.default_runtime_s
         # Earliest finish time: all candidates are free *now*, so EFT
         # reduces to fastest execution.
-        return min(
+        chosen = min(
             candidates, key=lambda n: (nominal / n.spec.speed, n.free_cores, n.id)
         )
+        return self._trace_decision(pod, chosen, scheduler)

@@ -97,6 +97,9 @@ class NextflowLikeEngine:
                 for pod in [p for p in outstanding if p.state.terminal]:
                     name = outstanding.pop(pod)
                     record = run.records[name]
+                    span = getattr(pod, "_engine_span", None)
+                    if span is not None:
+                        span.tag(state=pod.state.value).finish()
                     if pod.state == JobState.COMPLETED:
                         completed.add(name)
                         record.state = "completed"
@@ -148,6 +151,14 @@ class NextflowLikeEngine:
                 # What the monitoring agent will observe (true peak).
                 "peak_memory_gb": spec.true_peak_memory_gb,
             },
+        )
+        # Submit→terminal span: queue wait plus execution, one per
+        # attempt (the rm.pod span underneath covers execution only).
+        pod._engine_span = self.env.tracer.start(
+            name,
+            category="engine.task",
+            component=self.engine_name,
+            tags={"workflow": workflow.name, "attempt": record.attempts},
         )
         self.scheduler.submit(pod)
         if self.cwsi is not None:

@@ -107,6 +107,22 @@ class PilotAgent:
         #: All task failures observed (task name, time, cause).
         self.failures: list[tuple] = []
 
+        # Adopt the live monitors into the trace registry (no-op when
+        # tracing is disabled) so exported traces carry the exact
+        # series the agent records — no parallel accounting.
+        registry = env.tracer.metrics
+        for monitor in (
+            self.pending_launch,
+            self.executing,
+            self.done_count,
+            self.scheduled_cum,
+            self.launched_cum,
+            self.core_util,
+        ):
+            registry.register(monitor, component=self.name)
+        if self.gpu_util is not None:
+            registry.register(self.gpu_util, component=self.name)
+
     # -- public API ------------------------------------------------------------
 
     @property
@@ -131,8 +147,15 @@ class PilotAgent:
             self._validate_task(task)
         if not self._started:
             self._started = True
+            boot_span = self.env.tracer.start(
+                "bootstrap",
+                category="entk.bootstrap",
+                component=self.name,
+                tags={"nodes": len(self.nodes)},
+            )
             yield self.env.timeout(self.config.bootstrap_s)
             self._bootstrapped_at = self.env.now
+            boot_span.finish()
             self._loops = [
                 self.env.process(self._scheduler_loop(), name=f"{self.name}-sched"),
                 self.env.process(self._launcher_loop(), name=f"{self.name}-launch"),
@@ -147,6 +170,14 @@ class PilotAgent:
                 task.state = TaskState.NEW
                 task.submit_time = self.env.now
                 task._terminal = self.env.event()
+                # Whole-lifecycle span (submit → terminal); the pending
+                # and exec child spans nest inside it.
+                task._obs_span = self.env.tracer.start(
+                    task.name,
+                    category="entk.task",
+                    component=self.name,
+                    tags={"wave": _wave_idx},
+                )
                 terminal_events.append(task._terminal)
                 yield self._submit_q.put(task)
             yield self.env.all_of(terminal_events)
@@ -201,6 +232,13 @@ class PilotAgent:
                 task.schedule_time = self.env.now
                 self.pending_launch.increment(self.env.now, +1)
                 self.scheduled_cum.increment(self.env.now, +1)
+                task._obs_pending = self.env.tracer.start(
+                    "pending",
+                    category="entk.pending",
+                    component=self.name,
+                    parent=getattr(task, "_obs_span", None),
+                    tags={"task": task.name},
+                )
                 yield self._launch_q.put(task)
         except Interrupt:
             return
@@ -214,6 +252,9 @@ class PilotAgent:
                 nodes = yield from self._acquire(task.nodes)
                 self.pending_launch.increment(self.env.now, -1)
                 self.launched_cum.increment(self.env.now, +1)
+                pending_span = getattr(task, "_obs_pending", None)
+                if pending_span is not None:
+                    pending_span.finish()
                 proc = self.env.process(
                     self._execute(task, nodes),
                     name=f"exec:{task.name}#{task.attempts}",
@@ -262,6 +303,13 @@ class PilotAgent:
         self.core_util.acquire(self.env.now, cores)
         if self.gpu_util and gpus:
             self.gpu_util.acquire(self.env.now, gpus)
+        exec_span = self.env.tracer.start(
+            "exec",
+            category="entk.exec",
+            component=self.name,
+            parent=getattr(task, "_obs_span", None),
+            tags={"task": task.name, "attempt": task.attempts, "cores": cores},
+        )
 
         me = self.env.active_process
         key = f"{self.name}:{task.name}:{task.attempts}"
@@ -305,6 +353,10 @@ class PilotAgent:
                         self._strikes[n.id] += 1
                         if self._strikes[n.id] >= self.config.node_strikes:
                             self._blacklist.add(n.id)
+            exec_span.tag(state=task.state.value).finish()
+            task_span = getattr(task, "_obs_span", None)
+            if task_span is not None:
+                task_span.tag(state=task.state.value).finish()
             self._release(nodes)
             self._live_execs.discard(self.env.active_process)
             task._terminal.succeed(task)

@@ -246,6 +246,12 @@ class CromwellEngine:
                 "nested scatters are parsed but not executable; flatten "
                 "the inner scatter or precompute its product as an array"
             )
+        self.env.tracer.instant(
+            "scatter",
+            category="jaws.scatter",
+            component="cromwell",
+            tags={"variable": scatter.variable, "shards": len(collection)},
+        )
         shard_events: dict = {c.name: [] for c in inner_calls}
         procs = []
         for idx, value in enumerate(collection):
@@ -319,12 +325,27 @@ class CromwellEngine:
             str(docker),
             tuple(sorted((k, repr(v)) for k, v in bound.items())),
         )
+        span_name = call.name + (f"[{shard}]" if shard is not None else "")
         if self.options.call_caching and cache_key in self._cache:
             record.cached = True
             record.start_time = record.end_time = self.env.now
+            # Zero-duration span: the cache hit is visible in the trace
+            # as a call that cost nothing.
+            self.env.tracer.start(
+                span_name,
+                category="jaws.call",
+                component="cromwell",
+                tags={"task": task.name, "shard": shard, "cached": True},
+            ).finish()
             event.succeed(self._cache[cache_key])
             return
 
+        call_span = self.env.tracer.start(
+            span_name,
+            category="jaws.call",
+            component="cromwell",
+            tags={"task": task.name, "shard": shard, "cached": False},
+        )
         if gate is not None:
             req = gate.request()
             yield req
@@ -369,6 +390,10 @@ class CromwellEngine:
                     f"call {call.name!r} failed: {job.failure_cause!r}"
                 )
         finally:
+            # record.end_time is only set once the job completed; any
+            # earlier exception leaves the call aborted.
+            outcome = job.state.value if record.end_time is not None else "aborted"
+            call_span.tag(state=outcome).finish()
             if req is not None:
                 gate.release(req)
 

@@ -1,0 +1,60 @@
+"""Unified observability layer: span tracing, metrics and trace queries.
+
+Typical use::
+
+    from repro.obs import enable_tracing
+    from repro.obs.export import write_chrome_trace
+
+    env = Environment()
+    tracer = enable_tracing(env)
+    ...  # build components, run the simulation
+    conc = tracer.query().concurrency(category="entk.exec")
+    write_chrome_trace(tracer, "run.trace.json")
+
+Tracing is opt-in; without :func:`enable_tracing` every instrumentation
+point hits the shared :data:`NULL_TRACER` and records nothing.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    UtilizationTracker,
+)
+from repro.obs.tracer import (
+    NULL_METRIC,
+    NULL_SPAN,
+    NULL_TRACER,
+    Instant,
+    NullTracer,
+    Span,
+    Tracer,
+    enable_tracing,
+)
+from repro.obs.query import TraceQuery
+from repro.obs.export import (
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "UtilizationTracker",
+    "Instant",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_METRIC",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "enable_tracing",
+    "TraceQuery",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,286 @@
+"""Trace exporters: Chrome-trace/Perfetto JSON and flat JSONL.
+
+Both exporters are deterministic functions of the trace contents — no
+wall-clock timestamps, no hash ordering — so identical simulation seeds
+produce byte-identical files (the property the determinism tests pin).
+
+Chrome-trace output loads in ``chrome://tracing`` and
+https://ui.perfetto.dev: components become processes, concurrent spans
+are fanned out over per-component lanes (threads) such that every
+lane's ``B``/``E`` events form a balanced, properly nested bracket
+sequence, and gauges/counters become ``C`` counter tracks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.obs.tracer import Span, Tracer
+
+#: Simulated seconds → chrome-trace microseconds.
+_US = 1_000_000.0
+
+
+def _json_safe(value):
+    """Coerce a tag/attr value to something JSON-serializable."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    item = getattr(value, "item", None)  # numpy scalars
+    if callable(item):
+        try:
+            return _json_safe(item())
+        except (TypeError, ValueError):
+            pass
+    return repr(value)
+
+
+def _safe_tags(tags: dict) -> dict:
+    return {str(k): _json_safe(v) for k, v in tags.items()}
+
+
+def _assign_lanes(spans: list[Span]) -> dict[int, list[Span]]:
+    """Partition finished spans into lanes of properly nested intervals.
+
+    Spans are considered in ``(start, -end, id)`` order; each goes to
+    its parent's lane when it still fits there (so span trees render as
+    one nested flame), otherwise to the first lane whose currently open
+    interval contains it (or which has no open interval left).  The
+    result: within a lane, intervals form a laminar family, so a
+    ``B``-at-start / ``E``-at-end walk is a balanced bracket sequence.
+    """
+    lanes: list[list[Span]] = []
+    stacks: list[list[float]] = []  # per-lane open interval end times
+    lane_of: dict[int, int] = {}  # span_id -> lane index
+
+    def fits(lane_idx: int, span: Span) -> bool:
+        stack = stacks[lane_idx]
+        while stack and (
+            stack[-1] < span.start
+            or (stack[-1] == span.start and span.end > stack[-1])
+        ):
+            stack.pop()
+        return not stack or span.end <= stack[-1]
+
+    for span in sorted(spans, key=lambda s: (s.start, -s.end, s.span_id)):
+        parent_lane = (
+            lane_of.get(span.parent_id) if span.parent_id is not None else None
+        )
+        candidates = [] if parent_lane is None else [parent_lane]
+        candidates += [i for i in range(len(lanes)) if i != parent_lane]
+        placed = next((i for i in candidates if fits(i, span)), None)
+        if placed is None:
+            lanes.append([])
+            stacks.append([])
+            placed = len(lanes) - 1
+        lanes[placed].append(span)
+        stacks[placed].append(span.end)
+        lane_of[span.span_id] = placed
+    return {idx: lane for idx, lane in enumerate(lanes)}
+
+
+def _lane_events(lane: list[Span], pid: int, tid: int) -> list[dict]:
+    """Balanced B/E walk over one lane's laminar span family."""
+    events: list[dict] = []
+    stack: list[Span] = []
+
+    def emit_end(span: Span) -> None:
+        events.append(
+            {
+                "ph": "E",
+                "ts": span.end * _US,
+                "pid": pid,
+                "tid": tid,
+                "name": span.name,
+                "cat": span.category or "span",
+                "args": {"span_id": span.span_id},
+            }
+        )
+
+    for span in lane:  # already in (start, -end, id) order
+        while stack and (
+            stack[-1].end < span.start
+            or (stack[-1].end == span.start and span.end > stack[-1].end)
+        ):
+            emit_end(stack.pop())
+        args = _safe_tags(span.tags)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append(
+            {
+                "ph": "B",
+                "ts": span.start * _US,
+                "pid": pid,
+                "tid": tid,
+                "name": span.name,
+                "cat": span.category or "span",
+                "args": args,
+            }
+        )
+        stack.append(span)
+    while stack:
+        emit_end(stack.pop())
+    return events
+
+
+def to_chrome_trace(tracer: Tracer, include_metrics: bool = True) -> dict:
+    """Render the trace as a Chrome-trace ("Trace Event Format") dict.
+
+    Only finished spans are exported (open spans cannot be balanced);
+    their count is reported under ``otherData``.
+    """
+    finished = [s for s in tracer.spans if s.end is not None]
+    components = sorted(
+        {s.component for s in finished}
+        | {i.component for i in tracer.instants}
+    )
+    pid_of = {c: idx + 1 for idx, c in enumerate(components)}
+
+    metadata = [
+        {
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": comp or "(root)"},
+        }
+        for comp, pid in sorted(pid_of.items(), key=lambda kv: kv[1])
+    ]
+
+    events: list[dict] = []
+    for comp in components:
+        comp_spans = [s for s in finished if s.component == comp]
+        # tid 0 is the component's instant lane; span lanes start at 1.
+        for lane_idx, lane in _assign_lanes(comp_spans).items():
+            events.extend(_lane_events(lane, pid_of[comp], lane_idx + 1))
+
+    # Point events inside spans and standalone instants.
+    for span in finished:
+        for t, name, attrs in span.events:
+            events.append(
+                {
+                    "ph": "i",
+                    "ts": t * _US,
+                    "pid": pid_of[span.component],
+                    "tid": 0,
+                    "name": name,
+                    "cat": span.category or "span",
+                    "s": "t",
+                    "args": dict(_safe_tags(attrs), span_id=span.span_id),
+                }
+            )
+    for inst in tracer.instants:
+        events.append(
+            {
+                "ph": "i",
+                "ts": inst.t * _US,
+                "pid": pid_of[inst.component],
+                "tid": 0,
+                "name": inst.name,
+                "cat": inst.category or "instant",
+                "s": "t",
+                "args": _safe_tags(inst.tags),
+            }
+        )
+
+    if include_metrics:
+        for (comp, name), metric in tracer.metrics.items():
+            data = metric.to_dict()
+            pid = pid_of.get(comp, 0)
+            for t, v in zip(data["times"], data["values"]):
+                events.append(
+                    {
+                        "ph": "C",
+                        "ts": t * _US,
+                        "pid": pid,
+                        "tid": 0,
+                        "name": f"{comp}/{name}" if comp else name,
+                        "args": {"value": v},
+                    }
+                )
+
+    # Stable sort preserves each lane's bracket order at equal times.
+    events.sort(key=lambda e: e["ts"])
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "simulated-seconds",
+            "spans": len(finished),
+            "open_spans": len(tracer.spans) - len(finished),
+            "instants": len(tracer.instants),
+        },
+    }
+
+
+def write_chrome_trace(
+    tracer: Tracer, path, include_metrics: bool = True
+) -> None:
+    """Write :func:`to_chrome_trace` output to ``path`` (JSON)."""
+    with open(path, "w") as fh:
+        json.dump(
+            to_chrome_trace(tracer, include_metrics=include_metrics),
+            fh,
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+
+def _dumps(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def to_jsonl(tracer: Tracer, include_metrics: bool = True) -> str:
+    """Flat, line-delimited event log of the whole trace.
+
+    One JSON object per line: spans in creation order (ids are
+    sequential, so this is also deterministic), then instants in record
+    order, then registry metrics in sorted key order.  Identical seeds
+    yield byte-identical output.
+    """
+    lines: list[str] = []
+    for span in tracer.spans:
+        lines.append(
+            _dumps(
+                {
+                    "type": "span",
+                    "id": span.span_id,
+                    "parent": span.parent_id,
+                    "name": span.name,
+                    "cat": span.category,
+                    "comp": span.component,
+                    "t0": span.start,
+                    "t1": span.end,
+                    "tags": _safe_tags(span.tags),
+                    "events": [
+                        [t, name, _safe_tags(attrs)]
+                        for t, name, attrs in span.events
+                    ],
+                }
+            )
+        )
+    for inst in tracer.instants:
+        lines.append(
+            _dumps(
+                {
+                    "type": "instant",
+                    "name": inst.name,
+                    "cat": inst.category,
+                    "comp": inst.component,
+                    "t": inst.t,
+                    "tags": _safe_tags(inst.tags),
+                }
+            )
+        )
+    if include_metrics:
+        for (comp, name), metric in tracer.metrics.items():
+            record = {"type": "metric", "comp": comp}
+            record.update(metric.to_dict())
+            lines.append(_dumps(record))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(tracer: Tracer, path, include_metrics: bool = True) -> None:
+    with open(path, "w") as fh:
+        fh.write(to_jsonl(tracer, include_metrics=include_metrics))

@@ -1,0 +1,237 @@
+"""Post-run queries over a recorded trace.
+
+The query API turns raw spans back into the derived series the paper's
+figures plot, replacing bespoke recorders:
+
+- :meth:`TraceQuery.concurrency` — number of spans open at each moment
+  (Fig 5's scheduled/executing curves),
+- :meth:`TraceQuery.busy` / :meth:`TraceQuery.utilization` — capacity
+  occupancy weighted by a tag (Fig 4's core utilization),
+- :meth:`TraceQuery.spans` / :meth:`TraceQuery.instants` — filtered
+  access by category, component, name, time window and tags.
+
+Derived series are :class:`~repro.obs.metrics.Gauge` objects, so they
+carry the same integration/resampling toolkit the live monitors have —
+and, by construction, a concurrency gauge derived from spans equals the
+series a live ``TimeSeriesMonitor`` incremented at the same times would
+have recorded.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Optional, Union
+
+from repro.obs.metrics import Gauge
+from repro.obs.tracer import Instant, Span, Tracer
+
+
+class TraceQuery:
+    """Filterable view over one tracer's spans and instants."""
+
+    def __init__(self, tracer: Tracer):
+        self.tracer = tracer
+
+    # -- filtered access -------------------------------------------------------
+
+    def spans(
+        self,
+        category: Optional[str] = None,
+        component: Optional[str] = None,
+        name: Optional[str] = None,
+        t0: Optional[float] = None,
+        t1: Optional[float] = None,
+        tags: Optional[dict] = None,
+    ) -> list[Span]:
+        """Spans matching every given filter, in start order.
+
+        ``t0``/``t1`` select spans whose interval *overlaps* the
+        window; open spans extend to +inf.
+        """
+        lo = float("-inf") if t0 is None else t0
+        hi = float("inf") if t1 is None else t1
+        out = []
+        for s in self.tracer.spans:
+            if category is not None and s.category != category:
+                continue
+            if component is not None and s.component != component:
+                continue
+            if name is not None and s.name != name:
+                continue
+            if not s.overlaps(lo, hi):
+                continue
+            if tags is not None and any(
+                s.tags.get(k) != v for k, v in tags.items()
+            ):
+                continue
+            out.append(s)
+        return sorted(out, key=lambda s: (s.start, s.span_id))
+
+    def instants(
+        self,
+        category: Optional[str] = None,
+        component: Optional[str] = None,
+        name: Optional[str] = None,
+        t0: Optional[float] = None,
+        t1: Optional[float] = None,
+        tags: Optional[dict] = None,
+    ) -> list[Instant]:
+        lo = float("-inf") if t0 is None else t0
+        hi = float("inf") if t1 is None else t1
+        out = []
+        for i in self.tracer.instants:
+            if category is not None and i.category != category:
+                continue
+            if component is not None and i.component != component:
+                continue
+            if name is not None and i.name != name:
+                continue
+            if not (lo <= i.t <= hi):
+                continue
+            if tags is not None and any(
+                i.tags.get(k) != v for k, v in tags.items()
+            ):
+                continue
+            out.append(i)
+        return out
+
+    def categories(self) -> list[str]:
+        return sorted(
+            {s.category for s in self.tracer.spans}
+            | {i.category for i in self.tracer.instants}
+        )
+
+    def components(self) -> list[str]:
+        return sorted(
+            {s.component for s in self.tracer.spans}
+            | {i.component for i in self.tracer.instants}
+        )
+
+    def children_of(self, span: Span) -> list[Span]:
+        return sorted(
+            (s for s in self.tracer.spans if s.parent_id == span.span_id),
+            key=lambda s: (s.start, s.span_id),
+        )
+
+    # -- derived series --------------------------------------------------------
+
+    def concurrency(
+        self,
+        category: Optional[str] = None,
+        component: Optional[str] = None,
+        name: Optional[str] = None,
+        tags: Optional[dict] = None,
+        t0: Optional[float] = None,
+        weight: Union[None, str, Callable[[Span], float]] = None,
+        series_name: str = "concurrency",
+    ) -> Gauge:
+        """Step series of how many matching spans are open over time.
+
+        ``weight`` turns the count into a weighted sum: a tag name
+        (numeric tag value per span) or a callable ``span -> float``
+        (e.g. cores held).  ``t0`` anchors the series start (defaults
+        to the earliest matching span start).  Open spans are treated
+        as never closing.
+
+        The result is exactly the series a live
+        :class:`~repro.simkernel.monitor.TimeSeriesMonitor` would hold
+        after ``increment(+w)`` at every span start and ``-w`` at every
+        span end, including the collapse of same-time changes.
+        """
+        matched = self.spans(
+            category=category, component=component, name=name, tags=tags
+        )
+        if weight is None:
+            weigh = lambda s: 1.0  # noqa: E731
+        elif callable(weight):
+            weigh = weight
+        else:
+            weigh = lambda s, _k=weight: float(s.tags.get(_k, 0.0))  # noqa: E731
+
+        deltas: dict[float, float] = defaultdict(float)
+        for s in matched:
+            w = weigh(s)
+            deltas[s.start] += w
+            if s.end is not None:
+                deltas[s.end] -= w
+        if t0 is None:
+            t0 = min(deltas) if deltas else 0.0
+        gauge = Gauge(name=series_name, initial=0.0, t0=t0)
+        level = 0.0
+        for t in sorted(deltas):
+            if t < t0:
+                raise ValueError(
+                    f"span change at t={t} precedes series origin t0={t0}"
+                )
+            level += deltas[t]
+            gauge.record(t, level)
+        return gauge
+
+    def busy(
+        self,
+        weight: Union[str, Callable[[Span], float]],
+        category: Optional[str] = None,
+        component: Optional[str] = None,
+        tags: Optional[dict] = None,
+        t0: Optional[float] = None,
+    ) -> Gauge:
+        """Capacity-units-in-use series (concurrency weighted by tag)."""
+        return self.concurrency(
+            category=category,
+            component=component,
+            tags=tags,
+            t0=t0,
+            weight=weight,
+            series_name="busy",
+        )
+
+    def utilization(
+        self,
+        capacity: float,
+        weight: Union[str, Callable[[Span], float]],
+        category: Optional[str] = None,
+        component: Optional[str] = None,
+        tags: Optional[dict] = None,
+        t0: Optional[float] = None,
+        t1: Optional[float] = None,
+    ) -> float:
+        """Busy integral / (capacity × window) — the Fig 4 number.
+
+        ``weight`` gives each span's held capacity (tag name or
+        callable); the window defaults to the busy series' extent.
+        """
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        series = self.busy(
+            weight, category=category, component=component, tags=tags, t0=t0
+        )
+        start = series.times[0] if t0 is None else t0
+        end = series.times[-1] if t1 is None else t1
+        span = end - start
+        if span <= 0:
+            return 0.0
+        return series.integral(end) / (capacity * span)
+
+    # -- aggregate statistics ----------------------------------------------------
+
+    def durations(
+        self,
+        category: Optional[str] = None,
+        component: Optional[str] = None,
+        name: Optional[str] = None,
+        tags: Optional[dict] = None,
+    ) -> list[float]:
+        """Durations of finished matching spans, in start order."""
+        return [
+            s.duration
+            for s in self.spans(
+                category=category, component=component, name=name, tags=tags
+            )
+            if s.end is not None
+        ]
+
+    def count(self, **filters) -> int:
+        return len(self.spans(**filters))
+
+    def __repr__(self) -> str:
+        return f"<TraceQuery over {self.tracer!r}>"

@@ -1,0 +1,387 @@
+"""Span-based tracing over simulated time.
+
+A :class:`Tracer` collects :class:`Span` records — named intervals with
+a category, an owning component, free-form tags and point-in-time
+events — plus standalone :class:`Instant` markers and a
+:class:`~repro.obs.metrics.MetricsRegistry`.  One tracer is threaded
+through the whole stack via ``Environment.tracer``; every substrate
+layer (kernel, resource managers, engines, EnTK, CWS, Atlas, JAWS)
+writes into it, so a single trace can regenerate any of the paper's
+figures after the run.
+
+Tracing is **off by default and zero-cost when off**: environments
+start with the stateless :data:`NULL_TRACER`, whose methods are no-ops
+returning a shared null span.  Call :func:`enable_tracing` to install a
+real tracer.
+
+Determinism: span ids are sequential per tracer, timestamps come from
+the simulated clock, and no wall-clock or hash-ordered state is ever
+recorded — identical seeds produce identical traces byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class Span:
+    """One traced interval.
+
+    Spans are context managers for synchronous sections::
+
+        with tracer.span("bind", category="rm.pod", component="kube") as s:
+            s.tag(node=node.id)
+
+    For intervals that cross process switches (almost everything in a
+    DES), call :meth:`Tracer.start` and :meth:`finish` explicitly.
+    Children must be contained in their parent's interval; the
+    instrumentation in :mod:`repro` guarantees this and the exporters
+    rely on it.
+    """
+
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "name",
+        "category",
+        "component",
+        "tags",
+        "start",
+        "end",
+        "events",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span_id: int,
+        name: str,
+        category: str,
+        component: str,
+        tags: Optional[dict],
+        start: float,
+        parent_id: Optional[int] = None,
+    ):
+        self._tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.component = component
+        self.tags = dict(tags) if tags else {}
+        self.start = float(start)
+        self.end: Optional[float] = None
+        #: Point events inside the span: ``(t, name, attrs)`` tuples.
+        self.events: list[tuple] = []
+
+    # -- recording -----------------------------------------------------------
+
+    def tag(self, **tags) -> "Span":
+        """Attach key/value tags; returns self for chaining."""
+        self.tags.update(tags)
+        return self
+
+    def event(self, name: str, t: Optional[float] = None, **attrs) -> "Span":
+        """Record a point event inside the span."""
+        self.events.append(
+            (self._tracer.now() if t is None else float(t), name, attrs)
+        )
+        return self
+
+    def finish(self, t: Optional[float] = None) -> "Span":
+        """Close the span (idempotent; the first close wins)."""
+        if self.end is None:
+            end = self._tracer.now() if t is None else float(t)
+            if end < self.start:
+                raise ValueError(
+                    f"Span {self.name!r} ends at {end} before its "
+                    f"start {self.start}"
+                )
+            self.end = end
+        return self
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def overlaps(self, t0: float, t1: float) -> bool:
+        """Whether the span's interval intersects ``[t0, t1]``."""
+        end = self.end if self.end is not None else float("inf")
+        return self.start <= t1 and end >= t0
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.tag(error=repr(exc))
+        self.finish()
+        return False
+
+    def __repr__(self) -> str:
+        dur = f"{self.duration:.3f}s" if self.end is not None else "open"
+        return (
+            f"<Span #{self.span_id} {self.category}:{self.name!r} "
+            f"@{self.component} {dur}>"
+        )
+
+
+class Instant:
+    """A standalone point event (e.g. one scheduling decision)."""
+
+    __slots__ = ("t", "name", "category", "component", "tags")
+
+    def __init__(self, t, name, category, component, tags):
+        self.t = float(t)
+        self.name = name
+        self.category = category
+        self.component = component
+        self.tags = dict(tags) if tags else {}
+
+    def __repr__(self) -> str:
+        return f"<Instant {self.category}:{self.name!r} t={self.t}>"
+
+
+class Tracer:
+    """Collects spans, instants and metrics for one run.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current (simulated) time.
+        :func:`enable_tracing` wires this to ``env.now``.
+    trace_kernel:
+        Also record a span per simulation process (category
+        ``kernel.process``).  Off by default — kernel spans are high
+        volume and only useful when debugging the substrate itself.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        trace_kernel: bool = False,
+    ):
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self.trace_kernel = trace_kernel
+        self.spans: list[Span] = []
+        self.instants: list[Instant] = []
+        self.metrics = MetricsRegistry()
+        self._next_id = 0
+
+    def now(self) -> float:
+        return self._clock()
+
+    # -- recording -----------------------------------------------------------
+
+    def start(
+        self,
+        name: str,
+        category: str = "",
+        component: str = "",
+        tags: Optional[dict] = None,
+        parent: Optional[Span] = None,
+        t: Optional[float] = None,
+    ) -> Span:
+        """Open a new span starting now (or at explicit ``t``)."""
+        span = Span(
+            self,
+            span_id=self._next_id,
+            name=name,
+            category=category,
+            component=component,
+            tags=tags,
+            start=self.now() if t is None else float(t),
+            parent_id=parent.span_id if parent is not None else None,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    #: Alias reading naturally in ``with tracer.span(...)`` blocks.
+    span = start
+
+    def instant(
+        self,
+        name: str,
+        category: str = "",
+        component: str = "",
+        tags: Optional[dict] = None,
+        t: Optional[float] = None,
+    ) -> Instant:
+        """Record a standalone point event."""
+        inst = Instant(
+            self.now() if t is None else t, name, category, component, tags
+        )
+        self.instants.append(inst)
+        return inst
+
+    # -- post-run access -------------------------------------------------------
+
+    def query(self) -> "TraceQuery":
+        """A :class:`~repro.obs.query.TraceQuery` over this trace."""
+        from repro.obs.query import TraceQuery
+
+        return TraceQuery(self)
+
+    def open_spans(self) -> list:
+        return [s for s in self.spans if s.end is None]
+
+    def __repr__(self) -> str:
+        return (
+            f"<Tracer spans={len(self.spans)} instants={len(self.instants)} "
+            f"metrics={len(self.metrics)}>"
+        )
+
+
+class _NullSpan:
+    """Shared, stateless no-op span."""
+
+    __slots__ = ()
+
+    def tag(self, **tags):
+        return self
+
+    def event(self, name, t=None, **attrs):
+        return self
+
+    def finish(self, t=None):
+        return self
+
+    finished = True
+    duration = 0.0
+    span_id = -1
+    parent_id = None
+    events = ()
+    tags: dict = {}
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "<NullSpan>"
+
+
+class _NullMetric:
+    """Accepts every metric call, records nothing."""
+
+    __slots__ = ()
+    name = ""
+    kind = "null"
+
+    def record(self, t, value):
+        pass
+
+    set = record
+
+    def increment(self, t, delta=1.0):
+        pass
+
+    def inc(self, t, n=1.0):
+        pass
+
+    def acquire(self, t, amount=1.0):
+        pass
+
+    def release(self, t, amount=1.0):
+        pass
+
+    def __repr__(self) -> str:
+        return "<NullMetric>"
+
+
+class _NullRegistry:
+    """Hands out null metrics; registration is a no-op."""
+
+    __slots__ = ()
+
+    def counter(self, name, component="", t0=0.0):
+        return NULL_METRIC
+
+    def gauge(self, name, component="", initial=0.0, t0=0.0):
+        return NULL_METRIC
+
+    def utilization(self, name, capacity, component="", t0=0.0):
+        return NULL_METRIC
+
+    def register(self, metric, component=""):
+        pass
+
+    def items(self):
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "<NullRegistry>"
+
+
+class NullTracer:
+    """The default tracer: every operation is a no-op.
+
+    Stateless and shared (:data:`NULL_TRACER`), so an un-traced run
+    pays one attribute read plus one no-op call per instrumentation
+    point — within measurement noise even at Frontier scale.
+    """
+
+    __slots__ = ()
+    enabled = False
+    trace_kernel = False
+    spans: tuple = ()
+    instants: tuple = ()
+    metrics = _NullRegistry()
+
+    def now(self) -> float:
+        return 0.0
+
+    def start(self, name, category="", component="", tags=None, parent=None, t=None):
+        return NULL_SPAN
+
+    span = start
+
+    def instant(self, name, category="", component="", tags=None, t=None):
+        return None
+
+    def query(self):
+        raise RuntimeError(
+            "Tracing is disabled; call repro.obs.enable_tracing(env) "
+            "before the run to record a trace"
+        )
+
+    def open_spans(self) -> list:
+        return []
+
+    def __repr__(self) -> str:
+        return "<NullTracer>"
+
+
+NULL_SPAN = _NullSpan()
+NULL_METRIC = _NullMetric()
+NULL_TRACER = NullTracer()
+
+
+def enable_tracing(env, trace_kernel: bool = False) -> Tracer:
+    """Install a real tracer on ``env`` (any object with ``.now``).
+
+    Returns the tracer; it is also reachable as ``env.tracer`` from
+    every component holding the environment.
+    """
+    tracer = Tracer(clock=lambda: env.now, trace_kernel=trace_kernel)
+    env.tracer = tracer
+    return tracer

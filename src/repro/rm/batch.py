@@ -64,6 +64,16 @@ class BatchScheduler:
         self._seq += 1
         self._submit_seq[job.job_id] = self._seq
         self.queue.append(job)
+        tracer = self.env.tracer
+        tracer.instant(
+            "submit",
+            category="rm.job",
+            component="batch",
+            tags={"job": job.name, "user": job.user, "nodes": job.request.nodes},
+        )
+        tracer.metrics.gauge("queue_length", component="batch").set(
+            self.env.now, len(self.queue)
+        )
         self._kick()
         return job
 
@@ -74,6 +84,16 @@ class BatchScheduler:
             job.state = JobState.CANCELLED
             job.end_time = self.env.now
             self.finished.append(job)
+            tracer = self.env.tracer
+            tracer.instant(
+                "cancel",
+                category="rm.job",
+                component="batch",
+                tags={"job": job.name},
+            )
+            tracer.metrics.gauge("queue_length", component="batch").set(
+                self.env.now, len(self.queue)
+            )
             job.completion.succeed(job)
 
     @property
@@ -215,6 +235,16 @@ class BatchScheduler:
         job.state = JobState.RUNNING
         job.start_time = self.env.now
         job.nodes = list(nodes)
+        tracer = self.env.tracer
+        tracer.metrics.gauge("queue_length", component="batch").set(
+            self.env.now, len(self.queue)
+        )
+        job._obs_span = tracer.start(
+            job.name,
+            category="rm.job",
+            component="batch",
+            tags={"user": job.user, "nodes": len(nodes)},
+        )
         # Allocate synchronously so the scheduling pass that picked these
         # nodes cannot hand them to another job before the run process
         # gets a turn.
@@ -284,6 +314,9 @@ class BatchScheduler:
                 self.running.remove(job)
             self.finished.append(job)
             self.usage[job.user] += (job.end_time - job.start_time) * request.total_cores
+            span = getattr(job, "_obs_span", None)
+            if span is not None:
+                span.tag(state=job.state.value).finish()
             job.completion.succeed(job)
             self._kick()
 

@@ -152,6 +152,16 @@ class KubeScheduler:
         pod.submit_time = self.env.now
         pod.completion = self.env.event()
         self.pending.append(pod)
+        tracer = self.env.tracer
+        tracer.instant(
+            "submit",
+            category="rm.pod",
+            component="kube",
+            tags={"pod": pod.name, "cores": pod.cores},
+        )
+        tracer.metrics.gauge("pending_pods", component="kube").set(
+            self.env.now, len(self.pending)
+        )
         self._kick()
         return pod
 
@@ -217,6 +227,21 @@ class KubeScheduler:
         pod.state = JobState.RUNNING
         pod.start_time = self.env.now
         pod.node = node
+        tracer = self.env.tracer
+        tracer.metrics.gauge("pending_pods", component="kube").set(
+            self.env.now, len(self.pending)
+        )
+        pod._obs_span = tracer.start(
+            pod.name,
+            category="rm.pod",
+            component="kube",
+            tags={
+                "node": node.id,
+                "cores": pod.cores,
+                "gpus": pod.gpus,
+                "strategy": self.strategy.name,
+            },
+        )
         # Allocate synchronously so this scheduling pass sees the node's
         # reduced capacity before placing the next pod.
         alloc = node.allocate(
@@ -266,5 +291,8 @@ class KubeScheduler:
             if pod in self.running:
                 self.running.remove(pod)
             self.finished.append(pod)
+            span = getattr(pod, "_obs_span", None)
+            if span is not None:
+                span.tag(state=pod.state.value).finish()
             pod.completion.succeed(pod)
             self._kick()

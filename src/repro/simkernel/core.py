@@ -12,6 +12,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Generator, Iterable, Optional
 
+from repro.obs.tracer import NULL_TRACER
 from repro.simkernel.events import (
     AllOf,
     AnyOf,
@@ -55,6 +56,10 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_proc: Optional[Process] = None
+        #: Observability sink shared by every component holding this
+        #: environment.  The default null tracer records nothing; call
+        #: :func:`repro.obs.enable_tracing` to install a real one.
+        self.tracer = NULL_TRACER
 
     # -- clock --------------------------------------------------------------
 
@@ -95,7 +100,19 @@ class Environment:
 
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
         """Start a new process from ``generator``."""
-        return Process(self, generator, name=name)
+        proc = Process(self, generator, name=name)
+        if self.tracer.trace_kernel:
+            # Kernel spans are opt-in (enable_tracing(trace_kernel=True)):
+            # one span per process, closed when the process terminates.
+            # Process has __slots__, so the link lives in the callback
+            # closure rather than on the process object.
+            span = self.tracer.start(
+                proc.name or "process",
+                category="kernel.process",
+                component="simkernel",
+            )
+            proc.callbacks.append(lambda event, _s=span: _s.finish())
+        return proc
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event triggering when all ``events`` have succeeded."""

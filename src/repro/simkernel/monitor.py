@@ -1,149 +1,26 @@
 """Time-series instrumentation for simulations.
 
-Two small recorders used throughout the substrate layers:
+Historical home of the two recorders used throughout the substrate
+layers.  The implementations now live in :mod:`repro.obs.metrics` —
+the observability layer's single source of truth — and are re-exported
+here under their original names for compatibility:
 
-- :class:`TimeSeriesMonitor` — step-function samples ``(t, value)``
-  with integration and resampling, used for concurrency curves (Fig 5)
-  and queue lengths.
+- :class:`TimeSeriesMonitor` is :class:`repro.obs.metrics.Gauge` —
+  step-function samples ``(t, value)`` with integration and
+  resampling, used for concurrency curves (Fig 5) and queue lengths.
 - :class:`UtilizationTracker` — busy-interval accounting for capacity
   resources, used for the Fig 4 utilization reproduction.
+
+Both can be adopted into a tracer's
+:class:`~repro.obs.metrics.MetricsRegistry`, so everything recorded
+through them shows up in exported traces.
 """
 
 from __future__ import annotations
 
-import bisect
-from typing import Optional
+from repro.obs.metrics import Gauge, UtilizationTracker
 
-import numpy as np
+#: Historical name for :class:`repro.obs.metrics.Gauge`.
+TimeSeriesMonitor = Gauge
 
-
-class TimeSeriesMonitor:
-    """Records a piecewise-constant signal over simulated time.
-
-    The signal holds each recorded value until the next record.  All
-    derived statistics (time average, integral, resampling) treat it as
-    a right-open step function.
-    """
-
-    def __init__(self, name: str = "", initial: float = 0.0, t0: float = 0.0):
-        self.name = name
-        self.times: list[float] = [t0]
-        self.values: list[float] = [float(initial)]
-
-    def record(self, t: float, value: float) -> None:
-        """Record that the signal equals ``value`` from time ``t`` on."""
-        if t < self.times[-1]:
-            raise ValueError(
-                f"Non-monotonic record: t={t} < last t={self.times[-1]}"
-            )
-        if t == self.times[-1]:
-            self.values[-1] = float(value)
-        else:
-            self.times.append(float(t))
-            self.values.append(float(value))
-
-    def increment(self, t: float, delta: float = 1.0) -> None:
-        """Record ``current + delta`` at time ``t``."""
-        self.record(t, self.values[-1] + delta)
-
-    @property
-    def current(self) -> float:
-        return self.values[-1]
-
-    @property
-    def peak(self) -> float:
-        return max(self.values)
-
-    def value_at(self, t: float) -> float:
-        """Signal value at time ``t`` (last record at or before ``t``)."""
-        idx = bisect.bisect_right(self.times, t) - 1
-        if idx < 0:
-            raise ValueError(f"t={t} precedes first record {self.times[0]}")
-        return self.values[idx]
-
-    def integral(self, t_end: Optional[float] = None) -> float:
-        """Integral of the step function from first record to ``t_end``.
-
-        ``t_end`` may fall before the last record; segments past it
-        contribute nothing.
-        """
-        t_end = self.times[-1] if t_end is None else t_end
-        ts = np.asarray(self.times)
-        vs = np.asarray(self.values)
-        seg_ends = np.minimum(np.append(ts[1:], max(t_end, ts[-1])), t_end)
-        widths = np.clip(seg_ends - ts, 0.0, None)
-        return float(np.dot(widths, vs))
-
-    def time_average(self, t_end: Optional[float] = None) -> float:
-        """Time-weighted mean of the signal."""
-        t_end = self.times[-1] if t_end is None else t_end
-        span = t_end - self.times[0]
-        if span <= 0:
-            return self.values[0]
-        return self.integral(t_end) / span
-
-    def resample(self, n: int = 200, t_end: Optional[float] = None):
-        """Return ``(times, values)`` arrays sampled on a uniform grid."""
-        t_end = self.times[-1] if t_end is None else t_end
-        grid = np.linspace(self.times[0], t_end, n)
-        idx = np.searchsorted(self.times, grid, side="right") - 1
-        idx = np.clip(idx, 0, len(self.values) - 1)
-        return grid, np.asarray(self.values)[idx]
-
-    def __len__(self) -> int:
-        return len(self.times)
-
-    def __repr__(self) -> str:
-        return (
-            f"<TimeSeriesMonitor {self.name!r} points={len(self.times)} "
-            f"current={self.current}>"
-        )
-
-
-class UtilizationTracker:
-    """Busy-capacity accounting against a fixed total capacity.
-
-    Call :meth:`acquire`/:meth:`release` as capacity units come into and
-    out of use.  :meth:`utilization` is the busy integral divided by
-    ``capacity × span`` — the quantity Fig 4 of the paper reports as
-    "resource utilization".
-    """
-
-    def __init__(self, capacity: float, name: str = "", t0: float = 0.0):
-        if capacity <= 0:
-            raise ValueError("capacity must be positive")
-        self.capacity = float(capacity)
-        self.name = name
-        self.busy = TimeSeriesMonitor(name=f"{name}.busy", initial=0.0, t0=t0)
-
-    def acquire(self, t: float, amount: float = 1.0) -> None:
-        """Mark ``amount`` capacity units busy from time ``t``."""
-        new = self.busy.current + amount
-        if new > self.capacity + 1e-9:
-            raise ValueError(
-                f"Oversubscription: busy {new} > capacity {self.capacity}"
-            )
-        self.busy.record(t, new)
-
-    def release(self, t: float, amount: float = 1.0) -> None:
-        """Mark ``amount`` capacity units free from time ``t``."""
-        new = self.busy.current - amount
-        if new < -1e-9:
-            raise ValueError(f"Releasing more than acquired: {new}")
-        self.busy.record(t, max(new, 0.0))
-
-    def utilization(self, t_start: Optional[float] = None, t_end: Optional[float] = None) -> float:
-        """Fraction of capacity-time in use over ``[t_start, t_end]``."""
-        t_start = self.busy.times[0] if t_start is None else t_start
-        t_end = self.busy.times[-1] if t_end is None else t_end
-        span = t_end - t_start
-        if span <= 0:
-            return 0.0
-        total = self.busy.integral(t_end) - self.busy.integral(t_start)
-        return total / (self.capacity * span)
-
-    def __repr__(self) -> str:
-        return (
-            f"<UtilizationTracker {self.name!r} busy={self.busy.current}"
-            f"/{self.capacity}>"
-        )
+__all__ = ["TimeSeriesMonitor", "UtilizationTracker"]

@@ -1,0 +1,176 @@
+"""Unit tests for the Chrome-trace and JSONL exporters."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import Tracer, to_chrome_trace, to_jsonl
+from repro.obs.export import write_chrome_trace, write_jsonl
+
+from tests.obs.minirun import assert_chrome_trace_valid
+
+
+def overlapping_trace():
+    """Spans that cannot share one lane: [0,10), [5,15), nested [6,9)."""
+    tracer = Tracer()
+    a = tracer.start("a", category="x", component="comp", t=0.0)
+    b = tracer.start("b", category="x", component="comp", t=5.0)
+    c = tracer.start("c", category="x", component="comp", parent=b, t=6.0)
+    c.finish(t=9.0)
+    a.finish(t=10.0)
+    b.finish(t=15.0)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_overlapping_spans_fan_out_to_balanced_lanes(self):
+        doc = to_chrome_trace(overlapping_trace())
+        assert_chrome_trace_valid(doc)
+        be = [e for e in doc["traceEvents"] if e["ph"] in "BE"]
+        assert len(be) == 6
+        # b and c share a lane (nested); a is alone on another.
+        lanes = {e["args"]["span_id"]: e["tid"] for e in be if e["ph"] == "B"}
+        assert lanes[1] == lanes[2]
+        assert lanes[0] != lanes[1]
+
+    def test_process_metadata_names_components(self):
+        tracer = Tracer()
+        tracer.start("s", component="kube", t=0.0).finish(t=1.0)
+        tracer.start("s", component="batch", t=0.0).finish(t=1.0)
+        doc = to_chrome_trace(tracer)
+        meta = {
+            e["pid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert sorted(meta.values()) == ["batch", "kube"]
+
+    def test_timestamps_in_microseconds(self):
+        tracer = Tracer()
+        tracer.start("s", component="c", t=1.5).finish(t=2.0)
+        doc = to_chrome_trace(tracer)
+        ts = sorted(e["ts"] for e in doc["traceEvents"] if e["ph"] in "BE")
+        assert ts == [1_500_000.0, 2_000_000.0]
+
+    def test_open_spans_excluded_but_counted(self):
+        tracer = Tracer()
+        tracer.start("done", component="c", t=0.0).finish(t=1.0)
+        tracer.start("open", component="c", t=0.5)
+        doc = to_chrome_trace(tracer)
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "B"}
+        assert names == {"done"}
+        assert doc["otherData"]["spans"] == 1
+        assert doc["otherData"]["open_spans"] == 1
+
+    def test_span_events_and_instants_become_instant_events(self):
+        tracer = Tracer()
+        span = tracer.start("s", category="x", component="c", t=0.0)
+        span.event("checkpoint", t=0.5, step=3)
+        span.finish(t=1.0)
+        tracer.instant("decision", category="y", component="c", t=0.7,
+                       tags={"node": "n1"})
+        doc = to_chrome_trace(tracer)
+        inst = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert {e["name"] for e in inst} == {"checkpoint", "decision"}
+        assert all(e["s"] == "t" and e["tid"] == 0 for e in inst)
+        by_name = {e["name"]: e for e in inst}
+        assert by_name["checkpoint"]["args"] == {"step": 3, "span_id": 0}
+        assert by_name["decision"]["args"] == {"node": "n1"}
+
+    def test_metrics_become_counter_events(self):
+        tracer = Tracer()
+        tracer.start("s", component="c", t=0.0).finish(t=4.0)
+        gauge = tracer.metrics.gauge("depth", component="c")
+        gauge.record(2.0, 7.0)
+        doc = to_chrome_trace(tracer, include_metrics=True)
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert {e["name"] for e in counters} == {"c/depth"}
+        assert [e["args"]["value"] for e in counters] == [0.0, 7.0]
+        without = to_chrome_trace(tracer, include_metrics=False)
+        assert not [e for e in without["traceEvents"] if e["ph"] == "C"]
+
+    def test_tags_survive_with_numpy_values(self):
+        tracer = Tracer()
+        span = tracer.start(
+            "s", component="c", t=0.0,
+            tags={"cores": np.int64(8), "frac": np.float64(0.5),
+                  "obj": object()},
+        )
+        span.finish(t=1.0)
+        doc = to_chrome_trace(tracer)
+        args = next(
+            e for e in doc["traceEvents"] if e["ph"] == "B"
+        )["args"]
+        assert args["cores"] == 8 and isinstance(args["cores"], int)
+        assert args["frac"] == 0.5
+        assert isinstance(args["obj"], str)
+        json.dumps(doc)  # fully serializable
+
+    def test_zero_duration_span_at_parent_boundary(self):
+        tracer = Tracer()
+        parent = tracer.start("p", component="c", t=0.0)
+        tracer.start("z", component="c", parent=parent, t=5.0).finish(t=5.0)
+        parent.finish(t=5.0)
+        assert_chrome_trace_valid(to_chrome_trace(tracer))
+
+    def test_write_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(overlapping_trace(), path)
+        loaded = json.loads(path.read_text())
+        assert loaded["otherData"]["spans"] == 3
+        assert_chrome_trace_valid(loaded)
+
+
+class TestJsonl:
+    def test_one_valid_json_object_per_line(self):
+        tracer = overlapping_trace()
+        tracer.instant("i", component="comp", t=1.0)
+        tracer.metrics.counter("done", component="comp").inc(2.0)
+        text = to_jsonl(tracer)
+        lines = text.splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["type"] for r in records] == [
+            "span", "span", "span", "instant", "metric",
+        ]
+        assert text.endswith("\n")
+
+    def test_span_record_fields(self):
+        tracer = Tracer()
+        parent = tracer.start("p", category="x", component="c", t=0.0)
+        child = tracer.start("k", category="x", component="c",
+                             parent=parent, tags={"n": 1}, t=1.0)
+        child.event("e", t=1.5, detail="d")
+        child.finish(t=2.0)
+        parent.finish(t=3.0)
+        records = [json.loads(x) for x in to_jsonl(tracer).splitlines()]
+        assert records[1] == {
+            "type": "span", "id": 1, "parent": 0, "name": "k",
+            "cat": "x", "comp": "c", "t0": 1.0, "t1": 2.0,
+            "tags": {"n": 1}, "events": [[1.5, "e", {"detail": "d"}]],
+        }
+        assert records[0]["parent"] is None
+
+    def test_open_spans_serialized_with_null_end(self):
+        tracer = Tracer()
+        tracer.start("open", t=1.0)
+        [record] = [json.loads(x) for x in to_jsonl(tracer).splitlines()]
+        assert record["t1"] is None
+
+    def test_include_metrics_toggle(self):
+        tracer = Tracer()
+        tracer.metrics.gauge("g").record(1.0, 2.0)
+        assert to_jsonl(tracer, include_metrics=False) == ""
+        [record] = [
+            json.loads(x) for x in to_jsonl(tracer).splitlines()
+        ]
+        assert record == {
+            "type": "metric", "comp": "", "kind": "gauge", "name": "g",
+            "times": [0.0, 1.0], "values": [0.0, 2.0],
+        }
+
+    def test_write_roundtrip(self, tmp_path):
+        tracer = overlapping_trace()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(tracer, path)
+        assert path.read_text() == to_jsonl(tracer)

@@ -1,0 +1,221 @@
+"""One tracer threaded through the whole stack (rm, engines, cws,
+entk, atlas, jaws) — each layer's spans land in the same trace and the
+derived series agree with the live recorders."""
+
+import numpy as np
+
+from repro.atlas import CloudDeployment, HpcDeployment, make_workload
+from repro.cluster import Cluster, NodeSpec
+from repro.core import TaskSpec, Workflow
+from repro.data import File
+from repro.engines import ArgoLikeEngine
+from repro.jaws import CromwellEngine, parse_wdl
+from repro.obs import enable_tracing
+from repro.rm import BatchScheduler, Job, KubeScheduler, ResourceRequest
+from repro.simkernel import Environment
+
+from tests.obs.minirun import mini_entk_run
+
+
+class TestBatchSpans:
+    def test_job_span_matches_job_lifetime(self):
+        env = Environment()
+        tracer = enable_tracing(env)
+        cluster = Cluster(env, pools=[(NodeSpec("n", cores=4, memory_gb=16), 2)])
+        batch = BatchScheduler(env, cluster)
+        job = Job(request=ResourceRequest(nodes=1, walltime_s=100),
+                  duration=30, name="probe", user="alice")
+        batch.submit(job)
+        env.run()
+
+        [span] = tracer.query().spans(category="rm.job")
+        assert span.name == "probe"
+        assert span.component == "batch"
+        assert (span.start, span.end) == (job.start_time, job.end_time)
+        assert span.tags["user"] == "alice"
+        assert span.tags["state"] == "completed"
+
+        [submit] = tracer.query().instants(category="rm.job", name="submit")
+        assert submit.tags["job"] == "probe"
+        queue = tracer.metrics.get("queue_length", component="batch")
+        assert queue.current == 0.0
+
+    def test_walltime_kill_tagged_failed(self):
+        env = Environment()
+        tracer = enable_tracing(env)
+        cluster = Cluster(env, pools=[(NodeSpec("n", cores=4, memory_gb=16), 1)])
+        batch = BatchScheduler(env, cluster)
+        batch.submit(Job(request=ResourceRequest(nodes=1, walltime_s=10),
+                         duration=50, name="runaway"))
+        env.run()
+        [span] = tracer.query().spans(category="rm.job")
+        assert span.tags["state"] == "failed"
+
+
+class TestKubeAndEngineSpans:
+    def test_pod_and_engine_task_spans(self):
+        env = Environment()
+        tracer = enable_tracing(env)
+        cluster = Cluster(env, pools=[(NodeSpec("n", cores=4, memory_gb=32), 2)])
+        sched = KubeScheduler(env, cluster)
+        engine = ArgoLikeEngine(env, sched)
+        wf = Workflow("wf")
+        wf.add_task(TaskSpec("a", runtime_s=10, cores=1,
+                             outputs=(File("x", 100),)))
+        wf.add_task(TaskSpec("b", runtime_s=10, cores=1, inputs=("x",)))
+        run = engine.run(wf)
+        env.run(until=run.done)
+        assert run.succeeded
+
+        q = tracer.query()
+        pods = q.spans(category="rm.pod")
+        assert len(pods) == 2
+        for span in pods:
+            assert span.component == "kube"
+            assert span.tags["state"] == "completed"
+            assert span.tags["node"] in {n.id for n in cluster.nodes}
+
+        tasks = q.spans(category="engine.task")
+        assert [s.name for s in tasks] == ["a", "b"]
+        assert all(s.component == "argo-like" for s in tasks)
+        assert all(s.tags["state"] == "completed" for s in tasks)
+        # The engine span covers its pod's span.
+        assert tasks[0].start <= pods[0].start <= pods[0].end <= tasks[0].end
+
+
+class TestCwsDecisionInstants:
+    def test_strategy_decisions_recorded_with_chosen_node(self):
+        from repro.cws import CWSI
+        from repro.engines import NextflowLikeEngine
+
+        env = Environment()
+        tracer = enable_tracing(env)
+        cluster = Cluster(env, pools=[
+            (NodeSpec("small", cores=2, memory_gb=8), 2),
+            (NodeSpec("big", cores=16, memory_gb=64), 2),
+        ])
+        sched = KubeScheduler(env, cluster)
+        cwsi = CWSI(env, sched, strategy="rank")
+        engine = NextflowLikeEngine(env, sched, cwsi=cwsi)
+        wf = Workflow("wf")
+        wf.add_task(TaskSpec("a", runtime_s=10, cores=1,
+                             outputs=(File("x", 100),)))
+        wf.add_task(TaskSpec("b", runtime_s=10, cores=1, inputs=("x",)))
+        run = engine.run(wf)
+        env.run(until=run.done)
+        assert run.succeeded
+
+        decisions = tracer.query().instants(category="cws.strategy")
+        assert len(decisions) == 2
+        node_ids = {n.id for n in cluster.nodes}
+        for inst in decisions:
+            assert inst.component == "cws"
+            assert inst.tags["strategy"] == "rank"
+            assert inst.tags["node"] in node_ids
+
+
+class TestEntkTrace:
+    def test_all_layers_in_one_trace(self):
+        prof, tracer = mini_entk_run(n_tasks=40, nodes=40, seed=1)
+        q = tracer.query()
+        assert {"rm.job", "entk.bootstrap", "entk.task", "entk.pending",
+                "entk.exec"} <= set(q.categories())
+        assert len(q.spans(category="entk.task")) == 40
+        assert not tracer.open_spans()
+
+        pilot = "entk-pilot-0"
+        [bootstrap] = q.spans(category="entk.bootstrap")
+        assert bootstrap.duration == prof.ovh
+
+        # Each exec span is a child of its task span and nested in it.
+        for exec_span in q.spans(category="entk.exec"):
+            assert exec_span.parent_id is not None
+            assert exec_span.tags["cores"] > 0
+
+        # Fig 4/5 series re-derived from spans == live agent monitors.
+        job = q.spans(category="rm.job", name=pilot)[0]
+        for category, metric in [("entk.exec", "executing"),
+                                 ("entk.pending", "pending_launch")]:
+            derived = q.concurrency(category=category, component=pilot,
+                                    t0=job.start)
+            live = tracer.metrics.get(metric, component=pilot)
+            assert derived.series() == live.series()
+
+        util = q.utilization(
+            capacity=tracer.metrics.get("cores", component=pilot).capacity,
+            weight="cores", category="entk.exec", component=pilot,
+            t0=job.start, t1=job.end,
+        )
+        assert util == prof.core_utilization
+
+
+class TestAtlasSpans:
+    def test_cloud_file_and_step_spans(self):
+        env = Environment()
+        tracer = enable_tracing(env)
+        dep = CloudDeployment(env, max_instances=4,
+                              rng=np.random.default_rng(0))
+        wl = make_workload(n_files=6, seed=0)
+        result = dep.run(wl)
+        env.run(until=result.done)
+        assert result.failures == 0
+
+        q = tracer.query()
+        files = q.spans(category="atlas.file", component="cloud")
+        assert len(files) == 6
+        for span in files:
+            assert span.tags["state"] == "completed"
+            steps = q.children_of(span)
+            assert [s.name for s in steps] == [
+                "prefetch", "fasterq_dump", "salmon", "deseq2",
+            ]
+            assert all(span.start <= s.start and s.end <= span.end
+                       for s in steps)
+
+    def test_hpc_spans(self):
+        env = Environment()
+        tracer = enable_tracing(env)
+        dep = HpcDeployment(env, slots=4, rng=np.random.default_rng(0))
+        result = dep.run(make_workload(n_files=4, seed=0))
+        env.run(until=result.done)
+        q = tracer.query()
+        files = q.spans(category="atlas.file", component="hpc")
+        assert len(files) == 4
+        assert len(q.spans(category="atlas.step", component="hpc")) == 16
+        # HPC runs are batch jobs — the rm layer traced them too.
+        assert len(q.spans(category="rm.job", component="batch")) == 4
+
+
+class TestJawsSpans:
+    WDL = """
+    version 1.0
+    task prep {
+        input { File reads }
+        command <<< prep >>>
+        output { File out = "p.fq" }
+        runtime { cpu: 1, runtime_minutes: 1, docker: "img@sha256:aa" }
+    }
+    workflow w {
+        input { Array[File] samples = ["a.fq", "b.fq", "c.fq"] }
+        scatter (s in samples) {
+            call prep { input: reads = s }
+        }
+    }
+    """
+
+    def test_scatter_instants_and_call_spans(self):
+        env = Environment()
+        tracer = enable_tracing(env)
+        cluster = Cluster(env, pools=[(NodeSpec("c", cores=16, memory_gb=64), 4)])
+        engine = CromwellEngine(env, BatchScheduler(env, cluster))
+        result = engine.run(parse_wdl(self.WDL))
+        env.run(until=result.done)
+        assert result.succeeded
+
+        q = tracer.query()
+        [scatter] = q.instants(category="jaws.scatter")
+        assert scatter.tags["shards"] == 3
+        calls = q.spans(category="jaws.call", component="cromwell")
+        assert [s.name for s in calls] == ["prep[0]", "prep[1]", "prep[2]"]
+        assert all(s.tags["state"] == "completed" for s in calls)
+        assert all(s.tags["cached"] is False for s in calls)

@@ -1,0 +1,171 @@
+"""Unit tests for the metric primitives (repro.obs.metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.obs import Counter, Gauge, MetricsRegistry, UtilizationTracker
+from repro.simkernel.monitor import TimeSeriesMonitor
+from repro.simkernel.monitor import UtilizationTracker as MonitorTracker
+
+
+class TestGauge:
+    def test_step_semantics(self):
+        g = Gauge("q", initial=0.0, t0=0.0)
+        g.record(1.0, 3.0)
+        g.record(4.0, 1.0)
+        assert g.series() == ((0.0, 1.0, 4.0), (0.0, 3.0, 1.0))
+        assert g.current == 1.0
+        assert g.peak == 3.0
+        assert g.value_at(0.5) == 0.0
+        assert g.value_at(1.0) == 3.0
+        assert g.value_at(3.999) == 3.0
+        assert g.value_at(100.0) == 1.0
+
+    def test_same_time_collapse(self):
+        g = Gauge("q")
+        g.record(2.0, 5.0)
+        g.record(2.0, 7.0)
+        assert g.series() == ((0.0, 2.0), (0.0, 7.0))
+
+    def test_non_monotonic_time_rejected(self):
+        g = Gauge("q")
+        g.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            g.record(4.0, 2.0)
+
+    def test_value_before_first_record_rejected(self):
+        g = Gauge("q", t0=10.0)
+        with pytest.raises(ValueError):
+            g.value_at(9.0)
+
+    def test_increment(self):
+        g = Gauge("q")
+        g.increment(1.0)
+        g.increment(2.0, 3.0)
+        g.increment(3.0, -2.0)
+        assert g.values == [0.0, 1.0, 4.0, 2.0]
+
+    def test_set_is_record(self):
+        g = Gauge("q")
+        g.set(1.0, 9.0)
+        assert g.current == 9.0
+
+    def test_integral_and_time_average(self):
+        g = Gauge("q", initial=2.0, t0=0.0)
+        g.record(10.0, 4.0)
+        # 10s at 2 + 5s at 4
+        assert g.integral(15.0) == pytest.approx(40.0)
+        assert g.time_average(15.0) == pytest.approx(40.0 / 15.0)
+        # t_end inside the first segment.
+        assert g.integral(5.0) == pytest.approx(10.0)
+
+    def test_resample_right_continuous(self):
+        g = Gauge("q", initial=0.0, t0=0.0)
+        g.record(5.0, 1.0)
+        times, values = g.resample(n=11, t_end=10.0)
+        assert list(times) == pytest.approx(list(np.linspace(0, 10, 11)))
+        assert list(values) == [0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1]
+
+    def test_to_dict(self):
+        g = Gauge("q", t0=1.0)
+        g.record(2.0, 3.0)
+        assert g.to_dict() == {
+            "kind": "gauge", "name": "q",
+            "times": [1.0, 2.0], "values": [0.0, 3.0],
+        }
+
+
+class TestCounter:
+    def test_monotonic(self):
+        c = Counter("done")
+        c.inc(1.0)
+        c.inc(2.0, 5.0)
+        assert c.current == 6.0
+        with pytest.raises(ValueError):
+            c.record(3.0, 5.0)
+        with pytest.raises(ValueError):
+            c.inc(3.0, -1.0)
+
+    def test_rate_is_slope(self):
+        c = Counter("sched")
+        for i in range(1, 11):
+            c.inc(float(i))
+        assert c.rate(0.0, 10.0) == pytest.approx(1.0)
+        assert c.rate(5.0, 5.0) == 0.0
+
+
+class TestUtilizationTracker:
+    def test_busy_accounting(self):
+        u = UtilizationTracker(capacity=4.0, name="cores", t0=0.0)
+        u.acquire(0.0, 2.0)
+        u.release(5.0, 2.0)
+        u.acquire(5.0, 4.0)
+        u.release(10.0, 4.0)
+        # (2*5 + 4*5) / (4 * 10)
+        assert u.utilization(0.0, 10.0) == pytest.approx(0.75)
+
+    def test_oversubscription_rejected(self):
+        u = UtilizationTracker(capacity=1.0)
+        u.acquire(0.0, 1.0)
+        with pytest.raises(ValueError):
+            u.acquire(1.0, 0.5)
+
+    def test_over_release_rejected(self):
+        u = UtilizationTracker(capacity=1.0)
+        with pytest.raises(ValueError):
+            u.release(0.0, 1.0)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            UtilizationTracker(capacity=0.0)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_shares_instances(self):
+        reg = MetricsRegistry()
+        a = reg.counter("done", component="agent")
+        b = reg.counter("done", component="agent")
+        assert a is b
+        assert reg.counter("done", component="other") is not a
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.utilization("x", capacity=4.0)
+
+    def test_register_adopts_external_metric(self):
+        reg = MetricsRegistry()
+        g = Gauge("queue")
+        reg.register(g, component="batch")
+        assert reg.get("queue", component="batch") is g
+        reg.register(g, component="batch")  # idempotent
+        with pytest.raises(ValueError):
+            reg.register(Gauge("queue"), component="batch")
+
+    def test_items_sorted_and_to_dict(self):
+        reg = MetricsRegistry()
+        reg.gauge("b", component="z")
+        reg.gauge("a", component="a")
+        assert [key for key, _ in reg.items()] == [("a", "a"), ("z", "b")]
+        assert set(reg.to_dict()) == {"a/a", "z/b"}
+        assert len(reg) == 2
+        assert ("a", "a") in reg
+
+    def test_contains_bare_name_uses_empty_component(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth")
+        assert "depth" in reg
+        assert "missing" not in reg
+
+
+class TestMonitorCompatibility:
+    """repro.simkernel.monitor must remain a thin alias of repro.obs."""
+
+    def test_timeseries_monitor_is_gauge(self):
+        assert TimeSeriesMonitor is Gauge
+
+    def test_utilization_tracker_is_shared(self):
+        assert MonitorTracker is UtilizationTracker

@@ -1,0 +1,155 @@
+"""Property tests (hypothesis) for the observability invariants.
+
+These pin the contracts the rest of the stack relies on:
+
+- spans can never end before they start;
+- a child opened inside its parent stays inside it;
+- the Chrome-trace exporter always emits time-sorted events whose
+  per-lane B/E sequences are balanced, properly nested brackets — for
+  *any* overlap structure, not just the ones the instrumented layers
+  happen to produce;
+- the concurrency series derived from spans after the run equals the
+  series a live ``TimeSeriesMonitor`` incremented at the same times
+  would have recorded (the equivalence the benchmarks assert against
+  the EnTK profiles).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import Tracer, to_chrome_trace, to_jsonl
+from repro.simkernel.monitor import TimeSeriesMonitor
+
+from tests.obs.minirun import assert_chrome_trace_valid
+
+#: (start, duration) pairs on an integer grid — integer-valued floats
+#: keep every comparison exact while still colliding aggressively.
+intervals = st.lists(
+    st.tuples(st.integers(0, 60), st.integers(0, 30)),
+    min_size=1,
+    max_size=40,
+)
+
+
+def span_trace(pairs, component="c"):
+    tracer = Tracer()
+    for idx, (start, dur) in enumerate(pairs):
+        tracer.start(
+            f"s{idx}", category="x", component=component, t=float(start)
+        ).finish(t=float(start + dur))
+    return tracer
+
+
+@given(intervals)
+@settings(max_examples=200, deadline=None)
+def test_chrome_trace_sorted_and_balanced(pairs):
+    assert_chrome_trace_valid(to_chrome_trace(span_trace(pairs)))
+
+
+@given(intervals, intervals)
+@settings(max_examples=50, deadline=None)
+def test_chrome_trace_multi_component(pairs_a, pairs_b):
+    tracer = Tracer()
+    for comp, pairs in (("a", pairs_a), ("b", pairs_b)):
+        for idx, (start, dur) in enumerate(pairs):
+            tracer.start(
+                f"{comp}{idx}", category="x", component=comp, t=float(start)
+            ).finish(t=float(start + dur))
+    doc = to_chrome_trace(tracer)
+    assert_chrome_trace_valid(doc)
+    be = [e for e in doc["traceEvents"] if e["ph"] in "BE"]
+    assert len(be) == 2 * (len(pairs_a) + len(pairs_b))
+
+
+@given(intervals)
+@settings(max_examples=200, deadline=None)
+def test_concurrency_equals_live_monitor(pairs):
+    """Post-hoc span counting == a monitor incremented during the run."""
+    tracer = span_trace(pairs)
+    derived = tracer.query().concurrency(category="x", t0=0.0)
+
+    live = TimeSeriesMonitor("concurrency", initial=0.0, t0=0.0)
+    changes = []
+    for start, dur in pairs:
+        changes.append((float(start), +1.0))
+        changes.append((float(start + dur), -1.0))
+    for t, delta in sorted(changes):
+        live.increment(t, delta)
+
+    assert derived.series() == live.series()
+
+
+@given(intervals, st.integers(2, 16))
+@settings(max_examples=50, deadline=None)
+def test_weighted_busy_equals_live_monitor(pairs, weight):
+    tracer = Tracer()
+    for idx, (start, dur) in enumerate(pairs):
+        tracer.start(
+            f"s{idx}", category="x", tags={"w": weight}, t=float(start)
+        ).finish(t=float(start + dur))
+    derived = tracer.query().busy("w", category="x", t0=0.0)
+
+    live = TimeSeriesMonitor("busy", initial=0.0, t0=0.0)
+    changes = []
+    for start, dur in pairs:
+        changes.append((float(start), float(weight)))
+        changes.append((float(start + dur), -float(weight)))
+    for t, delta in sorted(changes):
+        live.increment(t, delta)
+
+    assert derived.series() == live.series()
+
+
+@given(
+    start=st.integers(0, 100),
+    end_offset=st.integers(-100, -1),
+)
+@settings(max_examples=50, deadline=None)
+def test_span_cannot_end_before_start(start, end_offset):
+    tracer = Tracer()
+    span = tracer.start("s", t=float(start))
+    try:
+        span.finish(t=float(start + end_offset))
+    except ValueError:
+        assert span.end is None or span.end >= span.start
+    else:
+        raise AssertionError("negative-duration span accepted")
+
+
+@given(
+    parent_start=st.integers(0, 50),
+    child_offset=st.integers(0, 10),
+    child_dur=st.integers(0, 10),
+    tail=st.integers(0, 10),
+)
+@settings(max_examples=100, deadline=None)
+def test_children_stay_nested_in_parents(
+    parent_start, child_offset, child_dur, tail
+):
+    """Start-inside + finish-before-parent ⇒ containment, and the
+    exporter keeps the pair bracket-nested on one lane."""
+    tracer = Tracer()
+    parent = tracer.start("p", category="x", component="c",
+                          t=float(parent_start))
+    child = tracer.start("k", category="x", component="c", parent=parent,
+                         t=float(parent_start + child_offset))
+    child.finish(t=child.start + child_dur)
+    parent.finish(t=child.end + tail)
+
+    assert parent.start <= child.start
+    assert child.end <= parent.end
+    assert tracer.query().children_of(parent) == [child]
+    assert_chrome_trace_valid(to_chrome_trace(tracer))
+
+
+@given(intervals)
+@settings(max_examples=50, deadline=None)
+def test_exports_are_deterministic(pairs):
+    """Rebuilding the same trace gives byte-identical exports."""
+    import json
+
+    a, b = span_trace(pairs), span_trace(pairs)
+    assert to_jsonl(a) == to_jsonl(b)
+    assert json.dumps(to_chrome_trace(a), sort_keys=True) == json.dumps(
+        to_chrome_trace(b), sort_keys=True
+    )

@@ -1,0 +1,161 @@
+"""Unit tests for the post-run query API (repro.obs.query)."""
+
+import pytest
+
+from repro.obs import Tracer
+
+
+def build_trace():
+    """A small two-component trace with known geometry.
+
+    component "a", category "exec":
+        s0 [0, 10)  cores=2
+        s1 [2, 6)   cores=4   child of s0
+        s2 [4, 12)  cores=2
+    component "b", category "pend":
+        s3 [1, 3)
+    plus an open span and two instants.
+    """
+    tracer = Tracer()
+    s0 = tracer.start("t0", category="exec", component="a",
+                      tags={"cores": 2}, t=0.0)
+    s1 = tracer.start("t1", category="exec", component="a",
+                      tags={"cores": 4}, parent=s0, t=2.0)
+    s2 = tracer.start("t2", category="exec", component="a",
+                      tags={"cores": 2}, t=4.0)
+    s3 = tracer.start("t3", category="pend", component="b", t=1.0)
+    s1.finish(t=6.0)
+    s3.finish(t=3.0)
+    s0.finish(t=10.0)
+    s2.finish(t=12.0)
+    tracer.start("open", category="exec", component="a", t=5.0)
+    tracer.instant("hit", category="cache", component="a", t=4.0,
+                   tags={"call": "t2"})
+    tracer.instant("miss", category="cache", component="b", t=8.0)
+    return tracer, (s0, s1, s2, s3)
+
+
+class TestFilters:
+    def test_category_component_name(self):
+        tracer, (s0, s1, s2, s3) = build_trace()
+        q = tracer.query()
+        assert q.spans(category="exec", component="a") == [s0, s1, s2,
+                                                           tracer.spans[4]]
+        assert q.spans(component="b") == [s3]
+        assert q.spans(name="t1") == [s1]
+        assert q.spans(category="nope") == []
+
+    def test_window_uses_overlap_semantics(self):
+        tracer, (s0, s1, s2, s3) = build_trace()
+        q = tracer.query()
+        hits = q.spans(category="exec", t0=11.0, t1=20.0)
+        # s2 is still open at 11; the never-finished span extends to inf.
+        assert {s.name for s in hits} == {"t2", "open"}
+        assert q.spans(name="t1", t0=6.0, t1=7.0) == [s1]  # boundary touch
+
+    def test_tag_filter(self):
+        tracer, (s0, s1, s2, s3) = build_trace()
+        q = tracer.query()
+        assert {s.name for s in q.spans(tags={"cores": 2})} == {"t0", "t2"}
+
+    def test_sorted_by_start_then_id(self):
+        tracer, _ = build_trace()
+        starts = [s.start for s in tracer.query().spans()]
+        assert starts == sorted(starts)
+
+    def test_instants(self):
+        tracer, _ = build_trace()
+        q = tracer.query()
+        assert len(q.instants(category="cache")) == 2
+        assert [i.name for i in q.instants(component="a")] == ["hit"]
+        assert [i.name for i in q.instants(t0=5.0, t1=9.0)] == ["miss"]
+        assert q.instants(tags={"call": "t2"})[0].name == "hit"
+
+    def test_categories_components_children(self):
+        tracer, (s0, s1, _, _) = build_trace()
+        q = tracer.query()
+        assert q.categories() == ["cache", "exec", "pend"]
+        assert q.components() == ["a", "b"]
+        assert q.children_of(s0) == [s1]
+        assert q.children_of(s1) == []
+
+    def test_durations_and_count(self):
+        tracer, _ = build_trace()
+        q = tracer.query()
+        assert q.durations(category="exec", component="a") == [10.0, 4.0, 8.0]
+        assert q.count(category="exec") == 4
+        assert q.count() == 5
+
+
+class TestConcurrency:
+    def test_count_series(self):
+        tracer, _ = build_trace()
+        gauge = tracer.query().concurrency(category="exec", component="a",
+                                           name=None, tags={"cores": 2})
+        # s0 [0,10) and s2 [4,12): 1 at 0, 2 at 4, 1 at 10, 0 at 12.
+        assert gauge.series() == ((0.0, 4.0, 10.0, 12.0),
+                                  (1.0, 2.0, 1.0, 0.0))
+        assert gauge.peak == 2.0
+
+    def test_open_spans_never_close(self):
+        tracer, _ = build_trace()
+        gauge = tracer.query().concurrency(category="exec", component="a")
+        assert gauge.current == 1.0  # the "open" span never decrements
+
+    def test_weight_by_tag_and_callable(self):
+        tracer, _ = build_trace()
+        q = tracer.query()
+        by_tag = q.busy("cores", category="exec", component="a",
+                        tags={"cores": 2})
+        assert by_tag.peak == 4.0  # two 2-core spans overlap on [4, 10)
+        by_call = q.concurrency(category="exec", component="a",
+                                tags={"cores": 2},
+                                weight=lambda s: 10.0)
+        assert by_call.peak == 20.0
+
+    def test_t0_anchors_series(self):
+        tracer, _ = build_trace()
+        gauge = tracer.query().concurrency(category="pend", t0=0.0)
+        assert gauge.series() == ((0.0, 1.0, 3.0), (0.0, 1.0, 0.0))
+
+    def test_change_before_t0_rejected(self):
+        tracer, _ = build_trace()
+        with pytest.raises(ValueError):
+            tracer.query().concurrency(category="exec", t0=5.0)
+
+    def test_empty_match(self):
+        tracer, _ = build_trace()
+        gauge = tracer.query().concurrency(category="nothing")
+        assert gauge.series() == ((0.0,), (0.0,))
+
+
+class TestUtilization:
+    def test_weighted_utilization(self):
+        tracer = Tracer()
+        # 4 cores of capacity; 2 cores busy over [0, 10), 4 over [2, 6).
+        tracer.start("a", category="x", tags={"cores": 2}, t=0.0).finish(t=10.0)
+        tracer.start("b", category="x", tags={"cores": 4}, t=2.0).finish(t=6.0)
+        q = tracer.query()
+        busy_integral = 2 * 10 + 4 * 4
+        assert q.utilization(capacity=8.0, weight="cores", category="x") == (
+            pytest.approx(busy_integral / (8.0 * 10.0))
+        )
+
+    def test_explicit_window(self):
+        tracer = Tracer()
+        tracer.start("a", category="x", tags={"c": 1}, t=5.0).finish(t=10.0)
+        util = tracer.query().utilization(
+            capacity=1.0, weight="c", category="x", t0=0.0, t1=20.0
+        )
+        assert util == pytest.approx(5.0 / 20.0)
+
+    def test_capacity_validation(self):
+        tracer, _ = build_trace()
+        with pytest.raises(ValueError):
+            tracer.query().utilization(capacity=0.0, weight="cores")
+
+    def test_degenerate_window_is_zero(self):
+        tracer = Tracer()
+        tracer.start("a", category="x", tags={"c": 1}, t=5.0).finish(t=5.0)
+        assert tracer.query().utilization(capacity=1.0, weight="c",
+                                          category="x") == 0.0

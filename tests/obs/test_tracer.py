@@ -1,0 +1,190 @@
+"""Unit tests for spans, tracers and the zero-cost null tracer."""
+
+import pytest
+
+from repro.obs import (
+    NULL_METRIC,
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    enable_tracing,
+)
+from repro.simkernel import Environment
+
+
+def make_tracer(t0=0.0):
+    clock = {"t": t0}
+    tracer = Tracer(clock=lambda: clock["t"])
+    return tracer, clock
+
+
+class TestSpan:
+    def test_lifecycle(self):
+        tracer, clock = make_tracer()
+        span = tracer.start("bind", category="rm.pod", component="kube",
+                            tags={"node": "n0"})
+        assert not span.finished
+        assert span.duration is None
+        clock["t"] = 5.0
+        span.event("retry", attempt=2)
+        span.finish()
+        assert span.finished
+        assert (span.start, span.end, span.duration) == (0.0, 5.0, 5.0)
+        assert span.events == [(5.0, "retry", {"attempt": 2})]
+
+    def test_finish_idempotent_first_close_wins(self):
+        tracer, clock = make_tracer()
+        span = tracer.start("s")
+        clock["t"] = 3.0
+        span.finish()
+        clock["t"] = 9.0
+        span.finish()
+        assert span.end == 3.0
+
+    def test_end_before_start_rejected(self):
+        tracer, _ = make_tracer(t0=10.0)
+        span = tracer.start("s")
+        with pytest.raises(ValueError):
+            span.finish(t=5.0)
+
+    def test_tag_chains_and_merges(self):
+        tracer, _ = make_tracer()
+        span = tracer.start("s", tags={"a": 1})
+        assert span.tag(b=2).tag(a=3) is span
+        assert span.tags == {"a": 3, "b": 2}
+
+    def test_context_manager_tags_errors(self):
+        tracer, _ = make_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("risky") as span:
+                raise RuntimeError("boom")
+        assert span.finished
+        assert "boom" in span.tags["error"]
+
+    def test_overlaps(self):
+        tracer, clock = make_tracer()
+        span = tracer.start("s", t=2.0)
+        span.finish(t=4.0)
+        assert span.overlaps(0.0, 2.0)
+        assert span.overlaps(3.0, 3.5)
+        assert span.overlaps(4.0, 9.0)
+        assert not span.overlaps(4.1, 9.0)
+        open_span = tracer.start("o", t=2.0)
+        assert open_span.overlaps(100.0, 200.0)  # open spans extend to +inf
+
+
+class TestTracer:
+    def test_sequential_ids_and_parenting(self):
+        tracer, _ = make_tracer()
+        parent = tracer.start("outer")
+        child = tracer.start("inner", parent=parent)
+        assert (parent.span_id, child.span_id) == (0, 1)
+        assert child.parent_id == 0
+        assert parent.parent_id is None
+
+    def test_instants_recorded(self):
+        tracer, clock = make_tracer()
+        clock["t"] = 7.0
+        inst = tracer.instant("decision", category="cws.strategy",
+                              tags={"node": "n3"})
+        assert tracer.instants == [inst]
+        assert (inst.t, inst.name, inst.tags) == (7.0, "decision", {"node": "n3"})
+
+    def test_open_spans(self):
+        tracer, _ = make_tracer()
+        a = tracer.start("a")
+        b = tracer.start("b")
+        a.finish()
+        assert tracer.open_spans() == [b]
+
+    def test_explicit_timestamps(self):
+        tracer, _ = make_tracer()
+        span = tracer.start("s", t=3.5)
+        span.finish(t=4.5)
+        assert (span.start, span.end) == (3.5, 4.5)
+
+    def test_query_roundtrip(self):
+        tracer, _ = make_tracer()
+        tracer.start("s").finish()
+        assert tracer.query().count() == 1
+
+
+class TestNullTracer:
+    def test_environment_defaults_to_null(self):
+        env = Environment()
+        assert env.tracer is NULL_TRACER
+        assert not env.tracer.enabled
+
+    def test_all_operations_are_noops(self):
+        tracer = NullTracer()
+        span = tracer.start("s", category="c", tags={"a": 1})
+        assert span is NULL_SPAN
+        assert span.tag(x=1) is span
+        assert span.event("e") is span
+        assert span.finish() is span
+        with tracer.span("cm") as s:
+            assert s is NULL_SPAN
+        assert tracer.instant("i") is None
+        assert tracer.open_spans() == []
+        assert len(tracer.metrics) == 0
+
+    def test_null_metrics_accept_everything(self):
+        metrics = NULL_TRACER.metrics
+        for metric in (
+            metrics.counter("c"),
+            metrics.gauge("g"),
+            metrics.utilization("u", capacity=4),
+        ):
+            assert metric is NULL_METRIC
+            metric.record(0.0, 1.0)
+            metric.inc(1.0)
+            metric.acquire(2.0)
+            metric.release(3.0)
+        metrics.register(object(), component="x")
+        assert metrics.items() == []
+
+    def test_query_raises_with_guidance(self):
+        with pytest.raises(RuntimeError, match="enable_tracing"):
+            NULL_TRACER.query()
+
+
+class TestEnableTracing:
+    def test_installs_tracer_wired_to_clock(self):
+        env = Environment()
+        tracer = enable_tracing(env)
+        assert env.tracer is tracer
+        assert tracer.enabled
+        span = tracer.start("s")
+
+        def advance(env):
+            yield env.timeout(12.0)
+            span.finish()
+
+        env.process(advance(env))
+        env.run()
+        assert span.end == 12.0
+
+    def test_kernel_tracing_off_by_default(self):
+        env = Environment()
+        tracer = enable_tracing(env)
+
+        def work(env):
+            yield env.timeout(1.0)
+
+        env.process(work(env), name="noop")
+        env.run()
+        assert tracer.spans == []
+
+    def test_kernel_tracing_records_process_spans(self):
+        env = Environment()
+        tracer = enable_tracing(env, trace_kernel=True)
+
+        def work(env):
+            yield env.timeout(5.0)
+
+        env.process(work(env), name="worker")
+        env.run()
+        [span] = tracer.query().spans(category="kernel.process")
+        assert span.name == "worker"
+        assert (span.start, span.end) == (0.0, 5.0)
