@@ -11,6 +11,7 @@ import pytest
 
 from repro.atlas import run_experiment, table1
 from repro.atlas.steps import PIPELINE_STEPS
+from repro.report.scenarios import e5_rules
 from repro.viz import render_table
 
 PAPER_TABLE1 = {
@@ -27,7 +28,7 @@ def run_cloud():
 
 
 @pytest.mark.slow
-def test_atlas_table1(benchmark, report):
+def test_atlas_table1(benchmark, report, verdict):
     result = benchmark.pedantic(run_cloud, rounds=1, iterations=1)
     rows = table1(result.records)
 
@@ -75,3 +76,18 @@ def test_atlas_table1(benchmark, report):
     assert by_step["prefetch"].cpu_mean_pct < 40
     # No step's memory approaches the 8 GiB instance (4 GB guidance).
     assert all(r.mem_max_mb < 4000 for r in rows)
+
+    rep = verdict(
+        "E5",
+        title="Table 1 — per-step instance metrics, cloud run",
+        headline={
+            "files": len(result.records),
+            "failures": result.failures,
+            "makespan_h": result.makespan / 3600,
+            "salmon_cpu_mean_pct": by_step["salmon"].cpu_mean_pct,
+            "salmon_mem_max_mb": by_step["salmon"].mem_max_mb,
+            "fasterq_iowait_mean_pct": by_step["fasterq_dump"].iowait_mean_pct,
+        },
+        rules=e5_rules(),
+    )
+    assert rep.ok

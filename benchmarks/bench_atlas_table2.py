@@ -9,6 +9,7 @@ efficiency ≈ 72%.
 import pytest
 
 from repro.atlas import compare_cloud_hpc, run_experiment
+from repro.report.scenarios import e6_rules
 from repro.viz import render_table
 
 PAPER_VERDICTS = {
@@ -26,7 +27,7 @@ def run_both():
 
 
 @pytest.mark.slow
-def test_atlas_table2(benchmark, report):
+def test_atlas_table2(benchmark, report, verdict):
     cloud, hpc = benchmark.pedantic(run_both, rounds=1, iterations=1)
     rows = compare_cloud_hpc(cloud.records, hpc.records)
 
@@ -64,3 +65,19 @@ def test_atlas_table2(benchmark, report):
     assert by_step["deseq2"].verdict == "No difference"
     # Overall: both finish in the same few-hour band; efficiency ~72%.
     assert 0.6 <= hpc.job_efficiency() <= 0.85
+
+    rep = verdict(
+        "E6",
+        title="Table 2 — cloud vs HPC per-step execution times",
+        headline={
+            "cloud_makespan_h": cloud.makespan / 3600,
+            "hpc_makespan_h": hpc.makespan / 3600,
+            "hpc_job_efficiency": hpc.job_efficiency(),
+            "prefetch_hpc_rel_diff": by_step["prefetch"].hpc_relative_diff,
+            "fasterq_hpc_rel_diff": by_step["fasterq_dump"].hpc_relative_diff,
+            "salmon_hpc_rel_diff": by_step["salmon"].hpc_relative_diff,
+            "deseq2_hpc_rel_diff": by_step["deseq2"].hpc_relative_diff,
+        },
+        rules=e6_rules(),
+    )
+    assert rep.ok

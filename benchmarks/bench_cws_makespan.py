@@ -10,6 +10,7 @@ and reports per-strategy mean and max makespan reductions.
 """
 
 from repro.cws.experiment import STRATEGIES, makespan_experiment, summarize
+from repro.report.scenarios import e1_rules
 from repro.viz import render_table
 
 
@@ -18,7 +19,7 @@ def run_experiment():
     return rows, summarize(rows)
 
 
-def test_cws_makespan_reduction(benchmark, report):
+def test_cws_makespan_reduction(benchmark, report, verdict):
     rows, summary = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
 
     table_rows = []
@@ -57,3 +58,16 @@ def test_cws_makespan_reduction(benchmark, report):
         assert 0.05 <= stats["mean_reduction"] <= 0.30
         assert 0.15 <= stats["max_reduction"] <= 0.40
         assert stats["wins"] >= stats["n"] * 0.7
+
+    headline = {
+        f"{strategy}_{key}_reduction": stats[f"{key}_reduction"]
+        for strategy, stats in summary["per_strategy"].items()
+        for key in ("mean", "max")
+    }
+    rep = verdict(
+        "E1",
+        title="CWS workflow-aware scheduling vs FIFO",
+        headline=headline,
+        rules=e1_rules(),
+    )
+    assert rep.ok

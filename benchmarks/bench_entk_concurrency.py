@@ -17,6 +17,7 @@ from repro.entk import AppManager, Pipeline, ResourceDescription, Stage
 from repro.entk.platforms import platform_cluster
 from repro.exaam import frontier_stage3_tasks
 from repro.obs import enable_tracing
+from repro.report.scenarios import e3_rules
 from repro.rm import BatchScheduler
 from repro.simkernel import Environment
 from repro.viz import render_series, render_table
@@ -43,7 +44,7 @@ def run_and_profile(n_tasks=7875, nodes=8000, seed=42, trace=False):
 
 
 @pytest.mark.slow
-def test_entk_concurrency_curves(benchmark, report):
+def test_entk_concurrency_curves(benchmark, report, verdict):
     prof, tracer = benchmark.pedantic(
         lambda: run_and_profile(trace=True), rounds=1, iterations=1
     )
@@ -91,3 +92,19 @@ def test_entk_concurrency_curves(benchmark, report):
         assert np.array_equal(times_q, np.asarray(prof_series[0]))
         assert np.array_equal(values_q, np.asarray(prof_series[1]))
     assert q.concurrency(category="entk.exec", component=pilot).peak == 1000
+
+    rep = verdict(
+        "E3",
+        tracer,
+        title="Fig 5 — EnTK task-state concurrency curves",
+        headline={
+            "scheduling_throughput": sched_slope,
+            "launch_throughput": launch_slope,
+            "peak_concurrency": prof.peak_concurrency,
+            "tasks_done": prof.tasks_done,
+        },
+        rules=e3_rules(8000),
+        component=pilot,
+        straggler_category="entk.exec",
+    )
+    assert rep.ok

@@ -29,6 +29,8 @@ from repro.entk import (
 )
 from repro.entk.platforms import platform_cluster
 from repro.exaam import frontier_stage3_tasks
+from repro.obs import enable_tracing
+from repro.report.scenarios import e4_rules
 from repro.rm import BatchScheduler
 from repro.simkernel import Environment
 from repro.viz import render_table
@@ -48,6 +50,7 @@ def numerical_failure_task(name: str, duration: float) -> EnTask:
 
 def run_fault_scenario(n_tasks=790, nodes=800, seed=42):
     env = Environment()
+    tracer = enable_tracing(env)
     cluster = platform_cluster(env, "frontier", nodes=nodes)
     batch = BatchScheduler(env, cluster, backfill=False)
     agent = AgentConfig(
@@ -77,12 +80,14 @@ def run_fault_scenario(n_tasks=790, nodes=800, seed=42):
     victim = cluster.nodes[nodes // 2].id
     FaultInjector(env, cluster, schedule=[(2000.0, victim)], downtime=None)
     env.run(until=result.done)
-    return result, tasks
+    return result, tasks, tracer
 
 
 @pytest.mark.slow
-def test_entk_fault_tolerance(benchmark, report):
-    result, tasks = benchmark.pedantic(run_fault_scenario, rounds=1, iterations=1)
+def test_entk_fault_tolerance(benchmark, report, verdict):
+    result, tasks, tracer = benchmark.pedantic(
+        run_fault_scenario, rounds=1, iterations=1
+    )
     prof = result.profiles[0]
 
     node_failures = [
@@ -118,6 +123,21 @@ def test_entk_fault_tolerance(benchmark, report):
         "constit-diverge-0", "constit-diverge-1"
     }
     assert result.tasks_done() == len(tasks) - 2
+
+    rep = verdict(
+        "E4",
+        tracer,
+        title="EnTK fault tolerance under a node failure",
+        headline={
+            "tasks_done": result.tasks_done(),
+            "task_failure_events": prof.tasks_failed_events,
+            "permanently_failed": len(permanently_failed),
+        },
+        rules=e4_rules(len(tasks)),
+        component="entk-pilot-0",
+        straggler_category="entk.exec",
+    )
+    assert rep.ok
 
 
 def prof_failures(result):

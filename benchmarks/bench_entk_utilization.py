@@ -20,6 +20,7 @@ from repro.entk.platforms import platform_cluster
 from repro.exaam import frontier_stage3_tasks
 from repro.obs import enable_tracing
 from repro.obs.export import write_chrome_trace
+from repro.report.scenarios import e2_rules
 from repro.rm import BatchScheduler
 from repro.simkernel import Environment
 from repro.viz import render_series, render_stacked_bar, render_table
@@ -46,7 +47,7 @@ def run_frontier_stage3(n_tasks=7875, nodes=8000, seed=42, trace=False):
 
 
 @pytest.mark.slow
-def test_entk_frontier_utilization(benchmark, report):
+def test_entk_frontier_utilization(benchmark, report, verdict):
     prof, tracer = benchmark.pedantic(
         lambda: run_frontier_stage3(trace=True), rounds=1, iterations=1
     )
@@ -116,3 +117,30 @@ def test_entk_frontier_utilization(benchmark, report):
     trace_path = out / "E2_fig4.trace.json"
     write_chrome_trace(tracer, trace_path, include_metrics=False)
     assert trace_path.stat().st_size > 0
+
+    # Machine-readable verdict (BENCH_E2.json) with the same shape
+    # targets as SLO rules, plus the critical-path decomposition.
+    rep = verdict(
+        "E2",
+        tracer,
+        title="Fig 4 — EnTK resource utilization on Frontier",
+        headline={
+            "tasks_done": prof.tasks_done,
+            "core_utilization": prof.core_utilization,
+            "gpu_utilization": prof.gpu_utilization,
+            "ovh_s": prof.ovh,
+            "ttx_s": prof.ttx,
+            "job_runtime_s": prof.job_runtime,
+        },
+        rules=e2_rules(8000),
+        component="entk-pilot-0",
+        straggler_category="entk.exec",
+        idle_metric=("entk-pilot-0", "cores"),
+    )
+    assert rep.ok
+    # The critical path tiles the pilot job exactly: phase durations
+    # sum to the job runtime, and the bootstrap phase is the 85 s OVH.
+    totals = rep.critical_path.phase_totals()
+    assert abs(sum(totals.values()) - prof.job_runtime) < 1e-6
+    assert totals["bootstrap"] == prof.ovh == 85.0
+    assert rep.overheads.ovh == 85.0

@@ -13,6 +13,7 @@ per-sample overheads and 75% of the shards.
 
 from repro.cluster import Cluster, NodeSpec
 from repro.jaws import CromwellEngine, EngineOptions, fuse_linear_chains, parse_wdl
+from repro.report.scenarios import e7_rules
 from repro.rm import BatchScheduler
 from repro.simkernel import Environment
 from repro.viz import render_table
@@ -80,7 +81,7 @@ def run_fusion_experiment():
     return baseline, fused, fusions
 
 
-def test_jaws_task_fusion(benchmark, report):
+def test_jaws_task_fusion(benchmark, report, verdict):
     baseline, fused, fusions = benchmark.pedantic(
         run_fusion_experiment, rounds=1, iterations=1
     )
@@ -104,3 +105,18 @@ def test_jaws_task_fusion(benchmark, report):
     assert list(fusions.values())[0] == ["qc", "trim", "align", "stats"]
     assert shard_cut == 0.75                      # paper: 71%
     assert 0.55 <= time_cut <= 0.85               # paper: 70%
+
+    rep = verdict(
+        "E7",
+        title="JGI task fusion: 4-task QC chain -> 1",
+        headline={
+            "baseline_makespan_s": baseline.makespan,
+            "fused_makespan_s": fused.makespan,
+            "time_cut": time_cut,
+            "baseline_shards": baseline.shard_count,
+            "fused_shards": fused.shard_count,
+            "shard_cut": shard_cut,
+        },
+        rules=e7_rules(),
+    )
+    assert rep.ok

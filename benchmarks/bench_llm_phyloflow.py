@@ -15,6 +15,7 @@ from repro.llm import (
     PhyloflowAdapters,
     make_synthetic_vcf,
 )
+from repro.report.scenarios import e8_rules
 from repro.viz import render_table
 
 PIPELINE_ORDER = [
@@ -46,7 +47,7 @@ def run_pipeline():
     return result, tree, recovery, tree2
 
 
-def test_llm_phyloflow_pipeline(benchmark, report):
+def test_llm_phyloflow_pipeline(benchmark, report, verdict):
     result, tree, recovery, tree2 = benchmark.pedantic(
         run_pipeline, rounds=1, iterations=1
     )
@@ -78,3 +79,19 @@ def test_llm_phyloflow_pipeline(benchmark, report):
     assert len(recovery.errors) == 1
     assert recovery.calls_made().count("pyclone_vi_from_futures") == 2
     assert tree2["n_clones"] == 3
+
+    rep = verdict(
+        "E8",
+        title="NL-driven Phyloflow execution via function calling",
+        headline={
+            "api_calls": result.api_calls,
+            "steps_in_order": int(result.calls_made() == PIPELINE_ORDER),
+            "futures_registered": len(result.future_ids),
+            "n_clones": tree["n_clones"],
+            "confidence": tree["confidence"],
+            "errors_forwarded": len(recovery.errors),
+            "recovered_n_clones": tree2["n_clones"],
+        },
+        rules=e8_rules(),
+    )
+    assert rep.ok

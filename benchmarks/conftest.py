@@ -26,3 +26,24 @@ def report():
         print(f"\n=== {name} ===\n{text}\n[saved to {path}]")
 
     return _report
+
+
+@pytest.fixture
+def verdict():
+    """``verdict(bench_id, **build_report_kwargs)`` — machine verdict.
+
+    Builds a :class:`repro.report.RunReport` from the benchmark's own
+    run (tracer, headline scalars, SLO rules), writes the
+    ``BENCH_<id>.json`` document to ``benchmarks/results/`` (the file
+    CI uploads and gates on), and returns the report so the test can
+    assert on it.
+    """
+    from repro.report import build_report, write_verdict
+
+    def _verdict(bench_id: str, *args, **kwargs):
+        rep = build_report(bench_id, *args, **kwargs)
+        path = write_verdict(rep, RESULTS_DIR)
+        print(f"\n[{bench_id} verdict: {rep.status} -> {path}]")
+        return rep
+
+    return _verdict

@@ -50,7 +50,7 @@ def main(quick: bool = False) -> None:
         print("  " + line)
 
     hr("E4 — fault tolerance (paper: 8 node-failure casualties recovered, 2 numerical)")
-    result, tasks = bench_entk_fault_tolerance.run_fault_scenario(
+    result, tasks, _ = bench_entk_fault_tolerance.run_fault_scenario(
         n_tasks=790 // scale, nodes=800 // scale
     )
     events = bench_entk_fault_tolerance.prof_failures(result)

@@ -79,6 +79,7 @@ def run_experiment(
     max_instances: int = 12,
     slots: int = 24,
     pathway: str = "salmon",
+    env: Optional[Environment] = None,
 ):
     """Run the full pipeline over a synthetic corpus in one environment.
 
@@ -86,10 +87,12 @@ def run_experiment(
     §5.3 split-workload architecture); ``pathway`` selects the Salmon
     or STAR path.  Returns the deployment result.  The same seed
     produces the same workload everywhere, so Table 2's per-file
-    comparison is apples to apples.
+    comparison is apples to apples.  Pass ``env`` (e.g. with tracing
+    enabled) to observe the run; by default a fresh environment is
+    created.
     """
     workload = make_workload(n_files=n_files, seed=seed)
-    env = Environment()
+    env = env if env is not None else Environment()
     rng = np.random.default_rng(seed + 1)
     if environment == "cloud":
         deployment = CloudDeployment(

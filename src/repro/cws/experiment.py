@@ -57,9 +57,16 @@ def run_workflow_once(
     workflow: Workflow,
     strategy: str,
     pools: Sequence = DEFAULT_POOLS,
+    env: Optional[Environment] = None,
 ) -> float:
-    """Execute one workflow under one strategy; returns its makespan."""
-    env = Environment()
+    """Execute one workflow under one strategy; returns its makespan.
+
+    Pass a pre-built ``env`` (e.g. one with tracing enabled via
+    :func:`repro.obs.enable_tracing`) to observe the run; by default a
+    fresh, untraced environment is used per call so grid sweeps stay
+    independent.
+    """
+    env = env if env is not None else Environment()
     cluster = Cluster(env, pools=list(pools))
     scheduler = KubeScheduler(env, cluster)
     cwsi = CWSI(env, scheduler, strategy=strategy)

@@ -81,10 +81,18 @@ class TransferService:
             return
 
         t_start = self.env.now
+        span = self.env.tracer.start(
+            file.name,
+            category="data.transfer",
+            component="transfer",
+            tags={"src": src, "dst": dst, "bytes": file.size_bytes},
+        )
         with self._slots.request() as slot:
             yield slot
+            span.event("slot_acquired")
             yield self.env.process(self.sites[src].read(file.size_bytes))
             yield self.env.process(self.sites[dst].write(file.size_bytes))
+        span.finish()
         self.catalog.add_replica(file.name, dst)
         self.log.append(
             TransferRecord(

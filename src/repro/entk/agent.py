@@ -308,7 +308,8 @@ class PilotAgent:
             category="entk.exec",
             component=self.name,
             parent=getattr(task, "_obs_span", None),
-            tags={"task": task.name, "attempt": task.attempts, "cores": cores},
+            tags={"task": task.name, "attempt": task.attempts, "cores": cores,
+                  "gpus": gpus},
         )
 
         me = self.env.active_process

@@ -365,6 +365,14 @@ class CromwellEngine:
                 + self.options.stage_overhead_s
                 + duration
             )
+            # Expose the cost split on the span so trace analysis can
+            # attribute shard time to overhead vs useful compute
+            # without re-deriving the engine's cost model.
+            call_span.tag(
+                container_start_s=self.options.container_start_s,
+                stage_overhead_s=self.options.stage_overhead_s,
+                compute_s=duration,
+            )
             record.cores = cores
             record.start_time = self.env.now
             job = Job(

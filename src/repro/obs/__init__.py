@@ -33,10 +33,32 @@ from repro.obs.tracer import (
 )
 from repro.obs.query import TraceQuery
 from repro.obs.export import (
+    read_jsonl,
     to_chrome_trace,
     to_jsonl,
+    tracer_from_jsonl,
     write_chrome_trace,
     write_jsonl,
+)
+from repro.obs.analyze import (
+    PHASES,
+    CriticalPath,
+    IdleGap,
+    OverheadDecomposition,
+    PathSegment,
+    Straggler,
+    critical_path,
+    decompose_overheads,
+    find_idle_gaps,
+    find_stragglers,
+    pilot_components,
+)
+from repro.obs.alerts import (
+    Alert,
+    AlertReport,
+    Rule,
+    RuleError,
+    evaluate_rules,
 )
 
 __all__ = [
@@ -55,6 +77,24 @@ __all__ = [
     "TraceQuery",
     "to_chrome_trace",
     "to_jsonl",
+    "tracer_from_jsonl",
+    "read_jsonl",
     "write_chrome_trace",
     "write_jsonl",
+    "PHASES",
+    "CriticalPath",
+    "PathSegment",
+    "IdleGap",
+    "OverheadDecomposition",
+    "Straggler",
+    "critical_path",
+    "decompose_overheads",
+    "find_idle_gaps",
+    "find_stragglers",
+    "pilot_components",
+    "Alert",
+    "AlertReport",
+    "Rule",
+    "RuleError",
+    "evaluate_rules",
 ]

@@ -14,13 +14,18 @@ here under their original names for compatibility:
 Both can be adopted into a tracer's
 :class:`~repro.obs.metrics.MetricsRegistry`, so everything recorded
 through them shows up in exported traces.
+
+:func:`find_idle_gaps` (from :mod:`repro.obs.analyze`) is re-exported
+here too: it consumes exactly these recorders, answering "when was
+this resource doing nothing" for any monitor or tracker.
 """
 
 from __future__ import annotations
 
+from repro.obs.analyze import find_idle_gaps
 from repro.obs.metrics import Gauge, UtilizationTracker
 
 #: Historical name for :class:`repro.obs.metrics.Gauge`.
 TimeSeriesMonitor = Gauge
 
-__all__ = ["TimeSeriesMonitor", "UtilizationTracker"]
+__all__ = ["TimeSeriesMonitor", "UtilizationTracker", "find_idle_gaps"]

@@ -24,11 +24,19 @@ def render_series(
     """
     if not series:
         raise ValueError("no series to render")
-    markers = "ox+*#@%&"
+    # One marker per series, cycling when there are more series than
+    # marker glyphs (a plain zip would silently drop the overflow).
+    base_markers = "ox+*#@%&"
+    markers = [base_markers[i % len(base_markers)] for i in range(len(series))]
     t_min = min(float(np.min(t)) for t, _ in series.values())
     t_max = max(float(np.max(t)) for t, _ in series.values())
     v_max = max(float(np.max(v)) for _, v in series.values())
-    v_max = v_max or 1.0
+    # The value axis always includes 0 but extends below it when any
+    # series goes negative, so negatives get their own rows instead of
+    # being clipped onto the zero line.
+    v_min = min(0.0, min(float(np.min(v)) for _, v in series.values()))
+    v_max = v_max if v_max > v_min else v_min + 1.0
+    vspan = v_max - v_min
     span = (t_max - t_min) or 1.0
 
     grid = [[" "] * width for _ in range(height)]
@@ -37,7 +45,9 @@ def render_series(
         values = np.asarray(values, dtype=float)
         cols = np.clip(((times - t_min) / span * (width - 1)).astype(int), 0, width - 1)
         rows = np.clip(
-            (height - 1 - values / v_max * (height - 1)).astype(int), 0, height - 1
+            (height - 1 - (values - v_min) / vspan * (height - 1)).astype(int),
+            0,
+            height - 1,
         )
         for c, r in zip(cols, rows):
             grid[r][c] = marker
@@ -45,16 +55,17 @@ def render_series(
     lines = []
     if title:
         lines.append(title)
+    margin = len(f"{v_max:,.0f} ")
     lines.append(f"{v_max:,.0f} ┤" + "".join(grid[0]))
     for row in grid[1:-1]:
-        lines.append(" " * len(f"{v_max:,.0f} ") + "│" + "".join(row))
-    lines.append("0".rjust(len(f"{v_max:,.0f} ")) + " └" + "─" * width)
+        lines.append(" " * margin + "│" + "".join(row))
+    lines.append(f"{v_min:,.0f}".rjust(margin) + " └" + "─" * width)
     axis = f"{t_min:,.0f}".ljust(width // 2) + f"{t_max:,.0f}".rjust(width // 2)
-    lines.append(" " * (len(f"{v_max:,.0f} ") + 1) + axis)
+    lines.append(" " * (margin + 1) + axis)
     legend = "   ".join(
         f"{m}={name}" for (name, _), m in zip(series.items(), markers)
     )
-    lines.append(" " * (len(f"{v_max:,.0f} ") + 1) + legend)
+    lines.append(" " * (margin + 1) + legend)
     return "\n".join(lines)
 
 

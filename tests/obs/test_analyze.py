@@ -1,0 +1,392 @@
+"""Tests for the trace-diagnosis layer (:mod:`repro.obs.analyze`).
+
+The load-bearing invariants:
+
+- the critical path is a *tiling*: phase durations sum to the window,
+- on an infinite-resource schedule the span-derived critical path
+  agrees with :func:`repro.core.metrics.critical_path_length` (the
+  HEFT upward-rank bound) — same DAG, two independent computations,
+- the straggler detector never flags members of an exactly-uniform
+  sibling group, and always flags an extreme planted outlier,
+- the idle-gap detector finds no gaps in an always-busy series.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import critical_path_length
+from repro.core.task import TaskSpec
+from repro.core.workflow import Workflow
+from repro.obs import Tracer
+from repro.obs.analyze import (
+    critical_path,
+    decompose_overheads,
+    default_phase_of,
+    find_idle_gaps,
+    find_stragglers,
+    pilot_components,
+)
+from repro.obs.metrics import Gauge, UtilizationTracker
+
+from tests.obs.minirun import mini_entk_run
+
+
+# -- helpers ---------------------------------------------------------------------
+
+
+def schedule_trace(workflow):
+    """Infinite-resource schedule of ``workflow`` as a span trace.
+
+    Every task starts the instant its last parent finishes, so the
+    trace's end time *is* the DAG critical-path length and the
+    dependency walk must recover the longest runtime-weighted chain.
+    Returns ``(tracer, deps)`` ready for :func:`critical_path`.
+    """
+    tracer = Tracer()
+    finish = {}
+    deps = {}
+    for name in workflow.topological_order():
+        parents = workflow.parents(name)
+        start = max((finish[p] for p in parents), default=0.0)
+        end = start + workflow.task(name).runtime_s
+        tracer.start(
+            name, category="wf.task", component="wf",
+            tags={"task": name}, t=start,
+        ).finish(t=end)
+        finish[name] = end
+        deps[name] = parents
+    return tracer, deps
+
+
+def diamond_workflow():
+    """Diamond with unequal branches plus a tail chain.
+
+    Critical path: a(10) -> c(30) -> d(5) -> e(7) = 52; the short
+    branch b(4) must not appear on it.
+    """
+    wf = Workflow("diamond")
+    wf.add_task(TaskSpec("a", runtime_s=10.0))
+    wf.add_task(TaskSpec("b", runtime_s=4.0), after=["a"])
+    wf.add_task(TaskSpec("c", runtime_s=30.0), after=["a"])
+    wf.add_task(TaskSpec("d", runtime_s=5.0), after=["b", "c"])
+    wf.add_task(TaskSpec("e", runtime_s=7.0), after=["d"])
+    return wf
+
+
+def random_workflow(seed, n_tasks):
+    """A reproducible random DAG: each task depends on a random subset
+    of earlier tasks, runtimes in [1, 10]."""
+    import random
+
+    rng = random.Random(seed)
+    wf = Workflow(f"rand-{seed}")
+    names = []
+    for i in range(n_tasks):
+        name = f"t{i}"
+        k = rng.randint(0, min(3, len(names)))
+        after = rng.sample(names, k) if k else []
+        wf.add_task(
+            TaskSpec(name, runtime_s=rng.uniform(1.0, 10.0)), after=after
+        )
+        names.append(name)
+    return wf
+
+
+@pytest.fixture(scope="module")
+def mini():
+    profile, tracer = mini_entk_run()
+    return profile, tracer
+
+
+# -- critical path ---------------------------------------------------------------
+
+
+class TestCriticalPathCrossCheck:
+    """Span walk vs core.metrics upward ranks on the same DAG."""
+
+    def test_diamond_matches_upward_rank_bound(self):
+        wf = diamond_workflow()
+        tracer, deps = schedule_trace(wf)
+        cp = critical_path(
+            tracer, deps=deps, phase_of=lambda s: "compute"
+        )
+        assert cp.makespan == pytest.approx(critical_path_length(wf))
+        assert cp.makespan == pytest.approx(52.0)
+
+    def test_diamond_follows_the_long_branch(self):
+        wf = diamond_workflow()
+        tracer, deps = schedule_trace(wf)
+        cp = critical_path(
+            tracer, deps=deps, phase_of=lambda s: "compute"
+        )
+        assert [s.name for s in cp.segments] == ["a", "c", "d", "e"]
+        # Pure tiling: every segment is a real span, no gaps.
+        assert all(s.span_id is not None for s in cp.segments)
+
+    def test_segments_form_a_dependency_chain(self):
+        wf = diamond_workflow()
+        tracer, deps = schedule_trace(wf)
+        cp = critical_path(
+            tracer, deps=deps, phase_of=lambda s: "compute"
+        )
+        for earlier, later in zip(cp.segments, cp.segments[1:]):
+            assert earlier.name in wf.parents(later.name)
+
+    @given(seed=st.integers(0, 10_000), n_tasks=st.integers(2, 25))
+    @settings(max_examples=40, deadline=None)
+    def test_random_dags_match_upward_rank_bound(self, seed, n_tasks):
+        wf = random_workflow(seed, n_tasks)
+        tracer, deps = schedule_trace(wf)
+        cp = critical_path(
+            tracer, deps=deps, phase_of=lambda s: "compute"
+        )
+        assert cp.makespan == pytest.approx(critical_path_length(wf))
+        # Tiling invariant: phase totals sum to the makespan.
+        assert sum(cp.phase_totals().values()) == pytest.approx(cp.makespan)
+        # All time attributed to real spans — back-to-back schedule
+        # leaves no gaps to classify.
+        assert all(s.span_id is not None for s in cp.segments)
+
+
+class TestCriticalPathTiling:
+    def test_phase_totals_sum_to_window_on_real_run(self, mini):
+        profile, tracer = mini
+        cp = critical_path(tracer)
+        totals = cp.phase_totals()
+        assert sum(totals.values()) == pytest.approx(cp.makespan, abs=1e-9)
+        assert cp.makespan == pytest.approx(profile.job_runtime)
+        # The Fig-4 85 s bootstrap heads the path.
+        assert totals["bootstrap"] == pytest.approx(profile.ovh)
+        assert sum(cp.blame().values()) == pytest.approx(1.0)
+
+    def test_segments_are_contiguous_and_chronological(self, mini):
+        _, tracer = mini
+        cp = critical_path(tracer)
+        assert cp.segments[0].t0 == pytest.approx(cp.t0)
+        assert cp.segments[-1].t1 == pytest.approx(cp.t1)
+        for a, b in zip(cp.segments, cp.segments[1:]):
+            assert a.t1 == pytest.approx(b.t0)
+
+    def test_trailing_gap_is_drain(self):
+        tracer = Tracer()
+        tracer.start("t", category="entk.exec", component="p",
+                     t=0.0).finish(t=5.0)
+        cp = critical_path(tracer, t1=10.0)
+        assert cp.phase_totals() == {
+            "compute": pytest.approx(5.0),
+            "drain": pytest.approx(5.0),
+        }
+
+    def test_interior_gap_with_nothing_open_is_idle(self):
+        tracer = Tracer()
+        tracer.start("a", category="entk.exec", component="p",
+                     t=0.0).finish(t=2.0)
+        tracer.start("b", category="entk.exec", component="p",
+                     t=5.0).finish(t=8.0)
+        cp = critical_path(tracer)
+        assert cp.phase_totals()["idle"] == pytest.approx(3.0)
+
+    def test_gap_covered_by_queue_span_blames_the_queue(self):
+        tracer = Tracer()
+        tracer.start("a", category="entk.exec", component="p",
+                     t=0.0).finish(t=2.0)
+        tracer.start("q", category="entk.pending", component="p",
+                     t=1.5).finish(t=6.0)
+        tracer.start("b", category="entk.exec", component="p",
+                     t=5.0).finish(t=8.0)
+        cp = critical_path(tracer)
+        # [2, 5] is uncovered by exec spans but the pending span was
+        # open across it: launcher-bound time, not idleness.
+        totals = cp.phase_totals()
+        assert totals["launch"] == pytest.approx(3.0)
+        assert "idle" not in totals
+
+    def test_empty_trace(self):
+        cp = critical_path(Tracer())
+        assert cp.makespan == 0.0
+        assert cp.segments == []
+
+    def test_excluded_categories_never_blamed(self, mini):
+        _, tracer = mini
+        cp = critical_path(tracer)
+        assert all(
+            s.category not in ("rm.job", "obs.alert") for s in cp.segments
+        )
+
+    def test_default_phase_of_name_refinement(self):
+        tracer = Tracer()
+        pre = tracer.start("prefetch", category="atlas.step",
+                           component="c", t=0.0)
+        aln = tracer.start("salmon", category="atlas.step",
+                           component="c", t=1.0)
+        assert default_phase_of(pre) == "transfer"
+        assert default_phase_of(aln) == "compute"
+
+
+# -- stragglers ------------------------------------------------------------------
+
+
+def sibling_trace(durations, category="entk.exec", component="p"):
+    tracer = Tracer()
+    for i, d in enumerate(durations):
+        tracer.start(f"t{i}", category=category, component=component,
+                     t=0.0).finish(t=d)
+    return tracer
+
+
+class TestStragglers:
+    def test_planted_outlier_is_flagged(self):
+        tracer = sibling_trace([10.0, 10.5, 9.5, 10.2, 9.8, 100.0])
+        [s] = find_stragglers(tracer)
+        assert s.name == "t5"
+        assert s.duration == pytest.approx(100.0)
+        assert s.excess == pytest.approx(100.0 - s.median)
+        assert s.score > 3.5
+
+    def test_uniform_group_produces_nothing(self):
+        tracer = sibling_trace([7.0] * 20)
+        assert find_stragglers(tracer) == []
+
+    def test_small_groups_are_skipped(self):
+        tracer = sibling_trace([1.0, 1.0, 50.0])  # < min_group
+        assert find_stragglers(tracer) == []
+
+    def test_fast_outliers_are_not_reported(self):
+        tracer = sibling_trace([10.0, 10.1, 9.9, 10.0, 0.01])
+        assert find_stragglers(tracer) == []
+
+    def test_groups_are_isolated(self):
+        # The outlier in one (category, component) group must not be
+        # judged against another group's durations.
+        tracer = sibling_trace([10.0, 10.5, 9.5, 10.2, 100.0])
+        for i in range(6):
+            tracer.start(f"o{i}", category="entk.exec", component="other",
+                         t=0.0).finish(t=100.0)
+        out = find_stragglers(tracer)
+        assert [s.component for s in out] == ["p"]
+
+    @given(
+        duration=st.floats(0.1, 1e5, allow_nan=False, allow_infinity=False),
+        n=st.integers(4, 40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_uniform_siblings_never_flagged(self, duration, n):
+        """MAD is zero and the relative test can't exceed 0 excess: an
+        exactly-uniform group has no stragglers, ever."""
+        tracer = sibling_trace([duration] * n)
+        assert find_stragglers(tracer) == []
+
+    @given(
+        base=st.floats(1.0, 1e4, allow_nan=False, allow_infinity=False),
+        n=st.integers(4, 40),
+        factor=st.floats(10.0, 1000.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_extreme_outlier_always_flagged(self, base, n, factor):
+        tracer = sibling_trace([base] * n + [base * factor])
+        out = find_stragglers(tracer)
+        assert [s.name for s in out] == [f"t{n}"]
+
+
+# -- idle gaps -------------------------------------------------------------------
+
+
+class TestIdleGaps:
+    def test_gaps_found_with_levels(self):
+        g = Gauge("busy", initial=0.0, t0=0.0)
+        g.record(5.0, 3.0)
+        g.record(10.0, 0.0)
+        g.record(12.0, 2.0)
+        gaps = find_idle_gaps(g, t0=0.0, t1=20.0)
+        assert [(gap.t0, gap.t1) for gap in gaps] == [(0.0, 5.0), (10.0, 12.0)]
+        assert all(gap.level == 0.0 for gap in gaps)
+
+    def test_threshold_merges_low_levels(self):
+        g = Gauge("busy", initial=0.0, t0=0.0)
+        g.record(2.0, 1.0)   # still <= threshold
+        g.record(4.0, 5.0)
+        gaps = find_idle_gaps(g, threshold=1.0, t0=0.0, t1=10.0)
+        [gap] = gaps
+        assert (gap.t0, gap.t1) == (0.0, 4.0)
+        assert gap.level == 1.0  # worst (highest) level inside the gap
+
+    def test_min_duration_filters_blips(self):
+        g = Gauge("busy", initial=1.0, t0=0.0)
+        g.record(5.0, 0.0)
+        g.record(5.5, 1.0)
+        assert find_idle_gaps(g, t0=0.0, t1=10.0, min_duration=1.0) == []
+
+    def test_utilization_tracker_accepted(self):
+        u = UtilizationTracker(8, name="cores", t0=0.0)
+        u.acquire(2.0, 4)
+        u.release(6.0, 4)
+        gaps = find_idle_gaps(u, t0=0.0, t1=10.0)
+        assert [(g.t0, g.t1) for g in gaps] == [(0.0, 2.0), (6.0, 10.0)]
+
+    def test_window_clips_gaps(self):
+        g = Gauge("busy", initial=0.0, t0=0.0)
+        g.record(8.0, 1.0)
+        [gap] = find_idle_gaps(g, t0=3.0, t1=6.0)
+        assert (gap.t0, gap.t1) == (3.0, 6.0)
+
+    def test_bootstrap_gap_on_real_run(self, mini):
+        profile, tracer = mini
+        cores = tracer.metrics.get("cores", component="entk-pilot-0")
+        gaps = find_idle_gaps(cores, t0=0.0)
+        # The bootstrap window (plus first-dispatch latency): nothing
+        # runs during OVH.
+        assert gaps[0].t0 == pytest.approx(0.0)
+        assert gaps[0].t1 >= profile.ovh
+        assert gaps[0].t1 == pytest.approx(profile.ovh, rel=0.01)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.01, 10.0, allow_nan=False),
+                st.floats(0.5, 100.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_always_busy_series_has_no_gaps(self, steps):
+        """A series that never drops to the floor yields no gaps."""
+        g = Gauge("busy", initial=1.0, t0=0.0)
+        t = 0.0
+        for dt, value in steps:
+            t += dt
+            g.record(t, value)  # every value >= 0.5 > threshold
+        assert find_idle_gaps(g, t0=0.0, t1=t + 1.0) == []
+
+
+# -- overhead decomposition ------------------------------------------------------
+
+
+class TestOverheadDecomposition:
+    def test_slices_tile_the_job_runtime(self, mini):
+        profile, tracer = mini
+        od = decompose_overheads(tracer)
+        assert od.component == "entk-pilot-0"
+        assert od.ovh == pytest.approx(profile.ovh)
+        assert od.ttx == pytest.approx(profile.ttx)
+        assert od.job_runtime == pytest.approx(profile.job_runtime)
+        assert sum(s for _, s in od.slices()) == pytest.approx(od.job_runtime)
+
+    def test_phase_fields_are_nonnegative(self, mini):
+        _, tracer = mini
+        od = decompose_overheads(tracer)
+        for name in ("ovh", "ramp_up", "steady", "drain", "shutdown"):
+            assert getattr(od, name) >= 0.0
+        assert od.peak_concurrency == 50  # 400 nodes / 8 nodes per task
+        assert od.tasks == 400
+
+    def test_pilot_components_lists_the_agent(self, mini):
+        _, tracer = mini
+        assert pilot_components(tracer) == ["entk-pilot-0"]
+
+    def test_unknown_component_raises(self, mini):
+        _, tracer = mini
+        with pytest.raises(ValueError):
+            decompose_overheads(tracer, component="no-such-pilot")

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.obs import Tracer, to_chrome_trace, to_jsonl
-from repro.obs.export import write_chrome_trace, write_jsonl
+from repro.obs.export import tracer_from_jsonl, write_chrome_trace, write_jsonl
 
 from tests.obs.minirun import assert_chrome_trace_valid
 
@@ -174,3 +174,63 @@ class TestJsonl:
         path = tmp_path / "trace.jsonl"
         write_jsonl(tracer, path)
         assert path.read_text() == to_jsonl(tracer)
+
+
+class TestJsonlLoader:
+    """``tracer_from_jsonl`` must invert ``to_jsonl`` exactly."""
+
+    def rich_trace(self):
+        tracer = overlapping_trace()
+        open_span = tracer.start("still-open", category="x",
+                                 component="comp", t=12.0)
+        open_span.event("mark", t=12.5, detail="d")
+        tracer.instant("decision", category="y", component="comp", t=0.7,
+                       tags={"node": "n1"})
+        tracer.metrics.counter("done", component="comp").inc(2.0)
+        gauge = tracer.metrics.gauge("depth", component="comp")
+        gauge.record(1.0, 3.0)
+        util = tracer.metrics.utilization("cores", 8, component="comp")
+        util.acquire(2.0, 4)
+        util.release(5.0, 4)
+        return tracer
+
+    def test_reserialization_is_byte_identical(self):
+        tracer = self.rich_trace()
+        text = to_jsonl(tracer)
+        assert to_jsonl(tracer_from_jsonl(text)) == text
+
+    def test_spans_rebuilt_faithfully(self):
+        reloaded = tracer_from_jsonl(to_jsonl(self.rich_trace()))
+        spans = {s.span_id: s for s in reloaded.spans}
+        assert spans[2].parent_id == 1
+        assert (spans[2].start, spans[2].end) == (6.0, 9.0)
+        assert spans[3].end is None  # open span survives as open
+        assert spans[3].events == [(12.5, "mark", {"detail": "d"})]
+        # New spans continue the id sequence, not restart it.
+        assert reloaded.start("new", t=0.0).span_id == 4
+
+    def test_metrics_rebuilt_with_kinds(self):
+        reloaded = tracer_from_jsonl(to_jsonl(self.rich_trace()))
+        assert reloaded.metrics.get("done", component="comp").kind == "counter"
+        gauge = reloaded.metrics.get("depth", component="comp")
+        assert gauge.kind == "gauge"
+        assert gauge.series() == ((0.0, 1.0), (0.0, 3.0))
+        util = reloaded.metrics.get("cores", component="comp")
+        assert util.kind == "utilization"
+        assert util.busy.value_at(3.0) == 4.0
+
+    def test_clock_resumes_at_latest_timestamp(self):
+        reloaded = tracer_from_jsonl(to_jsonl(self.rich_trace()))
+        assert reloaded.now() == 15.0  # latest span end in the trace
+
+    def test_read_jsonl_file(self, tmp_path):
+        from repro.obs.export import read_jsonl
+
+        tracer = self.rich_trace()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(tracer, path)
+        assert to_jsonl(read_jsonl(path)) == to_jsonl(tracer)
+
+    def test_empty_text_gives_empty_tracer(self):
+        reloaded = tracer_from_jsonl("")
+        assert reloaded.spans == [] and len(reloaded.metrics) == 0

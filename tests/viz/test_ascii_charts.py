@@ -35,6 +35,35 @@ class TestRenderSeries:
         out = render_series({"z": (ts, np.zeros(10))})
         assert "z" in out  # renders without division errors
 
+    def test_more_than_eight_series_cycle_markers(self):
+        # Regression: >8 series used to exhaust the marker alphabet
+        # and raise; markers now cycle.
+        ts = np.linspace(0, 1, 5)
+        series = {f"s{i}": (ts, ts * (i + 1)) for i in range(12)}
+        out = render_series(series, width=40, height=8)
+        legend = out.splitlines()[-1]
+        for i in range(12):
+            assert f"s{i}" in legend
+
+    def test_negative_values_not_clipped(self):
+        # Regression: negative values used to be clamped onto the
+        # zero row; they now get rows of their own below it.
+        ts = np.linspace(0, 1, 10)
+        out = render_series(
+            {"y": (ts, np.linspace(-50.0, 50.0, 10))}, width=30, height=9
+        )
+        lines = out.splitlines()
+        marker_rows = [i for i, ln in enumerate(lines) if "o" in ln
+                       and "=" not in ln]
+        assert len(marker_rows) > 1  # the dip is visible, not flattened
+        assert "-50" in out  # the bottom label shows the real minimum
+
+    def test_positive_data_keeps_zero_baseline(self):
+        ts = np.linspace(0, 1, 10)
+        out = render_series({"y": (ts, np.linspace(5.0, 50.0, 10))})
+        labels = [ln for ln in out.splitlines() if ln.strip().startswith("0")]
+        assert labels  # baseline label is still "0" for positive data
+
 
 class TestStackedBar:
     def test_proportions(self):
