@@ -1,0 +1,45 @@
+"""Wall-clock performance harness for the simulation substrate.
+
+Unlike the ``bench_*.py`` suite (which reproduces *paper figures* in
+simulated time), this package measures how fast the simulator itself
+runs in *wall-clock* time: events processed per second, tasks scheduled
+per second, and how those rates scale with queue depth.  It is the
+"as fast as the hardware allows" trajectory the ROADMAP asks for — the
+numbers the Frontier UQ scaling work (Titov et al., arXiv:2407.01484)
+reports for the real RADICAL stack, measured here for the simulated
+one.
+
+Scenarios (see :mod:`benchmarks.perf.scenarios`):
+
+- ``kernel_events``    — raw event-loop churn (timeout ping-pong).
+- ``resource_churn``   — Resource/Store/Container/FilterStore traffic.
+- ``sched_small_jobs`` — the scheduler-bound many-small-jobs regime
+  (10k single-node jobs through :class:`BatchScheduler` + backfill).
+- ``jaws_shards``      — a 10k-shard WDL scatter through the Cromwell
+  engine onto the batch substrate (the JAWS §6 shard storm).
+- ``entk_frontier``    — full-scale E2/E3: 7875 tasks on 8000 nodes
+  through the EnTK pilot agent.
+- ``queue_scaling``    — tasks/sec as the queue depth grows (the curve
+  that exposes quadratic scheduler behaviour).
+
+Run ``python -m benchmarks.perf --help``; results land in
+``BENCH_PERF.json`` (schema documented in EXPERIMENTS.md).
+"""
+
+from benchmarks.perf.harness import (
+    BENCH_PERF_SCHEMA,
+    PerfResult,
+    compare_throughput,
+    run_suite,
+    write_report,
+)
+from benchmarks.perf.scenarios import SCENARIOS
+
+__all__ = [
+    "BENCH_PERF_SCHEMA",
+    "PerfResult",
+    "SCENARIOS",
+    "compare_throughput",
+    "run_suite",
+    "write_report",
+]

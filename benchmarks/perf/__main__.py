@@ -1,0 +1,8 @@
+"""CLI entry point: ``python -m benchmarks.perf``."""
+
+import sys
+
+from benchmarks.perf.harness import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,249 @@
+"""Measurement, report assembly, and regression gating for the perf suite.
+
+``BENCH_PERF.json`` schema (``repro.perf/v1``)::
+
+    {
+      "schema": "repro.perf/v1",
+      "python": "3.12.3",
+      "platform": "Linux-...",
+      "modes": {
+        "smoke": {"scenarios": {name: {...metrics...}}, "total_wall_s": ...},
+        "full":  {"scenarios": {...}, "total_wall_s": ...}
+      },
+      "baseline": {                  # pre-optimization numbers, same shape
+        "description": "...",
+        "modes": {...}
+      },
+      "speedup": {                   # after/before wall-clock ratio per
+        "full": {name: 3.4, ...},    # scenario, where both sides exist
+        "smoke": {...}
+      }
+    }
+
+Per-scenario metrics always include ``wall_s``, ``events``,
+``events_per_s``, ``throughput`` and ``throughput_unit``; scenarios add
+their own extras (``peak_queue_length``, ``curve``, ...).
+
+The CI gate (:func:`compare_throughput`) compares ``throughput`` of
+same-named scenarios between a fresh run and the committed report and
+fails on a > ``max_regression``× slowdown — coarse enough to survive
+machine variance, tight enough to catch a complexity regression.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from benchmarks.perf.scenarios import SCENARIOS
+
+BENCH_PERF_SCHEMA = "repro.perf/v1"
+
+
+@dataclass
+class PerfResult:
+    """An in-memory BENCH_PERF document under assembly."""
+
+    modes: dict = field(default_factory=dict)
+    baseline: Optional[dict] = None
+
+    def record(self, mode: str, name: str, metrics: dict) -> None:
+        section = self.modes.setdefault(mode, {"scenarios": {}})
+        section["scenarios"][name] = metrics
+
+    def to_doc(self) -> dict:
+        for section in self.modes.values():
+            section["total_wall_s"] = round(
+                sum(m["wall_s"] for m in section["scenarios"].values()), 4
+            )
+        doc = {
+            "schema": BENCH_PERF_SCHEMA,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "modes": self.modes,
+        }
+        if self.baseline:
+            doc["baseline"] = self.baseline
+            doc["speedup"] = self._speedups()
+        return doc
+
+    def _speedups(self) -> dict:
+        out: dict = {}
+        base_modes = (self.baseline or {}).get("modes", {})
+        for mode, section in self.modes.items():
+            base = base_modes.get(mode, {}).get("scenarios", {})
+            ratios = {}
+            for name, metrics in section["scenarios"].items():
+                before = base.get(name, {}).get("wall_s")
+                after = metrics.get("wall_s")
+                if before and after:
+                    ratios[name] = round(before / after, 2)
+            if ratios:
+                out[mode] = ratios
+        return out
+
+
+def run_suite(
+    mode: str = "smoke",
+    only: Optional[list[str]] = None,
+    result: Optional[PerfResult] = None,
+    verbose: bool = True,
+) -> PerfResult:
+    """Run the scenario suite at ``mode`` scale, accumulating into
+    ``result`` (a fresh one if not given)."""
+    result = result or PerfResult()
+    names = only or list(SCENARIOS)
+    unknown = sorted(set(names) - set(SCENARIOS))
+    if unknown:
+        raise KeyError(f"unknown scenarios {unknown}; have {sorted(SCENARIOS)}")
+    for name in names:
+        scenario = SCENARIOS[name]
+        if verbose:
+            print(f"[perf:{mode}] {name} ...", flush=True)
+        metrics = scenario.run(mode)
+        result.record(mode, name, metrics)
+        if verbose:
+            print(
+                f"[perf:{mode}] {name}: wall={metrics['wall_s']}s "
+                f"throughput={metrics['throughput']} "
+                f"{metrics.get('throughput_unit', 'events/s')}",
+                flush=True,
+            )
+    return result
+
+
+def write_report(result: PerfResult, out_path: str | Path) -> dict:
+    """Serialize ``result`` to ``out_path``; returns the document."""
+    doc = result.to_doc()
+    path = Path(out_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc
+
+
+def load_report(path: str | Path) -> dict:
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != BENCH_PERF_SCHEMA:
+        raise ValueError(
+            f"{path}: schema {doc.get('schema')!r} != {BENCH_PERF_SCHEMA!r}"
+        )
+    return doc
+
+
+def compare_throughput(
+    current: dict, committed: dict, mode: str = "smoke", max_regression: float = 2.0
+) -> list[str]:
+    """Regression gate: list of failure strings (empty = pass).
+
+    A scenario fails when its fresh ``throughput`` is more than
+    ``max_regression`` times lower than the committed report's number
+    for the same scenario and mode.
+    """
+    failures = []
+    cur = current.get("modes", {}).get(mode, {}).get("scenarios", {})
+    ref = committed.get("modes", {}).get(mode, {}).get("scenarios", {})
+    for name, ref_metrics in sorted(ref.items()):
+        ref_tp = ref_metrics.get("throughput")
+        cur_tp = cur.get(name, {}).get("throughput")
+        if not ref_tp or cur_tp is None:
+            continue
+        if cur_tp * max_regression < ref_tp:
+            failures.append(
+                f"{name}: throughput {cur_tp} is >{max_regression}x below "
+                f"committed {ref_tp} ({ref_metrics.get('throughput_unit', '')})"
+            )
+    return failures
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf",
+        description="Wall-clock perf harness; writes BENCH_PERF.json.",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smoke scale only (default: smoke AND full scale)",
+    )
+    parser.add_argument(
+        "--only", nargs="*", help="subset of scenario names to run"
+    )
+    parser.add_argument(
+        "--out",
+        default="benchmarks/results/BENCH_PERF.json",
+        help="output path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--baseline",
+        help="embed a prior BENCH_PERF.json as the 'before' numbers and "
+        "compute per-scenario speedups",
+    )
+    parser.add_argument(
+        "--baseline-note",
+        default="pre-optimization baseline",
+        help="description stored with --baseline numbers",
+    )
+    parser.add_argument(
+        "--compare-to",
+        help="regression gate: committed BENCH_PERF.json to compare "
+        "throughput against (exit 1 on >--max-regression slowdown)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="allowed throughput regression factor (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    result = PerfResult()
+    run_suite("smoke", only=args.only, result=result)
+    if not args.smoke:
+        run_suite("full", only=args.only, result=result)
+
+    if args.baseline:
+        base = load_report(args.baseline)
+        result.baseline = {
+            "description": args.baseline_note,
+            "python": base.get("python"),
+            "platform": base.get("platform"),
+            "modes": base.get("modes", {}),
+        }
+
+    doc = write_report(result, args.out)
+    print(f"wrote {args.out}")
+    for mode, ratios in doc.get("speedup", {}).items():
+        for name, ratio in sorted(ratios.items()):
+            print(f"[speedup:{mode}] {name}: {ratio}x")
+
+    if args.compare_to:
+        failures = compare_throughput(
+            doc, load_report(args.compare_to),
+            mode="smoke", max_regression=args.max_regression,
+        )
+        if failures:
+            for f in failures:
+                print(f"PERF REGRESSION: {f}", file=sys.stderr)
+            return 1
+        print(
+            f"perf gate ok (no scenario >{args.max_regression}x below "
+            f"{args.compare_to})"
+        )
+    return 0
+
+
+__all__ = [
+    "BENCH_PERF_SCHEMA",
+    "PerfResult",
+    "compare_throughput",
+    "load_report",
+    "main",
+    "run_suite",
+    "write_report",
+]

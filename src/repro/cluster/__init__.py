@@ -14,7 +14,7 @@ reproduction (E4).
 """
 
 from repro.cluster.node import Allocation, Node, NodeSpec, NodeState
-from repro.cluster.cluster import Cluster, ClusterCapacityError
+from repro.cluster.cluster import Cluster, ClusterCapacityError, FreeNodePool
 from repro.cluster.faults import FaultInjector, NodeFailure
 
 __all__ = [
@@ -22,6 +22,7 @@ __all__ = [
     "Cluster",
     "ClusterCapacityError",
     "FaultInjector",
+    "FreeNodePool",
     "Node",
     "NodeFailure",
     "NodeSpec",

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+import heapq
+from bisect import bisect_left, insort
+from typing import Callable, Iterator, Optional, Sequence
 
 from repro.simkernel import Environment, UtilizationTracker
 from repro.cluster.node import Node, NodeSpec
@@ -10,6 +12,108 @@ from repro.cluster.node import Node, NodeSpec
 
 class ClusterCapacityError(RuntimeError):
     """A request can never be satisfied by the cluster (even when empty)."""
+
+
+class FreeNodePool:
+    """Incremental index of whole-node-idle nodes, bucketed by spec class.
+
+    Tracks every node that is UP with zero allocations — the "free"
+    predicate the batch scheduler's whole-node grants use — by
+    subscribing to node idle transitions, so membership updates ride
+    along with ``allocate``/``release``/``fail``/``recover`` instead of
+    being recomputed by scanning the cluster on every scheduling pass.
+
+    Each spec class keeps its free members as a bisect-sorted list of
+    *global insertion indices*; a query merges the buckets eligible for
+    a request with :func:`heapq.merge`, which reproduces the original
+    linear scan over ``cluster.nodes`` exactly (pools of the same or
+    different specs may be interleaved across ``add_pool`` calls, so
+    per-bucket order alone would not be enough).
+    """
+
+    def __init__(self) -> None:
+        self._node_at: list[Node] = []  # global insertion index -> node
+        self._index: dict[str, int] = {}  # node.id -> global index
+        self._buckets: dict[NodeSpec, list[int]] = {}  # spec -> sorted free
+        self._free_ids: set[int] = set()
+        self._eligible_cache: dict[tuple, tuple[list[int], ...]] = {}
+
+    def __len__(self) -> int:
+        """Number of currently free (idle, up) nodes."""
+        return len(self._free_ids)
+
+    def register(self, node: Node) -> None:
+        """Start tracking ``node`` (called once, at cluster add time)."""
+        idx = len(self._node_at)
+        self._node_at.append(node)
+        self._index[node.id] = idx
+        if node.spec not in self._buckets:
+            self._buckets[node.spec] = []
+            self._eligible_cache.clear()  # a new spec class may match
+        if node.is_up and not node.allocations:
+            self._free_ids.add(idx)
+            self._buckets[node.spec].append(idx)  # idx is the max so far
+        node._idle_watchers.append(self._on_idle_changed)
+
+    def _on_idle_changed(self, node: Node, idle: bool) -> None:
+        idx = self._index[node.id]
+        if idle:
+            if idx not in self._free_ids:
+                self._free_ids.add(idx)
+                insort(self._buckets[node.spec], idx)
+        elif idx in self._free_ids:
+            self._free_ids.remove(idx)
+            bucket = self._buckets[node.spec]
+            del bucket[bisect_left(bucket, idx)]
+
+    def _eligible(
+        self, cores: int, gpus: int, memory_gb: float
+    ) -> tuple[list[int], ...]:
+        key = (cores, gpus, memory_gb)
+        buckets = self._eligible_cache.get(key)
+        if buckets is None:
+            buckets = tuple(
+                bucket
+                for spec, bucket in self._buckets.items()
+                if spec.cores >= cores
+                and spec.gpus >= gpus
+                and spec.memory_gb >= memory_gb - 1e-9
+            )
+            self._eligible_cache[key] = buckets
+        return buckets
+
+    def iter_matching(
+        self, cores: int, gpus: int, memory_gb: float
+    ) -> Iterator[Node]:
+        """Free nodes whose spec satisfies the per-node request, in
+        cluster insertion order."""
+        buckets = self._eligible(cores, gpus, memory_gb)
+        if not buckets:
+            return
+        indices = buckets[0] if len(buckets) == 1 else heapq.merge(*buckets)
+        node_at = self._node_at
+        for idx in indices:
+            yield node_at[idx]
+
+    def first_fit(
+        self,
+        cores: int,
+        gpus: int,
+        memory_gb: float,
+        count: int,
+        exclude=(),
+    ) -> Optional[list[Node]]:
+        """First ``count`` matching free nodes in insertion order, or
+        ``None`` if fewer are free (same contract as the scan-based
+        ``_free_nodes_for`` this replaces)."""
+        found = []
+        for node in self.iter_matching(cores, gpus, memory_gb):
+            if node in exclude:
+                continue
+            found.append(node)
+            if len(found) == count:
+                return found
+        return None
 
 
 class Cluster:
@@ -37,6 +141,8 @@ class Cluster:
         self.name = name
         self.nodes: list[Node] = []
         self._by_id: dict[str, Node] = {}
+        #: Incremental whole-node-idle index used by the batch scheduler.
+        self.free_pool = FreeNodePool()
         if pools:
             for spec, count in pools:
                 self.add_pool(spec, count)
@@ -55,6 +161,7 @@ class Cluster:
             node = Node(f"{spec.name}-{start + i:05d}", spec)
             self.nodes.append(node)
             self._by_id[node.id] = node
+            self.free_pool.register(node)
             created.append(node)
         return created
 

@@ -110,6 +110,11 @@ class Node:
         #: Cumulative counters for provenance / tracing.
         self.total_allocations = 0
         self.failure_count = 0
+        #: Callbacks ``(node, idle: bool)`` fired when the node enters or
+        #: leaves the whole-node-idle state (UP with zero allocations).
+        #: Free-node indexes (FreeNodePool) subscribe here so schedulers
+        #: never have to rescan the cluster.
+        self._idle_watchers: list = []
 
     # -- capacity queries ----------------------------------------------------
 
@@ -156,6 +161,8 @@ class Node:
         alloc = Allocation(self, cores, gpus, memory_gb, owner=owner)
         self.allocations.append(alloc)
         self.total_allocations += 1
+        if len(self.allocations) == 1:
+            self._notify_idle(False)
         return alloc
 
     def _free(self, alloc: Allocation) -> None:
@@ -164,6 +171,12 @@ class Node:
             self.free_cores += alloc.cores
             self.free_gpus += alloc.gpus
             self.free_memory_gb += alloc.memory_gb
+            if not self.allocations and self.state == NodeState.UP:
+                self._notify_idle(True)
+
+    def _notify_idle(self, idle: bool) -> None:
+        for watcher in self._idle_watchers:
+            watcher(self, idle)
 
     # -- occupant registration (for fault injection) ----------------------------
 
@@ -185,6 +198,7 @@ class Node:
         """
         self.state = NodeState.DOWN
         self.failure_count += 1
+        self._notify_idle(False)
         for alloc in list(self.allocations):
             alloc.release()
         victims = list(self.occupants.values())
@@ -200,6 +214,8 @@ class Node:
         self.free_cores = self.spec.cores
         self.free_gpus = self.spec.gpus
         self.free_memory_gb = self.spec.memory_gb
+        if not self.allocations:
+            self._notify_idle(True)
 
     def __repr__(self) -> str:
         return (

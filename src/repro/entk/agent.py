@@ -78,6 +78,10 @@ class PilotAgent:
         self._free: list[Node] = list(self.nodes)
         self._blacklist: set = set()
         self._strikes: dict[str, int] = defaultdict(int)
+        # (cores_per_node, gpus_per_node) -> how many pilot nodes fit.
+        # The node set is fixed at construction, so validation is a dict
+        # hit instead of a full node scan per task.
+        self._fit_cache: dict[tuple[int, int], int] = {}
         self._node_freed = env.event()
         self._submit_q = Store(env)
         self._launch_q = Store(env)
@@ -192,17 +196,21 @@ class PilotAgent:
         return done, failed
 
     def _validate_task(self, task: EnTask) -> None:
-        fitting = [
-            n
-            for n in self.nodes
-            if n.spec.cores >= task.cores_per_node
-            and n.spec.gpus >= task.gpus_per_node
-        ]
-        if len(fitting) < task.nodes:
+        key = (task.cores_per_node, task.gpus_per_node)
+        fitting = self._fit_cache.get(key)
+        if fitting is None:
+            fitting = sum(
+                1
+                for n in self.nodes
+                if n.spec.cores >= task.cores_per_node
+                and n.spec.gpus >= task.gpus_per_node
+            )
+            self._fit_cache[key] = fitting
+        if fitting < task.nodes:
             raise ValueError(
                 f"{task!r} needs {task.nodes} nodes with "
                 f"{task.cores_per_node}c/{task.gpus_per_node}g; pilot has "
-                f"only {len(fitting)} such nodes"
+                f"only {fitting} such nodes"
             )
 
     # -- agent loops ---------------------------------------------------------------

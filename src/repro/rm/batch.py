@@ -14,6 +14,7 @@ from typing import Optional
 from repro.simkernel import Environment, Interrupt
 from repro.cluster import Cluster, Node
 from repro.rm.base import Job, JobState, ResourceRequest
+from repro.rm.util import OrderedSet
 
 
 class BatchScheduler:
@@ -43,11 +44,14 @@ class BatchScheduler:
         self.cluster = cluster
         self.backfill = backfill
         self.fair_share = fair_share
-        self.queue: list[Job] = []
-        self.running: list[Job] = []
+        self.queue: OrderedSet = OrderedSet()
+        self.running: OrderedSet = OrderedSet()
         self.finished: list[Job] = []
         #: Per-user consumed core-seconds (fair-share input).
         self.usage: dict[str, float] = defaultdict(float)
+        #: Queued jobs with afterok dependencies — the only ones the
+        #: doomed-job sweep has to look at.
+        self._dep_queued: OrderedSet = OrderedSet()
         self._submit_seq: dict[str, int] = {}
         self._seq = 0
         self._wake = env.event()
@@ -64,6 +68,8 @@ class BatchScheduler:
         self._seq += 1
         self._submit_seq[job.job_id] = self._seq
         self.queue.append(job)
+        if job.depends_on:
+            self._dep_queued.append(job)
         tracer = self.env.tracer
         tracer.instant(
             "submit",
@@ -81,6 +87,8 @@ class BatchScheduler:
         """Remove a still-queued job (running jobs are not preempted)."""
         if job in self.queue:
             self.queue.remove(job)
+            self._dep_queued.discard(job)
+            self._submit_seq.pop(job.job_id, None)
             job.state = JobState.CANCELLED
             job.end_time = self.env.now
             self.finished.append(job)
@@ -126,7 +134,9 @@ class BatchScheduler:
 
     def _cancel_doomed(self) -> None:
         """Cancel queued jobs whose afterok dependencies failed."""
-        for job in list(self.queue):
+        if not self._dep_queued:
+            return
+        for job in list(self._dep_queued):
             if self._dependency_state(job) == "doomed":
                 self.cancel(job)
 
@@ -141,23 +151,48 @@ class BatchScheduler:
             key=lambda j: (self.usage[j.user], self._submit_seq[j.job_id]),
         )
 
-    def _free_nodes_for(self, request: ResourceRequest, exclude=()) -> Optional[list[Node]]:
-        found = []
-        for node in self.cluster.nodes:
-            if node in exclude or not node.is_up or node.allocations:
-                continue
-            spec = node.spec
-            if (
-                spec.cores >= request.cores_per_node
-                and spec.gpus >= request.gpus_per_node
-                and spec.memory_gb >= request.memory_gb_per_node - 1e-9
-            ):
-                found.append(node)
-                if len(found) == request.nodes:
-                    return found
+    def _first_eligible(self) -> Optional[Job]:
+        for job in self.queue:
+            if not job.depends_on or self._dependency_state(job) == "ready":
+                return job
         return None
 
+    def _free_nodes_for(self, request: ResourceRequest, exclude=()) -> Optional[list[Node]]:
+        return self.cluster.free_pool.first_fit(
+            request.cores_per_node,
+            request.gpus_per_node,
+            request.memory_gb_per_node,
+            request.nodes,
+            exclude,
+        )
+
     def _try_schedule(self) -> None:
+        if self.fair_share:
+            self._try_schedule_snapshot()
+            return
+        # FIFO order is queue order, so walk the indexed queue lazily
+        # instead of materializing the eligible list every pass.
+        # Dependency states cannot change mid-pass (completions arrive
+        # via separate events), so per-job eligibility is stable here.
+        head = self._first_eligible()
+        while head is not None:
+            nodes = self._free_nodes_for(head.request)
+            if nodes is None:
+                break
+            self._start(head, nodes)
+            head = self._first_eligible()
+        if head is None or not self.backfill:
+            return
+        if not self.cluster.free_pool:
+            # Zero idle nodes: no backfill candidate could start, so the
+            # reservation walk would be pure overhead.  This is the
+            # steady state of a saturated cluster — most wakeups exit
+            # here in O(1).
+            return
+        self._backfill(head, [j for j in self.queue if j is not head])
+
+    def _try_schedule_snapshot(self) -> None:
+        """Fair-share pass: order changes between starts, so snapshot."""
         ordered = self._ordered_queue()
         started = True
         while started and ordered:
@@ -170,10 +205,17 @@ class BatchScheduler:
                 started = True
         if not ordered or not self.backfill:
             return
+        self._backfill(ordered[0], ordered[1:])
+
+    def _backfill(self, head: Job, candidates) -> None:
         # EASY backfill: reserve for the head, let later jobs squeeze in.
-        head = ordered[0]
         shadow, reserved = self._head_reservation(head)
-        for job in ordered[1:]:
+        free_pool = self.cluster.free_pool
+        for job in candidates:
+            if not free_pool:
+                break  # every remaining fit check would come up empty
+            if job.depends_on and self._dependency_state(job) != "ready":
+                continue
             nodes = self._free_nodes_for(job.request, exclude=reserved)
             fits_outside_reservation = nodes is not None
             if not fits_outside_reservation:
@@ -192,11 +234,13 @@ class BatchScheduler:
         Walks running jobs in projected-end order, freeing their nodes
         until the head's request fits; the fit time is the shadow.
         """
-        free = {
-            n
-            for n in self.cluster.nodes
-            if n.is_up and not n.allocations and self._node_satisfies(n, head.request)
-        }
+        free = set(
+            self.cluster.free_pool.iter_matching(
+                head.request.cores_per_node,
+                head.request.gpus_per_node,
+                head.request.memory_gb_per_node,
+            )
+        )
         if len(free) >= head.request.nodes:
             # Head fits now in principle (race with in-flight starts);
             # reserve the first-fit set immediately.
@@ -232,6 +276,8 @@ class BatchScheduler:
 
     def _start(self, job: Job, nodes: list[Node]) -> None:
         self.queue.remove(job)
+        self._dep_queued.discard(job)
+        self._submit_seq.pop(job.job_id, None)
         job.state = JobState.RUNNING
         job.start_time = self.env.now
         job.nodes = list(nodes)

@@ -17,6 +17,7 @@ from typing import Any, Callable, Optional
 from repro.simkernel import Environment, Interrupt
 from repro.cluster import Cluster, Node
 from repro.rm.base import JobState
+from repro.rm.util import OrderedSet
 
 
 class PodFailed(RuntimeError):
@@ -136,8 +137,8 @@ class KubeScheduler:
         self.cluster = cluster
         self.strategy = strategy or FifoStrategy()
         self.recheck_s = recheck_s
-        self.pending: list[Pod] = []
-        self.running: list[Pod] = []
+        self.pending: OrderedSet = OrderedSet()
+        self.running: OrderedSet = OrderedSet()
         self.finished: list[Pod] = []
         self._wake = env.event()
         self._recheck_armed = False

@@ -1,0 +1,45 @@
+"""Small bookkeeping structures shared by the resource managers."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+
+class OrderedSet:
+    """Insertion-ordered set with O(1) append/remove/contains.
+
+    Drop-in replacement for the list-based ``queue``/``running``/
+    ``pending`` bookkeeping in the schedulers: it supports the same
+    ``append``/``remove``/``in``/iteration/``len`` surface, but removal
+    no longer scans.  Members are identity-hashed lifecycle objects
+    (``Job``, ``Pod``), so iteration order — dict insertion order — is
+    exactly the order the old lists had.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[Any] = ()):
+        self._items: dict[Any, None] = dict.fromkeys(items)
+
+    def append(self, item: Any) -> None:
+        self._items[item] = None
+
+    add = append
+
+    def remove(self, item: Any) -> None:
+        del self._items[item]
+
+    def discard(self, item: Any) -> None:
+        self._items.pop(item, None)
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self._items
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return f"OrderedSet({list(self._items)!r})"

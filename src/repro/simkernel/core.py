@@ -69,6 +69,11 @@ class Environment:
         return self._now
 
     @property
+    def scheduled_events(self) -> int:
+        """Total events scheduled since creation (perf-harness counter)."""
+        return self._eid
+
+    @property
     def active_process(self) -> Optional[Process]:
         """The process currently being resumed, if any."""
         return self._active_proc
@@ -139,7 +144,8 @@ class Environment:
 
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
-            callback(event)
+            if callback is not None:  # None = tombstoned (interrupt detach)
+                callback(event)
 
         if not event._ok and not event.defused:
             exc = event._value

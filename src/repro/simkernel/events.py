@@ -201,7 +201,7 @@ class Process(Event):
             assert result == 42
     """
 
-    __slots__ = ("generator", "target", "name")
+    __slots__ = ("generator", "target", "name", "_cb_index")
 
     def __init__(self, env, generator: Generator, name: Optional[str] = None):
         if not hasattr(generator, "throw"):
@@ -212,6 +212,9 @@ class Process(Event):
         #: The event this process is currently waiting on (None if not
         #: started or already terminated).
         self.target: Optional[Event] = None
+        #: Index of this process's ``_resume`` in ``target.callbacks``
+        #: (callback lists are append-only, so the index stays valid).
+        self._cb_index: int = -1
         Initialize(env, self)
 
     @property
@@ -237,18 +240,21 @@ class Process(Event):
     def _resume_interrupt(self, event: Event) -> None:
         if not self.is_alive:  # terminated before interrupt delivery
             return
-        # Detach from whatever we were waiting on.
+        # Detach from whatever we were waiting on: tombstone our slot
+        # instead of list.remove (O(1) vs O(waiters); the event loop
+        # skips None callbacks).
         target = self.target
         if target is not None and target.callbacks is not None:
-            try:
-                target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+            cbs = target.callbacks
+            i = self._cb_index
+            # == not `is`: bound methods are fresh objects per access.
+            if 0 <= i < len(cbs) and cbs[i] == self._resume:
+                cbs[i] = None
             # A condition left with no waiters may still fail later when
             # a constituent fails (e.g. children being torn down after
             # this same interrupt).  Nobody can handle that failure any
             # more, so defuse it now rather than crash the simulation.
-            if not target.callbacks and isinstance(target, Condition):
+            if isinstance(target, Condition) and all(cb is None for cb in cbs):
                 target.defused = True
         self._do_resume(event)
 
@@ -287,9 +293,11 @@ class Process(Event):
                 )
                 return
 
-            if next_event.callbacks is not None:
+            cbs = next_event.callbacks
+            if cbs is not None:
                 # Event still pending or triggered-but-unprocessed: wait.
-                next_event.callbacks.append(self._resume)
+                self._cb_index = len(cbs)
+                cbs.append(self._resume)
                 self.target = next_event
                 env._active_proc = None
                 return

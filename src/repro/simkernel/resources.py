@@ -11,11 +11,19 @@ These mirror the classic DES resource trio:
 
 All queue disciplines are deterministic: requests are served strictly
 in arrival order (or priority then arrival order for the priority
-variants).
+variants).  The implementations are tuned for large waiter counts —
+``Resource`` keeps its queue as a ``(priority, seq)`` binary heap with
+lazy cancellation, the stores use deques instead of ``pop(0)`` lists,
+and ``FilterStore`` only re-tests waiting getters against *newly*
+admitted items — but every grant order is bit-identical to the
+straightforward sorted-list versions they replaced (pinned by
+``tests/simkernel/test_reference_model.py``).
 """
 
 from __future__ import annotations
 
+import heapq
+from collections import deque
 from typing import Any, Callable, Optional
 
 from repro.simkernel.events import Event
@@ -31,26 +39,28 @@ class Request(Event):
             ... hold the slot ...
     """
 
-    __slots__ = ("resource", "priority", "_seq")
+    __slots__ = ("resource", "priority", "_seq", "_cancelled")
 
     def __init__(self, resource: "Resource", priority: int = 0):
         super().__init__(resource.env)
         self.resource = resource
         self.priority = priority
+        self._cancelled = False
         resource._seq += 1
         self._seq = resource._seq
-        resource._queue.append(self)
-        resource._queue.sort(key=lambda r: (r.priority, r._seq))
+        # (priority, seq) is a unique total order, so the heap never
+        # compares Request objects and grants exactly in sorted order.
+        heapq.heappush(resource._queue, (priority, self._seq, self))
+        resource._waiting += 1
         resource._trigger_queued()
 
     def cancel(self) -> None:
         """Withdraw an ungranted request (no-op if already granted)."""
-        if self.triggered:
+        if self.triggered or self._cancelled:
             return
-        try:
-            self.resource._queue.remove(self)
-        except ValueError:
-            pass
+        self._cancelled = True
+        self.resource._waiting -= 1
+        self.resource._maybe_compact()
 
     def __enter__(self) -> "Request":
         return self
@@ -67,9 +77,12 @@ class Resource:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.env = env
         self.capacity = capacity
-        #: Requests currently holding a slot.
-        self.users: list[Request] = []
-        self._queue: list[Request] = []
+        #: Requests currently holding a slot (insertion-ordered set).
+        self.users: dict[Request, None] = {}
+        # Heap of (priority, seq, request); cancelled requests stay in
+        # the heap as tombstones and are skipped when popped.
+        self._queue: list[tuple[int, int, Request]] = []
+        self._waiting = 0
         self._seq = 0
 
     @property
@@ -80,7 +93,7 @@ class Resource:
     @property
     def queue_length(self) -> int:
         """Number of requests waiting for a slot."""
-        return len(self._queue)
+        return self._waiting
 
     def request(self, priority: int = 0) -> Request:
         """Claim a slot; the returned event triggers when granted."""
@@ -92,16 +105,25 @@ class Resource:
         Releasing an ungranted request cancels it instead.
         """
         if request in self.users:
-            self.users.remove(request)
+            del self.users[request]
             self._trigger_queued()
         else:
             request.cancel()
 
     def _trigger_queued(self) -> None:
-        while self._queue and len(self.users) < self.capacity:
-            req = self._queue.pop(0)
-            self.users.append(req)
+        while self._waiting and len(self.users) < self.capacity:
+            req = heapq.heappop(self._queue)[2]
+            if req._cancelled:
+                continue
+            self._waiting -= 1
+            self.users[req] = None
             req.succeed()
+
+    def _maybe_compact(self) -> None:
+        # Keep cancel O(1) amortized: rebuild once tombstones dominate.
+        if len(self._queue) > 2 * self._waiting + 16:
+            self._queue = [e for e in self._queue if not e[2]._cancelled]
+            heapq.heapify(self._queue)
 
 
 class PriorityResource(Resource):
@@ -128,8 +150,8 @@ class Container:
         self.env = env
         self.capacity = capacity
         self._level = float(init)
-        self._getters: list[tuple[float, Event]] = []
-        self._putters: list[tuple[float, Event]] = []
+        self._getters: deque[tuple[float, Event]] = deque()
+        self._putters: deque[tuple[float, Event]] = deque()
 
     @property
     def level(self) -> float:
@@ -140,6 +162,10 @@ class Container:
         """Add ``amount``; triggers when it fits under ``capacity``."""
         if amount < 0:
             raise ValueError("amount must be non-negative")
+        if amount > self.capacity:
+            # A put that can never fit would deadlock silently; reject it
+            # up front, symmetrically with get().
+            raise ValueError(f"put({amount}) exceeds capacity {self.capacity}")
         ev = Event(self.env)
         self._putters.append((amount, ev))
         self._drain()
@@ -164,14 +190,14 @@ class Container:
                 amount, ev = self._putters[0]
                 if self._level + amount <= self.capacity:
                     self._level += amount
-                    self._putters.pop(0)
+                    self._putters.popleft()
                     ev.succeed(amount)
                     progressed = True
             if self._getters:
                 amount, ev = self._getters[0]
                 if amount <= self._level:
                     self._level -= amount
-                    self._getters.pop(0)
+                    self._getters.popleft()
                     ev.succeed(amount)
                     progressed = True
 
@@ -184,9 +210,9 @@ class Store:
             raise ValueError("capacity must be positive")
         self.env = env
         self.capacity = capacity
-        self.items: list[Any] = []
-        self._getters: list[Event] = []
-        self._putters: list[tuple[Any, Event]] = []
+        self.items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Any, Event]] = deque()
 
     def __len__(self) -> int:
         return len(self.items)
@@ -210,13 +236,13 @@ class Store:
         while progressed:
             progressed = False
             while self._putters and len(self.items) < self.capacity:
-                item, ev = self._putters.pop(0)
+                item, ev = self._putters.popleft()
                 self.items.append(item)
                 ev.succeed(item)
                 progressed = True
             while self._getters and self.items:
-                ev = self._getters.pop(0)
-                item = self.items.pop(0)
+                ev = self._getters.popleft()
+                item = self.items.popleft()
                 ev.succeed(item)
                 progressed = True
 
@@ -226,35 +252,69 @@ class FilterStore(Store):
 
     Getters are records of ``(predicate, event)``; each is granted the
     first stored item its predicate accepts, in getter arrival order.
+
+    Invariant between operations: every waiting getter has already been
+    tested (and failed) against every stored item.  Each drain therefore
+    only tests getters against items admitted *during* that drain — a
+    new getter is the one exception and scans the full store once — so
+    total predicate work is O(getters × new items), not quadratic in the
+    number of passes.
     """
 
     def __init__(self, env, capacity: float = float("inf")):
         super().__init__(env, capacity)
-        self._getters: list[tuple[Callable[[Any], bool], Event]] = []  # type: ignore[assignment]
+        # Records are [predicate, event, active]; cancelled-by-grant
+        # records flip active to False and are compacted lazily so that
+        # iteration stays in arrival order with O(1) removal.
+        self._getters: list[list] = []  # type: ignore[assignment]
+        self._active_getters = 0
+        self.items: list[Any] = []  # arbitrary removal: keep it a list
 
     def get(self, filter: Optional[Callable[[Any], bool]] = None) -> Event:  # noqa: A002
         ev = Event(self.env)
-        self._getters.append((filter or (lambda item: True), ev))
-        self._drain()
+        predicate = filter or (lambda item: True)
+        match = next((i for i in self.items if predicate(i)), _NO_MATCH)
+        if match is _NO_MATCH:
+            self._getters.append([predicate, ev, True])
+            self._active_getters += 1
+        else:
+            self.items.remove(match)
+            ev.succeed(match)
+            self._drain()  # freed capacity may admit queued putters
         return ev
 
     def _drain(self) -> None:
-        progressed = True
-        while progressed:
-            progressed = False
+        while True:
+            fresh: list[list] = []  # [item, still-available] slots
             while self._putters and len(self.items) < self.capacity:
-                item, ev = self._putters.pop(0)
+                item, ev = self._putters.popleft()
                 self.items.append(item)
                 ev.succeed(item)
-                progressed = True
-            for record in list(self._getters):
-                predicate, ev = record
-                match = next((i for i in self.items if predicate(i)), _NO_MATCH)
-                if match is not _NO_MATCH:
-                    self.items.remove(match)
-                    self._getters.remove(record)
-                    ev.succeed(match)
-                    progressed = True
+                fresh.append([item, True])
+            if not fresh or not self._active_getters:
+                break
+            matched = False
+            for record in self._getters:
+                if not record[2]:
+                    continue
+                predicate, ev = record[0], record[1]
+                for slot in fresh:
+                    if slot[1] and predicate(slot[0]):
+                        slot[1] = False
+                        self.items.remove(slot[0])
+                        record[2] = False
+                        self._active_getters -= 1
+                        ev.succeed(slot[0])
+                        matched = True
+                        break
+            if matched:
+                self._compact_getters()
+            else:
+                break  # nothing matched; queued putters stay queued
+
+    def _compact_getters(self) -> None:
+        if len(self._getters) > 2 * self._active_getters + 16:
+            self._getters = [r for r in self._getters if r[2]]
 
 
 _NO_MATCH = object()

@@ -1,0 +1,41 @@
+"""Regenerate the pinned golden trace digests.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+Only run this after an *intentional* behaviour change — the whole point
+of the pinned digests is that data-structure and performance refactors
+must NOT change them.
+"""
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1].parent))
+
+from tests.golden.traces import build_traces  # noqa: E402
+
+OUT = Path(__file__).parent / "trace_digests.json"
+
+
+def main() -> None:
+    traces = build_traces()
+    digests = {
+        bench_id: {
+            "sha256": hashlib.sha256(text.encode()).hexdigest(),
+            "bytes": len(text.encode()),
+            "lines": text.count("\n") + (0 if text.endswith("\n") or not text else 1),
+        }
+        for bench_id, text in traces.items()
+    }
+    OUT.write_text(json.dumps(digests, indent=2, sort_keys=True) + "\n")
+    for bench_id, d in digests.items():
+        print(f"{bench_id}: {d['sha256'][:16]}...  ({d['bytes']} bytes)")
+    print(f"wrote {OUT}")
+
+
+if __name__ == "__main__":
+    main()
