@@ -84,12 +84,18 @@ class CloudDeployment:
         pathway: str = "salmon",
         hourly_usd: Optional[float] = None,
         spot_mtbf_s: Optional[float] = None,
+        preempt_schedule: Optional[list] = None,
         rng: Optional[np.random.Generator] = None,
     ):
         if max_instances < 1:
             raise ValueError("max_instances must be >= 1")
         if spot_mtbf_s is not None and spot_mtbf_s <= 0:
             raise ValueError("spot_mtbf_s must be positive")
+        for t in preempt_schedule or ():
+            if t < env.now:
+                raise ValueError(
+                    f"preemption time {t} is in the past (now={env.now})"
+                )
         self.env = env
         self.profile = profile or cloud_profile()
         #: "salmon" (2 vCPU / 8 GiB instances) or "star" (memory-
@@ -118,6 +124,12 @@ class CloudDeployment:
         self._queue = Store(env)
         self._live_instances = 0
         self._next_instance = 0
+        #: Live instance id -> kernel process (preemption targets).
+        self._instances: dict = {}
+        #: Scheduled preemptions actually delivered.
+        self.preemptions = 0
+        for t in preempt_schedule or ():
+            env.process(self._scheduled_preemption(t), name=f"preempt@{t}")
 
     def run(self, workload: list) -> CloudRunResult:
         """Start processing ``workload``; returns a live result."""
@@ -159,6 +171,7 @@ class CloudDeployment:
     def _instance(self, iid: str, remaining: dict, result: CloudRunResult, finished):
         boot_t = self.env.now
         reclaimer = None
+        self._instances[iid] = self.env.active_process
         try:
             if self.spot_mtbf_s is not None:
                 me = self.env.active_process
@@ -222,6 +235,7 @@ class CloudDeployment:
             if reclaimer is not None and reclaimer.is_alive:
                 reclaimer.interrupt()
             # Instance gone (drained or reclaimed): scale in + billing.
+            self._instances.pop(iid, None)
             self._live_instances -= 1
             result.instance_hours += (self.env.now - boot_t) / 3600.0
 
@@ -232,3 +246,14 @@ class CloudDeployment:
             return  # instance finished first
         if instance_proc.is_alive:
             instance_proc.interrupt(cause="spot-reclaim")
+
+    def _scheduled_preemption(self, t: float):
+        """Deterministic capacity event: reclaim the lowest-id live
+        instance at ``t`` (no-op if the fleet is empty)."""
+        yield self.env.timeout(t - self.env.now)
+        if not self._instances:
+            return
+        victim = self._instances[min(self._instances)]
+        if victim.is_alive:
+            self.preemptions += 1
+            victim.interrupt(cause="preempt")

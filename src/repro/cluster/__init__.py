@@ -15,7 +15,7 @@ reproduction (E4).
 
 from repro.cluster.node import Allocation, Node, NodeSpec, NodeState
 from repro.cluster.cluster import Cluster, ClusterCapacityError, FreeNodePool
-from repro.cluster.faults import FaultInjector, NodeFailure
+from repro.cluster.faults import FaultInjector, GrayFault, NodeFailure
 
 __all__ = [
     "Allocation",
@@ -23,6 +23,7 @@ __all__ = [
     "ClusterCapacityError",
     "FaultInjector",
     "FreeNodePool",
+    "GrayFault",
     "Node",
     "NodeFailure",
     "NodeSpec",

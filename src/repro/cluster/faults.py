@@ -1,4 +1,4 @@
-"""Fault injection: node crashes and recoveries.
+"""Fault injection: node crashes, recoveries, and gray failures.
 
 The EnTK section of the paper (§4.3) reports that a single node failure
 on Frontier killed eight tasks, all of which EnTK automatically
@@ -6,6 +6,17 @@ resubmitted.  :class:`FaultInjector` reproduces that scenario: it is a
 kernel process that takes nodes down on a schedule (deterministic) or
 stochastically (seeded RNG), interrupting whatever runs there, and
 optionally brings them back after a downtime.
+
+Beyond clean crashes it also injects the *gray* failures production
+systems actually see — node slowdowns (``slowdowns=``): the node stays
+up but its effective speed drops by a factor for a window, so work
+placed there straggles instead of dying.  Degraded transfers and site
+outages live with their substrates (:mod:`repro.data.transfer`,
+:mod:`repro.jaws.service`); everything is seeded and schedulable.
+
+Schedules are validated at construction time: unknown node ids and
+times in the past raise :class:`ValueError` immediately instead of
+killing the simulation obscurely from inside a kernel process mid-run.
 """
 
 from __future__ import annotations
@@ -30,20 +41,40 @@ class NodeFailure:
     recovered_at: Optional[float] = None
 
 
+@dataclass(frozen=True)
+class GrayFault:
+    """Record of one injected slowdown window."""
+
+    time: float
+    node_id: str
+    factor: float
+    until: Optional[float] = None  # None = degraded forever
+
+
 class FaultInjector:
-    """Injects node failures into a cluster.
+    """Injects node failures and gray faults into a cluster.
 
-    Two modes, combinable:
+    Modes, combinable:
 
-    - **Scheduled**: ``schedule=[(time, node_id), ...]`` fails exactly
-      those nodes at those times (used to reproduce E4's single-node
-      failure deterministically).
-    - **Stochastic**: ``mtbf`` (mean time between failures across the
-      whole cluster) draws exponential inter-failure times and uniform
-      node choices from the seeded generator.
+    - **Scheduled crashes**: ``schedule=[(time, node_id), ...]`` fails
+      exactly those nodes at those times (used to reproduce E4's
+      single-node failure deterministically).
+    - **Stochastic crashes**: ``mtbf`` (mean time between failures
+      across the whole cluster) draws exponential inter-failure times
+      and uniform node choices from the seeded generator.
+    - **Scheduled slowdowns**: ``slowdowns=[(time, node_id, factor,
+      duration), ...]`` degrades a node's effective speed by ``factor``
+      for ``duration`` seconds (``None`` = forever).  The node stays UP;
+      already-running work is unaffected (the sim commits to a runtime
+      at task start) but everything placed there afterwards straggles.
 
     Failed nodes recover after ``downtime`` simulated seconds (set
     ``downtime=None`` to keep them down forever).
+
+    ``observe=True`` records ``fault.node`` / ``fault.slowdown`` spans
+    and a ``<cluster>/nodes_down`` gauge into the environment's tracer.
+    It defaults off so fault-injecting runs recorded before this layer
+    existed keep byte-identical traces.
     """
 
     def __init__(
@@ -54,30 +85,75 @@ class FaultInjector:
         mtbf: Optional[float] = None,
         downtime: Optional[float] = 600.0,
         rng: Optional[np.random.Generator] = None,
+        slowdowns: Optional[Sequence[tuple]] = None,
+        observe: bool = False,
     ):
         if mtbf is not None and mtbf <= 0:
             raise ValueError("mtbf must be positive")
         self.env = env
         self.cluster = cluster
         self.downtime = downtime
+        self.observe = observe
         self.rng = rng if rng is not None else np.random.default_rng(0)
         #: Chronological log of injected failures.
         self.failures: list[NodeFailure] = []
+        #: Chronological log of injected slowdowns.
+        self.gray_faults: list[GrayFault] = []
         self._recovery_times: dict[str, float] = {}
-        if schedule:
-            for time, node_id in schedule:
-                env.process(
-                    self._scheduled_failure(time, node_id),
-                    name=f"fault@{time}:{node_id}",
+        self._down_gauge = (
+            env.tracer.metrics.gauge(
+                "nodes_down", component=cluster.name, t0=env.now
+            )
+            if observe
+            else None
+        )
+        for time, node_id in self._validated(schedule or (), arity=2):
+            env.process(
+                self._scheduled_failure(time, node_id),
+                name=f"fault@{time}:{node_id}",
+            )
+        for entry in self._validated(slowdowns or (), arity=4):
+            time, node_id, factor, duration = entry
+            if factor <= 1.0:
+                raise ValueError(
+                    f"slowdown factor must exceed 1.0, got {factor}"
                 )
+            if duration is not None and duration <= 0:
+                raise ValueError("slowdown duration must be positive (or None)")
+            env.process(
+                self._scheduled_slowdown(time, node_id, factor, duration),
+                name=f"gray@{time}:{node_id}",
+            )
         if mtbf is not None:
             env.process(self._stochastic_failures(mtbf), name="fault-injector")
 
+    def _validated(self, entries: Sequence, arity: int) -> list:
+        """Constructor-time schedule validation: reject past times and
+        unknown node ids before any kernel process exists."""
+        out = []
+        for entry in entries:
+            if len(entry) != arity:
+                raise ValueError(
+                    f"schedule entry {entry!r} must have {arity} fields"
+                )
+            time, node_id = entry[0], entry[1]
+            if time < self.env.now:
+                raise ValueError(
+                    f"failure time {time} is in the past (now={self.env.now})"
+                )
+            try:
+                self.cluster.node(node_id)
+            except KeyError:
+                raise ValueError(
+                    f"unknown node id {node_id!r} in fault schedule"
+                ) from None
+            out.append(tuple(entry))
+        return out
+
+    # -- crash injection -----------------------------------------------------
+
     def _scheduled_failure(self, time: float, node_id: str):
-        delay = time - self.env.now
-        if delay < 0:
-            raise ValueError(f"failure time {time} is in the past")
-        yield self.env.timeout(delay)
+        yield self.env.timeout(time - self.env.now)
         self._fail_node(self.cluster.node(node_id))
 
     def _stochastic_failures(self, mtbf: float):
@@ -104,12 +180,59 @@ class FaultInjector:
                 recovered_at=recovered_at,
             )
         )
+        if self.observe:
+            self.env.tracer.instant(
+                "node-down",
+                category="fault.node",
+                component=self.cluster.name,
+                tags={"node": node.id, "victims": len(victims)},
+            )
+            self._down_gauge.increment(self.env.now, +1)
         if self.downtime is not None:
             self.env.process(self._recover_later(node), name=f"recover:{node.id}")
 
     def _recover_later(self, node: Node):
         yield self.env.timeout(self.downtime)
         node.recover()
+        if self.observe:
+            self.env.tracer.instant(
+                "node-up",
+                category="fault.node",
+                component=self.cluster.name,
+                tags={"node": node.id},
+            )
+            self._down_gauge.increment(self.env.now, -1)
+
+    # -- gray injection ------------------------------------------------------
+
+    def _scheduled_slowdown(
+        self, time: float, node_id: str, factor: float, duration: Optional[float]
+    ):
+        yield self.env.timeout(time - self.env.now)
+        node = self.cluster.node(node_id)
+        node.slowdown = factor
+        until = self.env.now + duration if duration is not None else None
+        self.gray_faults.append(
+            GrayFault(time=self.env.now, node_id=node_id, factor=factor, until=until)
+        )
+        span = None
+        if self.observe:
+            span = self.env.tracer.start(
+                node_id,
+                category="fault.slowdown",
+                component=self.cluster.name,
+                tags={"factor": factor},
+            )
+        if duration is not None:
+            yield self.env.timeout(duration)
+            # Only lift our own degradation (a crash/recovery in the
+            # window already reset the node to full speed).
+            if node.slowdown == factor:
+                node.slowdown = 1.0
+        if span is not None:
+            span.finish()
+
+    # -- accounting ----------------------------------------------------------
 
     @property
     def failure_count(self) -> int:

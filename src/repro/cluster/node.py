@@ -99,6 +99,10 @@ class Node:
         self.id = node_id
         self.spec = spec
         self.state = NodeState.UP
+        #: Gray-failure knob: ``> 1`` divides the node's effective speed
+        #: (thermal throttling, a dying disk, a noisy neighbour).  The
+        #: fault injector sets it; executors read :attr:`effective_speed`.
+        self.slowdown = 1.0
         self.free_cores = spec.cores
         self.free_gpus = spec.gpus
         self.free_memory_gb = spec.memory_gb
@@ -121,6 +125,11 @@ class Node:
     @property
     def is_up(self) -> bool:
         return self.state == NodeState.UP
+
+    @property
+    def effective_speed(self) -> float:
+        """Spec speed degraded by any injected slowdown factor."""
+        return self.spec.speed / self.slowdown
 
     @property
     def used_cores(self) -> int:
@@ -211,6 +220,7 @@ class Node:
     def recover(self) -> None:
         """Bring the node back UP with full free capacity."""
         self.state = NodeState.UP
+        self.slowdown = 1.0  # replacement/repair comes back at full speed
         self.free_cores = self.spec.cores
         self.free_gpus = self.spec.gpus
         self.free_memory_gb = self.spec.memory_gb

@@ -19,13 +19,20 @@ bandwidth model so experiments are deterministic.
 
 from repro.data.files import File, FileCatalog
 from repro.data.storage import StorageSite, StorageError
-from repro.data.transfer import TransferRecord, TransferService
+from repro.data.transfer import (
+    TransferError,
+    TransferFaults,
+    TransferRecord,
+    TransferService,
+)
 
 __all__ = [
     "File",
     "FileCatalog",
     "StorageError",
     "StorageSite",
+    "TransferError",
+    "TransferFaults",
     "TransferRecord",
     "TransferService",
 ]

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.simkernel import Environment, Resource
 from repro.data.files import File, FileCatalog
@@ -30,6 +32,99 @@ class TransferRecord:
         return self.size_bytes / 1e6 / self.duration if self.duration > 0 else float("inf")
 
 
+class TransferError(RuntimeError):
+    """A transfer died mid-flight (WAN flap, endpoint restart).
+
+    Marked ``transient`` so :func:`repro.resilience.classify_failure`
+    sends it down the retry path rather than the abort path.
+    """
+
+    transient = True
+
+    def __init__(self, file_name: str, src: str, dst: str,
+                 reason: str = "transfer-fault"):
+        super().__init__(
+            f"transfer of {file_name!r} {src}->{dst} failed: {reason}"
+        )
+        self.file_name = file_name
+        self.src = src
+        self.dst = dst
+        self.reason = reason
+
+
+class TransferFaults:
+    """Schedulable gray failures on the transfer fabric.
+
+    - ``degraded=[(start, duration, factor), ...]`` — wall-clock windows
+      in which every in-window transfer takes ``factor`` times longer
+      (a congested or de-prioritised WAN link).
+    - ``fail_transfers={2, 5}`` — exact transfer indices (submission
+      order, 0-based) that die with :class:`TransferError`.
+    - ``fail_rate=0.05`` — each transfer independently dies with this
+      probability, drawn from the seeded generator.
+
+    Deterministic by construction: same schedule + seed → same faults.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        degraded: Sequence[tuple] = (),
+        fail_transfers: Sequence[int] = (),
+        fail_rate: float = 0.0,
+        fail_after_s: float = 5.0,
+        seed: int = 0,
+    ):
+        if not 0.0 <= fail_rate < 1.0:
+            raise ValueError("fail_rate must be in [0, 1)")
+        if fail_after_s < 0:
+            raise ValueError("fail_after_s must be non-negative")
+        for window in degraded:
+            if len(window) != 3:
+                raise ValueError(
+                    f"degraded window {window!r} must be (start, duration, factor)"
+                )
+            start, duration, factor = window
+            if start < 0 or duration <= 0:
+                raise ValueError(f"bad degraded window {window!r}")
+            if factor <= 1.0:
+                raise ValueError(
+                    f"degradation factor must exceed 1.0, got {factor}"
+                )
+        for idx in fail_transfers:
+            if idx < 0:
+                raise ValueError(f"bad transfer index {idx}")
+        self.env = env
+        self.degraded = [tuple(w) for w in degraded]
+        self.fail_transfers = set(fail_transfers)
+        self.fail_rate = fail_rate
+        #: Seconds a doomed transfer burns before erroring out.
+        self.fail_after_s = fail_after_s
+        self.rng = np.random.default_rng(seed)
+        self._index = 0
+        #: Count of injected failures (observability input).
+        self.injected_failures = 0
+
+    def slowdown_at(self, t: float) -> float:
+        """Combined degradation factor at time ``t`` (1.0 = healthy)."""
+        factor = 1.0
+        for start, duration, window_factor in self.degraded:
+            if start <= t < start + duration:
+                factor *= window_factor
+        return factor
+
+    def take_failure(self) -> bool:
+        """Whether the next transfer (by submission order) should die."""
+        idx = self._index
+        self._index += 1
+        doomed = idx in self.fail_transfers or (
+            self.fail_rate > 0.0 and self.rng.random() < self.fail_rate
+        )
+        if doomed:
+            self.injected_failures += 1
+        return doomed
+
+
 class TransferService:
     """Moves files between storage sites, updating the catalog.
 
@@ -50,13 +145,18 @@ class TransferService:
         catalog: FileCatalog,
         sites: dict[str, StorageSite],
         max_concurrent: int = 16,
+        faults: Optional[TransferFaults] = None,
     ):
         self.env = env
         self.catalog = catalog
         self.sites = dict(sites)
         self._slots = Resource(env, capacity=max_concurrent)
+        #: Optional gray-failure model; ``None`` = a perfect fabric.
+        self.faults = faults
         #: Completed transfers, chronological.
         self.log: list[TransferRecord] = []
+        #: Failed transfer attempts ``(time, file_name, src, dst)``.
+        self.failed: list[tuple] = []
 
     def add_site(self, site: StorageSite) -> None:
         self.sites[site.name] = site
@@ -90,8 +190,23 @@ class TransferService:
         with self._slots.request() as slot:
             yield slot
             span.event("slot_acquired")
+            if self.faults is not None and self.faults.take_failure():
+                if self.faults.fail_after_s > 0:
+                    yield self.env.timeout(self.faults.fail_after_s)
+                self.failed.append((self.env.now, file.name, src, dst))
+                span.tag(state="failed").finish()
+                raise TransferError(file.name, src, dst)
+            t_moving = self.env.now
             yield self.env.process(self.sites[src].read(file.size_bytes))
             yield self.env.process(self.sites[dst].write(file.size_bytes))
+            if self.faults is not None:
+                # Degraded-bandwidth window: stretch the transfer by the
+                # factor in force when the bytes started moving.
+                factor = self.faults.slowdown_at(t_moving)
+                if factor > 1.0:
+                    yield self.env.timeout(
+                        (self.env.now - t_moving) * (factor - 1.0)
+                    )
         span.finish()
         self.catalog.add_replica(file.name, dst)
         self.log.append(
@@ -104,6 +219,26 @@ class TransferService:
                 t_end=self.env.now,
             )
         )
+
+    def transfer_with_retry(self, file: File, src: str, dst: str, policy):
+        """Process generator: :meth:`transfer` with policy-driven retry.
+
+        Retries :class:`TransferError` per the
+        :class:`~repro.resilience.RetryPolicy` (it classifies as
+        transient); exhausting the budget re-raises the last error.
+        """
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                yield self.env.process(self.transfer(file, src, dst))
+                return
+            except TransferError as exc:
+                if not policy.should_retry(attempts, exc):
+                    raise
+                delay = policy.backoff_s(attempts, key=file.name)
+                if delay > 0:
+                    yield self.env.timeout(delay)
 
     def stage_in(self, files: list[File], dst: str, prefer: Optional[str] = None):
         """Process generator: ensure every file has a replica at ``dst``.

@@ -25,6 +25,19 @@ class TaskRecord:
     state: str = "pending"
     failure_causes: list = field(default_factory=list)
 
+    def mark_submitted(self, t: float) -> None:
+        """Count one (re)submission.
+
+        Every engine routes submissions through here so ``attempts`` and
+        :meth:`WorkflowRun.retried_tasks` mean the same thing everywhere:
+        ``attempts`` is the number of times the task was handed to the
+        substrate, and ``submit_time`` is the *first* submission.
+        """
+        self.attempts += 1
+        if self.submit_time is None:
+            self.submit_time = t
+        self.state = "submitted"
+
     @property
     def runtime(self) -> Optional[float]:
         if self.start_time is None or self.end_time is None:

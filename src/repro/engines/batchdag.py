@@ -72,9 +72,7 @@ class BatchDagEngine:
                 user=workflow.name,
             )
             record = run.records[name]
-            record.submit_time = self.env.now
-            record.state = "submitted"
-            record.attempts = 1
+            record.mark_submitted(self.env.now)
             self.batch.submit(job)
             jobs[name] = job
         self.env.process(self._collect(workflow, jobs, run),

@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro.core.workflow import Workflow
 from repro.engines.base import EngineError, TaskRecord, WorkflowRun
+from repro.resilience import NodeHealth, RetryPolicy
 from repro.rm.kube import KubeScheduler, Pod
 from repro.simkernel import Environment, Interrupt, Store
 
@@ -41,11 +42,22 @@ class AirflowLikeEngine:
         scheduler: KubeScheduler,
         workers: Optional[int] = None,
         max_retries: int = 2,
+        retry_policy: Optional[RetryPolicy] = None,
+        node_health: Optional[NodeHealth] = None,
     ):
         self.env = env
         self.scheduler = scheduler
         self.workers = workers
-        self.max_retries = max_retries
+        self._resilient = retry_policy is not None or node_health is not None
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy.legacy(max_retries)
+        )
+        self.max_retries = self.retry_policy.max_retries
+        self.node_health = node_health
+        if node_health is not None:
+            scheduler.node_health = node_health
 
     def run(self, workflow: Workflow) -> WorkflowRun:
         workflow.validate()
@@ -89,10 +101,7 @@ class AirflowLikeEngine:
                     if name in in_flight:
                         continue
                     record = run.records[name]
-                    record.attempts += 1
-                    if record.submit_time is None:
-                        record.submit_time = self.env.now
-                    record.state = "submitted"
+                    record.mark_submitted(self.env.now)
                     in_flight.add(name)
                     yield queue.put((name, workflow.task(name)))
                 if not in_flight:
@@ -108,13 +117,33 @@ class AirflowLikeEngine:
                     record.start_time = record_update[0]
                     record.end_time = record_update[1]
                     record.node_id = record_update[2]
+                    if self.node_health is not None:
+                        self.node_health.record_success(record.node_id)
                 else:
                     record.failure_causes.append(cause)
-                    if record.attempts > self.max_retries:
+                    fclass = self.retry_policy.classify(cause)
+                    failed_node = getattr(cause, "node_id", None)
+                    if self.node_health is not None and failed_node is not None:
+                        self.node_health.record_failure(failed_node, cause=cause)
+                    if not self.retry_policy.should_retry(record.attempts, cause):
                         record.state = "failed"
                         raise EngineError(
-                            f"Task {name!r} failed {record.attempts} times"
+                            f"Task {name!r} failed {record.attempts} times "
+                            f"({fclass.value})"
                         )
+                    if self._resilient:
+                        self.env.tracer.instant(
+                            name,
+                            category="retry.task",
+                            component=self.engine_name,
+                            tags={
+                                "attempt": record.attempts,
+                                "class": fclass.value,
+                            },
+                        )
+                    delay = self.retry_policy.backoff_s(record.attempts, key=name)
+                    if delay > 0:
+                        yield self.env.timeout(delay)
             run.succeeded = True
         except EngineError as exc:
             run.succeeded = False
@@ -141,7 +170,7 @@ class AirflowLikeEngine:
                 name, spec = item
                 start = env.now
                 try:
-                    yield env.timeout(spec.runtime_s / node.spec.speed)
+                    yield env.timeout(spec.runtime_s / node.effective_speed)
                 except Interrupt as intr:
                     # Node died mid-task: report the failure and stop.
                     yield finished.put((name, None, False, intr.cause))

@@ -8,8 +8,11 @@ submission carries workflow context the scheduler can exploit.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.workflow import Workflow
 from repro.engines.base import EngineError, TaskRecord, WorkflowRun
+from repro.resilience import NodeHealth, RetryPolicy
 from repro.rm.base import JobState
 from repro.rm.kube import KubeScheduler, Pod
 from repro.simkernel import Environment
@@ -28,10 +31,19 @@ class NextflowLikeEngine:
         and completions, making the resource manager workflow-aware
         (the §3 integration).
     max_retries:
-        Times a failed task is resubmitted before the run aborts.
+        Times a failed task is resubmitted before the run aborts
+        (ignored when ``retry_policy`` is given).
     pod_overhead_s:
         Fixed startup cost added to every task (container pull/start);
         Argo's profile sets this higher.
+    retry_policy:
+        Full :class:`~repro.resilience.RetryPolicy` (failure
+        classification, backoff, jitter).  Default is the legacy
+        behaviour: retry any failure up to ``max_retries``, no backoff.
+    node_health:
+        Shared :class:`~repro.resilience.NodeHealth`.  Task failures and
+        successes feed it, and its quarantine set is pushed to the
+        scheduler as an avoid-set before every submission.
     """
 
     engine_name = "nextflow-like"
@@ -44,15 +56,27 @@ class NextflowLikeEngine:
         max_retries: int = 2,
         pod_overhead_s: float = 0.0,
         right_size_memory: bool = False,
+        retry_policy: Optional[RetryPolicy] = None,
+        node_health: Optional[NodeHealth] = None,
     ):
-        if max_retries < 0:
-            raise ValueError("max_retries must be >= 0")
         if right_size_memory and cwsi is None:
             raise ValueError("right_size_memory requires a CWSI")
         self.env = env
         self.scheduler = scheduler
         self.cwsi = cwsi
-        self.max_retries = max_retries
+        #: True when the caller opted into the resilience layer; gates
+        #: the extra retry.* observability so default runs trace
+        #: byte-identically to the pre-resilience engine.
+        self._resilient = retry_policy is not None or node_health is not None
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy.legacy(max_retries)
+        )
+        self.max_retries = self.retry_policy.max_retries
+        self.node_health = node_health
+        if node_health is not None:
+            scheduler.node_health = node_health
         self.pod_overhead_s = pod_overhead_s
         #: Replace user memory requests with CWSI peak predictions
         #: once history exists (§3.4 resource allocation).
@@ -106,17 +130,43 @@ class NextflowLikeEngine:
                         record.start_time = pod.start_time
                         record.end_time = pod.end_time
                         record.node_id = pod.node.id
+                        if self.node_health is not None:
+                            self.node_health.record_success(pod.node.id)
                         if self.cwsi is not None:
                             self.cwsi.task_finished(workflow.name, name, pod)
                     else:
-                        record.failure_causes.append(pod.failure_cause)
-                        if record.attempts > self.max_retries:
+                        cause = pod.failure_cause
+                        record.failure_causes.append(cause)
+                        fclass = self.retry_policy.classify(cause)
+                        if self.node_health is not None and pod.node is not None:
+                            self.node_health.record_failure(
+                                pod.node.id, cause=cause
+                            )
+                        if not self.retry_policy.should_retry(
+                            record.attempts, cause
+                        ):
                             record.state = "failed"
                             raise EngineError(
                                 f"Task {name!r} failed "
-                                f"{record.attempts} times: "
+                                f"{record.attempts} times "
+                                f"({fclass.value}): "
                                 f"{record.failure_causes[-1]!r}"
                             )
+                        if self._resilient:
+                            self.env.tracer.instant(
+                                name,
+                                category="retry.task",
+                                component=self.engine_name,
+                                tags={
+                                    "attempt": record.attempts,
+                                    "class": fclass.value,
+                                },
+                            )
+                        delay = self.retry_policy.backoff_s(
+                            record.attempts, key=name
+                        )
+                        if delay > 0:
+                            yield self.env.timeout(delay)
                         retry_pod = self._submit(workflow, name, run)
                         outstanding[retry_pod] = name
             run.succeeded = True
@@ -131,10 +181,7 @@ class NextflowLikeEngine:
     def _submit(self, workflow: Workflow, name: str, run: WorkflowRun) -> Pod:
         spec = workflow.task(name)
         record = run.records[name]
-        record.attempts += 1
-        if record.submit_time is None:
-            record.submit_time = self.env.now
-        record.state = "submitted"
+        record.mark_submitted(self.env.now)
         memory_gb = spec.memory_gb
         if self.right_size_memory:
             memory_gb = self.cwsi.suggest_memory_gb(name, spec.memory_gb)

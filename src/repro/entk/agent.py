@@ -27,6 +27,7 @@ from typing import Iterable, Optional
 
 from repro.cluster.node import Node
 from repro.entk.pst import EnTask, TaskState
+from repro.resilience import NodeHealth, QuarantineSpec, RetryPolicy
 from repro.simkernel import (
     Environment,
     Interrupt,
@@ -46,6 +47,13 @@ class AgentConfig:
     fail_detect_s: float = 10.0    # time for a dead-node launch to error out
     node_strikes: int = 1          # task failures before a node is blacklisted
     max_task_retries: int = 3      # resubmission waves per stage
+    #: Opt-in resilience layer: a full retry policy (classification,
+    #: backoff) instead of the bare wave count, and a quarantine spec
+    #: that puts repeatedly-failing nodes on probation instead of the
+    #: permanent blacklist.  ``None``/``None`` keeps legacy behaviour
+    #: exactly (the golden E4 trace depends on it).
+    retry_policy: Optional["RetryPolicy"] = None
+    quarantine: Optional["QuarantineSpec"] = None
 
     def __post_init__(self):
         if self.schedule_rate <= 0 or self.launch_rate <= 0:
@@ -74,6 +82,24 @@ class PilotAgent:
             raise ValueError("PilotAgent needs at least one node")
         self.config = config or AgentConfig()
         self.name = name
+        self._resilient = (
+            self.config.retry_policy is not None
+            or self.config.quarantine is not None
+        )
+        self.retry_policy = (
+            self.config.retry_policy
+            if self.config.retry_policy is not None
+            else RetryPolicy.legacy(self.config.max_task_retries)
+        )
+        #: Optional NodeHealth circuit breaker built from the config's
+        #: QuarantineSpec; its quarantine set extends the blacklist.
+        self.health: Optional[NodeHealth] = (
+            self.config.quarantine.build(env, name=f"{name}-health")
+            if self.config.quarantine is not None
+            else None
+        )
+        if self.health is not None:
+            self.health.watch_release(self._on_quarantine_release)
 
         self._free: list[Node] = list(self.nodes)
         self._blacklist: set = set()
@@ -166,7 +192,7 @@ class PilotAgent:
             ]
 
         wave = tasks
-        for _wave_idx in range(self.config.max_task_retries + 1):
+        for _wave_idx in range(self.retry_policy.max_retries + 1):
             if not wave or self._shutdown:
                 break
             terminal_events = []
@@ -186,9 +212,31 @@ class PilotAgent:
                 yield self._submit_q.put(task)
             yield self.env.all_of(terminal_events)
             failed = [t for t in wave if t.state == TaskState.FAILED]
+            retryable = []
             for t in failed:
+                cause = t.failure_causes[-1] if t.failure_causes else None
+                if not self.retry_policy.should_retry(t.attempts, cause):
+                    continue  # permanent/over-budget: stays FAILED
+                if self._resilient:
+                    self.env.tracer.instant(
+                        t.name,
+                        category="retry.task",
+                        component=self.name,
+                        tags={
+                            "attempt": t.attempts,
+                            "class": self.retry_policy.classify(cause).value,
+                        },
+                    )
                 t.reset_for_retry()
-            wave = failed
+                retryable.append(t)
+            if retryable:
+                delay = max(
+                    self.retry_policy.backoff_s(t.attempts, key=t.name)
+                    for t in retryable
+                )
+                if delay > 0:
+                    yield self.env.timeout(delay)
+            wave = retryable
         done = [t for t in tasks if t.state == TaskState.DONE]
         failed = [t for t in tasks if t.state != TaskState.DONE]
         for t in failed:
@@ -271,12 +319,23 @@ class PilotAgent:
         except Interrupt:
             return
 
+    def _avoid_set(self) -> set:
+        """Blacklisted plus health-quarantined node ids."""
+        if self.health is None:
+            return self._blacklist
+        quarantined = self.health.quarantined_ids()
+        if not quarantined:
+            return self._blacklist
+        return self._blacklist | quarantined
+
     def _acquire(self, count: int):
-        """Take ``count`` non-blacklisted nodes from the free pool,
-        waiting as needed.  Down-but-not-yet-blacklisted nodes are
-        handed out like healthy ones (failure-detection lag)."""
+        """Take ``count`` non-avoided nodes from the free pool, waiting
+        as needed.  The avoid-set is the permanent blacklist plus any
+        health quarantine.  Down-but-not-yet-avoided nodes are handed
+        out like healthy ones (failure-detection lag)."""
         while True:
-            if not self._blacklist:
+            avoid = self._avoid_set()
+            if not avoid:
                 # Fast path (the common case at Frontier scale): pop
                 # from the end, no per-node filtering.
                 if len(self._free) >= count:
@@ -284,7 +343,7 @@ class PilotAgent:
                     del self._free[-count:]
                     return taken
             else:
-                usable = [n for n in self._free if n.id not in self._blacklist]
+                usable = [n for n in self._free if n.id not in avoid]
                 if len(usable) >= count:
                     taken = usable[:count]
                     for n in taken:
@@ -297,6 +356,13 @@ class PilotAgent:
         for n in nodes:
             if n.id not in self._blacklist:
                 self._free.append(n)
+        if not self._node_freed.triggered:
+            self._node_freed.succeed()
+        self._node_freed = self.env.event()
+
+    def _on_quarantine_release(self, node_id: str) -> None:
+        """Probation ended: wake any launcher blocked on the free pool
+        (the released node may already be sitting in it)."""
         if not self._node_freed.triggered:
             self._node_freed.succeed()
         self._node_freed = self.env.event()
@@ -332,7 +398,7 @@ class PilotAgent:
                 for n in nodes:
                     n.register_occupant(key, me)
                 if task.duration is not None:
-                    speed = min(n.spec.speed for n in nodes)
+                    speed = min(n.effective_speed for n in nodes)
                     yield self.env.timeout(task.duration / speed)
                 else:
                     yield self.env.process(
@@ -353,6 +419,9 @@ class PilotAgent:
             if cause is None:
                 task.state = TaskState.DONE
                 self.done_count.increment(self.env.now, +1)
+                if self.health is not None:
+                    for n in nodes:
+                        self.health.record_success(n.id)
             else:
                 task.state = TaskState.FAILED
                 task.failure_causes.append(cause)
@@ -362,6 +431,8 @@ class PilotAgent:
                         self._strikes[n.id] += 1
                         if self._strikes[n.id] >= self.config.node_strikes:
                             self._blacklist.add(n.id)
+                        if self.health is not None:
+                            self.health.record_failure(n.id, cause=cause)
             exec_span.tag(state=task.state.value).finish()
             task_span = getattr(task, "_obs_span", None)
             if task_span is not None:

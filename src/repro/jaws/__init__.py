@@ -31,7 +31,7 @@ from repro.jaws.wdl import (
     parse_wdl,
 )
 from repro.jaws.engine import CallRecord, CromwellEngine, EngineOptions, WdlRunResult
-from repro.jaws.service import JawsService, Site
+from repro.jaws.service import JawsService, Site, SiteOutage
 from repro.jaws.migration import LintFinding, fuse_linear_chains, lint_workflow
 
 __all__ = [
@@ -41,6 +41,7 @@ __all__ = [
     "JawsService",
     "LintFinding",
     "Site",
+    "SiteOutage",
     "WdlCall",
     "WdlDocument",
     "WdlParseError",

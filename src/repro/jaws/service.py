@@ -34,6 +34,19 @@ class Site:
     engine: CromwellEngine
     #: Container digests already pulled here.
     pulled_images: set = field(default_factory=set)
+    #: False while the facility is in a scheduled outage; the router
+    #: skips unavailable sites and ``submit`` refuses them outright.
+    available: bool = True
+
+
+@dataclass
+class SiteOutage:
+    """Record of one scheduled site outage."""
+
+    site: str
+    start: float
+    duration: Optional[float]  # None = never comes back
+    ended_at: Optional[float] = None
 
 
 @dataclass
@@ -75,6 +88,8 @@ class JawsService:
         self.transfer = TransferService(env, self.catalog, {"jaws-central": self.home})
         #: Image name -> pinned sha256 digest.
         self.image_digests: dict[str, str] = {}
+        #: Scheduled outages, chronological.
+        self.outages: list[SiteOutage] = []
         for spec in sites if sites is not None else self.DEFAULT_SITES:
             self.add_site(*spec)
 
@@ -98,6 +113,49 @@ class JawsService:
         self.sites[name] = site
         self.transfer.add_site(storage)
         return site
+
+    # -- fault injection -------------------------------------------------------
+
+    def schedule_outage(
+        self, site_name: str, at: float, duration: Optional[float] = None
+    ) -> SiteOutage:
+        """Take a whole site offline at ``at`` for ``duration`` seconds.
+
+        Validated now (unknown site / past time raise immediately).  The
+        outage marks the site unavailable to the router, fails every
+        node (interrupting work in flight, exactly like a facility power
+        event), and — when ``duration`` is given — brings the nodes back
+        and re-opens the site afterwards.
+        """
+        if site_name not in self.sites:
+            raise ValueError(
+                f"unknown site {site_name!r}; registered: {sorted(self.sites)}"
+            )
+        if at < self.env.now:
+            raise ValueError(f"outage time {at} is in the past (now={self.env.now})")
+        if duration is not None and duration <= 0:
+            raise ValueError("outage duration must be positive (or None)")
+        outage = SiteOutage(site=site_name, start=at, duration=duration)
+        self.outages.append(outage)
+        self.env.process(
+            self._run_outage(self.sites[site_name], outage),
+            name=f"outage@{at}:{site_name}",
+        )
+        return outage
+
+    def _run_outage(self, site: Site, outage: SiteOutage):
+        yield self.env.timeout(outage.start - self.env.now)
+        site.available = False
+        for node in site.cluster.up_nodes:
+            node.fail()
+        if outage.duration is None:
+            return
+        yield self.env.timeout(outage.duration)
+        for node in site.cluster.nodes:
+            if not node.is_up:
+                node.recover()
+        site.available = True
+        outage.ended_at = self.env.now
 
     # -- container pinning ----------------------------------------------------
 
@@ -138,7 +196,10 @@ class JawsService:
             )
             return ((queued + running + nominal_s) / capacity, site.name)
 
-        return min(self.sites.values(), key=score).name
+        candidates = [s for s in self.sites.values() if s.available]
+        if not candidates:
+            raise RuntimeError("no JAWS site is available (all in outage)")
+        return min(candidates, key=score).name
 
     def submit(
         self,
@@ -161,6 +222,11 @@ class JawsService:
                 f"Unknown site {site_name!r}; registered: {sorted(self.sites)}"
             )
         site = self.sites[site_name]
+        if not site.available:
+            raise RuntimeError(
+                f"site {site_name!r} is in a scheduled outage; "
+                f"resubmit elsewhere or wait for recovery"
+            )
         result = SubmissionResult(run=None, site=site_name)
         result.done = self.env.event()
         self.env.process(

@@ -17,6 +17,7 @@ from typing import Callable, Optional
 
 from repro.llm.adapters import AdapterError, PhyloflowAdapters
 from repro.llm.protocol import FunctionCall
+from repro.resilience import RetryPolicy, TRANSIENT_ONLY
 
 
 @dataclass(frozen=True)
@@ -110,16 +111,23 @@ class Debugger:
 
     Rules (ordered):
 
-    - transient executor failures → ``retry`` (up to ``max_retries``),
+    - failures the retry policy classifies as transient → ``retry``
+      (up to the policy's attempt budget),
     - a missing-file error with an alternative file available → ``patch``
       with the corrected path,
     - anything else → ``escalate`` to the human operator.
     """
 
-    def __init__(self, max_retries: int = 2):
-        if max_retries < 0:
-            raise ValueError("max_retries must be >= 0")
-        self.max_retries = max_retries
+    def __init__(
+        self, max_retries: int = 2, retry_policy: Optional[RetryPolicy] = None
+    ):
+        # RetryPolicy owns max_retries validation (shared across engines).
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(max_retries=max_retries, retry_on=TRANSIENT_ONLY)
+        )
+        self.max_retries = self.retry_policy.max_retries
 
     def diagnose(
         self, outcome: StepOutcome, adapters: PhyloflowAdapters
@@ -127,7 +135,7 @@ class Debugger:
         """Returns ``(action, payload)``: ("retry", None), ("patch",
         new_params) or ("escalate", reason)."""
         error = outcome.errors[-1] if outcome.errors else ""
-        if "transient" in error and outcome.attempts <= self.max_retries:
+        if error and self.retry_policy.should_retry(outcome.attempts, error):
             return "retry", None
         if "no such file" in error:
             params = dict(outcome.step.params)

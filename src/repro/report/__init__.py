@@ -40,6 +40,7 @@ from repro.obs.analyze import (
 )
 from repro.obs.query import TraceQuery
 from repro.obs.tracer import Tracer
+from repro.resilience.slo import resilience_context, stock_resilience_rules
 from repro.viz import render_stacked_bar, render_table
 
 #: Schema version of the BENCH_<id>.json verdict documents.
@@ -364,6 +365,8 @@ def write_verdict(
 __all__ = [
     "RunReport",
     "build_report",
+    "resilience_context",
+    "stock_resilience_rules",
     "write_verdict",
     "Rule",
     "VERDICT_VERSION",

@@ -1,0 +1,59 @@
+"""Unified fault-tolerance substrate shared by every execution layer.
+
+The paper's E4 result (§4.3) — eight tasks killed by one Frontier node
+failure, all automatically resubmitted to a clean finish — only works
+because the runtime absorbs node loss.  Before this package each engine
+hand-rolled its own ``max_retries`` loop with no backoff, no failure
+classification, and no memory of which nodes are flaky.  The pieces:
+
+- :class:`RetryPolicy` — attempt budget, exponential backoff with
+  deterministic seeded jitter, and a failure classifier
+  (transient infrastructure loss vs. permanent payload error vs.
+  walltime) deciding retry-vs-abort.  The default policy reproduces the
+  legacy engine loops bit-for-bit (retry everything, zero backoff) so
+  traces stay byte-identical until a caller opts in.
+- :class:`NodeHealth` — a per-node circuit breaker: repeated failures
+  quarantine a node, quarantined nodes feed an avoid-set into
+  :class:`~repro.rm.batch.BatchScheduler` /
+  :class:`~repro.rm.kube.KubeScheduler` placement and the EnTK
+  :class:`~repro.entk.agent.PilotAgent`, and a probation window
+  un-quarantines them for a fresh look.
+- :mod:`repro.resilience.metrics` — MTTR / availability reductions over
+  the fault-injection log.
+- :mod:`repro.resilience.slo` — stock alert rules ("task failure rate",
+  "quarantined nodes", "resubmission storm") usable from
+  :mod:`repro.report`.
+
+Everything here defaults *off/neutral*: engines built without an
+explicit policy or health tracker behave exactly as before, down to the
+event ordering the golden trace digests pin.
+"""
+
+from repro.resilience.policy import (
+    ALL_CLASSES,
+    RECOVERABLE,
+    TRANSIENT_ONLY,
+    FailureClass,
+    RetryPolicy,
+    classify_failure,
+)
+from repro.resilience.health import NodeHealth, QuarantineEvent, QuarantineSpec
+from repro.resilience.metrics import availability, mttr, node_downtime
+from repro.resilience.slo import resilience_context, stock_resilience_rules
+
+__all__ = [
+    "ALL_CLASSES",
+    "RECOVERABLE",
+    "TRANSIENT_ONLY",
+    "FailureClass",
+    "NodeHealth",
+    "QuarantineEvent",
+    "QuarantineSpec",
+    "RetryPolicy",
+    "availability",
+    "classify_failure",
+    "mttr",
+    "node_downtime",
+    "resilience_context",
+    "stock_resilience_rules",
+]

@@ -1,0 +1,55 @@
+"""MTTR and availability reductions over the fault-injection log.
+
+These operate on the :class:`~repro.cluster.faults.NodeFailure` records
+a :class:`~repro.cluster.faults.FaultInjector` accumulates (or any
+iterable of objects with ``time`` / ``recovered_at`` / ``node_id``),
+so benchmarks and chaos scenarios can report Mean-Time-To-Recovery and
+fleet availability without re-deriving them from traces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+
+def mttr(failures: Iterable, until: Optional[float] = None) -> Optional[float]:
+    """Mean time to recovery across node failures.
+
+    Unrecovered failures count as down until ``until`` when given, and
+    are excluded otherwise.  Returns ``None`` when nothing contributes.
+    """
+    repair_times = []
+    for f in failures:
+        if f.recovered_at is not None:
+            repair_times.append(f.recovered_at - f.time)
+        elif until is not None:
+            repair_times.append(until - f.time)
+    if not repair_times:
+        return None
+    return sum(repair_times) / len(repair_times)
+
+
+def node_downtime(failures: Iterable, until: float) -> float:
+    """Total node-seconds of downtime inside the ``[0, until]`` window."""
+    total = 0.0
+    for f in failures:
+        end = f.recovered_at if f.recovered_at is not None else until
+        total += max(0.0, min(end, until) - f.time)
+    return total
+
+
+def availability(failures: Iterable, n_nodes: int, window_s: float) -> float:
+    """Fleet availability: fraction of node-time the cluster was up.
+
+    ``1.0`` with no failures; one node down for the whole window on an
+    ``n``-node cluster gives ``1 - 1/n``.
+    """
+    if n_nodes <= 0:
+        raise ValueError("n_nodes must be positive")
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+    down = node_downtime(failures, window_s)
+    return max(0.0, 1.0 - down / (n_nodes * window_s))
+
+
+__all__ = ["availability", "mttr", "node_downtime"]

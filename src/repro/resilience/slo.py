@@ -1,0 +1,103 @@
+"""Stock resilience SLO rules for :mod:`repro.report`.
+
+Three alerts production fault-tolerance dashboards always carry,
+expressed in the :mod:`repro.obs.alerts` rule grammar so any report
+(``build_report(..., rules=stock_resilience_rules(...))``) can attach
+them:
+
+- **task-failure-rate** — failure events per submitted task stayed
+  under a budget (E4's 10/7875 ≈ 0.13%; default budget 5%).
+- **quarantined-nodes** — the avoid-set never grew past a ceiling
+  (a widening quarantine means the cluster, not a node, is sick).
+- **resubmission-storm** — total resubmissions stayed bounded (retry
+  amplification is how a single gray failure melts a scheduler).
+
+The scalar quantities come from the evaluation *context*;
+:func:`resilience_context` assembles that dict from the live objects a
+run already has (agent/engine run records, a NodeHealth, a
+FaultInjector).  The ``quarantined-nodes`` rule reads the
+``<name>/quarantined_nodes`` gauge NodeHealth maintains in the metrics
+registry, so it is judged over time, not just at end of run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.alerts import Rule
+from repro.resilience.metrics import availability, mttr
+
+
+def stock_resilience_rules(
+    n_tasks: int,
+    max_failure_rate: float = 0.05,
+    max_quarantined: int = 1,
+    max_resubmissions: Optional[int] = None,
+    health_component: str = "resilience",
+    series: bool = True,
+) -> list:
+    """The stock rule set, sized to a run of ``n_tasks`` tasks.
+
+    ``series=False`` drops the registry-backed quarantine series rule
+    in favour of a scalar ``quarantined_nodes`` context value (for
+    reports evaluated without a trace).
+    """
+    if n_tasks <= 0:
+        raise ValueError("n_tasks must be positive")
+    if max_resubmissions is None:
+        # A storm is when resubmissions rival first submissions.
+        max_resubmissions = max(8, n_tasks // 4)
+    quarantine_lhs = (
+        f"series({health_component}/quarantined_nodes)"
+        if series
+        else "quarantined_nodes"
+    )
+    return [
+        Rule(
+            f"failure_rate <= {max_failure_rate}",
+            severity="critical",
+            name="task-failure-rate",
+        ),
+        Rule(
+            f"{quarantine_lhs} <= {max_quarantined}",
+            severity="warning",
+            name="quarantined-nodes",
+        ),
+        Rule(
+            f"resubmissions <= {max_resubmissions}",
+            severity="critical",
+            name="resubmission-storm",
+        ),
+    ]
+
+
+def resilience_context(
+    n_tasks: int,
+    failure_events: int,
+    resubmissions: int,
+    health=None,
+    injector=None,
+    window_s: Optional[float] = None,
+    n_nodes: Optional[int] = None,
+) -> dict:
+    """Scalar context for :func:`stock_resilience_rules` plus the
+    MTTR/availability headline numbers, from whatever is at hand."""
+    context = {
+        "failure_rate": failure_events / n_tasks if n_tasks else 0.0,
+        "resubmissions": float(resubmissions),
+    }
+    if health is not None:
+        context["quarantined_nodes"] = float(len(health.quarantined_ids()))
+        context["quarantine_events"] = float(health.quarantine_count)
+    if injector is not None:
+        recovery = mttr(injector.failures, until=window_s)
+        if recovery is not None:
+            context["mttr_s"] = recovery
+        if window_s and n_nodes:
+            context["availability"] = availability(
+                injector.failures, n_nodes, window_s
+            )
+    return context
+
+
+__all__ = ["resilience_context", "stock_resilience_rules"]

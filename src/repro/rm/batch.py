@@ -39,11 +39,15 @@ class BatchScheduler:
         cluster: Cluster,
         backfill: bool = True,
         fair_share: bool = False,
+        node_health=None,
     ):
         self.env = env
         self.cluster = cluster
         self.backfill = backfill
         self.fair_share = fair_share
+        #: Optional :class:`~repro.resilience.NodeHealth`; quarantined
+        #: nodes are excluded from every placement decision.
+        self.node_health = node_health
         self.queue: OrderedSet = OrderedSet()
         self.running: OrderedSet = OrderedSet()
         self.finished: list[Job] = []
@@ -55,6 +59,7 @@ class BatchScheduler:
         self._submit_seq: dict[str, int] = {}
         self._seq = 0
         self._wake = env.event()
+        self._health_recheck_armed = False
         env.process(self._scheduler_loop(), name="batch-scheduler")
 
     # -- client API ------------------------------------------------------------
@@ -118,8 +123,25 @@ class BatchScheduler:
         while True:
             self._cancel_doomed()
             self._try_schedule()
+            # A quarantine can block the whole queue with no completion
+            # event ever waking us again; poll until probation lifts.
+            if (
+                self.node_health is not None
+                and self.queue
+                and self.node_health.quarantined_ids()
+                and not self._health_recheck_armed
+            ):
+                self._health_recheck_armed = True
+                self.env.process(
+                    self._health_recheck(), name="batch-health-recheck"
+                )
             yield self._wake
             self._wake = self.env.event()
+
+    def _health_recheck(self):
+        yield self.env.timeout(5.0)
+        self._health_recheck_armed = False
+        self._kick()
 
     def _dependency_state(self, job: Job) -> str:
         """'ready' | 'waiting' | 'doomed' for afterok dependencies."""
@@ -158,6 +180,10 @@ class BatchScheduler:
         return None
 
     def _free_nodes_for(self, request: ResourceRequest, exclude=()) -> Optional[list[Node]]:
+        if self.node_health is not None:
+            avoid = self.node_health.quarantined_nodes(self.cluster)
+            if avoid:
+                exclude = avoid | set(exclude)
         return self.cluster.free_pool.first_fit(
             request.cores_per_node,
             request.gpus_per_node,
@@ -371,7 +397,7 @@ class BatchScheduler:
         inner = None
         try:
             if job.duration is not None:
-                speed = min(n.spec.speed for n in job.nodes)
+                speed = min(n.effective_speed for n in job.nodes)
                 yield self.env.timeout(job.duration / speed)
             else:
                 inner = self.env.process(

@@ -130,6 +130,7 @@ class KubeScheduler:
         cluster: Cluster,
         strategy: Optional[SchedulingStrategy] = None,
         recheck_s: float = 5.0,
+        node_health=None,
     ):
         if recheck_s <= 0:
             raise ValueError("recheck_s must be positive")
@@ -137,6 +138,10 @@ class KubeScheduler:
         self.cluster = cluster
         self.strategy = strategy or FifoStrategy()
         self.recheck_s = recheck_s
+        #: Optional :class:`~repro.resilience.NodeHealth`; quarantined
+        #: nodes are dropped from every pod's candidate list.  Engines
+        #: that carry a health object install it here at construction.
+        self.node_health = node_health
         self.pending: OrderedSet = OrderedSet()
         self.running: OrderedSet = OrderedSet()
         self.finished: list[Pod] = []
@@ -195,13 +200,23 @@ class KubeScheduler:
             if not self.pending:
                 break
             ordered = self.strategy.prioritize(list(self.pending), self)
+            avoid = (
+                self.node_health.quarantined_ids()
+                if self.node_health is not None
+                else ()
+            )
             for pod in ordered:
                 candidates = [
                     n
                     for n in self.cluster.nodes
-                    if n.fits(pod.cores, pod.gpus, pod.memory_gb)
+                    if n.id not in avoid
+                    and n.fits(pod.cores, pod.gpus, pod.memory_gb)
                 ]
                 if not candidates:
+                    # A quarantine can starve a pod with no completion
+                    # event ever waking us; poll until probation lifts.
+                    if avoid:
+                        declined = True
                     continue
                 node = self.strategy.select_node(pod, candidates, self)
                 if node is None:  # delay scheduling: pod waits
@@ -262,7 +277,7 @@ class KubeScheduler:
                 pod.labels["stage_cost_s"] = stage_s
                 yield self.env.timeout(stage_s)
             if pod.duration is not None:
-                yield self.env.timeout(pod.duration / node.spec.speed)
+                yield self.env.timeout(pod.duration / node.effective_speed)
             else:
                 inner = self.env.process(
                     pod.work(self.env, pod, node), name=f"podwork:{pod.name}"

@@ -1,0 +1,281 @@
+"""The chaos matrix: every engine x every fault class, at reduced scale.
+
+Each scenario builds a small workflow, arms the resilience layer
+(resilient :class:`RetryPolicy` + :class:`NodeHealth` quarantine where
+the engine supports it), injects one fault family, and runs the
+simulation to a bounded horizon.  The verdict is a plain dict:
+
+- ``completed`` — the workflow finished and every task succeeded;
+- ``failed_clean`` — the workflow terminated unsuccessfully but with a
+  classified diagnosis attached (no silent loss);
+- ``hung`` — the simulation horizon expired with the workflow still
+  open.  A hang is always a bug.
+
+A scenario *passes* when it completed or failed clean.  The matrix is
+consumed two ways: pytest parametrizes over it (``test_matrix.py``)
+and CI runs ``run_matrix.py`` to publish ``CHAOS_MATRIX.json``.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import Cluster, FaultInjector, NodeSpec
+from repro.core import TaskSpec, Workflow
+from repro.data import (
+    File,
+    FileCatalog,
+    StorageSite,
+    TransferFaults,
+    TransferService,
+    MB,
+)
+from repro.engines import AirflowLikeEngine, BatchDagEngine, NextflowLikeEngine
+from repro.entk import AgentConfig, EnTask, PilotAgent
+from repro.resilience import NodeHealth, QuarantineSpec, RetryPolicy
+from repro.rm import BatchScheduler, KubeScheduler
+from repro.simkernel import Environment
+
+ENGINES = ("taskwise", "bigworker", "batchdag", "entk")
+FAULTS = ("crash", "slowdown", "transfer-fault", "site-outage")
+
+#: Simulated-seconds horizon; anything still open by then is a hang.
+HORIZON = 50_000.0
+
+#: Reduced-scale resilient policy used by every retry-capable engine.
+POLICY = RetryPolicy.resilient(max_retries=3, backoff_base_s=2.0, jitter=0.25)
+
+
+def small_workflow(width: int = 6, runtime: float = 30.0) -> Workflow:
+    """Fan-out/fan-in: src -> width parallel workers -> sink."""
+    wf = Workflow("chaos")
+    wf.add_task(TaskSpec("src", runtime_s=10.0, cores=1,
+                         outputs=(File("seed", 10 * MB),)))
+    for i in range(width):
+        wf.add_task(
+            TaskSpec(
+                f"work-{i:02d}",
+                runtime_s=runtime,
+                cores=1,
+                inputs=("seed",),
+                outputs=(File(f"part-{i:02d}", 10 * MB),),
+            )
+        )
+    wf.add_task(
+        TaskSpec(
+            "sink",
+            runtime_s=10.0,
+            cores=1,
+            inputs=tuple(f"part-{i:02d}" for i in range(width)),
+        )
+    )
+    return wf
+
+
+def two_site_cluster(env: Environment) -> Cluster:
+    """Two pools standing in for two sites; an outage takes out one."""
+    return Cluster(
+        env,
+        pools=[
+            (NodeSpec("east", cores=4, memory_gb=32), 2),
+            (NodeSpec("west", cores=4, memory_gb=32), 2),
+        ],
+    )
+
+
+def _inject(env, cluster, fault: str) -> None:
+    """Arm the fault family against the shared two-pool cluster."""
+    if fault == "crash":
+        # One node dies mid-run and stays down long enough to matter.
+        FaultInjector(env, cluster, schedule=[(25.0, "east-00000")],
+                      downtime=5_000.0)
+    elif fault == "slowdown":
+        # Gray failure: a node quietly runs at 1/4 speed for a while.
+        FaultInjector(env, cluster,
+                      slowdowns=[(5.0, "east-00000", 4.0, 500.0)])
+    elif fault == "site-outage":
+        # Every east node drops at once; west must absorb the work.
+        FaultInjector(
+            env,
+            cluster,
+            schedule=[(25.0, "east-00000"), (25.0, "east-00001")],
+            downtime=5_000.0,
+        )
+    elif fault == "transfer-fault":
+        pass  # staged separately, see _stage_inputs
+    else:
+        raise ValueError(f"unknown fault {fault!r}")
+
+
+def _stage_inputs(env: Environment, verdict: dict) -> object:
+    """For transfer-fault scenarios: stage the seed file through a
+    faulty transfer service (first attempt fails), retried under the
+    shared policy.  Returns the staging process to wait on."""
+    catalog = FileCatalog()
+    sites = {
+        "home": StorageSite(env, "home", egress_mbps=200, ingress_mbps=200),
+        "site": StorageSite(env, "site", egress_mbps=200, ingress_mbps=200),
+    }
+    svc = TransferService(
+        env, catalog, sites,
+        faults=TransferFaults(env, fail_transfers=[0], fail_after_s=2.0),
+    )
+    f = File("inputs.tar", 50 * MB)
+    catalog.register(f, "home")
+
+    def stage(env):
+        yield from svc.transfer_with_retry(f, "home", "site", POLICY)
+        verdict["transfer_retries"] = len(svc.failed)
+        verdict["staged"] = catalog.present_at("inputs.tar", "site")
+
+    return env.process(stage(env))
+
+
+def _diagnosis_of(run) -> str:
+    """Human-readable failure diagnosis from a WorkflowRun."""
+    err = run.stats.get("error")
+    if err:
+        return str(err)
+    causes = [
+        f"{name}: {rec.failure_causes[-1]}"
+        for name, rec in run.records.items()
+        if rec.failure_causes
+    ]
+    bad = [
+        f"{name}={rec.state}"
+        for name, rec in run.records.items()
+        if rec.state not in ("completed",)
+    ]
+    return "; ".join(causes) or "; ".join(bad)
+
+
+def _run_workflow_engine(engine_name: str, fault: str, verdict: dict) -> dict:
+    env = Environment()
+    cluster = two_site_cluster(env)
+    health = NodeHealth(env, strikes=2, probation_s=2_000.0)
+
+    if engine_name == "taskwise":
+        sched = KubeScheduler(env, cluster, node_health=health)
+        engine = NextflowLikeEngine(
+            env, sched, retry_policy=POLICY, node_health=health
+        )
+    elif engine_name == "bigworker":
+        sched = KubeScheduler(env, cluster, node_health=health)
+        engine = AirflowLikeEngine(
+            env, sched, retry_policy=POLICY, node_health=health
+        )
+    elif engine_name == "batchdag":
+        # Whole-DAG submission: retries are the RM's problem; the run
+        # either completes or fails with the RM's diagnosis attached.
+        sched = BatchScheduler(env, cluster, node_health=health)
+        engine = BatchDagEngine(env, sched)
+    else:
+        raise ValueError(engine_name)
+
+    staging = None
+    if fault == "transfer-fault":
+        staging = _stage_inputs(env, verdict)
+    else:
+        _inject(env, cluster, fault)
+
+    run = engine.run(small_workflow())
+    env.run(until=HORIZON)
+
+    finished = run.t_done is not None
+    verdict["hung"] = not finished
+    verdict["completed"] = bool(finished and run.succeeded)
+    if finished and not run.succeeded:
+        diagnosis = _diagnosis_of(run)
+        verdict["failed_clean"] = bool(diagnosis)
+        verdict["diagnosis"] = diagnosis
+    if staging is not None:
+        verdict["completed"] = bool(
+            verdict["completed"] and verdict.get("staged")
+        )
+    verdict["sim_time"] = env.now if not finished else run.t_done
+    verdict["resubmissions"] = sum(
+        max(0, rec.attempts - 1) for rec in run.records.values()
+    )
+    verdict["quarantined"] = sorted(health.quarantined_ids())
+    return verdict
+
+
+def _run_entk(fault: str, verdict: dict) -> dict:
+    env = Environment()
+    cluster = two_site_cluster(env)
+    config = AgentConfig(
+        schedule_rate=100.0,
+        launch_rate=50.0,
+        bootstrap_s=5.0,
+        fail_detect_s=1.0,
+        retry_policy=POLICY,
+        quarantine=QuarantineSpec(strikes=2, probation_s=2_000.0),
+    )
+    agent = PilotAgent(env, cluster.nodes, config)
+
+    staging = None
+    if fault == "transfer-fault":
+        staging = _stage_inputs(env, verdict)
+    else:
+        _inject(env, cluster, fault)
+
+    tasks = [EnTask(duration=30.0, cores_per_node=1) for _ in range(8)]
+    holder: dict = {}
+
+    def driver(env):
+        holder["result"] = yield from agent.run_stage(tasks)
+
+    env.process(driver(env))
+    env.run(until=HORIZON)
+
+    finished = "result" in holder
+    verdict["hung"] = not finished
+    if finished:
+        done, failed = holder["result"]
+        verdict["completed"] = not failed and len(done) == len(tasks)
+        if failed:
+            causes = [
+                f"{t.name}: {t.failure_causes[-1]}"
+                for t in failed
+                if t.failure_causes
+            ]
+            verdict["failed_clean"] = len(causes) == len(failed)
+            verdict["diagnosis"] = "; ".join(causes)
+        verdict["resubmissions"] = sum(max(0, t.attempts - 1) for t in tasks)
+    else:
+        verdict["completed"] = False
+    if staging is not None:
+        verdict["completed"] = bool(
+            verdict["completed"] and verdict.get("staged")
+        )
+    verdict["sim_time"] = env.now
+    verdict["quarantined"] = sorted(agent.health.quarantined_ids())
+    return verdict
+
+
+def run_scenario(engine: str, fault: str) -> dict:
+    """Run one cell of the matrix; returns its verdict dict."""
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}")
+    if fault not in FAULTS:
+        raise ValueError(f"unknown fault {fault!r}")
+    verdict: dict = {
+        "engine": engine,
+        "fault": fault,
+        "completed": False,
+        "failed_clean": False,
+        "hung": False,
+        "diagnosis": "",
+    }
+    if engine == "entk":
+        _run_entk(fault, verdict)
+    else:
+        _run_workflow_engine(engine, fault, verdict)
+    verdict["ok"] = bool(
+        not verdict["hung"]
+        and (verdict["completed"] or verdict["failed_clean"])
+    )
+    return verdict
+
+
+def run_matrix() -> list:
+    """Every engine x fault cell, in a stable order."""
+    return [run_scenario(e, f) for e in ENGINES for f in FAULTS]

@@ -1,0 +1,67 @@
+"""Standalone chaos-matrix runner for CI.
+
+Runs every engine x fault cell at reduced scale and writes
+``CHAOS_MATRIX.json`` — a machine-readable verdict document in the
+same spirit as the ``BENCH_<id>.json`` files ``repro.report`` emits.
+Exit status is nonzero when any cell hung or failed without a clean
+diagnosis, so the CI job gates on it directly.
+
+Usage::
+
+    PYTHONPATH=src python tests/chaos/run_matrix.py [--out DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2]))
+
+from tests.chaos.matrix import ENGINES, FAULTS, run_matrix  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default=".", help="directory for CHAOS_MATRIX.json"
+    )
+    args = parser.parse_args(argv)
+
+    verdicts = run_matrix()
+    ok = all(v["ok"] for v in verdicts)
+    doc = {
+        "version": 1,
+        "status": "pass" if ok else "fail",
+        "engines": list(ENGINES),
+        "faults": list(FAULTS),
+        "cells": verdicts,
+    }
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / "CHAOS_MATRIX.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    width = max(len(e) for e in ENGINES)
+    for engine in ENGINES:
+        cells = {v["fault"]: v for v in verdicts if v["engine"] == engine}
+        row = "  ".join(
+            (
+                "ok  "
+                if cells[f]["completed"]
+                else "diag"
+                if cells[f]["ok"]
+                else "FAIL"
+            )
+            for f in FAULTS
+        )
+        print(f"{engine:<{width}}  {row}")
+    print(f"faults: {'  '.join(FAULTS)}")
+    print(f"verdict: {doc['status'].upper()} -> {path}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

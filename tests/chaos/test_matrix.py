@@ -1,0 +1,61 @@
+"""Pytest face of the chaos matrix: one test per engine x fault cell."""
+
+import pytest
+
+from tests.chaos.matrix import ENGINES, FAULTS, run_scenario
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("fault", FAULTS)
+def test_chaos_cell(engine, fault):
+    verdict = run_scenario(engine, fault)
+    assert not verdict["hung"], (
+        f"{engine} x {fault} never terminated within the horizon"
+    )
+    assert verdict["completed"] or verdict["failed_clean"], (
+        f"{engine} x {fault} ended without a clean diagnosis: {verdict}"
+    )
+
+
+class TestRecoveryExpectations:
+    """Cells where resilience should turn the fault into a success."""
+
+    @pytest.mark.parametrize("engine", ["taskwise", "bigworker", "entk"])
+    @pytest.mark.parametrize("fault", ["crash", "slowdown", "transfer-fault"])
+    def test_retry_capable_engines_complete(self, engine, fault):
+        verdict = run_scenario(engine, fault)
+        assert verdict["completed"], verdict
+
+    @pytest.mark.parametrize("engine", ["taskwise", "bigworker", "entk"])
+    def test_site_outage_absorbed_by_surviving_pool(self, engine):
+        verdict = run_scenario(engine, "site-outage")
+        assert verdict["completed"], verdict
+
+    def test_crash_triggers_resubmission_not_silence(self):
+        verdict = run_scenario("taskwise", "crash")
+        assert verdict["resubmissions"] >= 1
+
+    def test_transfer_fault_is_retried_during_staging(self):
+        verdict = run_scenario("entk", "transfer-fault")
+        assert verdict.get("transfer_retries") == 1
+        assert verdict.get("staged") is True
+
+    def test_batchdag_fails_clean_without_engine_retries(self):
+        # The whole-DAG engine delegates failure semantics to the RM:
+        # a crash mid-run may cancel the downstream cone, but it must
+        # always end with a classified diagnosis, never a hang.
+        verdict = run_scenario("batchdag", "crash")
+        assert not verdict["hung"]
+        assert verdict["completed"] or (
+            verdict["failed_clean"] and verdict["diagnosis"]
+        )
+
+
+def test_matrix_covers_every_cell():
+    from tests.chaos.matrix import run_matrix
+
+    verdicts = run_matrix()
+    assert len(verdicts) == len(ENGINES) * len(FAULTS)
+    assert all(v["ok"] for v in verdicts), [
+        (v["engine"], v["fault"]) for v in verdicts if not v["ok"]
+    ]

@@ -179,3 +179,87 @@ class TestFaultInjector:
         c = hetero_cluster(env)
         with pytest.raises(ValueError):
             FaultInjector(env, c, mtbf=0)
+
+
+class TestFaultScheduleValidation:
+    """The schedule is validated at construction, not inside a kernel
+    process mid-run — a bad entry fails fast with a clear message."""
+
+    def test_past_failure_time_rejected_up_front(self):
+        env = Environment()
+        c = hetero_cluster(env)
+        env.run(until=100)
+        with pytest.raises(ValueError, match="in the past"):
+            FaultInjector(env, c, schedule=[(50.0, "big-00000")])
+
+    def test_unknown_node_id_rejected_up_front(self):
+        env = Environment()
+        c = hetero_cluster(env)
+        with pytest.raises(ValueError, match="unknown node id"):
+            FaultInjector(env, c, schedule=[(50.0, "ghost-00000")])
+
+    def test_malformed_entry_rejected(self):
+        env = Environment()
+        c = hetero_cluster(env)
+        with pytest.raises(ValueError):
+            FaultInjector(env, c, schedule=[(50.0,)])
+
+    def test_valid_schedule_at_current_time_allowed(self):
+        env = Environment()
+        c = hetero_cluster(env)
+        env.run(until=100)
+        inj = FaultInjector(env, c, schedule=[(100.0, "big-00000")], downtime=None)
+        env.run(until=101)
+        assert inj.failure_count == 1
+
+
+class TestStochasticFaults:
+    def test_downtime_none_keeps_nodes_down_forever(self):
+        env = Environment()
+        c = hetero_cluster(env)
+        inj = FaultInjector(
+            env, c, mtbf=50.0, downtime=None, rng=np.random.default_rng(1)
+        )
+        env.run(until=10_000)
+        assert inj.failure_count >= 1
+        for f in inj.failures:
+            assert f.recovered_at is None
+            assert not c.node(f.node_id).is_up
+
+    def test_no_double_failure_of_down_node(self):
+        env = Environment()
+        c = hetero_cluster(env)
+        # Aggressive MTBF with permanent downtime: once all nodes are
+        # dead the injector must stop logging failures rather than
+        # re-failing corpses.
+        inj = FaultInjector(
+            env, c, mtbf=5.0, downtime=None, rng=np.random.default_rng(2)
+        )
+        env.run(until=100_000)
+        failed_ids = [f.node_id for f in inj.failures]
+        assert len(failed_ids) == len(set(failed_ids)) == len(c)
+
+    def test_scheduled_double_failure_is_a_noop(self):
+        env = Environment()
+        c = hetero_cluster(env)
+        inj = FaultInjector(
+            env,
+            c,
+            schedule=[(10.0, "big-00000"), (20.0, "big-00000")],
+            downtime=None,
+        )
+        env.run(until=30)
+        assert inj.failure_count == 1
+
+    def test_recovered_node_can_fail_again(self):
+        env = Environment()
+        c = hetero_cluster(env)
+        inj = FaultInjector(
+            env,
+            c,
+            schedule=[(10.0, "big-00000"), (100.0, "big-00000")],
+            downtime=20.0,
+        )
+        env.run(until=200)
+        assert inj.failure_count == 2
+        assert c.node("big-00000").is_up

@@ -1,0 +1,356 @@
+"""Gray failures: slowdowns, degraded/failed transfers, site outages,
+instance preemption — plus the MTTR/availability reductions and stock
+SLO rules over the fault logs."""
+
+import pytest
+
+from repro.cluster import Cluster, FaultInjector, NodeSpec
+from repro.data import (
+    File,
+    FileCatalog,
+    StorageSite,
+    TransferError,
+    TransferFaults,
+    TransferService,
+    MB,
+)
+from repro.resilience import (
+    NodeHealth,
+    RetryPolicy,
+    availability,
+    mttr,
+    node_downtime,
+    resilience_context,
+    stock_resilience_rules,
+)
+from repro.simkernel import Environment
+
+
+def small_cluster(env, nodes=4):
+    return Cluster(env, pools=[(NodeSpec("a", cores=8, speed=2.0), nodes)])
+
+
+class TestNodeSlowdown:
+    def test_scheduled_slowdown_degrades_effective_speed(self):
+        env = Environment()
+        c = small_cluster(env)
+        FaultInjector(env, c, slowdowns=[(10.0, "a-00000", 4.0, 20.0)])
+        node = c.node("a-00000")
+        assert node.effective_speed == pytest.approx(2.0)
+        env.run(until=15)
+        assert node.effective_speed == pytest.approx(0.5)
+        assert node.is_up  # gray: degraded, not dead
+        env.run(until=31)
+        assert node.effective_speed == pytest.approx(2.0)
+
+    def test_gray_fault_logged(self):
+        env = Environment()
+        c = small_cluster(env)
+        inj = FaultInjector(env, c, slowdowns=[(5.0, "a-00001", 2.0, None)])
+        env.run(until=10)
+        [g] = inj.gray_faults
+        assert g.node_id == "a-00001"
+        assert g.factor == 2.0
+        assert g.until is None
+        env.run(until=1000)
+        assert c.node("a-00001").slowdown == 2.0  # forever
+
+    def test_recovery_resets_slowdown(self):
+        env = Environment()
+        c = small_cluster(env)
+        FaultInjector(
+            env,
+            c,
+            slowdowns=[(5.0, "a-00000", 3.0, None)],
+            schedule=[(20.0, "a-00000")],
+            downtime=10.0,
+        )
+        env.run(until=31)
+        assert c.node("a-00000").slowdown == 1.0  # repaired hardware
+
+    def test_slowdown_schedule_validated(self):
+        env = Environment()
+        c = small_cluster(env)
+        with pytest.raises(ValueError, match="unknown node"):
+            FaultInjector(env, c, slowdowns=[(5.0, "nope", 2.0, 10.0)])
+        with pytest.raises(ValueError, match="factor"):
+            FaultInjector(env, c, slowdowns=[(5.0, "a-00000", 0.5, 10.0)])
+        with pytest.raises(ValueError, match="duration"):
+            FaultInjector(env, c, slowdowns=[(5.0, "a-00000", 2.0, -1.0)])
+
+
+def transfer_fixture(env, faults=None):
+    catalog = FileCatalog()
+    sites = {
+        "src": StorageSite(env, "src", egress_mbps=100, ingress_mbps=100),
+        "dst": StorageSite(env, "dst", egress_mbps=100, ingress_mbps=100),
+    }
+    svc = TransferService(env, catalog, sites, faults=faults)
+    f = File("data.bin", 100 * MB)
+    catalog.register(f, "src")
+    return svc, f
+
+
+class TestTransferFaults:
+    def test_explicit_transfer_failure(self):
+        env = Environment()
+        svc, f = transfer_fixture(env, TransferFaults(env, fail_transfers=[0]))
+        failures = []
+
+        def driver(env):
+            try:
+                yield env.process(svc.transfer(f, "src", "dst"))
+            except TransferError as exc:
+                failures.append(exc)
+
+        env.process(driver(env))
+        env.run()
+        [exc] = failures
+        assert exc.transient is True
+        assert exc.file_name == "data.bin"
+        assert svc.failed and not svc.log
+
+    def test_degraded_window_stretches_transfer(self):
+        env = Environment()
+        svc_fast, f1 = transfer_fixture(env)
+        env.process(svc_fast.transfer(f1, "src", "dst"))
+        env.run()
+        healthy = svc_fast.log[0].duration
+
+        env2 = Environment()
+        svc_slow, f2 = transfer_fixture(
+            env2, TransferFaults(env2, degraded=[(0.0, 1e6, 3.0)])
+        )
+        env2.process(svc_slow.transfer(f2, "src", "dst"))
+        env2.run()
+        degraded = svc_slow.log[0].duration
+        assert degraded == pytest.approx(healthy * 3.0, rel=1e-6)
+
+    def test_stochastic_failures_seeded(self):
+        def run(seed):
+            env = Environment()
+            faults = TransferFaults(env, fail_rate=0.5, seed=seed, fail_after_s=0)
+            return [faults.take_failure() for _ in range(32)]
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+    def test_transfer_with_retry_recovers(self):
+        env = Environment()
+        svc, f = transfer_fixture(env, TransferFaults(env, fail_transfers=[0]))
+        policy = RetryPolicy.resilient(max_retries=2, backoff_base_s=1.0, jitter=0.0)
+        env.process(svc.transfer_with_retry(f, "src", "dst", policy))
+        env.run()
+        assert len(svc.failed) == 1
+        assert len(svc.log) == 1  # second attempt landed the bytes
+        assert svc.catalog.present_at("data.bin", "dst")
+
+    def test_transfer_with_retry_exhausts_budget(self):
+        env = Environment()
+        svc, f = transfer_fixture(
+            env, TransferFaults(env, fail_transfers=[0, 1, 2, 3])
+        )
+        policy = RetryPolicy.resilient(max_retries=2, backoff_base_s=0.0)
+        errors = []
+
+        def driver(env):
+            try:
+                yield from svc.transfer_with_retry(f, "src", "dst", policy)
+            except TransferError as exc:
+                errors.append(exc)
+
+        env.process(driver(env))
+        env.run()
+        assert len(errors) == 1
+        assert len(svc.failed) == 3  # 1 try + 2 retries
+
+    def test_fault_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            TransferFaults(env, fail_rate=1.5)
+        with pytest.raises(ValueError):
+            TransferFaults(env, degraded=[(0.0, 10.0, 0.9)])
+        with pytest.raises(ValueError):
+            TransferFaults(env, degraded=[(0.0, -5.0, 2.0)])
+        with pytest.raises(ValueError):
+            TransferFaults(env, fail_transfers=[-1])
+
+
+OUTAGE_WDL = """
+version 1.0
+task t {
+    command <<< work >>>
+    runtime { cpu: 2, runtime_minutes: 1 }
+}
+workflow w { call t }
+"""
+
+
+class TestSiteOutage:
+    def make_service(self, env):
+        from repro.jaws.service import JawsService
+
+        return JawsService(
+            env,
+            sites=[("alpha", 2, 8, 1.0), ("beta", 2, 8, 1.0)],
+            image_pull_s=0.0,
+        )
+
+    def test_outage_downs_nodes_and_router_avoids_site(self):
+        env = Environment()
+        svc = self.make_service(env)
+        svc.schedule_outage("alpha", at=10.0, duration=50.0)
+        env.run(until=20)
+        alpha = svc.sites["alpha"]
+        assert not alpha.available
+        assert not alpha.cluster.up_nodes
+        # Router only offers beta while alpha is dark.
+        from repro.jaws import parse_wdl
+
+        assert svc.pick_site(parse_wdl(OUTAGE_WDL)) == "beta"
+        env.run(until=70)
+        assert alpha.available
+        assert len(alpha.cluster.up_nodes) == 2
+
+    def test_submit_to_down_site_fails_cleanly(self):
+        env = Environment()
+        svc = self.make_service(env)
+        svc.schedule_outage("alpha", at=0.0)
+        env.run(until=1)
+        from repro.jaws import parse_wdl
+
+        with pytest.raises(RuntimeError, match="outage"):
+            svc.submit(parse_wdl(OUTAGE_WDL), site_name="alpha")
+
+    def test_all_sites_dark_raises(self):
+        env = Environment()
+        svc = self.make_service(env)
+        svc.schedule_outage("alpha", at=0.0)
+        svc.schedule_outage("beta", at=0.0)
+        env.run(until=1)
+        from repro.jaws import parse_wdl
+
+        with pytest.raises(RuntimeError, match="no JAWS site"):
+            svc.pick_site(parse_wdl(OUTAGE_WDL))
+
+    def test_outage_validation(self):
+        env = Environment()
+        svc = self.make_service(env)
+        with pytest.raises(ValueError, match="unknown site"):
+            svc.schedule_outage("nowhere", at=10.0)
+        with pytest.raises(ValueError, match="duration"):
+            svc.schedule_outage("alpha", at=10.0, duration=-5.0)
+
+
+class TestCloudPreemption:
+    def test_scheduled_preemption_requeues_and_completes(self):
+        from repro.atlas.cloud import CloudDeployment
+        from repro.atlas.workload import SraAccession
+
+        env = Environment()
+        dep = CloudDeployment(
+            env,
+            max_instances=2,
+            instance_boot_s=10.0,
+            scale_check_s=10.0,
+            preempt_schedule=[500.0],
+        )
+        workload = [
+            SraAccession(accession=f"SRR{i:06d}", size_gb=1.0) for i in range(4)
+        ]
+        result = dep.run(workload)
+        env.run(result.done)
+        assert dep.preemptions == 1
+        assert result.spot_interruptions >= 1
+        assert len(result.records) == 4  # every file still processed
+
+    def test_preemption_schedule_validated(self):
+        from repro.atlas.cloud import CloudDeployment
+
+        env = Environment()
+        env.run(until=100)
+        with pytest.raises(ValueError, match="in the past"):
+            CloudDeployment(env, preempt_schedule=[50.0])
+
+
+class TestResilienceMetrics:
+    def test_mttr_over_fault_log(self):
+        env = Environment()
+        c = small_cluster(env)
+        inj = FaultInjector(
+            env, c, schedule=[(10.0, "a-00000"), (30.0, "a-00001")], downtime=20.0
+        )
+        env.run(until=100)
+        assert mttr(inj.failures) == pytest.approx(20.0)
+        assert node_downtime(inj.failures, until=100.0) == pytest.approx(40.0)
+        assert availability(inj.failures, n_nodes=4, window_s=100.0) == (
+            pytest.approx(1.0 - 40.0 / 400.0)
+        )
+
+    def test_mttr_unrecovered(self):
+        env = Environment()
+        c = small_cluster(env)
+        inj = FaultInjector(env, c, schedule=[(10.0, "a-00000")], downtime=None)
+        env.run(until=100)
+        assert mttr(inj.failures) is None  # excluded without a horizon
+        assert mttr(inj.failures, until=100.0) == pytest.approx(90.0)
+
+    def test_metric_validation(self):
+        with pytest.raises(ValueError):
+            availability([], n_nodes=0, window_s=10.0)
+        with pytest.raises(ValueError):
+            availability([], n_nodes=2, window_s=0.0)
+
+
+class TestStockRules:
+    def test_rules_pass_on_healthy_run(self):
+        from repro.report import build_report
+
+        rules = stock_resilience_rules(n_tasks=100, series=False)
+        context = resilience_context(
+            n_tasks=100, failure_events=1, resubmissions=1
+        )
+        context["quarantined_nodes"] = 0.0
+        report = build_report("chaos", headline=context, rules=rules)
+        assert report.ok
+
+    def test_resubmission_storm_fires(self):
+        from repro.report import build_report
+
+        rules = stock_resilience_rules(n_tasks=100, series=False)
+        context = resilience_context(
+            n_tasks=100, failure_events=2, resubmissions=80
+        )
+        context["quarantined_nodes"] = 0.0
+        report = build_report("chaos", headline=context, rules=rules)
+        assert not report.ok
+        [storm] = [
+            o
+            for o in report.alert_report.outcomes
+            if o.rule.name == "resubmission-storm"
+        ]
+        assert not storm.ok
+
+    def test_context_includes_mttr_and_availability(self):
+        env = Environment()
+        c = small_cluster(env)
+        inj = FaultInjector(env, c, schedule=[(10.0, "a-00000")], downtime=30.0)
+        env.run(until=100)
+        h = NodeHealth(env, strikes=1, probation_s=None)
+        h.record_failure("a-00000")
+        context = resilience_context(
+            n_tasks=50,
+            failure_events=1,
+            resubmissions=1,
+            health=h,
+            injector=inj,
+            window_s=100.0,
+            n_nodes=4,
+        )
+        assert context["mttr_s"] == pytest.approx(30.0)
+        assert context["availability"] == pytest.approx(1.0 - 30.0 / 400.0)
+        assert context["quarantined_nodes"] == 1.0
+
+    def test_rule_sizing_validation(self):
+        with pytest.raises(ValueError):
+            stock_resilience_rules(n_tasks=0)

@@ -1,0 +1,115 @@
+"""NodeHealth circuit breaker: strikes, quarantine, probation."""
+
+import pytest
+
+from repro.resilience import NodeHealth, QuarantineSpec
+from repro.simkernel import Environment
+
+
+class TestStrikes:
+    def test_quarantine_after_strikes(self):
+        env = Environment()
+        h = NodeHealth(env, strikes=3, probation_s=None)
+        assert not h.record_failure("n-1")
+        assert not h.record_failure("n-1")
+        assert h.record_failure("n-1")  # third strike quarantines
+        assert h.is_quarantined("n-1")
+        assert h.quarantined_ids() == {"n-1"}
+        assert h.quarantine_count == 1
+
+    def test_success_resets_strikes(self):
+        env = Environment()
+        h = NodeHealth(env, strikes=2, probation_s=None)
+        h.record_failure("n-1")
+        h.record_success("n-1")
+        h.record_failure("n-1")
+        assert not h.is_quarantined("n-1")  # streak was broken
+        assert h.strikes_for("n-1") == 1
+
+    def test_strikes_tracked_per_node(self):
+        env = Environment()
+        h = NodeHealth(env, strikes=2, probation_s=None)
+        h.record_failure("n-1")
+        h.record_failure("n-2")
+        assert not h.quarantined_ids()
+        h.record_failure("n-1")
+        assert h.quarantined_ids() == {"n-1"}
+
+    def test_failures_while_quarantined_do_not_stack_episodes(self):
+        env = Environment()
+        h = NodeHealth(env, strikes=1, probation_s=None)
+        assert h.record_failure("n-1")
+        assert not h.record_failure("n-1")  # already quarantined
+        assert h.quarantine_count == 1
+        assert h.failure_counts["n-1"] == 2  # but raw count still grows
+
+
+class TestProbation:
+    def test_probation_releases_node(self):
+        env = Environment()
+        h = NodeHealth(env, strikes=1, probation_s=100.0)
+        h.record_failure("n-1", cause="dead-node:n-1")
+        assert h.is_quarantined("n-1")
+        env.run(until=99)
+        assert h.is_quarantined("n-1")
+        env.run(until=101)
+        assert not h.is_quarantined("n-1")
+        assert h.strikes_for("n-1") == 0  # clean slate
+        episode = h.log[0]
+        assert episode.quarantined_at == pytest.approx(0.0)
+        assert episode.released_at == pytest.approx(100.0)
+
+    def test_no_probation_means_forever(self):
+        env = Environment()
+        h = NodeHealth(env, strikes=1, probation_s=None)
+        h.record_failure("n-1")
+        env.run(until=1e6)
+        assert h.is_quarantined("n-1")
+
+    def test_release_watchers_fire(self):
+        env = Environment()
+        h = NodeHealth(env, strikes=1, probation_s=10.0)
+        released = []
+        h.watch_release(released.append)
+        h.record_failure("n-1")
+        env.run(until=20)
+        assert released == ["n-1"]
+
+    def test_total_quarantine_time(self):
+        env = Environment()
+        h = NodeHealth(env, strikes=1, probation_s=50.0)
+        h.record_failure("n-1")
+        env.run(until=200)
+        assert h.total_quarantine_time() == pytest.approx(50.0)
+
+
+class TestQuarantineSpec:
+    def test_build(self):
+        env = Environment()
+        h = QuarantineSpec(strikes=2, probation_s=30.0).build(env, name="agent")
+        assert h.strikes == 2
+        assert h.probation_s == 30.0
+        assert h.name == "agent"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuarantineSpec(strikes=0)
+        with pytest.raises(ValueError):
+            QuarantineSpec(probation_s=0.0)
+        env = Environment()
+        with pytest.raises(ValueError):
+            NodeHealth(env, strikes=0)
+
+
+class TestGauge:
+    def test_quarantined_nodes_gauge_when_traced(self):
+        from repro.obs import enable_tracing
+
+        env = Environment()
+        tracer = enable_tracing(env)
+        h = NodeHealth(env, strikes=1, probation_s=25.0, name="resilience")
+        h.record_failure("n-1")
+        env.run(until=50)
+        gauge = tracer.metrics.get("quarantined_nodes", component="resilience")
+        assert gauge.value_at(10.0) == 1.0
+        assert gauge.value_at(30.0) == 0.0
