@@ -185,6 +185,7 @@ class AppManager:
                     if r.is_alive:
                         try:
                             yield r
+                        # simlint: disable=RES001 -- teardown drain: runner outcomes are deliberately absorbed; the original interrupt re-raises below
                         except BaseException:
                             pass
                 raise

@@ -217,7 +217,10 @@ def _constit_task(
 
     def work(env, task, nodes):
         structure = results["microstructures"][(case.case_id, mi)]
-        rve_rng = np.random.default_rng(hash((case.case_id, mi, rve)) % 2**32)
+        # Seed from the (case, microstructure, RVE) coordinates directly:
+        # default_rng folds the tuple through SeedSequence, which is
+        # stable across processes (hash() is not for str-bearing keys).
+        rve_rng = np.random.default_rng((case.case_id, mi, rve))
         subset = rve_rng.choice(
             structure.orientations_deg,
             size=max(3, structure.n_grains // 2),

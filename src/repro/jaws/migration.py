@@ -335,7 +335,8 @@ def lint_workflow(
         import re as _re
 
         declared = {d.name for d in task.inputs}
-        for placeholder in set(_re.findall(r"~\{(\w+)\}", task.command)):
+        # sorted(): finding order must not depend on the hash salt.
+        for placeholder in sorted(set(_re.findall(r"~\{(\w+)\}", task.command))):
             if placeholder not in declared:
                 findings.append(
                     LintFinding(

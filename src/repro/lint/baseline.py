@@ -1,0 +1,60 @@
+"""Baseline: grandfathered findings.
+
+A baseline entry is a finding fingerprint — ``RULE|path|stripped source
+line`` — so it survives line-number churn but invalidates the moment
+the offending line is edited.  Entries live in ``[tool.simlint]
+baseline`` in pyproject.toml (the shipped tree keeps it empty: every
+finding is fixed or suppressed with a justification).  ``--write-baseline``
+emits the TOML lines to paste there for bootstrapping a dirty tree.
+
+Entries that match nothing are reported (BASE001) so the baseline only
+ever shrinks.
+"""
+
+from __future__ import annotations
+
+from repro.lint.findings import Finding
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: list[str]
+) -> tuple[list[Finding], list[Finding], list[str]]:
+    """Split into (kept, baselined); also return stale baseline entries."""
+    remaining = dict.fromkeys(baseline)  # insertion-ordered set
+    kept: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        fp = finding.fingerprint()
+        if fp in remaining:
+            baselined.append(finding)
+            remaining.pop(fp, None)
+        else:
+            kept.append(finding)
+    return kept, baselined, list(remaining)
+
+
+def stale_entry_findings(stale: list[str]) -> list[Finding]:
+    return [
+        Finding(
+            path="pyproject.toml",
+            line=1,
+            col=0,
+            rule="BASE001",
+            message=(
+                f"stale baseline entry (matches no current finding): {entry!r}"
+                " — delete it from [tool.simlint] baseline"
+            ),
+            source_line=entry,
+        )
+        for entry in stale
+    ]
+
+
+def render_baseline_toml(findings: list[Finding]) -> str:
+    """TOML snippet for pasting into ``[tool.simlint]``."""
+    lines = ["baseline = ["]
+    for finding in sorted(findings):
+        fp = finding.fingerprint().replace("\\", "\\\\").replace('"', '\\"')
+        lines.append(f'    "{fp}",')
+    lines.append("]")
+    return "\n".join(lines) + "\n"

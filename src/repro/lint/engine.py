@@ -1,0 +1,160 @@
+"""The simlint engine: parse once, run every applicable rule, filter.
+
+Pipeline per file: parse → annotate parents → build the import map →
+run each enabled+scoped rule → drop inline-suppressed findings → drop
+baselined findings.  Files that fail to parse produce an ERR001
+finding rather than crashing the run (CI should fail loudly, not
+trace-back).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.lint import astutil, suppress
+from repro.lint.baseline import apply_baseline, stale_entry_findings
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.rules import all_rules, known_ids
+from repro.lint.suppress import Suppression
+
+
+class FileContext:
+    """Everything a rule needs about one parsed file."""
+
+    def __init__(self, relpath: str, source: str, config: LintConfig):
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.config = config
+        self.tree: ast.Module = ast.parse(source, filename=relpath)
+        astutil.attach_parents(self.tree)
+        self.imports = astutil.build_import_map(self.tree)
+        self.is_entry_point = config.is_entry_point(relpath)
+
+    def line(self, line_no: int) -> str:
+        if 0 < line_no <= len(self.lines):
+            return self.lines[line_no - 1]
+        return ""
+
+
+@dataclass
+class LintResult:
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[tuple[Finding, Suppression]] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+
+def lint_source(
+    source: str,
+    relpath: str = "src/repro/module.py",
+    config: Optional[LintConfig] = None,
+    use_baseline: bool = True,
+) -> LintResult:
+    """Lint one in-memory source blob (the unit-test entry point)."""
+    config = config or LintConfig()
+    result = LintResult(files_checked=1)
+    _lint_one(source, relpath, config, result)
+    if use_baseline and config.baseline:
+        kept, baselined, _stale = apply_baseline(result.findings, config.baseline)
+        result.findings, result.baselined = kept, baselined
+    result.findings.sort()
+    return result
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    root: Path,
+    config: Optional[LintConfig] = None,
+    use_baseline: bool = True,
+) -> LintResult:
+    """Lint every ``*.py`` under ``paths`` (files or directories)."""
+    config = config or LintConfig()
+    result = LintResult()
+    files = sorted(_collect(paths))
+    for path in files:
+        try:
+            relpath = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            result.findings.append(
+                Finding(relpath, 1, 0, "ERR001", f"unreadable file: {exc}")
+            )
+            continue
+        result.files_checked += 1
+        _lint_one(source, relpath, config, result)
+    if use_baseline and config.baseline:
+        kept, baselined, stale = apply_baseline(result.findings, config.baseline)
+        result.findings, result.baselined = kept, baselined
+        # Only call out stale entries for files we actually scanned —
+        # a partial run must not invalidate the rest of the baseline.
+        scanned = {f.as_posix() for f in files} | {
+            p.resolve().relative_to(root.resolve()).as_posix()
+            for p in files
+            if p.resolve().is_relative_to(root.resolve())
+        }
+        relevant = [
+            e for e in stale if len(e.split("|", 2)) == 3 and e.split("|", 2)[1] in scanned
+        ]
+        result.findings.extend(stale_entry_findings(relevant))
+    result.findings.sort()
+    return result
+
+
+def _collect(paths: Iterable[Path]) -> list[Path]:
+    out: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            out.extend(p for p in path.rglob("*.py") if p.is_file())
+        elif path.suffix == ".py":
+            out.append(path)
+    return out
+
+
+def _lint_one(source: str, relpath: str, config: LintConfig, result: LintResult) -> None:
+    suppressions, directive_problems = suppress.parse_suppressions(source, relpath)
+    lines = source.splitlines()
+    try:
+        ctx = FileContext(relpath, source, config)
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding(
+                relpath,
+                exc.lineno or 1,
+                (exc.offset or 1) - 1,
+                "ERR001",
+                f"syntax error: {exc.msg}",
+            )
+        )
+        return
+
+    raw: list[Finding] = []
+    for rule in all_rules():
+        if not config.rule_enabled(rule.id):
+            continue
+        if not config.rule_applies(rule.id, rule.family, relpath):
+            continue
+        raw.extend(rule.check(ctx))
+
+    kept, suppressed = suppress.apply_suppressions(raw, suppressions)
+    result.findings.extend(kept)
+    result.suppressed.extend(suppressed)
+    # Directive hygiene is never suppressible and ignores scoping.
+    result.findings.extend(directive_problems)
+    meta_ids = {"SUP001", "SUP002", "BASE001", "ERR001"}
+    result.findings.extend(
+        suppress.unknown_rule_findings(
+            suppressions, known_ids() | meta_ids, relpath, lines
+        )
+    )

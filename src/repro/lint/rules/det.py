@@ -1,0 +1,282 @@
+"""DET — determinism rules.
+
+The simulation substrate promises byte-identical traces for identical
+seeds (``tests/golden/``).  Everything here flags a way that promise
+silently breaks: wall clocks, unseeded randomness, hash-dependent
+ordering, set-iteration order, and environment-dependent behaviour.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint import astutil
+from repro.lint.findings import Finding
+from repro.lint.rules import Rule, register
+
+#: Call targets that read a wall clock.
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+}
+
+#: datetime constructors that capture "now".
+_DATETIME_NOW = {"now", "utcnow", "today"}
+
+#: numpy.random entry points that are fine: explicitly seeded
+#: constructors, not the hidden global stream.
+_NP_RANDOM_OK = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+    "numpy.random.MT19937",
+}
+
+#: stdlib random entry points that are fine (instances carry their seed).
+_PY_RANDOM_OK = {"random.Random"}
+
+#: Call targets that consume a seed; hash()/id() must not feed them.
+_SEED_SINKS = {"numpy.random.default_rng", "random.Random"}
+
+
+@register
+class WallClockRule(Rule):
+    id = "DET001"
+    family = "DET"
+    summary = "wall-clock read in simulated code"
+    rationale = (
+        "Simulated components must take time from Environment.now; a "
+        "wall-clock read couples results to the host machine and makes "
+        "golden trace digests irreproducible."
+    )
+    bad = "import time\nstart = time.time()"
+    good = "start = env.now"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = astutil.call_name(node, ctx.imports)
+            if name is None:
+                continue
+            if name in _WALL_CLOCK:
+                yield self.finding(
+                    ctx, node, f"wall-clock call {name}() in simulated code; use env.now"
+                )
+            elif name.startswith("datetime.") and name.split(".")[-1] in _DATETIME_NOW:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock call {name}() in simulated code; "
+                    "derive timestamps from simulated time",
+                )
+
+
+@register
+class UnseededRandomRule(Rule):
+    id = "DET002"
+    family = "DET"
+    summary = "module-level / unseeded randomness"
+    rationale = (
+        "random.* and numpy.random.* module-level calls draw from hidden "
+        "global state that any import can perturb.  Randomness must come "
+        "from a seeded Random/Generator instance carried by the scenario "
+        "or kernel."
+    )
+    bad = "import random\ndelay = random.random()"
+    good = "rng = np.random.default_rng(seed)\ndelay = rng.random()"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = astutil.call_name(node, ctx.imports)
+            if name is None:
+                continue
+            if name.startswith("random.") and name not in _PY_RANDOM_OK:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"module-level {name}() uses the global random stream; "
+                    "use a seeded random.Random instance",
+                )
+            elif name.startswith("numpy.random.") and name not in _NP_RANDOM_OK:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() uses numpy's global random stream; "
+                    "use numpy.random.default_rng(seed)",
+                )
+
+
+@register
+class HashOrderingRule(Rule):
+    id = "DET003"
+    family = "DET"
+    summary = "hash()/id() feeding ordering or seeding"
+    rationale = (
+        "hash() of str/bytes is salted per process (PYTHONHASHSEED) and "
+        "id() is an address; ordering or seeding derived from either "
+        "varies between runs.  Sort on stable keys; seed from explicit "
+        "integers."
+    )
+    bad = "rng = np.random.default_rng(hash(key) % 2**32)"
+    good = "rng = np.random.default_rng(case_id * 100 + replica)"
+
+    _ORDERING = {"sorted", "min", "max"}
+
+    def _hash_calls(self, root: ast.AST, ctx) -> Iterator[ast.Call]:
+        for sub in ast.walk(root):
+            if isinstance(sub, ast.Call) and (
+                astutil.is_builtin_call(sub, "hash", ctx.imports)
+                or astutil.is_builtin_call(sub, "id", ctx.imports)
+            ):
+                yield sub
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            sink = None
+            if isinstance(node.func, ast.Name) and node.func.id in self._ORDERING:
+                sink = f"{node.func.id}()"
+            elif isinstance(node.func, ast.Attribute) and node.func.attr == "sort":
+                sink = ".sort()"
+            else:
+                name = astutil.call_name(node, ctx.imports)
+                if name in _SEED_SINKS or (
+                    isinstance(node.func, ast.Attribute) and node.func.attr == "seed"
+                ):
+                    sink = f"{name or 'seed'}()"
+            if sink is None:
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                for bad in self._hash_calls(arg, ctx):
+                    fn = bad.func.id  # type: ignore[union-attr]
+                    yield self.finding(
+                        ctx,
+                        bad,
+                        f"{fn}() result feeds {sink}; {fn}() varies between "
+                        "runs — use a stable key or explicit integer seed",
+                    )
+
+
+#: Wrappers that materialize their iterable in iteration order.
+_ORDER_SENSITIVE_WRAPPERS = {"list", "tuple", "enumerate", "iter"}
+#: Set-returning method names on set objects.
+_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
+
+
+def _is_set_expr(node: ast.expr, imports: dict[str, str]) -> bool:
+    if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in {"set", "frozenset"}:
+            return node.func.id not in imports
+        if isinstance(node.func, ast.Attribute) and node.func.attr in _SET_METHODS:
+            return True
+    return False
+
+
+@register
+class SetIterationRule(Rule):
+    id = "DET004"
+    family = "DET"
+    summary = "iteration over an unordered set expression"
+    rationale = (
+        "Set iteration order depends on insertion history and the hash "
+        "salt; feeding it into scheduling or placement decisions makes "
+        "grant order differ between runs.  Wrap in sorted() or keep an "
+        "insertion-ordered structure (dict / OrderedSet)."
+    )
+    bad = "for node in set(candidates): place(node)"
+    good = "for node in sorted(set(candidates)): place(node)"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter, ctx.imports):
+                    yield self.finding(
+                        ctx,
+                        node.iter,
+                        "iterating a set: order varies between runs; "
+                        "wrap in sorted() or use an ordered container",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                for gen in node.generators:
+                    if _is_set_expr(gen.iter, ctx.imports):
+                        yield self.finding(
+                            ctx,
+                            gen.iter,
+                            "comprehension over a set: order varies between "
+                            "runs; wrap in sorted()",
+                        )
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in _ORDER_SENSITIVE_WRAPPERS
+                    and node.func.id not in ctx.imports
+                    and node.args
+                    and _is_set_expr(node.args[0], ctx.imports)
+                ):
+                    yield self.finding(
+                        ctx,
+                        node.args[0],
+                        f"{node.func.id}() of a set preserves nondeterministic "
+                        "set order; wrap in sorted()",
+                    )
+
+
+@register
+class EnvironReadRule(Rule):
+    id = "DET005"
+    family = "DET"
+    summary = "os.environ read outside an entry point"
+    rationale = (
+        "Library behaviour keyed on environment variables is invisible "
+        "configuration: two hosts produce different results from the "
+        "same seed.  Read the environment only in CLI entry points and "
+        "pass values down explicitly."
+    )
+    bad = "limit = int(os.environ.get('REPRO_LIMIT', 8))"
+    good = "def run(limit: int = 8): ...  # caller decides"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        if ctx.is_entry_point:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                if (
+                    node.attr == "environ"
+                    and astutil.dotted_name(node, ctx.imports) == "os.environ"
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "os.environ read in library code; accept the value "
+                        "as a parameter from the entry point",
+                    )
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if ctx.imports.get(node.id) == "os.environ":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "os.environ read in library code; accept the value "
+                        "as a parameter from the entry point",
+                    )
+            elif isinstance(node, ast.Call):
+                if astutil.call_name(node, ctx.imports) == "os.getenv":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "os.getenv() in library code; accept the value as a "
+                        "parameter from the entry point",
+                    )

@@ -346,6 +346,7 @@ class BatchScheduler:
         walltime = self.env.timeout(request.walltime_s)
         failure_cause = None
         try:
+            # simlint: disable=RES002 -- not a retry: pilot jobs absorb node-death interrupts and keep waiting on the survivors; task-level retries go through RetryPolicy in the engines
             while True:
                 try:
                     yield self.env.any_of([payload, walltime])
@@ -411,6 +412,7 @@ class BatchScheduler:
                 inner.interrupt(cause=intr.cause)
                 try:
                     yield inner
+                # simlint: disable=RES001 -- kill-path drain: the payload's outcome is irrelevant once the job is failed; the cause was already classified from the interrupt
                 except BaseException:
                     pass
             return

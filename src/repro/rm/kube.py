@@ -294,6 +294,7 @@ class KubeScheduler:
                 inner.interrupt(cause=intr.cause)
                 try:
                     yield inner
+                # simlint: disable=RES001 -- kill-path drain: pod already marked FAILED with its classified cause; the work generator's own outcome is deliberately absorbed
                 except BaseException:
                     pass
         except BaseException as exc:

@@ -1,0 +1,43 @@
+"""Shared helpers: run simlint over inline source fixtures."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint import LintConfig, lint_source
+
+
+@pytest.fixture
+def check():
+    """check(src, rule=..., relpath=...) -> findings for that rule."""
+
+    def _check(
+        src: str,
+        rule: str | None = None,
+        relpath: str = "src/repro/fake_mod.py",
+        config: LintConfig | None = None,
+    ):
+        result = lint_source(
+            textwrap.dedent(src), relpath=relpath, config=config
+        )
+        if rule is None:
+            return result.findings
+        return [f for f in result.findings if f.rule == rule]
+
+    return _check
+
+
+@pytest.fixture
+def lint():
+    """Full LintResult for inline source (suppressed/baselined visible)."""
+
+    def _lint(
+        src: str,
+        relpath: str = "src/repro/fake_mod.py",
+        config: LintConfig | None = None,
+    ):
+        return lint_source(textwrap.dedent(src), relpath=relpath, config=config)
+
+    return _lint

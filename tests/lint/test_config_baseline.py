@@ -1,0 +1,113 @@
+"""Config loading (pyproject round-trip), scoping, and the baseline."""
+
+import textwrap
+from pathlib import Path
+
+import tomllib
+
+from repro.lint import LintConfig, lint_paths, lint_source, load_config
+from repro.lint.baseline import render_baseline_toml
+
+VIOLATION = "import random\ndelay = random.random()\n"
+
+
+class TestConfig:
+    def test_disable_switches_rule_off(self, check):
+        cfg = LintConfig(disable=["DET002"])
+        assert check(VIOLATION, rule="DET002", config=cfg) == []
+
+    def test_enable_allowlist_limits_rules(self, check):
+        src = "import random, time\nx = random.random() + time.time()\n"
+        cfg = LintConfig(enable=["DET001"])
+        found = check(src, config=cfg)
+        assert [f.rule for f in found] == ["DET001"]
+
+    def test_det_rules_scoped_out_of_tests(self, check):
+        # Default scope: DET applies under src/repro/, not tests/.
+        assert check(VIOLATION, rule="DET002", relpath="tests/test_x.py") == []
+        assert len(check(VIOLATION, rule="DET002")) == 1
+
+    def test_scope_override(self, check):
+        cfg = LintConfig(
+            scopes={"DET": {"include": ["lib/*"], "exclude": ["lib/vendored/*"]}}
+        )
+        assert len(check(VIOLATION, rule="DET002", relpath="lib/a.py", config=cfg)) == 1
+        assert check(VIOLATION, rule="DET002", relpath="lib/vendored/a.py", config=cfg) == []
+        assert check(VIOLATION, rule="DET002", relpath="src/repro/a.py", config=cfg) == []
+
+    def test_pyproject_round_trip(self, tmp_path: Path):
+        (tmp_path / "pyproject.toml").write_text(
+            textwrap.dedent(
+                """
+                [tool.simlint]
+                paths = ["lib"]
+                disable = ["DET004"]
+                entry-globs = ["lib/cli.py"]
+                baseline = ["DET002|lib/a.py|delay = random.random()"]
+
+                [tool.simlint.scopes]
+                DET = { include = ["lib/*"], exclude = [] }
+                """
+            )
+        )
+        cfg = load_config(tmp_path)
+        assert cfg.paths == ["lib"]
+        assert not cfg.rule_enabled("DET004")
+        assert cfg.is_entry_point("lib/cli.py")
+        assert cfg.rule_applies("DET002", "DET", "lib/a.py")
+        assert not cfg.rule_applies("DET002", "DET", "src/repro/a.py")
+        assert cfg.baseline == ["DET002|lib/a.py|delay = random.random()"]
+
+    def test_missing_pyproject_gives_defaults(self, tmp_path: Path):
+        cfg = load_config(tmp_path)
+        assert cfg.paths == ["src", "tests"]
+        assert cfg.rule_enabled("DET001")
+
+
+class TestBaseline:
+    def test_baselined_finding_does_not_fail(self):
+        cfg = LintConfig(
+            baseline=["DET002|src/repro/fake_mod.py|delay = random.random()"]
+        )
+        result = lint_source(VIOLATION, relpath="src/repro/fake_mod.py", config=cfg)
+        assert result.findings == []
+        assert len(result.baselined) == 1
+        assert result.exit_code == 0
+
+    def test_baseline_invalidates_when_line_changes(self):
+        cfg = LintConfig(
+            baseline=["DET002|src/repro/fake_mod.py|delay = random.random()"]
+        )
+        edited = "import random\ndelay = 2 * random.random()\n"
+        result = lint_source(edited, relpath="src/repro/fake_mod.py", config=cfg)
+        assert [f.rule for f in result.findings] == ["DET002"]
+
+    def test_write_baseline_round_trips(self, tmp_path: Path):
+        (tmp_path / "src" / "repro").mkdir(parents=True)
+        mod = tmp_path / "src" / "repro" / "dirty.py"
+        mod.write_text(VIOLATION)
+
+        first = lint_paths([tmp_path / "src"], root=tmp_path)
+        assert [f.rule for f in first.findings] == ["DET002"]
+
+        snippet = render_baseline_toml(first.findings)
+        entries = tomllib.loads(snippet)["baseline"]
+        cfg = LintConfig(baseline=entries)
+        second = lint_paths([tmp_path / "src"], root=tmp_path, config=cfg)
+        assert second.findings == []
+        assert len(second.baselined) == 1
+
+    def test_stale_entry_reported_for_scanned_file(self, tmp_path: Path):
+        (tmp_path / "src" / "repro").mkdir(parents=True)
+        mod = tmp_path / "src" / "repro" / "clean.py"
+        mod.write_text("x = 1\n")
+        cfg = LintConfig(baseline=["DET002|src/repro/clean.py|delay = random.random()"])
+        result = lint_paths([tmp_path / "src"], root=tmp_path, config=cfg)
+        assert [f.rule for f in result.findings] == ["BASE001"]
+
+    def test_stale_entry_ignored_for_unscanned_file(self, tmp_path: Path):
+        (tmp_path / "src" / "repro").mkdir(parents=True)
+        (tmp_path / "src" / "repro" / "clean.py").write_text("x = 1\n")
+        cfg = LintConfig(baseline=["DET002|src/repro/elsewhere.py|delay = r()"])
+        result = lint_paths([tmp_path / "src"], root=tmp_path, config=cfg)
+        assert result.findings == []

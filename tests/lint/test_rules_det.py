@@ -1,0 +1,187 @@
+"""Firing and non-firing fixtures for every DET rule."""
+
+
+class TestDET001WallClock:
+    def test_fires_on_time_time(self, check):
+        src = """
+            import time
+            def stamp():
+                return time.time()
+        """
+        assert len(check(src, rule="DET001")) == 1
+
+    def test_fires_on_aliased_monotonic(self, check):
+        src = """
+            import time as clock
+            t = clock.monotonic()
+        """
+        assert len(check(src, rule="DET001")) == 1
+
+    def test_fires_on_datetime_now(self, check):
+        src = """
+            from datetime import datetime
+            stamp = datetime.now()
+        """
+        assert len(check(src, rule="DET001")) == 1
+
+    def test_silent_on_env_now(self, check):
+        src = """
+            def stamp(env):
+                return env.now
+        """
+        assert check(src, rule="DET001") == []
+
+    def test_silent_on_unrelated_time_attribute(self, check):
+        # A local object with a .time() method is not the time module.
+        src = """
+            def stamp(sim):
+                return sim.time()
+        """
+        assert check(src, rule="DET001") == []
+
+
+class TestDET002UnseededRandom:
+    def test_fires_on_module_level_random(self, check):
+        src = """
+            import random
+            delay = random.random()
+        """
+        assert len(check(src, rule="DET002")) == 1
+
+    def test_fires_on_from_import(self, check):
+        src = """
+            from random import randint
+            n = randint(1, 6)
+        """
+        assert len(check(src, rule="DET002")) == 1
+
+    def test_fires_on_numpy_global_stream(self, check):
+        src = """
+            import numpy as np
+            x = np.random.rand(3)
+        """
+        assert len(check(src, rule="DET002")) == 1
+
+    def test_silent_on_default_rng(self, check):
+        src = """
+            import numpy as np
+            rng = np.random.default_rng(42)
+            x = rng.random()
+        """
+        assert check(src, rule="DET002") == []
+
+    def test_silent_on_seeded_random_instance(self, check):
+        src = """
+            import random
+            rng = random.Random(7)
+            n = rng.randint(1, 6)
+        """
+        assert check(src, rule="DET002") == []
+
+
+class TestDET003HashOrdering:
+    def test_fires_on_hash_seed(self, check):
+        src = """
+            import numpy as np
+            rng = np.random.default_rng(hash(key) % 2**32)
+        """
+        assert len(check(src, rule="DET003")) == 1
+
+    def test_fires_on_id_sort_key(self, check):
+        src = """
+            order = sorted(nodes, key=lambda n: id(n))
+        """
+        assert len(check(src, rule="DET003")) == 1
+
+    def test_fires_on_seed_method(self, check):
+        src = """
+            rng.seed(hash(name))
+        """
+        assert len(check(src, rule="DET003")) == 1
+
+    def test_silent_on_stable_seed(self, check):
+        src = """
+            import numpy as np
+            rng = np.random.default_rng(case_id * 100 + replica)
+        """
+        assert check(src, rule="DET003") == []
+
+    def test_silent_on_hash_outside_ordering(self, check):
+        # Equality/membership use of hash (e.g. caching) is fine.
+        src = """
+            fingerprint = hash(key)
+        """
+        assert check(src, rule="DET003") == []
+
+
+class TestDET004SetIteration:
+    def test_fires_on_for_over_set_call(self, check):
+        src = """
+            for node in set(candidates):
+                place(node)
+        """
+        assert len(check(src, rule="DET004")) == 1
+
+    def test_fires_on_comprehension_over_set_literal(self, check):
+        src = """
+            names = [n.id for n in {a, b, c}]
+        """
+        assert len(check(src, rule="DET004")) == 1
+
+    def test_fires_on_list_of_set(self, check):
+        src = """
+            order = list(set(pending))
+        """
+        assert len(check(src, rule="DET004")) == 1
+
+    def test_silent_on_sorted_set(self, check):
+        src = """
+            for node in sorted(set(candidates)):
+                place(node)
+        """
+        assert check(src, rule="DET004") == []
+
+    def test_silent_on_dict_iteration(self, check):
+        # dicts iterate in insertion order — deterministic.
+        src = """
+            for key in mapping:
+                handle(key)
+        """
+        assert check(src, rule="DET004") == []
+
+
+class TestDET005EnvironRead:
+    def test_fires_on_environ_get(self, check):
+        src = """
+            import os
+            limit = os.environ.get("REPRO_LIMIT", "8")
+        """
+        assert len(check(src, rule="DET005")) == 1
+
+    def test_fires_on_getenv(self, check):
+        src = """
+            import os
+            limit = os.getenv("REPRO_LIMIT")
+        """
+        assert len(check(src, rule="DET005")) == 1
+
+    def test_fires_on_from_import_environ(self, check):
+        src = """
+            from os import environ
+            limit = environ["REPRO_LIMIT"]
+        """
+        assert len(check(src, rule="DET005")) == 1
+
+    def test_silent_in_entry_point(self, check):
+        src = """
+            import os
+            limit = os.environ.get("REPRO_LIMIT", "8")
+        """
+        assert check(src, rule="DET005", relpath="src/repro/report/__main__.py") == []
+
+    def test_silent_on_parameter(self, check):
+        src = """
+            def run(limit: int = 8):
+                return limit
+        """
+        assert check(src, rule="DET005") == []

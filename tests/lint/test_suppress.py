@@ -1,0 +1,82 @@
+"""Inline suppression semantics: justification required, typos caught."""
+
+
+SRC_VIOLATION = """
+    import random
+    delay = random.random()  # simlint: disable=DET002 -- fixture: justified suppression
+"""
+
+SRC_NO_JUSTIFICATION = """
+    import random
+    delay = random.random()  # simlint: disable=DET002
+"""
+
+SRC_OWN_LINE = """
+    import random
+    # simlint: disable=DET002 -- fixture: own-line directive covers the next line
+    delay = random.random()
+"""
+
+SRC_WRONG_LINE = """
+    import random
+    # simlint: disable=DET002 -- fixture: directive is two lines up, must not cover
+
+    delay = random.random()
+"""
+
+
+class TestSuppression:
+    def test_justified_suppression_silences_finding(self, lint):
+        result = lint(SRC_VIOLATION)
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+        finding, sup = result.suppressed[0]
+        assert finding.rule == "DET002"
+        assert "justified suppression" in sup.justification
+
+    def test_missing_justification_is_its_own_finding(self, lint):
+        result = lint(SRC_NO_JUSTIFICATION)
+        rules = sorted(f.rule for f in result.findings)
+        # An unjustified directive suppresses nothing: the original
+        # finding stays live and the directive itself is flagged.
+        assert rules == ["DET002", "SUP001"]
+
+    def test_own_line_directive_covers_next_line(self, lint):
+        result = lint(SRC_OWN_LINE)
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+    def test_directive_does_not_reach_past_next_line(self, lint):
+        result = lint(SRC_WRONG_LINE)
+        assert [f.rule for f in result.findings] == ["DET002"]
+
+    def test_unknown_rule_id_reported(self, lint):
+        result = lint(
+            "x = 1  # simlint: disable=DET999 -- fixture: rule id typo\n"
+        )
+        assert [f.rule for f in result.findings] == ["SUP002"]
+
+    def test_multiple_rules_one_directive(self, lint):
+        src = """
+            import random, time
+            x = random.random() + time.time()  # simlint: disable=DET001,DET002 -- fixture: both suppressed
+        """
+        result = lint(src)
+        assert result.findings == []
+        assert {f.rule for f, _ in result.suppressed} == {"DET001", "DET002"}
+
+    def test_directive_inside_string_is_ignored(self, lint):
+        src = '''
+            DOC = "# simlint: disable=DET002"
+        '''
+        result = lint(src)
+        assert result.findings == []
+        assert result.suppressed == []
+
+    def test_suppression_only_covers_named_rule(self, lint):
+        src = """
+            import time
+            t = time.time()  # simlint: disable=DET002 -- fixture: wrong rule named
+        """
+        result = lint(src)
+        assert [f.rule for f in result.findings] == ["DET001"]
