@@ -61,8 +61,15 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: cannot load config: {exc}", file=sys.stderr)
         return 2
 
-    raw_paths = args.paths or config.paths
-    paths = [Path(p) for p in raw_paths]
+    if args.paths:
+        # Explicit CLI paths behave like any other tool's: cwd-relative.
+        paths = [Path(p) for p in args.paths]
+    else:
+        # Config-derived defaults are project-relative, so the default
+        # invocation works from any subdirectory of the repo.
+        paths = [
+            Path(p) if Path(p).is_absolute() else root / p for p in config.paths
+        ]
     missing = [p for p in paths if not p.exists()]
     if missing:
         print(

@@ -23,7 +23,14 @@ family's, else the implicit "everywhere" scope.  Globs use
 
 from __future__ import annotations
 
-import tomllib
+try:  # stdlib on Python >= 3.11
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - exercised on the 3.10 CI leg
+    try:
+        import tomli as tomllib  # type: ignore[no-redef]
+    except ModuleNotFoundError:
+        tomllib = None  # type: ignore[assignment]
+
 from dataclasses import dataclass, field
 from fnmatch import fnmatch
 from pathlib import Path
@@ -91,6 +98,11 @@ def load_config(root: Path, pyproject: Optional[Path] = None) -> LintConfig:
     path = pyproject or root / "pyproject.toml"
     if not path.is_file():
         return cfg
+    if tomllib is None:
+        raise RuntimeError(
+            f"cannot read {path}: no TOML parser available "
+            "(Python >= 3.11 ships tomllib; on 3.10 install `tomli`)"
+        )
     with open(path, "rb") as fh:
         doc = tomllib.load(fh)
     section = doc.get("tool", {}).get("simlint", {})

@@ -79,7 +79,9 @@ def lint_paths(
     """Lint every ``*.py`` under ``paths`` (files or directories)."""
     config = config or LintConfig()
     result = LintResult()
-    files = sorted(_collect(paths))
+    # Resolve + dedupe so overlapping arguments (`src src/repro`) lint
+    # each file once instead of double-reporting and double-counting.
+    files = sorted({p.resolve() for p in _collect(paths)})
     for path in files:
         try:
             relpath = path.resolve().relative_to(root.resolve()).as_posix()

@@ -6,6 +6,16 @@ import subprocess
 import sys
 from pathlib import Path
 
+import pytest
+
+from repro.lint.config import tomllib  # stdlib on 3.11+, tomli backport on 3.10
+
+# Every test here spawns the CLI against a project with a pyproject.toml,
+# which the CLI cannot read without a TOML parser.
+pytestmark = pytest.mark.skipif(
+    tomllib is None, reason="no TOML parser on this interpreter (3.10 without tomli)"
+)
+
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
 
@@ -48,6 +58,26 @@ class TestCli:
         proc = run_cli(["src"], cwd=root)
         assert proc.returncode == 0, proc.stdout + proc.stderr
 
+    def test_default_paths_resolve_against_root_from_subdir(self, tmp_path):
+        # Config-derived default paths are project-relative: the default
+        # invocation must work (and report root-relative paths) even when
+        # launched from a subdirectory of the repo.
+        root = make_project(tmp_path, "import random\nx = random.random()\n")
+        (root / "pyproject.toml").write_text('[tool.simlint]\npaths = ["src"]\n')
+        proc = run_cli(["--json"], cwd=root / "src" / "repro")
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        doc = json.loads(proc.stdout)
+        assert [f["rule"] for f in doc["findings"]] == ["DET002"]
+        assert doc["findings"][0]["path"] == "src/repro/mod.py"
+
+    def test_overlapping_paths_lint_each_file_once(self, tmp_path):
+        root = make_project(tmp_path, "import random\nx = random.random()\n")
+        proc = run_cli(["src", "src/repro", "src/repro/mod.py", "--json"], cwd=root)
+        assert proc.returncode == 1
+        doc = json.loads(proc.stdout)
+        assert doc["files_checked"] == 1
+        assert [f["rule"] for f in doc["findings"]] == ["DET002"]
+
     def test_exit_2_on_missing_path(self, tmp_path):
         root = make_project(tmp_path, "x = 1\n")
         proc = run_cli(["no/such/dir"], cwd=root)
@@ -61,8 +91,6 @@ class TestCli:
         assert [f["rule"] for f in doc["findings"]] == ["ERR001"]
 
     def test_write_baseline_emits_parseable_toml(self, tmp_path):
-        import tomllib
-
         root = make_project(tmp_path, "import random\nx = random.random()\n")
         proc = run_cli(["src", "--write-baseline"], cwd=root)
         assert proc.returncode == 0

@@ -3,12 +3,17 @@
 import textwrap
 from pathlib import Path
 
-import tomllib
+import pytest
 
 from repro.lint import LintConfig, lint_paths, lint_source, load_config
 from repro.lint.baseline import render_baseline_toml
+from repro.lint.config import tomllib  # stdlib on 3.11+, tomli backport on 3.10
 
 VIOLATION = "import random\ndelay = random.random()\n"
+
+needs_toml = pytest.mark.skipif(
+    tomllib is None, reason="no TOML parser on this interpreter (3.10 without tomli)"
+)
 
 
 class TestConfig:
@@ -35,6 +40,7 @@ class TestConfig:
         assert check(VIOLATION, rule="DET002", relpath="lib/vendored/a.py", config=cfg) == []
         assert check(VIOLATION, rule="DET002", relpath="src/repro/a.py", config=cfg) == []
 
+    @needs_toml
     def test_pyproject_round_trip(self, tmp_path: Path):
         (tmp_path / "pyproject.toml").write_text(
             textwrap.dedent(
@@ -82,6 +88,7 @@ class TestBaseline:
         result = lint_source(edited, relpath="src/repro/fake_mod.py", config=cfg)
         assert [f.rule for f in result.findings] == ["DET002"]
 
+    @needs_toml
     def test_write_baseline_round_trips(self, tmp_path: Path):
         (tmp_path / "src" / "repro").mkdir(parents=True)
         mod = tmp_path / "src" / "repro" / "dirty.py"
@@ -96,6 +103,19 @@ class TestBaseline:
         second = lint_paths([tmp_path / "src"], root=tmp_path, config=cfg)
         assert second.findings == []
         assert len(second.baselined) == 1
+
+    def test_overlapping_paths_consume_baseline_once(self, tmp_path: Path):
+        # Overlapping targets must not lint the file twice — the second
+        # duplicate used to miss the (already consumed) baseline entry.
+        (tmp_path / "src" / "repro").mkdir(parents=True)
+        (tmp_path / "src" / "repro" / "dirty.py").write_text(VIOLATION)
+        cfg = LintConfig(baseline=["DET002|src/repro/dirty.py|delay = random.random()"])
+        result = lint_paths(
+            [tmp_path / "src", tmp_path / "src" / "repro"], root=tmp_path, config=cfg
+        )
+        assert result.findings == []
+        assert len(result.baselined) == 1
+        assert result.files_checked == 1
 
     def test_stale_entry_reported_for_scanned_file(self, tmp_path: Path):
         (tmp_path / "src" / "repro").mkdir(parents=True)
