@@ -46,9 +46,17 @@ def _finish(env: Environment, t0: float, extra: dict) -> dict:
 # -- kernel microbenches -----------------------------------------------------------
 
 
-def kernel_events(n_procs: int = 200, n_hops: int = 100) -> dict:
-    """Raw event-loop churn: ``n_procs`` processes doing timeout hops."""
-    env = Environment()
+def kernel_events(
+    n_procs: int = 200, n_hops: int = 100, env_cls: type = Environment
+) -> dict:
+    """Raw event-loop churn: ``n_procs`` processes doing timeout hops.
+
+    ``env_cls`` selects the loop under test — the default calendar
+    queue, or ``repro.simkernel.NaiveEnvironment`` for the preserved
+    seed loop (the speedup gates in ``benchmarks/test_kernel_speedup.py``
+    run the same workload through both and assert on the live ratio).
+    """
+    env = env_cls()
 
     def hopper(env, period):
         for _ in range(n_hops):

@@ -49,6 +49,12 @@ _DEFAULT_SCOPES: dict[str, dict[str, list[str]]] = {
     # cancellation, leak behaviour) on purpose; the lease-hygiene rule
     # polices production code only.
     "KER004": {"include": ["src/repro/*"], "exclude": []},
+    # The kernel's heapq-hygiene rule polices the kernel only;
+    # queueing.py is the sanctioned import site it points everyone at.
+    "KER005": {
+        "include": ["src/repro/simkernel/*"],
+        "exclude": ["src/repro/simkernel/queueing.py"],
+    },
     # stdout is the product for the report/viz CLI surfaces.
     "OBS002": {
         "include": ["src/repro/*"],

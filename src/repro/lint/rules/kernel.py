@@ -178,3 +178,47 @@ class LeakedLeaseRule(Rule):
                         "exception between them leaks the slot — release "
                         "in a finally block or use `with`",
                     )
+
+
+@register
+class DirectHeapImportRule(Rule):
+    id = "KER005"
+    family = "KERNEL"
+    summary = "direct heapq import inside the kernel"
+    rationale = (
+        "repro.simkernel.queueing owns the kernel's one sanctioned "
+        "heapq import: the calendar queue's ordering guarantees "
+        "(time -> priority -> creation order) live in its helpers, and "
+        "a module that heap-pushes raw tuples on the side can reorder "
+        "same-instant events and silently break golden-trace "
+        "determinism.  Scoped to src/repro/simkernel/* — heapq stays "
+        "fair game elsewhere in the tree."
+    )
+    bad = "import heapq\nheapq.heappush(queue, (t, seq, ev))"
+    good = (
+        "from repro.simkernel.queueing import heap_push\n"
+        "heap_push(queue, (t, seq, ev))"
+    )
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "heapq" or alias.name.startswith("heapq."):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "direct `import heapq` in the kernel; use the "
+                            "ordering-preserving helpers in "
+                            "repro.simkernel.queueing instead",
+                        )
+                        break
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "heapq" and node.level == 0:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "direct `from heapq import ...` in the kernel; use "
+                        "the ordering-preserving helpers in "
+                        "repro.simkernel.queueing instead",
+                    )

@@ -14,14 +14,18 @@ Design goals, in order:
 2. **Legibility** — the kernel is small and aggressively documented so
    the higher layers (cluster, resource managers, workflow engines) are
    auditable end to end.
-3. **Speed where it matters** — the hot path (heap push/pop, callback
-   dispatch) avoids allocation beyond what correctness requires; see the
-   HPC guide's advice to profile before optimizing further.
+3. **Speed where it matters** — the hot path is a calendar queue with
+   batched same-instant dispatch and a recycling pool for timeouts
+   (see ``docs/SIMKERNEL.md``); the original single-heap loop is kept
+   as :class:`NaiveEnvironment` and a differential fuzzer holds the
+   two behaviorally identical.
 
 Public API
 ----------
 
 - :class:`Environment` — event queue + simulated clock.
+- :class:`NaiveEnvironment` — the preserved seed loop (reference model
+  for differential testing and live speedup gates).
 - :class:`Event`, :class:`Timeout`, :class:`Process` — awaitable events.
 - :class:`AllOf`, :class:`AnyOf` — condition events.
 - :class:`Interrupt` — exception thrown into interrupted processes.
@@ -42,6 +46,7 @@ from repro.simkernel.events import (
     Timeout,
 )
 from repro.simkernel.core import Environment, SimulationError, StopSimulation
+from repro.simkernel.reference import NaiveEnvironment
 from repro.simkernel.resources import (
     Container,
     FilterStore,
@@ -60,6 +65,7 @@ __all__ = [
     "EventAlreadyTriggered",
     "FilterStore",
     "Interrupt",
+    "NaiveEnvironment",
     "PENDING",
     "PriorityResource",
     "Process",

@@ -13,6 +13,21 @@ An :class:`Event` moves through three states:
 The distinction between *triggered* and *processed* is what gives the
 kernel deterministic semantics: all state changes caused by an event
 happen at a single well-defined point in the event loop.
+
+Waiter fast slot
+----------------
+
+The overwhelmingly common wait shape is "exactly one process waiting on
+exactly one event".  Registering that wait as a bound-method append to
+``callbacks`` costs a method object, a list append, and (at dispatch) a
+list iteration per event.  Instead, the *first* process to wait on an
+event with no other callbacks parks itself in the dedicated ``_waiter``
+slot; dispatch resumes ``_waiter`` first (it registered first), then
+runs ``callbacks`` in order, so observable ordering is identical to the
+all-callbacks scheme.  Any further registrant — a second process, a
+:class:`Condition`, user code appending to ``callbacks`` — goes on the
+list exactly as before.  ``docs/SIMKERNEL.md`` spells out the
+invariants.
 """
 
 from __future__ import annotations
@@ -50,12 +65,16 @@ class Event:
     value (success) or an exception (failure).
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+    __slots__ = ("env", "callbacks", "_waiter", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment"):  # noqa: F821 (forward ref)
         self.env = env
         #: Callbacks invoked (in registration order) when processed.
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        #: Fast slot: the sole waiting process, resumed before
+        #: ``callbacks`` (it can only occupy the slot by registering
+        #: first).  See the module docstring.
+        self._waiter: Optional["Process"] = None
         self._value: Any = PENDING
         self._ok: bool = True
         self._defused: bool = False
@@ -141,7 +160,13 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers ``delay`` time units after creation."""
+    """An event that triggers ``delay`` time units after creation.
+
+    Prefer ``env.timeout(delay)`` over constructing directly: the
+    environment recycles processed timeouts through an allocation-free
+    pool (see ``core.py``), and only the factory can hand out pooled
+    instances.
+    """
 
     __slots__ = ("delay",)
 
@@ -165,7 +190,7 @@ class Initialize(Event):
 
     def __init__(self, env, process: "Process"):
         super().__init__(env)
-        self.callbacks.append(process._resume)
+        self.callbacks.append(process._resume_cb)
         self._ok = True
         self._value = None
         env.schedule(self, priority=URGENT)
@@ -201,7 +226,18 @@ class Process(Event):
             assert result == 42
     """
 
-    __slots__ = ("generator", "target", "name", "_cb_index")
+    # _send/_throw/_resume_cb cache the bound generator methods and our
+    # own resume callback: they are hit once per event in the loop, and
+    # a slot load is ~3x cheaper than re-binding a method each time.
+    __slots__ = (
+        "generator",
+        "target",
+        "name",
+        "_cb_index",
+        "_send",
+        "_throw",
+        "_resume_cb",
+    )
 
     def __init__(self, env, generator: Generator, name: Optional[str] = None):
         if not hasattr(generator, "throw"):
@@ -212,9 +248,13 @@ class Process(Event):
         #: The event this process is currently waiting on (None if not
         #: started or already terminated).
         self.target: Optional[Event] = None
-        #: Index of this process's ``_resume`` in ``target.callbacks``
-        #: (callback lists are append-only, so the index stays valid).
+        #: Index of this process's resume callback in
+        #: ``target.callbacks`` (callback lists are append-only, so the
+        #: index stays valid), or -1 when parked in ``target._waiter``.
         self._cb_index: int = -1
+        self._send = generator.send
+        self._throw = generator.throw
+        self._resume_cb = self._resume
         Initialize(env, self)
 
     @property
@@ -240,21 +280,29 @@ class Process(Event):
     def _resume_interrupt(self, event: Event) -> None:
         if not self.is_alive:  # terminated before interrupt delivery
             return
-        # Detach from whatever we were waiting on: tombstone our slot
-        # instead of list.remove (O(1) vs O(waiters); the event loop
-        # skips None callbacks).
+        # Detach from whatever we were waiting on: clear the waiter
+        # fast slot, or tombstone our callback slot instead of
+        # list.remove (O(1) vs O(waiters); the event loop skips None
+        # callbacks).
         target = self.target
         if target is not None and target.callbacks is not None:
             cbs = target.callbacks
-            i = self._cb_index
-            # == not `is`: bound methods are fresh objects per access.
-            if 0 <= i < len(cbs) and cbs[i] == self._resume:
-                cbs[i] = None
-            # A condition left with no waiters may still fail later when
-            # a constituent fails (e.g. children being torn down after
-            # this same interrupt).  Nobody can handle that failure any
-            # more, so defuse it now rather than crash the simulation.
-            if isinstance(target, Condition) and all(cb is None for cb in cbs):
+            if target._waiter is self:
+                target._waiter = None
+            else:
+                i = self._cb_index
+                if 0 <= i < len(cbs) and cbs[i] is self._resume_cb:
+                    cbs[i] = None
+            # We may have been the last party that could observe this
+            # event.  If it later *fails* — a child being torn down
+            # after this same interrupt, a condition one of whose
+            # constituents fails — the exception has effectively been
+            # swallowed by the process dying here, and nobody is left
+            # to handle it.  Mark the event defused now rather than
+            # crash the simulation when it fires.  (This used to
+            # special-case Condition targets only; the asymmetry let a
+            # plain failed event escape the loop.)
+            if target._waiter is None and all(cb is None for cb in cbs):
                 target.defused = True
         self._do_resume(event)
 
@@ -263,14 +311,14 @@ class Process(Event):
 
     def _do_resume(self, event: Event) -> None:
         env = self.env
-        env._active_proc = self
         while True:
+            env._active_proc = self
             try:
                 if event._ok:
-                    next_event = self.generator.send(event._value)
+                    next_event = self._send(event._value)
                 else:
                     event.defused = True
-                    next_event = self.generator.throw(event._value)
+                    next_event = self._throw(event._value)
             except StopIteration as exc:
                 env._active_proc = None
                 self.target = None
@@ -288,7 +336,8 @@ class Process(Event):
 
             if not isinstance(next_event, Event):
                 env._active_proc = None
-                self.generator.throw(
+                self.target = None
+                self._throw(
                     TypeError(f"Process {self.name} yielded non-event {next_event!r}")
                 )
                 return
@@ -296,11 +345,19 @@ class Process(Event):
             cbs = next_event.callbacks
             if cbs is not None:
                 # Event still pending or triggered-but-unprocessed: wait.
-                self._cb_index = len(cbs)
-                cbs.append(self._resume)
+                if not cbs and next_event._waiter is None:
+                    next_event._waiter = self
+                    self._cb_index = -1
+                else:
+                    self._cb_index = len(cbs)
+                    cbs.append(self._resume_cb)
                 self.target = next_event
                 env._active_proc = None
                 return
+            if not next_event._ok:
+                # Already-processed failure: deliver it on the next spin.
+                event = next_event
+                continue
             # Event already processed: resume immediately with its value.
             event = next_event
 
@@ -361,7 +418,10 @@ class Condition(Event):
     def _collect(self) -> dict:
         # Only *processed* events count: a Timeout is "triggered" at
         # creation (its value is pre-set) but has not happened until the
-        # event loop reaches it.
+        # event loop reaches it.  (Constituents are referenced by
+        # ``self.events``, so the recycling pool can never reclaim them
+        # while the condition is alive — ``callbacks is None`` remains a
+        # sound processed-test here.)
         return {
             ev: ev._value
             for ev in self.events

@@ -1,0 +1,176 @@
+"""The naive reference event loop: :class:`NaiveEnvironment`.
+
+This is the pre-calendar-queue implementation, preserved verbatim in
+spirit: one global binary heap keyed ``(time, priority, sequence)``,
+one event popped and dispatched per step, no batching, no timeout
+recycling, no inlined fast paths.  It is deliberately boring — its only
+job is to be *obviously correct* so the differential fuzzer in
+``tests/simkernel/test_reference_model.py`` can hold the optimized
+:class:`repro.simkernel.core.Environment` to byte-identical observable
+behaviour (orderings, timestamps, values, exceptions) over randomized
+programs.
+
+It shares the event types in ``events.py`` (so a divergence found by
+the fuzzer localizes to the queueing machinery, which is what the
+rewrite changed) and honours the same dispatch contract: an event's
+``_waiter`` — the sole process parked in the fast slot — resumes before
+the callback list, reproducing registration order.
+
+Do not optimize this module.  Every clever trick added here is a trick
+the differential suite can no longer catch in the real loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, Optional
+
+from repro.obs.tracer import NULL_TRACER
+from repro.simkernel.core import SimulationError, StopSimulation
+from repro.simkernel.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    NORMAL,
+    Process,
+    Timeout,
+)
+from repro.simkernel.queueing import heap_pop, heap_push
+
+
+class NaiveEnvironment:
+    """Single-heap discrete-event environment (reference semantics).
+
+    API-compatible with :class:`repro.simkernel.core.Environment`; see
+    that class for documentation.  Heap entries are
+    ``(time, priority, sequence, event)`` so simultaneous events process
+    in a deterministic order: urgent first, then FIFO by creation.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_proc: Optional[Process] = None
+        self.tracer = NULL_TRACER
+
+    # -- clock --------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def scheduled_events(self) -> int:
+        return self._eid
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_proc
+
+    @property
+    def active_process_generator(self):
+        return self._active_proc.generator if self._active_proc else None
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        self._eid += 1
+        heap_push(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        return self._queue[0][0] if self._queue else float("inf")
+
+    # -- event factories -----------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        proc = Process(self, generator, name=name)
+        if self.tracer.trace_kernel:
+            span = self.tracer.start(
+                proc.name or "process",
+                category="kernel.process",
+                component="simkernel",
+            )
+            proc.callbacks.append(lambda event, _s=span: _s.finish())
+        return proc
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- running ---------------------------------------------------------------
+
+    def step(self) -> None:
+        time, _prio, _eid, event = heap_pop(self._queue)
+        self._now = time
+
+        self._active_proc = None
+        waiter = event._waiter
+        callbacks, event.callbacks = event.callbacks, None
+        if waiter is not None:
+            event._waiter = None
+            waiter._resume(event)
+        if callbacks:
+            for callback in callbacks:
+                if callback is not None:  # None = tombstoned (interrupt detach)
+                    callback(event)
+
+        if not event._ok and not event.defused:
+            exc = event._value
+            raise SimulationError(
+                f"Unhandled failure in {event!r}: {exc!r}"
+            ) from exc
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        stop_at: Optional[float] = None
+        stop_event: Optional[Event] = None
+
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is None:  # already processed
+                if stop_event._ok:
+                    return stop_event._value
+                raise stop_event._value
+            stop_event.callbacks.append(self._stop_callback)
+        elif until is not None:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise ValueError(f"until={stop_at} is in the past (now={self._now})")
+
+        try:
+            while self._queue:
+                if stop_at is not None and self._queue[0][0] > stop_at:
+                    break
+                self.step()
+        except StopSimulation:
+            pass
+        finally:
+            self._active_proc = None
+
+        if stop_at is not None and self._now < stop_at:
+            self._now = stop_at
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "run(until=event) ran out of events before the event triggered"
+                )
+            if stop_event._ok:
+                return stop_event._value
+            stop_event.defused = True
+            raise stop_event._value
+        return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        raise StopSimulation()
+
+    def __repr__(self) -> str:
+        return f"<NaiveEnvironment now={self._now} queued={len(self._queue)}>"

@@ -22,11 +22,11 @@ straightforward sorted-list versions they replaced (pinned by
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
 from typing import Any, Callable, Optional
 
 from repro.simkernel.events import Event
+from repro.simkernel.queueing import heap_make, heap_pop, heap_push
 
 
 class Request(Event):
@@ -50,7 +50,7 @@ class Request(Event):
         self._seq = resource._seq
         # (priority, seq) is a unique total order, so the heap never
         # compares Request objects and grants exactly in sorted order.
-        heapq.heappush(resource._queue, (priority, self._seq, self))
+        heap_push(resource._queue, (priority, self._seq, self))
         resource._waiting += 1
         resource._trigger_queued()
 
@@ -112,7 +112,7 @@ class Resource:
 
     def _trigger_queued(self) -> None:
         while self._waiting and len(self.users) < self.capacity:
-            req = heapq.heappop(self._queue)[2]
+            req = heap_pop(self._queue)[2]
             if req._cancelled:
                 continue
             self._waiting -= 1
@@ -123,7 +123,7 @@ class Resource:
         # Keep cancel O(1) amortized: rebuild once tombstones dominate.
         if len(self._queue) > 2 * self._waiting + 16:
             self._queue = [e for e in self._queue if not e[2]._cancelled]
-            heapq.heapify(self._queue)
+            heap_make(self._queue)
 
 
 class PriorityResource(Resource):

@@ -147,3 +147,56 @@ class TestKER004LeakedLease:
                 yield req
         """
         assert check(src, rule="KER004", relpath="tests/test_gate.py") == []
+
+
+class TestKER005DirectHeapImport:
+    KERNEL_MOD = "src/repro/simkernel/resources.py"
+
+    def test_fires_on_plain_import_in_kernel(self, check):
+        src = """
+            import heapq
+
+            def push(queue, item):
+                heapq.heappush(queue, item)
+        """
+        found = check(src, rule="KER005", relpath=self.KERNEL_MOD)
+        assert len(found) == 1
+        assert "queueing" in found[0].message
+
+    def test_fires_on_from_import_in_kernel(self, check):
+        src = """
+            from heapq import heappush, heappop
+        """
+        found = check(src, rule="KER005", relpath=self.KERNEL_MOD)
+        assert len(found) == 1
+
+    def test_silent_in_sanctioned_queueing_module(self, check):
+        # queueing.py owns the one allowed heapq import.
+        src = """
+            import heapq
+
+            def heap_push(heap, item):
+                heapq.heappush(heap, item)
+        """
+        assert check(
+            src, rule="KER005", relpath="src/repro/simkernel/queueing.py"
+        ) == []
+
+    def test_silent_outside_the_kernel(self, check):
+        # heapq is fine in the schedulers, tests, benchmarks, ...
+        src = """
+            import heapq
+        """
+        for relpath in (
+            "src/repro/rm/backfill.py",
+            "tests/test_something.py",
+            "benchmarks/perf/harness.py",
+        ):
+            assert check(src, rule="KER005", relpath=relpath) == []
+
+    def test_silent_on_queueing_helper_import(self, check):
+        # The sanctioned replacement itself must not trip the rule.
+        src = """
+            from repro.simkernel.queueing import heap_pop, heap_push
+        """
+        assert check(src, rule="KER005", relpath=self.KERNEL_MOD) == []

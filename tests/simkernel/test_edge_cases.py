@@ -111,6 +111,101 @@ class TestProcessLifecycle:
         env.run()
         assert p.value is None
 
+    def test_orphaned_child_failure_is_defused_after_interrupt(self):
+        """Regression for the `_defused` asymmetry: the detach-defuse
+        used to special-case Condition targets only, so a process
+        interrupted while waiting *directly on a child process* left
+        the child's later failure undefused — the exception had been
+        swallowed by the dying waiter, yet still crashed the run."""
+        env = Environment()
+
+        def child(env):
+            yield env.timeout(10)
+            raise RuntimeError("late child failure")
+
+        def parent(env):
+            kid = env.process(child(env))
+            try:
+                yield kid  # non-Condition target
+            except Interrupt:
+                return  # die without ever observing the kid again
+
+        p = env.process(parent(env))
+
+        def killer(env):
+            yield env.timeout(5)
+            p.interrupt()
+
+        env.process(killer(env))
+        env.run()  # must not raise SimulationError
+
+    def test_orphaned_manual_event_failure_is_defused_after_interrupt(self):
+        """Same asymmetry, manual-event flavour: the failing event's
+        sole waiter detached via interrupt, so the failure has no
+        observer left and must self-defuse."""
+        env = Environment()
+        doomed = {}
+
+        def waiter(env):
+            doomed["ev"] = ev = env.event()
+            try:
+                yield ev
+            except Interrupt:
+                return
+
+        def failer(env):
+            yield env.timeout(10)
+            doomed["ev"].fail(RuntimeError("nobody is listening"))
+
+        p = env.process(waiter(env))
+        env.process(failer(env))
+
+        def killer(env):
+            yield env.timeout(5)
+            p.interrupt()
+
+        env.process(killer(env))
+        env.run()  # must not raise SimulationError
+        assert doomed["ev"].defused
+
+    def test_failure_with_surviving_waiter_is_still_delivered(self):
+        """Negative control for the detach-defuse: while any other
+        waiter remains attached, the failure must reach it (and must
+        still crash the run if that waiter doesn't handle it)."""
+        env = Environment()
+        log = []
+        shared = {}
+
+        def interrupted_waiter(env):
+            shared["ev"] = ev = env.event()
+            try:
+                yield ev
+            except Interrupt:
+                log.append("interrupted")
+
+        def survivor(env):
+            yield env.timeout(1)  # register second, after ev exists
+            try:
+                yield shared["ev"]
+            except RuntimeError as exc:
+                log.append(f"survivor:{exc}")
+
+        def failer(env):
+            yield env.timeout(10)
+            shared["ev"].fail(RuntimeError("handled by survivor"))
+
+        p = env.process(interrupted_waiter(env))
+        env.process(survivor(env))
+        env.process(failer(env))
+
+        def killer(env):
+            yield env.timeout(5)
+            p.interrupt()
+
+        env.process(killer(env))
+        env.run()
+        assert log == ["interrupted", "survivor:handled by survivor"]
+
     def test_interrupt_queued_before_normal_resume_wins(self):
         """An interrupt scheduled at the same instant as the awaited
         event's trigger is delivered first (URGENT priority)."""

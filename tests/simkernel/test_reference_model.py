@@ -1,15 +1,26 @@
-"""Property suite: optimized resource primitives == naive reference.
+"""Differential fuzz suite: calendar-queue loop == naive reference loop.
 
-The optimized ``Resource``/``Store``/``FilterStore``/``Container``
-(bisect-insort priority queues, deques, indexed drains) must reproduce
-the *exact* observable behaviour of the straightforward list-based
-implementations they replaced: same grant order, same grant times, same
-values, under arbitrary interleavings of request/cancel/release/put/get.
+Two independent axes of the kernel are pinned here, both by running
+hypothesis-generated programs through a fast implementation and a
+deliberately naive one and asserting *identical* observable traces
+(orderings, timestamps, values, exceptions):
 
-The reference classes below are verbatim ports of the pre-optimization
-implementations (lists, ``sort`` on every request, ``pop(0)``).  Each
-hypothesis case drives both implementations with one random operation
-script in separate environments and compares the full grant logs.
+1. **Resource primitives** — the optimized ``Resource`` / ``Store`` /
+   ``FilterStore`` / ``Container`` (bisect-insort priority queues,
+   deques, indexed drains) against verbatim ports of the list-based
+   implementations they replaced.
+2. **The event loop itself** — the calendar-queue/batched/recycling
+   :class:`Environment` against the preserved single-heap
+   :class:`NaiveEnvironment` (``simkernel.reference``), over randomized
+   kernel programs exercising timeouts, shared priority resources with
+   lazy cancellation, interrupts mid-wait, same-timestamp URGENT/NORMAL
+   ties, process spawning/joining, conditions, and failures.
+
+The resource properties run each operation script on *three*
+implementation pairings — optimized-on-calendar, naive-on-calendar and
+optimized-on-naive-loop — so a divergence localizes immediately: the
+first two differing blames the resource rewrite, the last two differing
+blames the queueing rewrite.
 """
 
 from __future__ import annotations
@@ -19,8 +30,17 @@ from typing import Any, Callable, Optional
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.simkernel import Container, Environment, FilterStore, Resource, Store
-from repro.simkernel.events import Event
+from repro.simkernel import (
+    Container,
+    Environment,
+    FilterStore,
+    Interrupt,
+    NaiveEnvironment,
+    PriorityResource,
+    Resource,
+    Store,
+)
+from repro.simkernel.events import Event, NORMAL, URGENT
 
 
 # -- naive reference implementations (the seed's list-based versions) ----------
@@ -191,7 +211,7 @@ class NaiveFilterStore(NaiveStore):
 # -- script drivers ------------------------------------------------------------
 
 
-def _watch(log: list, tag: int, env: Environment, ev: Event) -> None:
+def _watch(log: list, tag: int, env, ev: Event) -> None:
     """Record (tag, time, value) when ``ev`` is processed."""
     assert ev.callbacks is not None, "event processed before driver yielded"
     ev.callbacks.append(
@@ -199,8 +219,8 @@ def _watch(log: list, tag: int, env: Environment, ev: Event) -> None:
     )
 
 
-def drive_resource(make, ops, capacity):
-    env = Environment()
+def drive_resource(env_cls, make, ops, capacity):
+    env = env_cls()
     res = make(env, capacity)
     log: list = []
     requests: list = []
@@ -225,8 +245,8 @@ def drive_resource(make, ops, capacity):
     return log, len(res.users), res.queue_length
 
 
-def drive_store(make, ops):
-    env = Environment()
+def drive_store(env_cls, make, ops):
+    env = env_cls()
     store = make(env)
     log: list = []
 
@@ -245,8 +265,8 @@ def drive_store(make, ops):
     return log, list(store.items)
 
 
-def drive_filter_store(make, ops):
-    env = Environment()
+def drive_filter_store(env_cls, make, ops):
+    env = env_cls()
     store = make(env)
     log: list = []
 
@@ -271,8 +291,8 @@ def drive_filter_store(make, ops):
     return log, list(store.items)
 
 
-def drive_container(make, ops, capacity, init):
-    env = Environment()
+def drive_container(env_cls, make, ops, capacity, init):
+    env = env_cls()
     box = make(env, capacity, init)
     log: list = []
 
@@ -336,33 +356,47 @@ _container_ops = st.lists(
 )
 
 
-# -- the equivalence properties ------------------------------------------------
+# -- the resource equivalence properties ---------------------------------------
 
 
 @settings(max_examples=200, deadline=None)
 @given(ops=_resource_ops, capacity=st.integers(1, 4))
 def test_resource_matches_reference(ops, capacity):
-    optimized = drive_resource(lambda env, c: Resource(env, c), ops, capacity)
-    reference = drive_resource(lambda env, c: NaiveResource(env, c), ops, capacity)
+    opt = lambda env, c: Resource(env, c)  # noqa: E731
+    ref = lambda env, c: NaiveResource(env, c)  # noqa: E731
+    optimized = drive_resource(Environment, opt, ops, capacity)
+    reference = drive_resource(Environment, ref, ops, capacity)
+    naive_loop = drive_resource(NaiveEnvironment, opt, ops, capacity)
     assert optimized == reference
+    assert optimized == naive_loop
 
 
 @settings(max_examples=150, deadline=None)
 @given(ops=_store_ops, capacity=st.one_of(st.none(), st.integers(1, 3)))
 def test_store_matches_reference(ops, capacity):
     cap = float("inf") if capacity is None else capacity
-    optimized = drive_store(lambda env: Store(env, cap), ops)
-    reference = drive_store(lambda env: NaiveStore(env, cap), ops)
+    optimized = drive_store(Environment, lambda env: Store(env, cap), ops)
+    reference = drive_store(Environment, lambda env: NaiveStore(env, cap), ops)
+    naive_loop = drive_store(NaiveEnvironment, lambda env: Store(env, cap), ops)
     assert optimized == reference
+    assert optimized == naive_loop
 
 
 @settings(max_examples=150, deadline=None)
 @given(ops=_filter_ops, capacity=st.one_of(st.none(), st.integers(1, 3)))
 def test_filter_store_matches_reference(ops, capacity):
     cap = float("inf") if capacity is None else capacity
-    optimized = drive_filter_store(lambda env: FilterStore(env, cap), ops)
-    reference = drive_filter_store(lambda env: NaiveFilterStore(env, cap), ops)
+    optimized = drive_filter_store(
+        Environment, lambda env: FilterStore(env, cap), ops
+    )
+    reference = drive_filter_store(
+        Environment, lambda env: NaiveFilterStore(env, cap), ops
+    )
+    naive_loop = drive_filter_store(
+        NaiveEnvironment, lambda env: FilterStore(env, cap), ops
+    )
     assert optimized == reference
+    assert optimized == naive_loop
 
 
 @settings(max_examples=150, deadline=None)
@@ -379,10 +413,150 @@ def test_container_matches_reference(ops, capacity, init):
         op if op[0] == "wait" else (op[0], min(op[1], capacity))
         for op in ops
     ]
-    optimized = drive_container(
-        lambda env, c, i: Container(env, c, i), ops, capacity, init
-    )
-    reference = drive_container(
-        lambda env, c, i: NaiveContainer(env, c, i), ops, capacity, init
-    )
+    opt = lambda env, c, i: Container(env, c, i)  # noqa: E731
+    ref = lambda env, c, i: NaiveContainer(env, c, i)  # noqa: E731
+    optimized = drive_container(Environment, opt, ops, capacity, init)
+    reference = drive_container(Environment, ref, ops, capacity, init)
+    naive_loop = drive_container(NaiveEnvironment, opt, ops, capacity, init)
     assert optimized == reference
+    assert optimized == naive_loop
+
+
+# -- the kernel-program differential fuzzer ------------------------------------
+#
+# Randomized programs executed on both event loops.  Workers interpret
+# op scripts; everything observable — resume times, delivered values,
+# interrupt causes, join results, termination states, even an unhandled
+# failure aborting the run — lands in one ordered log that must match
+# between the calendar loop and the naive heap loop exactly.
+
+
+def _run_kernel_program(env_cls, scripts) -> list:
+    env = env_cls()
+    log: list = []
+    spawned: list = []
+    resource = PriorityResource(env, capacity=2)
+
+    def worker(env, wid, ops):
+        held: list = []
+        try:
+            for j, op in enumerate(ops):
+                kind = op[0]
+                if kind == "timeout":
+                    v = yield env.timeout(op[1], value=(wid, j))
+                    log.append(("to", wid, j, env.now, v))
+                elif kind == "tie":
+                    # URGENT vs NORMAL race at one simulated instant.
+                    ev = env.event()
+                    ev.succeed((wid, j), priority=URGENT if op[1] else NORMAL)
+                    v = yield ev
+                    log.append(("tie", wid, j, env.now, v))
+                elif kind == "request":
+                    req = resource.request(priority=op[1])
+                    held.append(req)
+                    yield req
+                    log.append(("req", wid, j, env.now))
+                elif kind == "release":
+                    if held:
+                        resource.release(held[op[1] % len(held)])
+                        log.append(("rel", wid, j, env.now))
+                elif kind == "cancel":
+                    if held:
+                        held[op[1] % len(held)].cancel()
+                elif kind == "spawn":
+                    child = env.process(
+                        worker(env, f"{wid}.{j}", op[1]), name=f"w{wid}.{j}"
+                    )
+                    spawned.append(child)
+                elif kind == "join":
+                    if spawned:
+                        target = spawned[op[1] % len(spawned)]
+                        if target is env.active_process:
+                            continue  # joining yourself deadlocks
+                        try:
+                            v = yield target
+                            log.append(("join", wid, j, env.now, v))
+                        except GeneratorExit:
+                            # Thrown at GC-finalization of workers left
+                            # suspended by an aborted run; logging it
+                            # would race the collector.
+                            raise
+                        except BaseException as exc:
+                            log.append(
+                                ("joinfail", wid, j, env.now, repr(exc))
+                            )
+                elif kind == "interrupt":
+                    if spawned:
+                        target = spawned[op[1] % len(spawned)]
+                        if target.is_alive and target is not env.active_process:
+                            target.interrupt((wid, j))
+                elif kind == "cond":
+                    make = env.all_of if op[1] else env.any_of
+                    cond = make([env.timeout(d) for d in op[2]])
+                    v = yield cond
+                    log.append(("cond", wid, j, env.now, tuple(v.values())))
+                elif kind == "fail":
+                    raise RuntimeError(f"boom-{wid}-{j}")
+        except Interrupt as exc:
+            log.append(("int", wid, env.now, exc.cause))
+            return ("interrupted", exc.cause)
+        return ("done", wid)
+
+    for i, ops in enumerate(scripts):
+        spawned.append(env.process(worker(env, str(i), ops), name=f"w{i}"))
+    try:
+        env.run()
+        log.append(("end", env.now))
+    except BaseException as exc:
+        # Normalize: SimulationError messages embed event reprs whose
+        # ``id()`` differs between the two runs; compare the type and
+        # the underlying cause instead.
+        log.append(("crash", env.now, type(exc).__name__, repr(exc.__cause__)))
+    for proc in spawned:
+        log.append(
+            (
+                "proc",
+                proc.name,
+                proc.triggered,
+                proc._ok,
+                proc._value if proc._ok else repr(proc._value),
+            )
+        )
+    return log
+
+
+_simple_ops = st.one_of(
+    st.tuples(st.just("timeout"), st.integers(0, 4)),
+    st.tuples(st.just("tie"), st.booleans()),
+    st.tuples(st.just("fail")),
+)
+
+_worker_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("timeout"), st.integers(0, 4)),
+        st.tuples(st.just("tie"), st.booleans()),
+        st.tuples(st.just("request"), st.integers(-2, 2)),
+        st.tuples(st.just("release"), st.integers(0, 10)),
+        st.tuples(st.just("cancel"), st.integers(0, 10)),
+        st.tuples(st.just("spawn"), st.lists(_simple_ops, max_size=4)),
+        st.tuples(st.just("join"), st.integers(0, 10)),
+        st.tuples(st.just("interrupt"), st.integers(0, 10)),
+        st.tuples(
+            st.just("cond"),
+            st.booleans(),
+            st.lists(st.integers(0, 3), min_size=1, max_size=3),
+        ),
+        st.tuples(st.just("fail")),
+    ),
+    max_size=12,
+)
+
+_kernel_programs = st.lists(_worker_ops, min_size=1, max_size=5)
+
+
+@settings(max_examples=300, deadline=None)
+@given(scripts=_kernel_programs)
+def test_kernel_program_matches_naive_loop(scripts):
+    fast = _run_kernel_program(Environment, scripts)
+    naive = _run_kernel_program(NaiveEnvironment, scripts)
+    assert fast == naive
