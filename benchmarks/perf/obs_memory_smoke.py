@@ -1,0 +1,139 @@
+"""CI memory gate: a million-span run must not grow the heap.
+
+Streams a high-span-count synthetic storm (see
+:func:`benchmarks.perf.obs_bench.span_storm`) through the
+constant-memory pipeline — a :class:`~repro.obs.stream.TeeSink` of a
+rotating :class:`~repro.obs.stream.JsonlSpillSink` and a
+:class:`~repro.obs.stream.StreamingAnalytics` sink — under
+``tracemalloc``, and fails (exit 1) if the traced-allocation peak
+exceeds ``--gate-mb``.
+
+This is the enforcement half of the streaming-observability contract:
+span count must not appear in the memory complexity of a streaming
+run.  The in-memory sink at the same span count allocates hundreds of
+MB; the gate is set far below that, so a regression that quietly
+re-introduces span retention on the streaming path trips CI.
+
+Run (as CI does)::
+
+    PYTHONPATH=src python -m benchmarks.perf.obs_memory_smoke \
+        --spans 1000000 --gate-mb 64 --out obs-results/OBS_SMOKE.json
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import tempfile
+import time
+import tracemalloc
+from pathlib import Path
+from typing import Optional
+
+OBS_SMOKE_SCHEMA = "repro.obs-smoke/v1"
+
+
+def run_smoke(
+    n_spans: int = 1_000_000,
+    gate_mb: float = 64.0,
+    workdir: Optional[Path] = None,
+) -> dict:
+    """Run the storm under tracemalloc; returns the result document."""
+    from benchmarks.perf.obs_bench import span_storm
+    from repro.obs import JsonlSpillSink, StreamingAnalytics, TeeSink, Tracer
+    from repro.obs.alerts import Rule
+
+    if workdir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="obs-smoke-")
+        workdir = Path(tmp.name)
+    else:
+        tmp = None
+        workdir = Path(workdir)
+    try:
+        spill = JsonlSpillSink(
+            workdir / "spill", segment_records=100_000, retain_segments=3
+        )
+        analytics = StreamingAnalytics(
+            rules=[Rule("count(entk.exec) >= 1", severity="warning")],
+        )
+        tracer = Tracer(sink=TeeSink(spill, analytics))
+
+        tracemalloc.start()
+        t0 = time.perf_counter()
+        span_storm(tracer, n_spans)
+        tracer.close()
+        wall = time.perf_counter() - t0
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        peak_mb = peak / 1e6
+        summary = analytics.summary()
+        return {
+            "schema": OBS_SMOKE_SCHEMA,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "spans": n_spans,
+            "wall_s": round(wall, 4),
+            "spans_per_s": round(n_spans / wall) if wall > 0 else None,
+            "peak_mb": round(peak_mb, 3),
+            "gate_mb": gate_mb,
+            "ok": peak_mb <= gate_mb,
+            "segments_on_disk": len(spill.segments()),
+            "spans_finished": summary["spans_finished"],
+            "makespan": summary["makespan"],
+        }
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf.obs_memory_smoke",
+        description="Streaming-observability memory gate (CI).",
+    )
+    parser.add_argument(
+        "--spans",
+        type=int,
+        default=1_000_000,
+        help="span count to stream (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--gate-mb",
+        type=float,
+        default=64.0,
+        help="max allowed tracemalloc peak in MB (default: %(default)s)",
+    )
+    parser.add_argument("--out", help="optional path for the JSON result")
+    args = parser.parse_args(argv)
+
+    doc = run_smoke(args.spans, args.gate_mb)
+    print(
+        f"[obs-smoke] {doc['spans']} spans in {doc['wall_s']}s "
+        f"({doc['spans_per_s']} spans/s), peak {doc['peak_mb']} MB "
+        f"(gate {doc['gate_mb']} MB), "
+        f"{doc['segments_on_disk']} segments retained",
+        flush=True,
+    )
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+    if not doc["ok"]:
+        print(
+            f"OBS MEMORY GATE FAILED: peak {doc['peak_mb']} MB > "
+            f"gate {doc['gate_mb']} MB — the streaming pipeline is "
+            "retaining per-span state",
+        )
+        return 1
+    print("obs memory gate ok")
+    return 0
+
+
+__all__ = ["OBS_SMOKE_SCHEMA", "main", "run_smoke"]
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -60,6 +60,12 @@ _DEFAULT_SCOPES: dict[str, dict[str, list[str]]] = {
         "include": ["src/repro/*"],
         "exclude": ["src/repro/report/*", "src/repro/viz/*", "*/__main__.py"],
     },
+    # Direct tracer.spans reads are sink-specific; the obs layer itself
+    # is the one place allowed to touch the retained list.
+    "OBS003": {
+        "include": ["src/repro/*"],
+        "exclude": ["src/repro/obs/*"],
+    },
 }
 
 

@@ -140,6 +140,38 @@ class PrintInLibraryRule(Rule):
 
 
 @register
+class DirectSpanAccessRule(Rule):
+    id = "OBS003"
+    family = "OBSRES"
+    summary = "direct tracer.spans access outside repro.obs"
+    rationale = (
+        "tracer.spans is the in-memory sink's retained list; touching it "
+        "directly couples callers to one sink and raises at runtime on "
+        "constant-memory runs (spill/streaming sinks retain nothing).  "
+        "Go through tracer.query() / repro.obs.stream so the same code "
+        "works under every sink.  Scoped to src/repro/* with repro.obs "
+        "itself excluded (pyproject [tool.simlint.scopes])."
+    )
+    bad = "n_failed = sum(1 for s in tracer.spans if s.tags.get('state') == 'FAILED')"
+    good = "n_failed = len(tracer.query().spans(tags={'state': 'FAILED'}))"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "spans"
+                and _is_tracer_receiver(node.value)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "direct tracer.spans access is sink-specific (raises "
+                    "under spill/streaming sinks); use tracer.query() or "
+                    "the repro.obs.stream APIs",
+                )
+
+
+@register
 class SwallowedExceptRule(Rule):
     id = "RES001"
     family = "OBSRES"

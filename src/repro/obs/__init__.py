@@ -19,15 +19,22 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     MetricsRegistry,
+    P2Quantile,
+    RunningStats,
+    StreamingHistogram,
     UtilizationTracker,
+    WindowedCounter,
+    WindowedGauge,
 )
 from repro.obs.tracer import (
     NULL_METRIC,
     NULL_SPAN,
     NULL_TRACER,
+    InMemorySink,
     Instant,
     NullTracer,
     Span,
+    SpanSink,
     Tracer,
     enable_tracing,
 )
@@ -44,6 +51,7 @@ from repro.obs.analyze import (
     PHASES,
     CriticalPath,
     IdleGap,
+    OnlineIdleGaps,
     OverheadDecomposition,
     PathSegment,
     Straggler,
@@ -56,18 +64,40 @@ from repro.obs.analyze import (
 from repro.obs.alerts import (
     Alert,
     AlertReport,
+    OnlineRuleEvaluator,
+    OnlineViolations,
     Rule,
     RuleError,
     evaluate_rules,
+)
+from repro.obs.stream import (
+    JsonlSpillSink,
+    OnlineConcurrency,
+    OnlineDurationStats,
+    OnlineStragglers,
+    SpanStub,
+    StreamingAnalytics,
+    StubSink,
+    StubTrace,
+    TeeSink,
+    replay_jsonl,
+    tracer_from_segments,
 )
 
 __all__ = [
     "Counter",
     "Gauge",
     "MetricsRegistry",
+    "P2Quantile",
+    "RunningStats",
+    "StreamingHistogram",
     "UtilizationTracker",
+    "WindowedCounter",
+    "WindowedGauge",
     "Instant",
     "Span",
+    "SpanSink",
+    "InMemorySink",
     "Tracer",
     "NullTracer",
     "NULL_METRIC",
@@ -92,9 +122,23 @@ __all__ = [
     "find_idle_gaps",
     "find_stragglers",
     "pilot_components",
+    "OnlineIdleGaps",
     "Alert",
     "AlertReport",
+    "OnlineRuleEvaluator",
+    "OnlineViolations",
     "Rule",
     "RuleError",
     "evaluate_rules",
+    "SpanStub",
+    "StubTrace",
+    "StubSink",
+    "JsonlSpillSink",
+    "TeeSink",
+    "OnlineConcurrency",
+    "OnlineDurationStats",
+    "OnlineStragglers",
+    "StreamingAnalytics",
+    "replay_jsonl",
+    "tracer_from_segments",
 ]

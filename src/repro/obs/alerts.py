@@ -255,6 +255,55 @@ def _resolve_lhs(lhs: str, query: TraceQuery, context: dict):
     )
 
 
+class OnlineViolations:
+    """Single-pass sustained-violation detector over a streamed series.
+
+    Feed the ``(t, value)`` change points of a step signal in time
+    order; :meth:`result` returns exactly what :func:`_violations`
+    computes on the full series (the batch walker *is* this class fed
+    from the retained gauge).  Memory is O(violations found).
+    """
+
+    def __init__(self, ok, threshold: float, t_end: float, for_s: float):
+        self._ok = ok
+        self._threshold = float(threshold)
+        self._t_end = float(t_end)
+        self._for_s = float(for_s)
+        self._open_at: Optional[float] = None
+        self._worst: Optional[float] = None
+        self._out: list[tuple] = []
+        self._done = False  # a point at/past t_end has been processed
+        self._last_t: Optional[float] = None
+
+    def feed(self, t: float, value: float) -> None:
+        t, value = float(t), float(value)
+        # The tail check below spans the *whole* series extent, points
+        # past t_end included, so track last_t unconditionally.
+        self._last_t = t
+        if self._done:
+            return
+        if not self._ok(value):
+            if self._open_at is None:
+                self._open_at = t
+                self._worst = value
+            elif abs(value - self._threshold) > abs(self._worst - self._threshold):
+                self._worst = value
+        elif self._open_at is not None:
+            if t - self._open_at >= self._for_s:
+                self._out.append((self._open_at + self._for_s, t, self._worst))
+            self._open_at = None
+        if t >= self._t_end:
+            self._done = True
+
+    def result(self) -> list:
+        """``(fired_at, resolved_at_or_None, worst)`` triples so far."""
+        out = list(self._out)
+        if self._open_at is not None and self._last_t is not None:
+            if max(self._t_end, self._last_t) - self._open_at >= self._for_s:
+                out.append((self._open_at + self._for_s, None, self._worst))
+        return out
+
+
 def _violations(
     gauge: Gauge, ok, threshold: float, t_end: float, for_s: float
 ) -> list:
@@ -262,28 +311,13 @@ def _violations(
 
     Returns ``(fired_at, resolved_at_or_None, worst_value)`` triples;
     the worst value is the violating sample farthest from the
-    threshold.
+    threshold.  Implemented as :class:`OnlineViolations` fed from the
+    retained series, so batch and streaming evaluation agree exactly.
     """
-    out = []
-    open_at = None
-    worst = None
-    times, values = gauge.times, gauge.values
-    for i, (t, v) in enumerate(zip(times, values)):
-        if not ok(v):
-            if open_at is None:
-                open_at = t
-                worst = v
-            elif abs(v - threshold) > abs(worst - threshold):
-                worst = v
-        elif open_at is not None:
-            if t - open_at >= for_s:
-                out.append((open_at + for_s, t, worst))
-            open_at = None
-        if t >= t_end:
-            break
-    if open_at is not None and max(t_end, times[-1]) - open_at >= for_s:
-        out.append((open_at + for_s, None, worst))
-    return out
+    walker = OnlineViolations(ok, threshold, t_end, for_s)
+    for t, v in zip(gauge.times, gauge.values):
+        walker.feed(t, v)
+    return walker.result()
 
 
 def evaluate_rules(
@@ -395,3 +429,233 @@ def _record_alert_spans(tracer: Tracer, report: AlertReport, t_end: float) -> No
                 if alert.resolved_at is not None
                 else max(t_end, alert.fired_at)
             )
+
+
+# -- online evaluation ------------------------------------------------------------
+
+
+class _OnlineCategory:
+    """Constant-memory duration aggregates for one span category."""
+
+    __slots__ = ("stats", "quantiles")
+
+    def __init__(self, pcts=()):
+        from repro.obs.metrics import P2Quantile, RunningStats
+
+        self.stats = RunningStats()
+        self.quantiles = {p: P2Quantile(p) for p in sorted(pcts)}
+
+    def add(self, duration: float) -> None:
+        self.stats.add(duration)
+        for q in self.quantiles.values():
+            q.add(duration)
+
+
+class OnlineRuleEvaluator:
+    """Evaluate SLO rules incrementally as spans close.
+
+    The streaming counterpart of :func:`evaluate_rules`: feed it span
+    lifecycle events (:meth:`observe_start` / :meth:`observe_finish`,
+    or attach it to a tracer via
+    :class:`repro.obs.stream.StreamingAnalytics`), then call
+    :meth:`finalize` for an :class:`AlertReport` of the same shape —
+    without ever holding the span list in memory.
+
+    Equivalence contract (``tests/obs/test_stream.py``): ``count``,
+    ``sum``, ``min``, ``max``, ``mean``, ``makespan``, ``failed_tasks``
+    and context scalars are **exact**; ``p50``–``p99`` use the
+    :class:`~repro.obs.metrics.P2Quantile` estimator (exact below five
+    samples, a few percent of the distribution span beyond);
+    ``series(...)`` rules are walked over the metric registry at
+    finalize (metric change-point series are bounded by design, unlike
+    span lists).
+
+    ``on_alert`` (optional) is called as ``on_alert(rule, value, t)``
+    the moment a scalar rule first transitions into violation — the
+    live-paging hook that post-hoc evaluation cannot provide.
+    ``failed_tasks`` counts the terminal ``state`` tag at finish time,
+    so tasks that fail *and finish* page immediately.
+    """
+
+    def __init__(self, rules: list, context: Optional[dict] = None, on_alert=None):
+        self.rules = list(rules)
+        self.context = dict(context or {})
+        self.on_alert = on_alert
+        self._cats: dict[str, _OnlineCategory] = {}
+        pcts_by_cat: dict[str, set] = {}
+        for rule in self.rules:
+            lhs, _, _ = rule.parts
+            agg = _AGG_RE.match(lhs)
+            if agg and agg.group("fn").startswith("p"):
+                arg = agg.group("arg").strip()
+                pct = float(agg.group("fn")[1:]) / 100.0
+                pcts_by_cat.setdefault(arg, set()).add(pct)
+        self._pcts_by_cat = pcts_by_cat
+        self._failed = 0
+        self._t_first: Optional[float] = None  # min span start seen
+        self._t_last: Optional[float] = None  # max finished span end
+        self._live_firing = [False] * len(self.rules)
+
+    # -- ingestion ---------------------------------------------------------
+
+    def observe_start(self, span) -> None:
+        t = span.start
+        if self._t_first is None or t < self._t_first:
+            self._t_first = t
+
+    def observe_finish(self, span) -> None:
+        if self._t_first is None or span.start < self._t_first:
+            self._t_first = span.start
+        if self._t_last is None or span.end > self._t_last:
+            self._t_last = span.end
+        cat = self._cats.get(span.category)
+        if cat is None:
+            cat = self._cats[span.category] = _OnlineCategory(
+                self._pcts_by_cat.get(span.category, ())
+            )
+        cat.add(span.end - span.start)
+        if str(span.tags.get("state", "")).upper() == "FAILED":
+            self._failed += 1
+        if self.on_alert is not None:
+            self._live_check(span.end)
+
+    def _live_check(self, t: float) -> None:
+        for idx, rule in enumerate(self.rules):
+            if self._live_firing[idx]:
+                continue
+            lhs, op, threshold = rule.parts
+            try:
+                value = self._scalar_value(lhs, self.context)
+            except RuleError:
+                continue
+            if value is None:
+                continue
+            if not _OPS[op](value, threshold):
+                self._live_firing[idx] = True
+                self.on_alert(rule, value, t)
+
+    # -- resolution --------------------------------------------------------
+
+    def _scalar_value(self, lhs: str, context: dict) -> Optional[float]:
+        """Current scalar value of ``lhs``, or None for series rules."""
+        if lhs in context:
+            quantity = context[lhs]
+            if isinstance(quantity, (UtilizationTracker, Gauge)):
+                return None
+            return float(quantity)
+        agg = _AGG_RE.match(lhs)
+        if agg:
+            fn, arg = agg.group("fn"), agg.group("arg").strip()
+            cat = self._cats.get(arg)
+            if fn == "count":
+                return float(cat.stats.n if cat else 0)
+            if cat is None or cat.stats.n == 0:
+                raise RuleError(f"no finished spans in category {arg!r}")
+            if fn == "sum":
+                return float(cat.stats.total)
+            if fn == "min":
+                return cat.stats.min
+            if fn == "max":
+                return cat.stats.max
+            if fn == "mean":
+                return cat.stats.mean
+            pct = float(fn[1:]) / 100.0
+            est = cat.quantiles.get(pct)
+            if est is None:  # rule set changed after construction
+                raise RuleError(
+                    f"no quantile estimator registered for {lhs!r}"
+                )
+            return est.value
+        if _SERIES_RE.match(lhs):
+            return None
+        if lhs == "makespan":
+            if self._t_last is None or self._t_first is None:
+                return 0.0
+            return self._t_last - self._t_first
+        if lhs == "failed_tasks":
+            return float(self._failed)
+        raise RuleError(
+            f"cannot resolve quantity {lhs!r}: not in context and not a "
+            "trace builtin (makespan, failed_tasks, p*/min/max/mean/count/"
+            "sum(category), series(component/name))"
+        )
+
+    def finalize(
+        self,
+        context: Optional[dict] = None,
+        registry=None,
+    ) -> AlertReport:
+        """The end-of-run :class:`AlertReport`.
+
+        ``context`` merges over the constructor's; ``registry`` (a
+        :class:`~repro.obs.metrics.MetricsRegistry`) resolves
+        ``series(...)`` rules.
+        """
+        context = {**self.context, **(context or {})}
+        t0 = self._t_first if self._t_first is not None else 0.0
+        t_end = self._t_last if self._t_last is not None else t0
+
+        outcomes = []
+        for rule in self.rules:
+            lhs, op, threshold = rule.parts
+            ok_fn = _OPS[op]
+            quantity = context.get(lhs)
+            if quantity is None:
+                series = _SERIES_RE.match(lhs)
+                if series:
+                    arg = series.group("arg").strip()
+                    comp, _, name = arg.rpartition("/")
+                    if registry is None:
+                        raise RuleError(
+                            f"rule {rule.expr!r} needs a metrics registry"
+                        )
+                    try:
+                        quantity = registry.get(name, component=comp)
+                    except KeyError:
+                        raise RuleError(
+                            f"no metric {arg!r} in the trace registry"
+                        )
+                else:
+                    quantity = self._scalar_value(lhs, context)
+
+            alerts: list[Alert] = []
+            if isinstance(quantity, UtilizationTracker):
+                quantity = quantity.busy
+            if isinstance(quantity, Gauge):
+                final_value = quantity.current
+                for fired, resolved, worst in _violations(
+                    quantity,
+                    lambda v: ok_fn(v, threshold),
+                    threshold,
+                    t_end,
+                    rule.for_s,
+                ):
+                    alerts.append(
+                        Alert(
+                            rule=rule.name,
+                            expr=rule.expr,
+                            severity=rule.severity,
+                            fired_at=fired,
+                            resolved_at=resolved,
+                            value=worst,
+                        )
+                    )
+                ok = not any(a.firing for a in alerts)
+            else:
+                final_value = float(quantity)
+                ok = bool(ok_fn(final_value, threshold))
+                if not ok:
+                    alerts.append(
+                        Alert(
+                            rule=rule.name,
+                            expr=rule.expr,
+                            severity=rule.severity,
+                            fired_at=t_end,
+                            resolved_at=None,
+                            value=final_value,
+                        )
+                    )
+            outcomes.append(
+                RuleOutcome(rule=rule, ok=ok, value=final_value, alerts=alerts)
+            )
+        return AlertReport(outcomes=outcomes, window=(t0, t_end))

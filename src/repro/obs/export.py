@@ -231,6 +231,41 @@ def _dumps(obj) -> str:
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
 
 
+def span_record(span) -> dict:
+    """The JSONL record dict for one span (shared with the spill sink)."""
+    return {
+        "type": "span",
+        "id": span.span_id,
+        "parent": span.parent_id,
+        "name": span.name,
+        "cat": span.category,
+        "comp": span.component,
+        "t0": span.start,
+        "t1": span.end,
+        "tags": _safe_tags(span.tags),
+        "events": [
+            [t, name, _safe_tags(attrs)] for t, name, attrs in span.events
+        ],
+    }
+
+
+def instant_record(inst) -> dict:
+    return {
+        "type": "instant",
+        "name": inst.name,
+        "cat": inst.category,
+        "comp": inst.component,
+        "t": inst.t,
+        "tags": _safe_tags(inst.tags),
+    }
+
+
+def metric_record(comp: str, metric) -> dict:
+    record = {"type": "metric", "comp": comp}
+    record.update(metric.to_dict())
+    return record
+
+
 def to_jsonl(tracer: Tracer, include_metrics: bool = True) -> str:
     """Flat, line-delimited event log of the whole trace.
 
@@ -241,43 +276,12 @@ def to_jsonl(tracer: Tracer, include_metrics: bool = True) -> str:
     """
     lines: list[str] = []
     for span in tracer.spans:
-        lines.append(
-            _dumps(
-                {
-                    "type": "span",
-                    "id": span.span_id,
-                    "parent": span.parent_id,
-                    "name": span.name,
-                    "cat": span.category,
-                    "comp": span.component,
-                    "t0": span.start,
-                    "t1": span.end,
-                    "tags": _safe_tags(span.tags),
-                    "events": [
-                        [t, name, _safe_tags(attrs)]
-                        for t, name, attrs in span.events
-                    ],
-                }
-            )
-        )
+        lines.append(_dumps(span_record(span)))
     for inst in tracer.instants:
-        lines.append(
-            _dumps(
-                {
-                    "type": "instant",
-                    "name": inst.name,
-                    "cat": inst.category,
-                    "comp": inst.component,
-                    "t": inst.t,
-                    "tags": _safe_tags(inst.tags),
-                }
-            )
-        )
+        lines.append(_dumps(instant_record(inst)))
     if include_metrics:
         for (comp, name), metric in tracer.metrics.items():
-            record = {"type": "metric", "comp": comp}
-            record.update(metric.to_dict())
-            lines.append(_dumps(record))
+            lines.append(_dumps(metric_record(comp, metric)))
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -297,8 +301,6 @@ def tracer_from_jsonl(text: str) -> Tracer:
     returned tracer's clock reads the latest recorded timestamp, so
     post-hoc recording (e.g. alert spans) stays inside simulated time.
     """
-    from repro.obs.metrics import Counter, Gauge, UtilizationTracker
-
     latest = [0.0]
     tracer = Tracer(clock=lambda: latest[0])
     span_records = []
@@ -323,7 +325,9 @@ def tracer_from_jsonl(text: str) -> Tracer:
             )
             latest[0] = max(latest[0], record["t"])
         elif kind == "metric":
-            _load_metric(tracer, record, Counter, Gauge, UtilizationTracker)
+            tracer.metrics.register(
+                metric_from_record(record), component=record.get("comp", "")
+            )
         else:
             raise ValueError(f"line {lineno}: unknown record type {kind!r}")
 
@@ -347,14 +351,15 @@ def tracer_from_jsonl(text: str) -> Tracer:
         for t, name, attrs in record.get("events", ()):
             span.events.append((float(t), name, dict(attrs)))
             latest[0] = max(latest[0], float(t))
-        tracer.spans.append(span)
-        tracer._next_id = max(tracer._next_id, span.span_id + 1)
+        tracer._adopt(span)
     return tracer
 
 
-def _load_metric(tracer, record, Counter, Gauge, UtilizationTracker):
+def metric_from_record(record: dict):
+    """Rebuild a metric object from a :func:`metric_record` dict."""
+    from repro.obs.metrics import Counter, Gauge, UtilizationTracker
+
     kind = record.get("kind")
-    comp = record.get("comp", "")
     times = [float(t) for t in record.get("times", [0.0])]
     values = [float(v) for v in record.get("values", [0.0])]
     if kind == "utilization":
@@ -370,7 +375,7 @@ def _load_metric(tracer, record, Counter, Gauge, UtilizationTracker):
         metric.values = values
     else:
         raise ValueError(f"unknown metric kind {kind!r}")
-    tracer.metrics.register(metric, component=comp)
+    return metric
 
 
 def read_jsonl(path) -> Tracer:

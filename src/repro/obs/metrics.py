@@ -16,11 +16,23 @@ record into one family of metric objects that a
   fixed capacity (the Fig 4 "resource utilization").
 - :class:`MetricsRegistry` — per-component, get-or-create store of the
   above, exportable as plain dicts.
+
+Alongside the retained time-series above, this module provides the
+**online** (constant-memory) statistics primitives that
+:mod:`repro.obs.stream` builds on: :class:`RunningStats` (Welford
+count/mean/variance/min/max), :class:`P2Quantile` (the Jain & Chlamtac
+P² estimator — any quantile in O(1) memory), :class:`StreamingHistogram`
+(fixed-bin counts), and :class:`WindowedCounter` /
+:class:`WindowedGauge` (sliding-window rates and extrema over simulated
+time).  None of them retain samples; all are deterministic functions of
+the observation sequence.
 """
 
 from __future__ import annotations
 
 import bisect
+import math
+from collections import deque
 from typing import Optional
 
 import numpy as np
@@ -303,3 +315,325 @@ class MetricsRegistry:
 
     def __repr__(self) -> str:
         return f"<MetricsRegistry metrics={len(self._metrics)}>"
+
+
+# -- online (constant-memory) primitives ------------------------------------------
+
+
+class RunningStats:
+    """Welford-style running count/mean/variance/min/max.
+
+    O(1) memory, numerically stable, and deterministic for a given
+    observation order.  ``variance`` is the population variance; use
+    ``sample_variance`` for the n-1 denominator.
+    """
+
+    __slots__ = ("n", "mean", "_m2", "min", "max", "total")
+
+    def __init__(self):
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.total = 0.0
+
+    def add(self, x: float) -> None:
+        x = float(x)
+        self.n += 1
+        self.total += x
+        delta = x - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (x - self.mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / self.n if self.n else 0.0
+
+    @property
+    def sample_variance(self) -> float:
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def to_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "mean": self.mean if self.n else 0.0,
+            "std": self.std,
+            "min": self.min if self.n else 0.0,
+            "max": self.max if self.n else 0.0,
+            "total": self.total,
+        }
+
+    def __repr__(self) -> str:
+        return f"<RunningStats n={self.n} mean={self.mean:.4g}>"
+
+
+class P2Quantile:
+    """Online quantile estimation via the P² algorithm.
+
+    Jain & Chlamtac (CACM 1985): five markers track the running
+    quantile without storing observations.  Below five samples the
+    estimate is exact (computed from the sorted retained handful);
+    beyond that, markers move by piecewise-parabolic interpolation.
+    Accuracy is excellent for smooth distributions and documented to a
+    few percent of the span for adversarial ones — see
+    ``tests/obs/test_online_stats.py`` for the tolerance contract.
+    """
+
+    __slots__ = ("p", "_q", "_n", "_np", "_dn", "_count")
+
+    def __init__(self, p: float):
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {p}")
+        self.p = float(p)
+        self._q: list[float] = []  # marker heights
+        self._n = [0, 1, 2, 3, 4]  # marker positions (int)
+        self._np = [0.0, 2 * p, 4 * p, 2 + 2 * p, 4.0]  # desired positions
+        self._dn = [0.0, p / 2, p, (1 + p) / 2, 1.0]  # position increments
+        self._count = 0
+
+    def add(self, x: float) -> None:
+        x = float(x)
+        self._count += 1
+        if len(self._q) < 5:
+            bisect.insort(self._q, x)
+            return
+        q, n = self._q, self._n
+        # Find the cell k with q[k] <= x < q[k+1], adjusting extremes.
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            q[4] = x
+            k = 3
+        else:
+            k = 0
+            while k < 3 and x >= q[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            n[i] += 1
+        for i in range(5):
+            self._np[i] += self._dn[i]
+        # Adjust interior markers toward their desired positions.
+        for i in (1, 2, 3):
+            d = self._np[i] - n[i]
+            if (d >= 1 and n[i + 1] - n[i] > 1) or (
+                d <= -1 and n[i - 1] - n[i] < -1
+            ):
+                d = 1 if d > 0 else -1
+                candidate = self._parabolic(i, d)
+                if q[i - 1] < candidate < q[i + 1]:
+                    q[i] = candidate
+                else:  # parabolic left the bracket: fall back to linear
+                    q[i] = q[i] + d * (q[i + d] - q[i]) / (n[i + d] - n[i])
+                n[i] += d
+
+    def _parabolic(self, i: int, d: int) -> float:
+        q, n = self._q, self._n
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    @property
+    def n(self) -> int:
+        return self._count
+
+    @property
+    def value(self) -> float:
+        """The current quantile estimate (0.0 before any sample)."""
+        if not self._q:
+            return 0.0
+        if len(self._q) < 5 or self._count <= 5:
+            # Exact nearest-rank on the retained handful, matching the
+            # batch percentile convention in repro.obs.alerts.
+            idx = min(
+                len(self._q) - 1,
+                max(0, round(self.p * len(self._q)) - 1),
+            )
+            return self._q[idx]
+        return self._q[2]
+
+    def __repr__(self) -> str:
+        return f"<P2Quantile p={self.p} n={self._count} value={self.value:.4g}>"
+
+
+class StreamingHistogram:
+    """Fixed-bin histogram over a known value range, O(bins) memory.
+
+    Values outside ``[lo, hi]`` land in saturating edge bins, so the
+    total count always equals the number of observations.
+    """
+
+    __slots__ = ("lo", "hi", "counts", "_width", "n")
+
+    def __init__(self, lo: float, hi: float, bins: int = 64):
+        if not hi > lo:
+            raise ValueError(f"empty histogram range [{lo}, {hi}]")
+        if bins < 1:
+            raise ValueError("need at least one bin")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.counts = [0] * bins
+        self._width = (self.hi - self.lo) / bins
+        self.n = 0
+
+    def add(self, x: float) -> None:
+        idx = int((float(x) - self.lo) / self._width)
+        if idx < 0:
+            idx = 0
+        elif idx >= len(self.counts):
+            idx = len(self.counts) - 1
+        self.counts[idx] += 1
+        self.n += 1
+
+    def quantile(self, p: float) -> float:
+        """Linear-interpolated quantile from the bin counts."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {p}")
+        if self.n == 0:
+            return self.lo
+        target = p * self.n
+        seen = 0
+        for idx, count in enumerate(self.counts):
+            if seen + count >= target:
+                frac = (target - seen) / count if count else 0.0
+                return self.lo + (idx + frac) * self._width
+            seen += count
+        return self.hi
+
+    def to_dict(self) -> dict:
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "n": self.n,
+            "counts": list(self.counts),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<StreamingHistogram [{self.lo}, {self.hi}] "
+            f"bins={len(self.counts)} n={self.n}>"
+        )
+
+
+class WindowedCounter:
+    """Event counts over a sliding window of simulated time.
+
+    Records ``(t, n)`` increments and evicts entries older than
+    ``window`` seconds behind the latest observation, so memory is
+    bounded by the number of distinct event times inside one window.
+    """
+
+    __slots__ = ("window", "_events", "_sum", "total")
+
+    def __init__(self, window: float):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = float(window)
+        self._events: deque = deque()  # (t, n) pairs inside the window
+        self._sum = 0.0
+        self.total = 0.0
+
+    def inc(self, t: float, n: float = 1.0) -> None:
+        t = float(t)
+        if self._events and t < self._events[-1][0]:
+            raise ValueError(
+                f"Non-monotonic record: t={t} < last t={self._events[-1][0]}"
+            )
+        self._events.append((t, float(n)))
+        self._sum += n
+        self.total += n
+        self._evict(t)
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.window
+        while self._events and self._events[0][0] <= cutoff:
+            _, n = self._events.popleft()
+            self._sum -= n
+
+    def count(self, now: Optional[float] = None) -> float:
+        """Events inside ``(now - window, now]``."""
+        if now is not None and self._events:
+            self._evict(float(now))
+        return self._sum
+
+    def rate(self, now: Optional[float] = None) -> float:
+        """Mean events/second over the trailing window."""
+        return self.count(now) / self.window
+
+    def __repr__(self) -> str:
+        return f"<WindowedCounter window={self.window}s count={self._sum}>"
+
+
+class WindowedGauge:
+    """Sliding-window min/max/mean of a sampled signal.
+
+    Monotonic deques give O(1) amortized updates; memory is bounded by
+    the samples inside one window.
+    """
+
+    __slots__ = ("window", "_samples", "_mins", "_maxs", "_sum")
+
+    def __init__(self, window: float):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = float(window)
+        self._samples: deque = deque()  # (t, v)
+        self._mins: deque = deque()  # increasing values
+        self._maxs: deque = deque()  # decreasing values
+        self._sum = 0.0
+
+    def record(self, t: float, value: float) -> None:
+        t, value = float(t), float(value)
+        if self._samples and t < self._samples[-1][0]:
+            raise ValueError(
+                f"Non-monotonic record: t={t} < last t={self._samples[-1][0]}"
+            )
+        self._samples.append((t, value))
+        self._sum += value
+        while self._mins and self._mins[-1][1] > value:
+            self._mins.pop()
+        self._mins.append((t, value))
+        while self._maxs and self._maxs[-1][1] < value:
+            self._maxs.pop()
+        self._maxs.append((t, value))
+        self._evict(t)
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.window
+        while self._samples and self._samples[0][0] <= cutoff:
+            _, v = self._samples.popleft()
+            self._sum -= v
+        while self._mins and self._mins[0][0] <= cutoff:
+            self._mins.popleft()
+        while self._maxs and self._maxs[0][0] <= cutoff:
+            self._maxs.popleft()
+
+    @property
+    def min(self) -> float:
+        return self._mins[0][1] if self._mins else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._maxs[0][1] if self._maxs else 0.0
+
+    @property
+    def mean(self) -> float:
+        return self._sum / len(self._samples) if self._samples else 0.0
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __repr__(self) -> str:
+        return (
+            f"<WindowedGauge window={self.window}s samples={len(self._samples)}>"
+        )

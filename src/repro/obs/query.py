@@ -20,7 +20,7 @@ have recorded.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Optional, Union
+from typing import Callable, Optional, Sequence, Union
 
 from repro.obs.metrics import Gauge
 from repro.obs.tracer import Instant, Span, Tracer
@@ -100,6 +100,25 @@ class TraceQuery:
             {s.category for s in self.tracer.spans}
             | {i.category for i in self.tracer.instants}
         )
+
+    def category_counts(
+        self, finished_only: bool = True, exclude: Sequence[str] = ()
+    ) -> dict[str, int]:
+        """``category -> span count`` in sorted category order.
+
+        ``finished_only`` skips still-open spans; ``exclude`` drops
+        container categories (the report uses this to pick the busiest
+        *leaf* category for straggler hunting).
+        """
+        excluded = frozenset(exclude)
+        counts: dict[str, int] = {}
+        for s in self.tracer.spans:
+            if finished_only and s.end is None:
+                continue
+            if s.category in excluded:
+                continue
+            counts[s.category] = counts.get(s.category, 0) + 1
+        return {c: counts[c] for c in sorted(counts)}
 
     def components(self) -> list[str]:
         return sorted(

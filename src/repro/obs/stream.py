@@ -1,0 +1,808 @@
+"""Constant-memory streaming observability.
+
+The in-memory :class:`~repro.obs.tracer.InMemorySink` retains every
+span for the life of the run — exactly right for the paper-scale
+scenarios, and an OOM at the million-task open-arrival scale the
+roadmap targets.  This module is the other half of the
+:class:`~repro.obs.tracer.SpanSink` protocol: sinks and analyses that
+observe the span stream *as it happens* and keep only constant-size
+state.
+
+Two modes, two guarantees:
+
+- **Exact replay** (:class:`StubSink` / :class:`StubTrace`): finished
+  spans are compacted to :class:`SpanStub` records — the eight fields
+  the report analyses read, tags reduced to the terminal ``state`` —
+  and the unchanged batch analytics run over the stub store.  Verdicts
+  are **byte-identical** to the batch path (it *is* the batch code on
+  the same values); memory is one compact slot-record per span instead
+  of spans + tags + events + instants.
+- **Online analytics** (:class:`StreamingAnalytics` over the
+  primitives in :mod:`repro.obs.metrics` /
+  :class:`~repro.obs.alerts.OnlineRuleEvaluator`): truly O(1) state per
+  category — Welford stats, P² quantiles, running straggler flagging,
+  peak-concurrency tracking — with documented tolerances
+  (``tests/obs/test_online_stats.py``).  This is what the ≥1M-span
+  memory gate in CI runs.
+
+:class:`JsonlSpillSink` spills every finished span to segmented JSONL
+files (rotation + retention), byte-compatible with
+:func:`repro.obs.export.to_jsonl` records, so a constant-memory run
+still leaves a trace that :func:`repro.obs.export.tracer_from_jsonl`
+reloads losslessly.  :class:`TeeSink` fans the stream out to several
+sinks (spill to disk *and* analyze online, in one pass).
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import sys
+from typing import Iterable, Optional
+
+from repro.obs.export import _dumps, instant_record, metric_record, span_record
+from repro.obs.metrics import MetricsRegistry, P2Quantile, RunningStats
+from repro.obs.tracer import SpanSink, Tracer
+
+__all__ = [
+    "SpanStub",
+    "StubTrace",
+    "StubSink",
+    "JsonlSpillSink",
+    "TeeSink",
+    "OnlineConcurrency",
+    "OnlineDurationStats",
+    "OnlineStragglers",
+    "StreamingAnalytics",
+    "replay_jsonl",
+    "tracer_from_segments",
+]
+
+
+# -- compact span store (exact mode) ----------------------------------------------
+
+
+class SpanStub:
+    """A finished (or drained-open) span compacted to its analysis fields.
+
+    Everything :mod:`repro.obs.analyze`, :mod:`repro.obs.alerts` and
+    :mod:`repro.report` read from a span survives: identity, hierarchy,
+    classification, interval, and the terminal ``state`` tag
+    (``failed_tasks`` counts it).  Free-form tags, point events and the
+    back-reference to the tracer are dropped — that is where the memory
+    goes in a real trace.
+    """
+
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "name",
+        "category",
+        "component",
+        "start",
+        "end",
+        "tags",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        category: str,
+        component: str,
+        start: float,
+        end: Optional[float],
+        state=None,
+    ):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = sys.intern(name)
+        self.category = sys.intern(category)
+        self.component = sys.intern(component)
+        self.start = start
+        self.end = end
+        self.tags = {} if state is None else {"state": state}
+
+    @classmethod
+    def from_span(cls, span) -> "SpanStub":
+        return cls(
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            name=span.name,
+            category=span.category,
+            component=span.component,
+            start=span.start,
+            end=span.end,
+            state=span.tags.get("state"),
+        )
+
+    @classmethod
+    def from_record(cls, record: dict) -> "SpanStub":
+        """Build from one :func:`~repro.obs.export.span_record` dict."""
+        end = record.get("t1")
+        return cls(
+            span_id=record["id"],
+            parent_id=record.get("parent"),
+            name=record["name"],
+            category=record.get("cat", ""),
+            component=record.get("comp", ""),
+            start=float(record["t0"]),
+            end=None if end is None else float(end),
+            state=(record.get("tags") or {}).get("state"),
+        )
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    def overlaps(self, t0: float, t1: float) -> bool:
+        end = self.end if self.end is not None else float("inf")
+        return self.start <= t1 and end >= t0
+
+    def __repr__(self) -> str:
+        dur = f"{self.duration:.3f}s" if self.end is not None else "open"
+        return (
+            f"<SpanStub #{self.span_id} {self.category}:{self.name!r} "
+            f"@{self.component} {dur}>"
+        )
+
+
+class StubTrace:
+    """A Tracer-shaped view over a :class:`SpanStub` store.
+
+    Quacks enough like a :class:`~repro.obs.tracer.Tracer` for
+    :class:`~repro.obs.query.TraceQuery` and everything built on it —
+    ``spans`` (id-ordered stubs), empty ``instants``, a metrics
+    registry — while ``enabled = False`` keeps post-hoc passes (alert
+    recording) from trying to write spans back.  This is how the
+    ``--stream`` report path runs the *unchanged* batch analytics and
+    still produces byte-identical verdicts.
+    """
+
+    enabled = False
+    trace_kernel = False
+
+    def __init__(self, spans=None, metrics: Optional[MetricsRegistry] = None):
+        self.spans: list[SpanStub] = list(spans or [])
+        self.instants: list = []
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    @classmethod
+    def from_tracer(cls, tracer) -> "StubTrace":
+        """Compact a retained in-memory trace (shares its registry)."""
+        return cls(
+            spans=[SpanStub.from_span(s) for s in tracer.spans],
+            metrics=tracer.metrics,
+        )
+
+    @classmethod
+    def from_jsonl(cls, lines: Iterable[str]) -> "StubTrace":
+        """Stream-parse JSONL lines into a stub store.
+
+        Accepts any iterable of lines (an open file streams without
+        materializing the text); span records compact to stubs, metric
+        records land in the registry, instants are skipped (no report
+        analysis reads them).
+        """
+        from repro.obs.export import metric_from_record
+
+        trace = cls()
+        for lineno, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"line {lineno} is not valid JSON: {exc}"
+                ) from exc
+            kind = record.get("type")
+            if kind == "span":
+                trace.spans.append(SpanStub.from_record(record))
+            elif kind == "metric":
+                trace.metrics.register(
+                    metric_from_record(record),
+                    component=record.get("comp", ""),
+                )
+            elif kind != "instant":
+                raise ValueError(f"line {lineno}: unknown record type {kind!r}")
+        trace.spans.sort(key=lambda s: s.span_id)
+        return trace
+
+    @classmethod
+    def from_jsonl_path(cls, path) -> "StubTrace":
+        with open(path) as fh:
+            return cls.from_jsonl(fh)
+
+    def query(self):
+        from repro.obs.query import TraceQuery
+
+        return TraceQuery(self)
+
+    def open_spans(self) -> list:
+        return [s for s in self.spans if s.end is None]
+
+    def __repr__(self) -> str:
+        return f"<StubTrace spans={len(self.spans)} metrics={len(self.metrics)}>"
+
+
+class StubSink(SpanSink):
+    """Collect :class:`SpanStub` records as spans finish.
+
+    The live-run counterpart of :meth:`StubTrace.from_tracer`: full
+    :class:`~repro.obs.tracer.Span` objects (tags, events) become
+    garbage as soon as the engine drops them, and only the compact stub
+    survives.  ``close()`` drains still-open spans so end-of-run
+    analyses see the same population the in-memory sink would.
+    """
+
+    def __init__(self):
+        self.stubs: list[SpanStub] = []
+        self._drained = False
+
+    def on_finish(self, span) -> None:
+        self.stubs.append(SpanStub.from_span(span))
+
+    def close(self) -> None:
+        if self._drained or self.tracer is None:
+            return
+        self._drained = True
+        for span in self.tracer.open_spans():
+            self.stubs.append(SpanStub.from_span(span))
+
+    def trace(self) -> StubTrace:
+        """An id-ordered :class:`StubTrace` over the collected stubs."""
+        metrics = self.tracer.metrics if self.tracer is not None else None
+        return StubTrace(
+            spans=sorted(self.stubs, key=lambda s: s.span_id),
+            metrics=metrics,
+        )
+
+
+# -- spill-to-disk sink ----------------------------------------------------------
+
+
+class JsonlSpillSink(SpanSink):
+    """Spill finished spans to segmented JSONL files.
+
+    Records are byte-identical to :func:`repro.obs.export.to_jsonl`
+    lines (same dict shapes, same compact JSON encoding), written in
+    event order: a span's line lands when it *finishes*, instants when
+    they occur.  ``close()`` drains still-open spans (``"t1": null``)
+    and appends the metric registry, so concatenating the segments and
+    reloading through :func:`~repro.obs.export.tracer_from_jsonl`
+    reproduces the trace exactly (the loader orders spans by id).
+
+    Segments rotate every ``segment_records`` lines as
+    ``segment-00000.jsonl``, ``segment-00001.jsonl``, …; with
+    ``retain_segments=N`` only the newest N survive — bounded *disk*,
+    not just bounded memory, for week-long simulated runs where only
+    the recent window matters.
+    """
+
+    def __init__(
+        self,
+        directory,
+        segment_records: int = 100_000,
+        retain_segments: Optional[int] = None,
+    ):
+        if segment_records < 1:
+            raise ValueError("segment_records must be >= 1")
+        if retain_segments is not None and retain_segments < 1:
+            raise ValueError("retain_segments must be >= 1 (or None)")
+        self.directory = str(directory)
+        self.segment_records = int(segment_records)
+        self.retain_segments = retain_segments
+        os.makedirs(self.directory, exist_ok=True)
+        self._fh = None
+        self._segment_idx = -1
+        self._records_in_segment = 0
+        self._closed = False
+        #: Totals over the sink's lifetime (rotation never resets them).
+        self.total_records = 0
+
+    # -- segment bookkeeping -----------------------------------------------
+
+    def _segment_path(self, idx: int) -> str:
+        return os.path.join(self.directory, f"segment-{idx:05d}.jsonl")
+
+    def segments(self) -> list[str]:
+        """Paths of the segments currently on disk, oldest first."""
+        names = sorted(
+            n
+            for n in os.listdir(self.directory)
+            if n.startswith("segment-") and n.endswith(".jsonl")
+        )
+        return [os.path.join(self.directory, n) for n in names]
+
+    def _rotate(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+        self._segment_idx += 1
+        self._records_in_segment = 0
+        self._fh = open(self._segment_path(self._segment_idx), "w")
+        if self.retain_segments is not None:
+            keep = {
+                self._segment_path(i)
+                for i in range(
+                    max(0, self._segment_idx - self.retain_segments + 1),
+                    self._segment_idx + 1,
+                )
+            }
+            for path in self.segments():
+                if path not in keep:
+                    os.remove(path)
+
+    def _write(self, record: dict) -> None:
+        if self._closed:
+            raise RuntimeError("JsonlSpillSink is closed")
+        if self._fh is None or self._records_in_segment >= self.segment_records:
+            self._rotate()
+        self._fh.write(_dumps(record))
+        self._fh.write("\n")
+        self._records_in_segment += 1
+        self.total_records += 1
+
+    # -- sink hooks ---------------------------------------------------------
+
+    def on_finish(self, span) -> None:
+        self._write(span_record(span))
+
+    def on_instant(self, instant) -> None:
+        self._write(instant_record(instant))
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self.tracer is not None:
+            for span in self.tracer.open_spans():
+                self._write(span_record(span))
+            for (comp, _name), metric in self.tracer.metrics.items():
+                self._write(metric_record(comp, metric))
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        self._closed = True
+
+    def read_text(self) -> str:
+        """Concatenated contents of the retained segments."""
+        parts = []
+        for path in self.segments():
+            with open(path) as fh:
+                parts.append(fh.read())
+        return "".join(parts)
+
+    def __repr__(self) -> str:
+        return (
+            f"<JsonlSpillSink {self.directory!r} "
+            f"segment={self._segment_idx} records={self.total_records}>"
+        )
+
+
+def tracer_from_segments(directory) -> Tracer:
+    """Reload a spill directory into an in-memory :class:`Tracer`."""
+    from repro.obs.export import tracer_from_jsonl
+
+    parts = []
+    names = sorted(
+        n
+        for n in os.listdir(str(directory))
+        if n.startswith("segment-") and n.endswith(".jsonl")
+    )
+    for name in names:
+        with open(os.path.join(str(directory), name)) as fh:
+            parts.append(fh.read())
+    return tracer_from_jsonl("".join(parts))
+
+
+class TeeSink(SpanSink):
+    """Fan the span stream out to several sinks in order."""
+
+    def __init__(self, *sinks: SpanSink):
+        self.sinks = list(sinks)
+
+    def attach(self, tracer) -> None:
+        self.tracer = tracer
+        for sink in self.sinks:
+            sink.attach(tracer)
+
+    def on_start(self, span) -> None:
+        for sink in self.sinks:
+            sink.on_start(span)
+
+    def on_finish(self, span) -> None:
+        for sink in self.sinks:
+            sink.on_finish(span)
+
+    def on_instant(self, instant) -> None:
+        for sink in self.sinks:
+            sink.on_instant(instant)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+# -- online analytics ------------------------------------------------------------
+
+
+class OnlineConcurrency:
+    """Constant-memory open-span concurrency tracking.
+
+    Feed ``step(t, +1)`` at span start and ``step(t, -1)`` at span end,
+    in time order.  Same-time deltas merge before sampling (the batch
+    :meth:`~repro.obs.query.TraceQuery.concurrency` collapse), so
+    ``peak`` / ``first_peak`` / ``last_peak`` match the batch series'
+    ``peak_times`` convention exactly; the running integral gives
+    time-averaged concurrency without retaining change points.
+    """
+
+    def __init__(self):
+        self._level = 0.0
+        self._pending_t: Optional[float] = None
+        self._committed_t: Optional[float] = None
+        self._committed_level = 0.0
+        self._integral = 0.0
+        self.t0: Optional[float] = None
+        self.peak = 0.0
+        self.first_peak: Optional[float] = None
+        self.last_peak: Optional[float] = None
+
+    def step(self, t: float, delta: float) -> None:
+        t = float(t)
+        if self._pending_t is not None and t < self._pending_t:
+            raise ValueError(
+                f"non-monotonic step: t={t} < pending t={self._pending_t}"
+            )
+        if self._pending_t is None:
+            self.t0 = t
+        elif t > self._pending_t:
+            self._commit()
+        self._pending_t = t
+        self._level += delta
+
+    def _commit(self) -> None:
+        t, level = self._pending_t, self._level
+        if self._committed_t is not None:
+            self._integral += self._committed_level * (t - self._committed_t)
+        self._committed_t = t
+        self._committed_level = level
+        if level > self.peak:
+            self.peak = level
+            self.first_peak = t
+            self.last_peak = t
+        elif level == self.peak and self.peak > 0:
+            self.last_peak = t
+
+    def flush(self) -> None:
+        """Commit the trailing same-time batch (call before reading)."""
+        if self._pending_t is not None and (
+            self._committed_t is None or self._pending_t > self._committed_t
+        ):
+            self._commit()
+
+    @property
+    def current(self) -> float:
+        return self._level
+
+    def time_average(self, t_end: Optional[float] = None) -> float:
+        self.flush()
+        if self._committed_t is None or self.t0 is None:
+            return 0.0
+        integral = self._integral
+        t_end = self._committed_t if t_end is None else float(t_end)
+        if t_end > self._committed_t:
+            integral += self._committed_level * (t_end - self._committed_t)
+        span = t_end - self.t0
+        return integral / span if span > 0 else self._committed_level
+
+    def __repr__(self) -> str:
+        return f"<OnlineConcurrency level={self._level} peak={self.peak}>"
+
+
+class OnlineDurationStats:
+    """Per-category duration statistics in O(categories) memory."""
+
+    def __init__(self, quantiles: Iterable[float] = (0.5, 0.9, 0.99)):
+        self.quantiles = tuple(sorted(set(float(q) for q in quantiles)))
+        self._cats: dict[str, tuple] = {}
+
+    def add(self, category: str, duration: float) -> None:
+        entry = self._cats.get(category)
+        if entry is None:
+            entry = self._cats[category] = (
+                RunningStats(),
+                {p: P2Quantile(p) for p in self.quantiles},
+            )
+        stats, ests = entry
+        stats.add(duration)
+        for est in ests.values():
+            est.add(duration)
+
+    def stats(self, category: str) -> Optional[RunningStats]:
+        entry = self._cats.get(category)
+        return entry[0] if entry is not None else None
+
+    def quantile(self, category: str, p: float) -> Optional[float]:
+        entry = self._cats.get(category)
+        if entry is None:
+            return None
+        est = entry[1].get(float(p))
+        return est.value if est is not None else None
+
+    def to_dict(self) -> dict:
+        out = {}
+        for category in sorted(self._cats):
+            stats, ests = self._cats[category]
+            doc = stats.to_dict()
+            for p, est in ests.items():
+                doc[f"p{int(round(p * 100))}"] = est.value
+            out[category] = doc
+        return out
+
+    def __repr__(self) -> str:
+        return f"<OnlineDurationStats categories={len(self._cats)}>"
+
+
+class _StragglerGroup:
+    __slots__ = ("n", "median", "absdev")
+
+    def __init__(self):
+        self.n = 0
+        self.median = P2Quantile(0.5)
+        self.absdev = P2Quantile(0.5)  # running estimate of the MAD
+
+
+class OnlineStragglers:
+    """Running median+MAD straggler flagging as spans close.
+
+    The streaming analogue of
+    :func:`repro.obs.analyze.find_stragglers`: group by ``(category,
+    component)``, estimate the group median and the median absolute
+    deviation with P² quantile trackers, and flag a closing span whose
+    modified z-score ``excess / (1.4826 · MAD)`` exceeds ``threshold``
+    (relative test when the MAD estimate is ~0, exactly like batch).
+    Flags are *online decisions* — made against the estimates at close
+    time, the way a live pager would — so early spans judge against
+    less history than the batch pass uses; the equivalence tests bound
+    the disagreement on controlled outlier injections.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 3.5,
+        rel_threshold: float = 0.5,
+        min_group: int = 4,
+        min_excess_s: float = 0.0,
+        max_flagged: int = 1000,
+    ):
+        self.threshold = float(threshold)
+        self.rel_threshold = float(rel_threshold)
+        self.min_group = int(min_group)
+        self.min_excess_s = float(min_excess_s)
+        self.max_flagged = int(max_flagged)
+        self._groups: dict[tuple, _StragglerGroup] = {}
+        self._flagged: list = []
+
+    def add(self, span) -> Optional[object]:
+        """Observe one finished span; returns a Straggler when flagged."""
+        from repro.obs.analyze import Straggler
+
+        duration = span.end - span.start
+        key = (span.category, span.component)
+        group = self._groups.get(key)
+        if group is None:
+            group = self._groups[key] = _StragglerGroup()
+        group.median.add(duration)
+        group.n += 1
+        med = group.median.value
+        group.absdev.add(abs(duration - med))
+        if group.n < self.min_group:
+            return None
+        excess = duration - med
+        if excess <= max(self.min_excess_s, 0.0):
+            return None
+        mad = group.absdev.value
+        scale = 1.4826 * mad
+        if scale > 1e-12:
+            score = excess / scale
+            if score <= self.threshold:
+                return None
+        else:
+            if med <= 0 or excess / med <= self.rel_threshold:
+                return None
+            score = float("inf")
+        straggler = Straggler(
+            span_id=span.span_id,
+            name=span.name,
+            category=span.category,
+            component=span.component,
+            duration=duration,
+            median=med,
+            mad=mad,
+            score=score,
+        )
+        self._flagged.append(straggler)
+        if len(self._flagged) > 4 * self.max_flagged:
+            self._flagged.sort(key=lambda s: (-s.excess, s.span_id))
+            del self._flagged[self.max_flagged :]
+        return straggler
+
+    def result(self) -> list:
+        """Flagged stragglers, worst excess first (batch sort order)."""
+        out = sorted(self._flagged, key=lambda s: (-s.excess, s.span_id))
+        return out[: self.max_flagged]
+
+    def __repr__(self) -> str:
+        return (
+            f"<OnlineStragglers groups={len(self._groups)} "
+            f"flagged={len(self._flagged)}>"
+        )
+
+
+class StreamingAnalytics(SpanSink):
+    """One-pass run analytics as a span sink.
+
+    Attach (alone or in a :class:`TeeSink`) and every quantity below is
+    maintained incrementally, in memory bounded by the number of
+    distinct categories — never by the number of spans:
+
+    - per-category duration statistics (count/mean/min/max + P²
+      quantiles) via :class:`OnlineDurationStats`;
+    - straggler flags via :class:`OnlineStragglers`;
+    - open-span concurrency (optionally restricted to one
+      category/component) via :class:`OnlineConcurrency`;
+    - SLO rules via :class:`~repro.obs.alerts.OnlineRuleEvaluator`,
+      with the ``on_alert`` live-paging hook;
+    - the run window and span/failure totals.
+
+    ``summary()`` returns the whole state as a JSON-ready dict — the
+    payload the CI memory-smoke artifact uploads.
+    """
+
+    def __init__(
+        self,
+        rules: Iterable = (),
+        context: Optional[dict] = None,
+        on_alert=None,
+        concurrency_category: Optional[str] = None,
+        concurrency_component: Optional[str] = None,
+        quantiles: Iterable[float] = (0.5, 0.9, 0.99),
+        straggler_kwargs: Optional[dict] = None,
+    ):
+        from repro.obs.alerts import OnlineRuleEvaluator
+
+        self.durations = OnlineDurationStats(quantiles=quantiles)
+        self.stragglers = OnlineStragglers(**(straggler_kwargs or {}))
+        self.concurrency = OnlineConcurrency()
+        self.evaluator = OnlineRuleEvaluator(
+            list(rules), context=context, on_alert=on_alert
+        )
+        self._conc_cat = concurrency_category
+        self._conc_comp = concurrency_component
+        self.n_started = 0
+        self.n_finished = 0
+        self.n_failed = 0
+        self.t_first: Optional[float] = None
+        self.t_last: Optional[float] = None
+
+    def _tracks(self, span) -> bool:
+        if self._conc_cat is not None and span.category != self._conc_cat:
+            return False
+        if self._conc_comp is not None and span.component != self._conc_comp:
+            return False
+        return True
+
+    def on_start(self, span) -> None:
+        self.n_started += 1
+        if self.t_first is None or span.start < self.t_first:
+            self.t_first = span.start
+        if self._tracks(span):
+            self.concurrency.step(span.start, +1.0)
+        self.evaluator.observe_start(span)
+
+    def on_finish(self, span) -> None:
+        self.n_finished += 1
+        if self.t_last is None or span.end > self.t_last:
+            self.t_last = span.end
+        if str(span.tags.get("state", "")).upper() == "FAILED":
+            self.n_failed += 1
+        self.durations.add(span.category, span.end - span.start)
+        self.stragglers.add(span)
+        if self._tracks(span):
+            self.concurrency.step(span.end, -1.0)
+        self.evaluator.observe_finish(span)
+
+    def finalize_alerts(self, context: Optional[dict] = None):
+        """End-of-run :class:`~repro.obs.alerts.AlertReport`."""
+        registry = self.tracer.metrics if self.tracer is not None else None
+        return self.evaluator.finalize(context=context, registry=registry)
+
+    @property
+    def makespan(self) -> float:
+        if self.t_first is None or self.t_last is None:
+            return 0.0
+        return self.t_last - self.t_first
+
+    def summary(self) -> dict:
+        self.concurrency.flush()
+        doc = {
+            "spans_started": self.n_started,
+            "spans_finished": self.n_finished,
+            "failed": self.n_failed,
+            "window": [self.t_first or 0.0, self.t_last or 0.0],
+            "makespan": self.makespan,
+            "concurrency": {
+                "peak": self.concurrency.peak,
+                "first_peak": self.concurrency.first_peak,
+                "last_peak": self.concurrency.last_peak,
+                "time_average": self.concurrency.time_average(self.t_last),
+            },
+            "categories": self.durations.to_dict(),
+            "stragglers": [s.to_dict() for s in self.stragglers.result()[:10]],
+        }
+        if self.evaluator.rules:
+            try:
+                doc["alerts"] = self.finalize_alerts().to_dict()
+            except Exception as exc:  # unresolvable rule: report, don't die
+                doc["alerts"] = {"error": str(exc)}
+        return doc
+
+    def __repr__(self) -> str:
+        return (
+            f"<StreamingAnalytics started={self.n_started} "
+            f"finished={self.n_finished}>"
+        )
+
+
+# -- trace replay ----------------------------------------------------------------
+
+
+def replay_jsonl(lines: Iterable[str], *sinks: SpanSink) -> int:
+    """Replay a JSONL trace through sinks as a live event stream.
+
+    Span records (id order = start order in an exported trace) are
+    re-interleaved into lifecycle order: each span's ``on_start`` fires
+    in start order, and its ``on_finish`` fires when simulated time
+    passes its end — exactly the callback sequence a live run would
+    have produced.  A heap of open spans keyed by end time does the
+    interleaving; memory is O(max concurrently open), not O(trace).
+
+    Returns the number of spans replayed.  Instants and metric records
+    are skipped (replay targets span analytics); ``close()`` is called
+    on every sink at the end.
+    """
+    open_heap: list[tuple] = []  # (end, span_id, stub)
+    n = 0
+
+    def drain(up_to: float) -> None:
+        while open_heap and open_heap[0][0] <= up_to:
+            _, _, stub = heapq.heappop(open_heap)
+            for sink in sinks:
+                sink.on_finish(stub)
+
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if record.get("type") != "span":
+            continue
+        stub = SpanStub.from_record(record)
+        n += 1
+        drain(stub.start)
+        for sink in sinks:
+            sink.on_start(stub)
+        if stub.end is not None:
+            heapq.heappush(open_heap, (stub.end, stub.span_id, stub))
+    drain(float("inf"))
+    for sink in sinks:
+        sink.close()
+    return n

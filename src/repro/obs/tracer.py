@@ -17,6 +17,12 @@ real tracer.
 Determinism: span ids are sequential per tracer, timestamps come from
 the simulated clock, and no wall-clock or hash-ordered state is ever
 recorded — identical seeds produce identical traces byte for byte.
+
+Storage is pluggable via the :class:`SpanSink` protocol: the default
+:class:`InMemorySink` keeps the historical ``tracer.spans`` list (and
+the byte-identical golden digests that rest on it), while
+:class:`repro.obs.stream.JsonlSpillSink` spills finished spans to
+segmented JSONL files so million-span runs stay constant-memory.
 """
 
 from __future__ import annotations
@@ -24,6 +30,60 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.obs.metrics import MetricsRegistry
+
+
+class SpanSink:
+    """Receiver of span/instant lifecycle callbacks from a tracer.
+
+    Subclass and override what you need; every hook is a no-op by
+    default.  A sink is attached to exactly one tracer (``attach`` is
+    called from ``Tracer.__init__``), and the tracer guarantees:
+
+    - ``on_start(span)`` exactly once per span, at creation;
+    - ``on_finish(span)`` exactly once per span, at its *first*
+      ``finish()`` (never for spans still open at end of run);
+    - ``on_instant(instant)`` per standalone point event;
+    - ``close()`` once, from ``Tracer.close()`` — flush buffers and
+      drain still-open spans here.
+    """
+
+    tracer: Optional["Tracer"] = None
+
+    def attach(self, tracer: "Tracer") -> None:
+        self.tracer = tracer
+
+    def on_start(self, span: "Span") -> None:
+        pass
+
+    def on_finish(self, span: "Span") -> None:
+        pass
+
+    def on_instant(self, instant: "Instant") -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class InMemorySink(SpanSink):
+    """The default sink: retain every span and instant in lists.
+
+    This is the historical ``Tracer`` behaviour factored behind the
+    sink protocol — ``tracer.spans`` / ``tracer.instants`` delegate to
+    these lists, creation order is preserved, and the JSONL/Chrome
+    exporters read them unchanged, so golden digests are byte-identical
+    to the pre-sink layout.
+    """
+
+    def __init__(self):
+        self.spans: list[Span] = []
+        self.instants: list[Instant] = []
+
+    def on_start(self, span: "Span") -> None:
+        self.spans.append(span)
+
+    def on_instant(self, instant: "Instant") -> None:
+        self.instants.append(instant)
 
 
 class Span:
@@ -101,6 +161,7 @@ class Span:
                     f"start {self.start}"
                 )
             self.end = end
+            self._tracer._span_finished(self)
         return self
 
     # -- inspection -----------------------------------------------------------
@@ -165,6 +226,11 @@ class Tracer:
         Also record a span per simulation process (category
         ``kernel.process``).  Off by default — kernel spans are high
         volume and only useful when debugging the substrate itself.
+    sink:
+        Span storage (:class:`SpanSink`).  Defaults to a fresh
+        :class:`InMemorySink`; pass a
+        :class:`repro.obs.stream.JsonlSpillSink` (or a ``TeeSink``
+        combining several) for constant-memory runs.
     """
 
     enabled = True
@@ -173,16 +239,53 @@ class Tracer:
         self,
         clock: Optional[Callable[[], float]] = None,
         trace_kernel: bool = False,
+        sink: Optional[SpanSink] = None,
     ):
         self._clock = clock if clock is not None else (lambda: 0.0)
         self.trace_kernel = trace_kernel
-        self.spans: list[Span] = []
-        self.instants: list[Instant] = []
+        self.sink = sink if sink is not None else InMemorySink()
         self.metrics = MetricsRegistry()
         self._next_id = 0
+        self._n_instants = 0
+        #: Live open-span index: span_id -> span, insertion (= id)
+        #: ordered, updated on start/finish so ``open_spans`` is O(open)
+        #: instead of a scan over the whole trace.
+        self._open: dict[int, Span] = {}
+        self._closed = False
+        attach = getattr(self.sink, "attach", None)
+        if callable(attach):
+            attach(self)
 
     def now(self) -> float:
         return self._clock()
+
+    @property
+    def spans(self) -> list:
+        """The retained span list (in-memory sinks only).
+
+        Sinks that do not retain spans (e.g. the spill sink) have no
+        list to expose; analyze such runs through the sink's own API or
+        by reloading its segments with
+        :func:`repro.obs.export.tracer_from_jsonl`.
+        """
+        spans = getattr(self.sink, "spans", None)
+        if spans is None:
+            raise RuntimeError(
+                f"{type(self.sink).__name__} does not retain spans in "
+                "memory; use the sink/stream APIs (repro.obs.stream) or "
+                "reload its JSONL segments"
+            )
+        return spans
+
+    @property
+    def instants(self) -> list:
+        instants = getattr(self.sink, "instants", None)
+        if instants is None:
+            raise RuntimeError(
+                f"{type(self.sink).__name__} does not retain instants "
+                "in memory; use the sink/stream APIs (repro.obs.stream)"
+            )
+        return instants
 
     # -- recording -----------------------------------------------------------
 
@@ -207,7 +310,8 @@ class Tracer:
             parent_id=parent.span_id if parent is not None else None,
         )
         self._next_id += 1
-        self.spans.append(span)
+        self._open[span.span_id] = span
+        self.sink.on_start(span)
         return span
 
     #: Alias reading naturally in ``with tracer.span(...)`` blocks.
@@ -225,8 +329,41 @@ class Tracer:
         inst = Instant(
             self.now() if t is None else t, name, category, component, tags
         )
-        self.instants.append(inst)
+        self._n_instants += 1
+        self.sink.on_instant(inst)
         return inst
+
+    # -- sink plumbing ---------------------------------------------------------
+
+    def _span_finished(self, span: Span) -> None:
+        """Called by :meth:`Span.finish` exactly once per span."""
+        self._open.pop(span.span_id, None)
+        self.sink.on_finish(span)
+
+    def _adopt(self, span: Span) -> None:
+        """Register an externally constructed span (trace loaders).
+
+        Routes the span through the sink protocol as if it had been
+        started (and, when already closed, finished) by this tracer, and
+        keeps the open-span index and id counter consistent.
+        """
+        self._next_id = max(self._next_id, span.span_id + 1)
+        self.sink.on_start(span)
+        if span.end is None:
+            self._open[span.span_id] = span
+        else:
+            self.sink.on_finish(span)
+
+    def close(self) -> None:
+        """Flush and close the sink (idempotent).
+
+        In-memory runs never need this; spill sinks require it so
+        still-open spans and buffered segments reach disk.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.sink.close()
 
     # -- post-run access -------------------------------------------------------
 
@@ -237,11 +374,11 @@ class Tracer:
         return TraceQuery(self)
 
     def open_spans(self) -> list:
-        return [s for s in self.spans if s.end is None]
+        return list(self._open.values())
 
     def __repr__(self) -> str:
         return (
-            f"<Tracer spans={len(self.spans)} instants={len(self.instants)} "
+            f"<Tracer spans={self._next_id} instants={self._n_instants} "
             f"metrics={len(self.metrics)}>"
         )
 
@@ -345,6 +482,7 @@ class NullTracer:
     trace_kernel = False
     spans: tuple = ()
     instants: tuple = ()
+    sink = None
     metrics = _NullRegistry()
 
     def now(self) -> float:
@@ -367,6 +505,9 @@ class NullTracer:
     def open_spans(self) -> list:
         return []
 
+    def close(self) -> None:
+        pass
+
     def __repr__(self) -> str:
         return "<NullTracer>"
 
@@ -376,12 +517,15 @@ NULL_METRIC = _NullMetric()
 NULL_TRACER = NullTracer()
 
 
-def enable_tracing(env, trace_kernel: bool = False) -> Tracer:
+def enable_tracing(
+    env, trace_kernel: bool = False, sink: Optional[SpanSink] = None
+) -> Tracer:
     """Install a real tracer on ``env`` (any object with ``.now``).
 
     Returns the tracer; it is also reachable as ``env.tracer`` from
-    every component holding the environment.
+    every component holding the environment.  ``sink`` overrides the
+    default in-memory span storage (see :class:`SpanSink`).
     """
-    tracer = Tracer(clock=lambda: env.now, trace_kernel=trace_kernel)
+    tracer = Tracer(clock=lambda: env.now, trace_kernel=trace_kernel, sink=sink)
     env.tracer = tracer
     return tracer

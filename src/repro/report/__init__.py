@@ -231,6 +231,7 @@ def build_report(
     idle_metric: Optional[tuple] = None,
     record_alerts: bool = True,
     notes: Sequence[str] = (),
+    stream: bool = False,
 ) -> RunReport:
     """Assemble a :class:`RunReport`.
 
@@ -243,7 +244,25 @@ def build_report(
     given, and ``rules`` are evaluated on simulated time with the
     headline scalars as context.  Without a tracer, only headline
     metrics and scalar rules are evaluated.
+
+    ``stream=True`` runs the identical analyses over a compact
+    :class:`~repro.obs.stream.StubTrace` span store instead of full
+    spans — same code, same values, byte-identical verdicts — either
+    converting the given tracer or accepting a ``StubTrace`` directly
+    (see :func:`stream_report_from_jsonl`).  Dependency-aware critical
+    paths (``deps``) need the full span tags and are rejected in
+    stream mode.
     """
+    if stream and tracer is not None:
+        if deps is not None:
+            raise ValueError(
+                "stream mode drops span tags; dependency-aware critical "
+                "paths (deps=...) need the batch path"
+            )
+        from repro.obs.stream import StubTrace
+
+        if not isinstance(tracer, StubTrace):
+            tracer = StubTrace.from_tracer(tracer)
     headline = dict(headline or {})
     query = TraceQuery(tracer) if tracer is not None else None
 
@@ -298,14 +317,9 @@ def build_report(
                 )
 
         if straggler_category is None:
-            leaf_counts: dict[str, int] = {}
-            for s in query.tracer.spans:
-                if s.end is not None and s.category not in (
-                    "rm.job",
-                    "kernel.process",
-                    "obs.alert",
-                ):
-                    leaf_counts[s.category] = leaf_counts.get(s.category, 0) + 1
+            leaf_counts = query.category_counts(
+                exclude=("rm.job", "kernel.process", "obs.alert")
+            )
             if leaf_counts:
                 straggler_category = max(
                     sorted(leaf_counts), key=lambda c: leaf_counts[c]
@@ -349,6 +363,27 @@ def build_report(
     )
 
 
+def stream_report_from_jsonl(
+    path: Union[str, pathlib.Path],
+    bench_id: Optional[str] = None,
+    **kwargs,
+) -> RunReport:
+    """Build a report from a JSONL trace without materializing spans.
+
+    The file is stream-parsed line by line into a
+    :class:`~repro.obs.stream.StubTrace` (compact stubs + metric
+    registry; tags, events and instants are never held), then
+    :func:`build_report` runs the unchanged analyses over it.  Output
+    is byte-identical to loading the full trace and reporting on it.
+    """
+    from repro.obs.stream import StubTrace
+
+    trace = StubTrace.from_jsonl_path(path)
+    if bench_id is None:
+        bench_id = pathlib.Path(path).stem.split(".")[0]
+    return build_report(bench_id, trace, stream=True, **kwargs)
+
+
 def write_verdict(
     report: RunReport, out_dir: Union[str, pathlib.Path]
 ) -> pathlib.Path:
@@ -367,6 +402,7 @@ __all__ = [
     "build_report",
     "resilience_context",
     "stock_resilience_rules",
+    "stream_report_from_jsonl",
     "write_verdict",
     "Rule",
     "VERDICT_VERSION",

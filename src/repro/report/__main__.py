@@ -15,6 +15,12 @@ Either way the tool prints the ASCII report, writes the
 machine-readable ``BENCH_<id>.json`` verdict under ``--out``, and
 exits non-zero when a ``severity=critical`` SLO rule is still firing
 at the end of the run — the contract the CI smoke job relies on.
+
+``--stream`` routes either mode through the constant-memory streaming
+pass (:mod:`repro.obs.stream`): trace files are parsed line by line
+into compact span stubs instead of full spans, and scenario runs are
+analyzed over the stub store.  Verdicts are identical to the batch
+path.
 """
 
 from __future__ import annotations
@@ -49,6 +55,11 @@ def _parse_args(argv):
         "--full",
         action="store_true",
         help="run the scenario at paper scale (slow) instead of reduced",
+    )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="use the constant-memory streaming pass (identical verdicts)",
     )
     parser.add_argument(
         "--out",
@@ -115,7 +126,7 @@ def main(argv=None) -> int:
         return 2
 
     if args.bench:
-        report = run_scenario(args.bench, full=args.full)
+        report = run_scenario(args.bench, full=args.full, stream=args.stream)
         if extra:
             # User-supplied rules join the scenario's own; the tracer is
             # not retained on the report, so they evaluate against the
@@ -134,16 +145,26 @@ def main(argv=None) -> int:
         if not path.exists():
             print(f"error: no such trace file: {path}", file=sys.stderr)
             return 2
-        from repro.obs.export import read_jsonl
-
-        tracer = read_jsonl(path)
         try:
-            report = build_report(
-                args.name or path.stem.split(".")[0],
-                tracer,
-                title=f"trace {path.name}",
-                rules=extra,
-            )
+            if args.stream:
+                from repro.report import stream_report_from_jsonl
+
+                report = stream_report_from_jsonl(
+                    path,
+                    bench_id=args.name or path.stem.split(".")[0],
+                    title=f"trace {path.name}",
+                    rules=extra,
+                )
+            else:
+                from repro.obs.export import read_jsonl
+
+                tracer = read_jsonl(path)
+                report = build_report(
+                    args.name or path.stem.split(".")[0],
+                    tracer,
+                    title=f"trace {path.name}",
+                    rules=extra,
+                )
         except RuleError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

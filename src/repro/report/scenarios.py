@@ -32,12 +32,12 @@ class Scenario:
 
     bench_id: str
     title: str
-    build: Callable[[bool], RunReport]
+    build: Callable[[bool, bool], RunReport]
     #: What the paper figure/table this regenerates says.
     figure: str = ""
 
-    def run(self, full: bool = False) -> RunReport:
-        return self.build(full)
+    def run(self, full: bool = False, stream: bool = False) -> RunReport:
+        return self.build(full, stream)
 
 
 # -- SLO rule sets ---------------------------------------------------------------
@@ -215,7 +215,7 @@ def _stage3_run(
     return result, tracer
 
 
-def _e2(full: bool) -> RunReport:
+def _e2(full: bool, stream: bool = False) -> RunReport:
     n_tasks, nodes = (7875, 8000) if full else (400, 400)
     result, tracer = _stage3_run(n_tasks, nodes)
     prof = result.profiles[0]
@@ -241,10 +241,11 @@ def _e2(full: bool) -> RunReport:
             + ("" if full else " (reduced scale; paper: 7875/8000)"),
             "paper: utilization 90%, OVH 85 s, OVH/runtime ~1%",
         ],
+        stream=stream,
     )
 
 
-def _e3(full: bool) -> RunReport:
+def _e3(full: bool, stream: bool = False) -> RunReport:
     n_tasks, nodes = (7875, 8000) if full else (400, 400)
     result, tracer = _stage3_run(n_tasks, nodes)
     prof = result.profiles[0]
@@ -266,10 +267,11 @@ def _e3(full: bool) -> RunReport:
             "paper: scheduling 269 tasks/s, launching 51 tasks/s, "
             f"plateau at {nodes // 8} concurrent tasks",
         ],
+        stream=stream,
     )
 
 
-def _e4(full: bool) -> RunReport:
+def _e4(full: bool, stream: bool = False) -> RunReport:
     from repro.entk import AgentConfig, EnTask, TaskState
 
     def numerical_failure_task(name: str, duration: float) -> EnTask:
@@ -316,13 +318,14 @@ def _e4(full: bool) -> RunReport:
             "one node killed at t=2000 s with delayed detection; "
             "paper: 8 tasks killed and resubmitted OK, 2 numerical failures",
         ],
+        stream=stream,
     )
 
 
 # -- E1: CWS workflow-aware scheduling -------------------------------------------
 
 
-def _e1(full: bool) -> RunReport:
+def _e1(full: bool, stream: bool = False) -> RunReport:
     from repro.cws.experiment import makespan_experiment, run_workflow_once, summarize
     from repro.workloads import workflow_mix
 
@@ -359,13 +362,14 @@ def _e1(full: bool) -> RunReport:
             f"{wf.name!r} under 'rank'",
             "paper: avg 10.8% makespan reduction, up to 25%",
         ],
+        stream=stream,
     )
 
 
 # -- E5/E6: ATLAS sequencing pipeline, cloud vs HPC ------------------------------
 
 
-def _e5(full: bool) -> RunReport:
+def _e5(full: bool, stream: bool = False) -> RunReport:
     from repro.atlas import run_experiment, table1
 
     n_files = 99 if full else 24
@@ -397,10 +401,11 @@ def _e5(full: bool) -> RunReport:
             "paper: Salmon CPU 94%/100%, fasterq-dump iowait 26% mean, "
             "batch ~2.7 h, 0 failures",
         ],
+        stream=stream,
     )
 
 
-def _e6(full: bool) -> RunReport:
+def _e6(full: bool, stream: bool = False) -> RunReport:
     from repro.atlas import compare_cloud_hpc, run_experiment
 
     n_files = 99 if full else 24
@@ -431,13 +436,14 @@ def _e6(full: bool) -> RunReport:
             "paper: prefetch 87% slower on HPC, fasterq 30% / salmon 19% "
             "faster, DESeq2 no difference",
         ],
+        stream=stream,
     )
 
 
 # -- E7: JAWS task fusion --------------------------------------------------------
 
 
-def _e7(full: bool) -> RunReport:
+def _e7(full: bool, stream: bool = False) -> RunReport:
     from repro.cluster import Cluster, NodeSpec
     from repro.jaws import (
         CromwellEngine,
@@ -532,13 +538,14 @@ def _e7(full: bool) -> RunReport:
             + ("" if full else " (reduced scale; paper anecdote: 25)"),
             "trace covers the fused run; paper: -70% time, -71% shards",
         ],
+        stream=stream,
     )
 
 
 # -- E8: LLM-driven Phyloflow (no discrete-event trace) --------------------------
 
 
-def _e8(full: bool) -> RunReport:
+def _e8(full: bool, stream: bool = False) -> RunReport:
     from repro.llm import (
         ChatWorkflowDriver,
         MockFunctionCallingLLM,
@@ -586,6 +593,7 @@ def _e8(full: bool) -> RunReport:
         headline=headline,
         rules=e8_rules(),
         notes=["no discrete-event trace; scalar SLOs only"],
+        stream=stream,
     )
 
 
@@ -601,14 +609,21 @@ SCENARIOS = {
 }
 
 
-def run_scenario(bench_id: str, full: bool = False) -> RunReport:
-    """Run one named scenario and return its report."""
+def run_scenario(
+    bench_id: str, full: bool = False, stream: bool = False
+) -> RunReport:
+    """Run one named scenario and return its report.
+
+    ``stream=True`` routes the analyses through the constant-memory
+    :class:`~repro.obs.stream.StubTrace` pass; verdicts are identical
+    to the batch path (asserted in ``tests/report/test_stream_mode.py``).
+    """
     key = bench_id.upper()
     if key not in SCENARIOS:
         raise KeyError(
             f"unknown benchmark {bench_id!r}; choose from {sorted(SCENARIOS)}"
         )
-    return SCENARIOS[key].run(full=full)
+    return SCENARIOS[key].run(full=full, stream=stream)
 
 
 __all__ = ["SCENARIOS", "Scenario", "run_scenario"]

@@ -70,6 +70,47 @@ class TestOBS002PrintInLibrary:
         assert check(src, rule="OBS002", relpath="src/repro/viz/ascii_charts.py") == []
 
 
+class TestOBS003DirectSpanAccess:
+    def test_fires_on_tracer_spans(self, check):
+        src = """
+            def count_failed(tracer):
+                return sum(
+                    1 for s in tracer.spans if s.tags.get("state") == "FAILED"
+                )
+        """
+        assert len(check(src, rule="OBS003")) == 1
+
+    def test_fires_on_attribute_tracer(self, check):
+        src = """
+            def leaves(query):
+                return [s.category for s in query.tracer.spans]
+        """
+        assert len(check(src, rule="OBS003")) == 1
+
+    def test_silent_on_query_api(self, check):
+        src = """
+            def count_failed(tracer):
+                return len(tracer.query().spans(tags={"state": "FAILED"}))
+        """
+        assert check(src, rule="OBS003") == []
+
+    def test_silent_on_non_tracer_receiver(self, check):
+        src = """
+            def total(report):
+                return len(report.spans)
+        """
+        assert check(src, rule="OBS003") == []
+
+    def test_silent_inside_obs_layer(self, check):
+        src = """
+            def spans_of(tracer):
+                return tracer.spans
+        """
+        assert check(src, rule="OBS003", relpath="src/repro/obs/query.py") == []
+        # ...but the same read in any other layer fires.
+        assert len(check(src, rule="OBS003")) == 1
+
+
 class TestRES001SwallowedExcept:
     def test_fires_on_bare_except(self, check):
         src = """

@@ -20,10 +20,14 @@ from repro.simkernel import Environment
 
 
 def mini_entk_run(n_tasks=400, nodes=400, seed=42, trace=True,
-                  trace_kernel=False):
+                  trace_kernel=False, sink=None):
     """UQ Stage 3 on a mini Frontier; returns ``(profile, tracer)``."""
     env = Environment()
-    tracer = enable_tracing(env, trace_kernel=trace_kernel) if trace else None
+    tracer = (
+        enable_tracing(env, trace_kernel=trace_kernel, sink=sink)
+        if trace
+        else None
+    )
     cluster = platform_cluster(env, "frontier", nodes=nodes)
     batch = BatchScheduler(env, cluster, backfill=False)
     am = AppManager(

@@ -1,0 +1,266 @@
+"""The streaming span pipeline: sinks, spill segments, online analytics.
+
+Equivalence contract:
+
+- **byte-identical**: a spill-sink run concatenated and reloaded
+  produces exactly the bytes :func:`repro.obs.export.to_jsonl` writes
+  for the same-seed in-memory run (segments are the trace);
+- **exact**: stub-store analytics (counts, failed spans, makespan,
+  peak concurrency) equal the batch numbers, because the collapse and
+  window conventions are ports of the batch code;
+- **approximate**: P²-backed quantities (quantiles, MAD-based
+  straggler scores) carry the tolerance documented in
+  ``tests/obs/test_online_stats.py``.
+"""
+
+import json
+import tracemalloc
+
+import pytest
+
+from repro.obs import enable_tracing
+from repro.obs.export import to_jsonl, tracer_from_jsonl
+from repro.obs.stream import (
+    JsonlSpillSink,
+    OnlineConcurrency,
+    SpanStub,
+    StreamingAnalytics,
+    StubSink,
+    StubTrace,
+    TeeSink,
+    replay_jsonl,
+    tracer_from_segments,
+)
+from repro.simkernel import Environment
+
+from tests.obs.minirun import mini_entk_run
+
+N = 60  # tasks; small enough that the whole module stays fast
+
+
+@pytest.fixture(scope="module")
+def batch_run():
+    """Reference in-memory run: (tracer, its to_jsonl bytes)."""
+    _, tracer = mini_entk_run(n_tasks=N, nodes=N, seed=5)
+    return tracer, to_jsonl(tracer)
+
+
+@pytest.fixture(scope="module")
+def spill_run(tmp_path_factory):
+    """Same-seed run recorded through a rotating spill sink."""
+    spill_dir = tmp_path_factory.mktemp("spill")
+    sink = JsonlSpillSink(spill_dir, segment_records=50)
+    _, tracer = mini_entk_run(n_tasks=N, nodes=N, seed=5, sink=sink)
+    tracer.close()
+    return spill_dir, sink
+
+
+class TestJsonlSpillSink:
+    def test_round_trip_is_byte_identical(self, batch_run, spill_run):
+        _, expected = batch_run
+        spill_dir, _ = spill_run
+        reloaded = tracer_from_segments(spill_dir)
+        assert to_jsonl(reloaded) == expected
+
+    def test_segments_rotate(self, spill_run):
+        _, sink = spill_run
+        assert len(sink.segments()) == -(-sink.total_records // 50)
+        assert sink.total_records > 50  # actually rotated
+
+    def test_retention_caps_disk(self, tmp_path):
+        sink = JsonlSpillSink(tmp_path, segment_records=10, retain_segments=2)
+        env = Environment()
+        tracer = enable_tracing(env, sink=sink)
+        for i in range(55):
+            tracer.span(f"s{i}", category="x", t=float(i)).finish(t=i + 0.5)
+        tracer.close()
+        assert len(sink.segments()) == 2
+        # The retained window holds the *newest* records.
+        last = json.loads(sink.read_text().splitlines()[-1])
+        assert last["type"] == "metric" or last["id"] == 54
+
+    def test_open_spans_drained_on_close(self, tmp_path):
+        env = Environment()
+        tracer = enable_tracing(env, sink=JsonlSpillSink(tmp_path))
+        tracer.span("done", category="x", t=0.0).finish(t=1.0)
+        tracer.span("open", category="x", t=0.5)  # never finished
+        tracer.close()
+        reloaded = tracer_from_segments(tmp_path)
+        open_spans = reloaded.open_spans()
+        assert [s.name for s in open_spans] == ["open"]
+        assert open_spans[0].end is None
+
+    def test_write_after_close_raises(self, tmp_path):
+        sink = JsonlSpillSink(tmp_path)
+        env = Environment()
+        tracer = enable_tracing(env, sink=sink)
+        tracer.close()
+        with pytest.raises(RuntimeError):
+            tracer.span("late", t=0.0).finish(t=1.0)
+
+    def test_spans_property_raises_cleanly(self, tmp_path):
+        env = Environment()
+        tracer = enable_tracing(env, sink=JsonlSpillSink(tmp_path))
+        with pytest.raises(RuntimeError, match="does not retain"):
+            tracer.spans
+        tracer.close()
+
+
+class TestStubStore:
+    def test_stub_trace_matches_from_tracer_and_from_jsonl(self, batch_run):
+        tracer, text = batch_run
+        via_tracer = StubTrace.from_tracer(tracer)
+        via_jsonl = StubTrace.from_jsonl(text.splitlines())
+        assert len(via_tracer.spans) == len(via_jsonl.spans) == len(tracer.spans)
+        for a, b in zip(via_tracer.spans, via_jsonl.spans):
+            assert (a.span_id, a.parent_id, a.name, a.category, a.component,
+                    a.start, a.end, a.tags) == (
+                b.span_id, b.parent_id, b.name, b.category, b.component,
+                b.start, b.end, b.tags)
+
+    def test_stub_sink_collects_the_same_population(self, batch_run):
+        tracer, text = batch_run
+        sink = StubSink()
+        replay_jsonl(text.splitlines(), sink)
+        trace = sink.trace()
+        assert [s.span_id for s in trace.spans] == [
+            s.span_id for s in tracer.spans
+        ]
+
+    def test_query_api_works_over_stubs(self, batch_run):
+        tracer, _ = batch_run
+        stub = StubTrace.from_tracer(tracer)
+        assert stub.query().count(category="entk.exec") == tracer.query().count(
+            category="entk.exec"
+        )
+        batch_peak = max(tracer.query().concurrency(category="entk.exec").values)
+        stream_peak = max(stub.query().concurrency(category="entk.exec").values)
+        assert batch_peak == stream_peak
+
+
+class TestStreamingAnalytics:
+    @pytest.fixture(scope="class")
+    def analytics(self, batch_run):
+        _, text = batch_run
+        sink = StreamingAnalytics(concurrency_category="entk.exec")
+        replay_jsonl(text.splitlines(), sink)
+        return sink
+
+    def test_counts_and_window_are_exact(self, batch_run, analytics):
+        tracer, _ = batch_run
+        assert analytics.n_started == len(tracer.spans)
+        assert analytics.n_failed == len(
+            tracer.query().spans(tags={"state": "FAILED"})
+        )
+
+    def test_peak_concurrency_matches_batch(self, batch_run, analytics):
+        tracer, _ = batch_run
+        series = tracer.query().concurrency(category="entk.exec")
+        analytics.concurrency.flush()
+        assert analytics.concurrency.peak == max(series.values)
+
+    def test_quantiles_within_tolerance(self, batch_run, analytics):
+        tracer, _ = batch_run
+        durations = sorted(tracer.query().durations(category="entk.exec"))
+        exact_p50 = durations[max(0, min(len(durations) - 1,
+                                         round(0.5 * len(durations)) - 1))]
+        est = analytics.durations.quantile("entk.exec", 0.5)
+        assert est == pytest.approx(exact_p50, rel=0.10)
+
+    def test_summary_is_json_ready(self, analytics):
+        json.dumps(analytics.summary())
+
+
+class TestOnlineConcurrency:
+    def test_same_time_deltas_collapse(self):
+        conc = OnlineConcurrency()
+        # +2 then -1 at t=1.0 must commit as a single level change.
+        conc.step(0.0, +1)
+        conc.step(1.0, +1)
+        conc.step(1.0, +1)
+        conc.step(1.0, -1)
+        conc.step(2.0, -1)
+        conc.flush()
+        assert conc.peak == 2.0
+        assert conc.first_peak == 1.0
+
+    def test_rejects_time_travel(self):
+        conc = OnlineConcurrency()
+        conc.step(5.0, +1)
+        with pytest.raises(ValueError):
+            conc.step(4.0, +1)
+
+
+class TestReplay:
+    def test_replay_interleaves_lifecycle_order(self):
+        # Two overlapping spans: replay must fire 0.start, 1.start,
+        # 1.finish (t=2), 0.finish (t=3) — not record order.
+        lines = [
+            json.dumps({"type": "span", "id": 0, "name": "a", "t0": 0.0,
+                        "t1": 3.0}),
+            json.dumps({"type": "span", "id": 1, "name": "b", "t0": 1.0,
+                        "t1": 2.0}),
+            json.dumps({"type": "span", "id": 2, "name": "c", "t0": 4.0,
+                        "t1": 5.0}),
+        ]
+        events = []
+
+        class Recorder(StubSink):
+            def on_start(self, span):
+                events.append(("start", span.span_id))
+
+            def on_finish(self, span):
+                events.append(("finish", span.span_id))
+                super().on_finish(span)
+
+        n = replay_jsonl(lines, Recorder())
+        assert n == 3
+        assert events == [
+            ("start", 0), ("start", 1), ("finish", 1),
+            ("finish", 0), ("start", 2), ("finish", 2),
+        ]
+
+
+class TestTeeAndMemory:
+    def test_tee_fans_out_and_memory_stays_bounded(self, tmp_path):
+        from benchmarks.perf.obs_bench import span_storm
+
+        n_spans = 4000
+        spill = JsonlSpillSink(
+            tmp_path, segment_records=500, retain_segments=2
+        )
+        analytics = StreamingAnalytics()
+        env = Environment()
+        tracer = enable_tracing(env, sink=TeeSink(spill, analytics))
+        tracemalloc.start()
+        span_storm(tracer, n_spans)
+        tracer.close()
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert analytics.n_finished == n_spans
+        assert spill.total_records >= n_spans  # spans + metrics
+        assert len(spill.segments()) == 2
+        # An in-memory sink at this span count allocates ~2 MB
+        # (~500 bytes/span); the streaming tee stays far under it.
+        assert peak < 1_000_000
+
+
+class TestBenchHarness:
+    def test_obs_bench_document_shape(self, tmp_path):
+        from benchmarks.perf.obs_bench import BENCH_OBS_SCHEMA, run_bench
+
+        doc = run_bench(n_spans=1500, workdir=tmp_path)
+        assert doc["schema"] == BENCH_OBS_SCHEMA
+        assert set(doc["modes"]) == {"null", "memory", "spill", "streaming"}
+        for metrics in doc["modes"].values():
+            assert metrics["spans"] == 1500
+            assert metrics["spans_per_s"] > 0
+            assert metrics["peak_mb"] >= 0.0
+
+    def test_memory_smoke_gate(self, tmp_path):
+        from benchmarks.perf.obs_memory_smoke import run_smoke
+
+        doc = run_smoke(n_spans=3000, gate_mb=16.0, workdir=tmp_path)
+        assert doc["ok"] is True
+        assert doc["spans_finished"] == 3000
+        assert doc["peak_mb"] < 16.0

@@ -1,0 +1,91 @@
+"""``--stream`` report mode: identical verdicts, constant memory.
+
+The acceptance criterion for the streaming pipeline: for every
+benchmark scenario, ``run_scenario(..., stream=True)`` produces a
+verdict document equal to the batch one (the stream path runs the
+*unchanged* batch analytics over the compact stub store).  The full
+eight-scenario sweep is exercised once per PR by CI's report smoke and
+the golden digests; here the fastest three scenarios — E1 (plain), E2
+(series rules + idle + stragglers), E8 (no tracer at all) — pin the
+contract in tier-1 time.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.alerts import RuleError
+from repro.obs.export import write_jsonl
+from repro.report import build_report, stream_report_from_jsonl
+from repro.report.__main__ import main
+from repro.report.scenarios import run_scenario
+
+from tests.obs.minirun import mini_entk_run
+
+
+@pytest.mark.parametrize("bench_id", ["E1", "E2", "E8"])
+def test_stream_verdict_equals_batch(bench_id):
+    batch = run_scenario(bench_id).to_verdict()
+    stream = run_scenario(bench_id, stream=True).to_verdict()
+    assert json.dumps(batch, sort_keys=True) == json.dumps(
+        stream, sort_keys=True
+    )
+
+
+class TestStreamReportFromJsonl:
+    @pytest.fixture(scope="class")
+    def trace_file(self, tmp_path_factory):
+        _, tracer = mini_entk_run(n_tasks=50, nodes=50, seed=9)
+        path = tmp_path_factory.mktemp("traces") / "mini.trace.jsonl"
+        write_jsonl(tracer, path)
+        return path
+
+    def test_matches_batch_build_report(self, trace_file):
+        from repro.obs.export import read_jsonl
+
+        batch = build_report(
+            "MINI", read_jsonl(trace_file), title="t"
+        ).to_verdict()
+        stream = stream_report_from_jsonl(
+            trace_file, bench_id="MINI", title="t"
+        ).to_verdict()
+        assert json.dumps(batch, sort_keys=True) == json.dumps(
+            stream, sort_keys=True
+        )
+
+    def test_bench_id_defaults_to_file_stem(self, trace_file):
+        report = stream_report_from_jsonl(trace_file)
+        assert report.bench_id == "mini"
+
+    def test_cli_stream_trace_mode(self, trace_file, tmp_path, capsys):
+        code = main(
+            [str(trace_file), "--stream", "--out", str(tmp_path),
+             "--name", "MINI", "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["bench"] == "MINI"
+        assert (tmp_path / "BENCH_MINI.json").exists()
+
+    def test_cli_stream_matches_cli_batch(self, trace_file, tmp_path):
+        assert main(
+            [str(trace_file), "--out", str(tmp_path / "batch")]
+        ) == 0
+        assert main(
+            [str(trace_file), "--stream", "--out", str(tmp_path / "stream")]
+        ) == 0
+        batch = (tmp_path / "batch" / "BENCH_mini.json").read_text()
+        stream = (tmp_path / "stream" / "BENCH_mini.json").read_text()
+        assert batch == stream
+
+    def test_cli_stream_bad_rule_is_clean_error(self, trace_file, tmp_path):
+        assert main(
+            [str(trace_file), "--stream", "--out", str(tmp_path),
+             "--rule", "nope <= 1"]
+        ) == 2
+
+
+def test_stream_mode_rejects_dependency_analysis():
+    _, tracer = mini_entk_run(n_tasks=10, nodes=10, seed=1)
+    with pytest.raises(ValueError, match="batch path"):
+        build_report("X", tracer, stream=True, deps={})
