@@ -1,85 +1,25 @@
-"""Profile the event-loop hot path under cProfile.
+"""Back-compat shim: profile the event loop under cProfile.
 
-This is the profile-driven half of the kernel work: the calendar-queue
-rewrite (docs/SIMKERNEL.md) was steered by exactly this view — per-call
-costs of schedule/step/dispatch under the ``kernel_events`` churn
-workload, where the loop itself (not the simulated model) dominates.
+Superseded by ``profile_scenario.py``, which profiles *any* scenario in
+the registry via ``--scenario``; this entry point survives so existing
+docs/muscle memory keep working and is exactly::
 
-Usage (from the repo root)::
+    PYTHONPATH=src python benchmarks/perf/profile_scenario.py --scenario kernel_events [...]
 
-    PYTHONPATH=src python benchmarks/perf/profile_kernel.py
-    PYTHONPATH=src python benchmarks/perf/profile_kernel.py --mode full
-    PYTHONPATH=src python benchmarks/perf/profile_kernel.py --naive
-    PYTHONPATH=src python benchmarks/perf/profile_kernel.py --out kernel.pstats
-
-``--naive`` profiles the preserved seed loop instead, which is the
-quickest way to see *where* the calendar queue's win comes from (heap
-sifts and per-event tuple/Timeout allocations vanish from the top of
-the table).  ``--out`` dumps raw stats for snakeviz/pstats tooling.
-
-Note cProfile's per-call hook overhead flattens the measured ratio
-between the two loops — use ``benchmarks/test_kernel_speedup.py`` for
-honest wall-clock numbers; use this for *where the time goes*.
+See profile_scenario.py for the full flag set (--mode, --naive, --sort,
+--limit, --out all pass through unchanged).
 """
 
-import argparse
-import cProfile
-import pstats
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[2]))
 
-from benchmarks.perf.scenarios import SCENARIOS, kernel_events  # noqa: E402
-from repro.simkernel import Environment, NaiveEnvironment  # noqa: E402
+from benchmarks.perf.profile_scenario import main as _main  # noqa: E402
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--mode", choices=("smoke", "full"), default="smoke",
-        help="kernel_events scale to profile (default: %(default)s)",
-    )
-    parser.add_argument(
-        "--naive", action="store_true",
-        help="profile the seed loop (NaiveEnvironment) instead",
-    )
-    parser.add_argument(
-        "--sort", default="tottime",
-        help="pstats sort key (default: %(default)s; try cumulative, ncalls)",
-    )
-    parser.add_argument(
-        "--limit", type=int, default=25,
-        help="rows of the stats table to print (default: %(default)s)",
-    )
-    parser.add_argument(
-        "--out", metavar="FILE",
-        help="also dump raw stats to FILE for snakeviz/pstats",
-    )
-    args = parser.parse_args(argv)
-
-    params = getattr(SCENARIOS["kernel_events"], args.mode)
-    env_cls = NaiveEnvironment if args.naive else Environment
-    print(
-        f"profiling kernel_events[{args.mode}] on {env_cls.__name__} "
-        f"({params})", file=sys.stderr,
-    )
-
-    profiler = cProfile.Profile()
-    profiler.enable()
-    metrics = kernel_events(env_cls=env_cls, **params)
-    profiler.disable()
-
-    print(
-        f"{metrics['events']} events in {metrics['wall_s']}s under the "
-        f"profiler ({metrics['events_per_s']} events/s)", file=sys.stderr,
-    )
-    stats = pstats.Stats(profiler)
-    stats.sort_stats(args.sort).print_stats(args.limit)
-    if args.out:
-        stats.dump_stats(args.out)
-        print(f"wrote {args.out}", file=sys.stderr)
-    return 0
+    return _main(["--scenario", "kernel_events", *(argv or sys.argv[1:])])
 
 
 if __name__ == "__main__":

@@ -151,24 +151,37 @@ def sched_small_jobs(n_jobs: int = 10_000, nodes: int = 256) -> dict:
     return res
 
 
-def queue_scaling(depths=(500, 1000, 2000, 4000), nodes: int = 128) -> dict:
+def queue_scaling(
+    depths=(500, 1000, 2000, 4000), nodes: int = 128, repeats: int = 3
+) -> dict:
     """Throughput-vs-queue-depth curve for the batch scheduler.
 
     A scheduler with linear per-pass cost shows collapsing jobs/s as
     the queue deepens; an indexed one holds roughly flat.  The curve is
     the artifact — ``throughput`` reports the deepest point so the
     regression gate guards the worst case.
+
+    Each depth runs ``repeats`` times and keeps the best (lowest) wall
+    clock.  The small depths finish in tens of milliseconds, where a
+    single GC pause or scheduler hiccup is a 2x outlier; best-of-k is
+    the standard estimator for the noise-free cost of deterministic
+    work (the simulated run is bit-identical across repeats, so the
+    minimum is the run with the least interference).
     """
     curve = []
     for depth in depths:
-        point = sched_small_jobs(n_jobs=depth, nodes=nodes)
+        best = None
+        for _ in range(max(1, repeats)):
+            point = sched_small_jobs(n_jobs=depth, nodes=nodes)
+            if best is None or point["wall_s"] < best["wall_s"]:
+                best = point
         curve.append({
             "n_jobs": depth,
-            "wall_s": point["wall_s"],
-            "jobs_per_s": point["throughput"],
+            "wall_s": best["wall_s"],
+            "jobs_per_s": best["throughput"],
         })
     return {
-        "params": {"depths": list(depths), "nodes": nodes},
+        "params": {"depths": list(depths), "nodes": nodes, "repeats": repeats},
         "curve": curve,
         "wall_s": round(sum(p["wall_s"] for p in curve), 4),
         "events": 0,

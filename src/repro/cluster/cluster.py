@@ -29,6 +29,20 @@ class FreeNodePool:
     linear scan over ``cluster.nodes`` exactly (pools of the same or
     different specs may be interleaved across ``add_pool`` calls, so
     per-bucket order alone would not be enough).
+
+    Maintenance is *batched*: a node turning free is recorded in O(1)
+    (set insert + pending append) and the sorted buckets are only
+    repaired in a single :meth:`_flush` step on the next query.  N
+    same-instant job completions therefore cost one maintenance pass,
+    not N bucket insertions.  This is exact because every read of the
+    buckets (``iter_matching``/``first_fit``) flushes first, and
+    ``__len__`` reads ``_free_ids``, which is always current.
+
+    :attr:`version` counts capacity *gains* — a node turning free,
+    recovering, or registering.  It never moves on a loss, so a
+    scheduler that observed "no fit for class C at version v" may skip
+    re-scanning C until the version changes: free capacity only
+    shrinks in between, and shrinking cannot create a fit.
     """
 
     def __init__(self) -> None:
@@ -37,6 +51,11 @@ class FreeNodePool:
         self._buckets: dict[NodeSpec, list[int]] = {}  # spec -> sorted free
         self._free_ids: set[int] = set()
         self._eligible_cache: dict[tuple, tuple[list[int], ...]] = {}
+        self._pending: list[int] = []  # frees awaiting bucket insertion
+        self._pending_set: set[int] = set()
+        #: Monotone count of capacity gains (free/recover/register);
+        #: invalidation key for the schedulers' negative-fit memos.
+        self.version = 0
 
     def __len__(self) -> int:
         """Number of currently free (idle, up) nodes."""
@@ -53,6 +72,7 @@ class FreeNodePool:
         if node.is_up and not node.allocations:
             self._free_ids.add(idx)
             self._buckets[node.spec].append(idx)  # idx is the max so far
+            self.version += 1
         node._idle_watchers.append(self._on_idle_changed)
 
     def _on_idle_changed(self, node: Node, idle: bool) -> None:
@@ -60,11 +80,44 @@ class FreeNodePool:
         if idle:
             if idx not in self._free_ids:
                 self._free_ids.add(idx)
-                insort(self._buckets[node.spec], idx)
+                self.version += 1
+                if idx not in self._pending_set:
+                    self._pending.append(idx)
+                    self._pending_set.add(idx)
         elif idx in self._free_ids:
             self._free_ids.remove(idx)
-            bucket = self._buckets[node.spec]
-            del bucket[bisect_left(bucket, idx)]
+            if idx in self._pending_set:
+                # Never reached a bucket; drop it from the deferred
+                # batch instead (the stale list entry is skipped at
+                # flush time because it left the pending set).
+                self._pending_set.remove(idx)
+            else:
+                bucket = self._buckets[node.spec]
+                del bucket[bisect_left(bucket, idx)]
+
+    def _flush(self) -> None:
+        """Apply deferred frees to the sorted buckets in one batch."""
+        pending_set = self._pending_set
+        if not pending_set:
+            if self._pending:
+                self._pending.clear()
+            return
+        node_at = self._node_at
+        by_spec: dict[NodeSpec, list[int]] = {}
+        for idx in self._pending:
+            # A stale entry (went busy again, or a duplicate append) is
+            # no longer in the set; the first live occurrence wins.
+            if idx in pending_set:
+                pending_set.remove(idx)
+                by_spec.setdefault(node_at[idx].spec, []).append(idx)
+        self._pending.clear()
+        for spec, indices in by_spec.items():
+            bucket = self._buckets[spec]
+            if len(indices) == 1:
+                insort(bucket, indices[0])
+            else:
+                bucket.extend(indices)
+                bucket.sort()
 
     def _eligible(
         self, cores: int, gpus: int, memory_gb: float
@@ -86,14 +139,18 @@ class FreeNodePool:
         self, cores: int, gpus: int, memory_gb: float
     ) -> Iterator[Node]:
         """Free nodes whose spec satisfies the per-node request, in
-        cluster insertion order."""
+        cluster insertion order.
+
+        Not a generator: deferred maintenance is flushed at *call*
+        time, so the returned iterator reflects the pool as of this
+        call even if the caller holds it across an inspection.
+        """
+        self._flush()
         buckets = self._eligible(cores, gpus, memory_gb)
         if not buckets:
-            return
+            return iter(())
         indices = buckets[0] if len(buckets) == 1 else heapq.merge(*buckets)
-        node_at = self._node_at
-        for idx in indices:
-            yield node_at[idx]
+        return map(self._node_at.__getitem__, indices)
 
     def first_fit(
         self,

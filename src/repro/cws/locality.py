@@ -152,6 +152,15 @@ class DataLocalityStrategy(_StoreBackedStrategy):
         pod.labels.pop("locality_wait_since", None)
         return best
 
+    def wake_deadline_s(self, pod, scheduler: KubeScheduler):
+        """Exact patience expiry for a declined pod, so the (event-
+        driven) scheduler re-examines it the moment its bounded wait
+        ends rather than on a polling grid."""
+        since = pod.labels.get("locality_wait_since")
+        if since is None:
+            return None
+        return since + self.delay_s
+
 
 class StagingAwareFifo(DataLocalityStrategy):
     """The fair baseline for locality experiments: pays the same

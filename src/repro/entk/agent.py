@@ -21,7 +21,7 @@ Models the RADICAL-Pilot agent measured in §4.3:
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
@@ -31,7 +31,6 @@ from repro.resilience import NodeHealth, QuarantineSpec, RetryPolicy
 from repro.simkernel import (
     Environment,
     Interrupt,
-    Store,
     TimeSeriesMonitor,
     UtilizationTracker,
 )
@@ -109,8 +108,15 @@ class PilotAgent:
         # hit instead of a full node scan per task.
         self._fit_cache: dict[tuple[int, int], int] = {}
         self._node_freed = env.event()
-        self._submit_q = Store(env)
-        self._launch_q = Store(env)
+        # Plain deques + wake events instead of kernel Stores: a put is
+        # an append (no StorePut/StoreGet event pair per task), and the
+        # loops wake only when their queue goes non-empty.  Hand-off
+        # timing is identical — a Store put succeeds immediately at the
+        # same instant the wake fires.
+        self._submit_q: deque = deque()
+        self._launch_q: deque = deque()
+        self._submit_wake = env.event()
+        self._launch_wake = env.event()
         self._started = False
         self._shutdown = False
         self._bootstrapped_at: Optional[float] = None
@@ -195,6 +201,8 @@ class PilotAgent:
         for _wave_idx in range(self.retry_policy.max_retries + 1):
             if not wave or self._shutdown:
                 break
+            tracer = self.env.tracer
+            traced = tracer.enabled
             terminal_events = []
             for task in wave:
                 task.state = TaskState.NEW
@@ -202,14 +210,20 @@ class PilotAgent:
                 task._terminal = self.env.event()
                 # Whole-lifecycle span (submit → terminal); the pending
                 # and exec child spans nest inside it.
-                task._obs_span = self.env.tracer.start(
-                    task.name,
-                    category="entk.task",
-                    component=self.name,
-                    tags={"wave": _wave_idx},
+                task._obs_span = (
+                    tracer.start(
+                        task.name,
+                        category="entk.task",
+                        component=self.name,
+                        tags={"wave": _wave_idx},
+                    )
+                    if traced
+                    else None
                 )
                 terminal_events.append(task._terminal)
-                yield self._submit_q.put(task)
+                self._submit_q.append(task)
+            if self._submit_q and not self._submit_wake.triggered:
+                self._submit_wake.succeed()
             yield self.env.all_of(terminal_events)
             failed = [t for t in wave if t.state == TaskState.FAILED]
             retryable = []
@@ -280,38 +294,62 @@ class PilotAgent:
 
     def _scheduler_loop(self):
         period = 1.0 / self.config.schedule_rate
+        env = self.env
+        queue = self._submit_q
         try:
             while True:
-                task = yield self._submit_q.get()
-                yield self.env.timeout(period)
+                while not queue:
+                    yield self._submit_wake
+                    self._submit_wake = env.event()
+                task = queue.popleft()
+                yield env.timeout(period)
+                now = env.now
                 task.state = TaskState.SCHEDULED
-                task.schedule_time = self.env.now
-                self.pending_launch.increment(self.env.now, +1)
-                self.scheduled_cum.increment(self.env.now, +1)
-                task._obs_pending = self.env.tracer.start(
-                    "pending",
-                    category="entk.pending",
-                    component=self.name,
-                    parent=getattr(task, "_obs_span", None),
-                    tags={"task": task.name},
-                )
-                yield self._launch_q.put(task)
+                task.schedule_time = now
+                self.pending_launch.increment(now, +1)
+                self.scheduled_cum.increment(now, +1)
+                tracer = env.tracer
+                if tracer.enabled:
+                    task._obs_pending = tracer.start(
+                        "pending",
+                        category="entk.pending",
+                        component=self.name,
+                        parent=getattr(task, "_obs_span", None),
+                        tags={"task": task.name},
+                    )
+                self._launch_q.append(task)
+                if not self._launch_wake.triggered:
+                    self._launch_wake.succeed()
         except Interrupt:
             return
 
     def _launcher_loop(self):
         period = 1.0 / self.config.launch_rate
+        env = self.env
+        queue = self._launch_q
+        free = self._free
         try:
             while True:
-                task = yield self._launch_q.get()
-                yield self.env.timeout(period)
-                nodes = yield from self._acquire(task.nodes)
-                self.pending_launch.increment(self.env.now, -1)
-                self.launched_cum.increment(self.env.now, +1)
+                while not queue:
+                    yield self._launch_wake
+                    self._launch_wake = env.event()
+                task = queue.popleft()
+                yield env.timeout(period)
+                count = task.nodes
+                # Inline the no-avoid/no-wait acquire fast path (the
+                # steady state): no generator delegation per task.
+                if not self._avoid_set() and len(free) >= count:
+                    nodes = free[-count:]
+                    del free[-count:]
+                else:
+                    nodes = yield from self._acquire(count)
+                now = env.now
+                self.pending_launch.increment(now, -1)
+                self.launched_cum.increment(now, +1)
                 pending_span = getattr(task, "_obs_pending", None)
                 if pending_span is not None:
                     pending_span.finish()
-                proc = self.env.process(
+                proc = env.process(
                     self._execute(task, nodes),
                     name=f"exec:{task.name}#{task.attempts}",
                 )
@@ -342,7 +380,7 @@ class PilotAgent:
                     taken = self._free[-count:]
                     del self._free[-count:]
                     return taken
-            else:
+            elif len(self._free) >= count:  # else: cannot fit, skip the filter
                 usable = [n for n in self._free if n.id not in avoid]
                 if len(usable) >= count:
                     taken = usable[:count]
@@ -377,13 +415,18 @@ class PilotAgent:
         self.core_util.acquire(self.env.now, cores)
         if self.gpu_util and gpus:
             self.gpu_util.acquire(self.env.now, gpus)
-        exec_span = self.env.tracer.start(
-            "exec",
-            category="entk.exec",
-            component=self.name,
-            parent=getattr(task, "_obs_span", None),
-            tags={"task": task.name, "attempt": task.attempts, "cores": cores,
-                  "gpus": gpus},
+        tracer = self.env.tracer
+        exec_span = (
+            tracer.start(
+                "exec",
+                category="entk.exec",
+                component=self.name,
+                parent=getattr(task, "_obs_span", None),
+                tags={"task": task.name, "attempt": task.attempts,
+                      "cores": cores, "gpus": gpus},
+            )
+            if tracer.enabled
+            else None
         )
 
         me = self.env.active_process
@@ -433,7 +476,8 @@ class PilotAgent:
                             self._blacklist.add(n.id)
                         if self.health is not None:
                             self.health.record_failure(n.id, cause=cause)
-            exec_span.tag(state=task.state.value).finish()
+            if exec_span is not None:
+                exec_span.tag(state=task.state.value).finish()
             task_span = getattr(task, "_obs_span", None)
             if task_span is not None:
                 task_span.tag(state=task.state.value).finish()

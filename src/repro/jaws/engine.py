@@ -16,6 +16,7 @@ batch substrate with the features §6 leans on:
 
 from __future__ import annotations
 
+import hashlib
 import re
 from dataclasses import dataclass, field
 from typing import Any, Optional
@@ -143,6 +144,15 @@ class CromwellEngine:
         self.options = options or EngineOptions()
         #: Cross-run call cache: key -> outputs dict.
         self._cache: dict = {}
+        #: Per-task cost-model cache (docker, cores, duration, total,
+        #: request, has_file_output, task).  A 10k-shard scatter
+        #: re-reads the same task's runtime section 10k times; the
+        #: values are static per document, so resolve them once.
+        self._task_info: dict[int, tuple] = {}
+        #: The options object the cache was derived from; operators may
+        #: swap ``engine.options`` (e.g. raise the walltime and
+        #: resubmit), which invalidates every cached request.
+        self._task_info_opts = self.options
 
     def run(self, document: WdlDocument, inputs: Optional[dict] = None) -> WdlRunResult:
         """Start executing; drive the simulation to completion via
@@ -246,12 +256,13 @@ class CromwellEngine:
                 "nested scatters are parsed but not executable; flatten "
                 "the inner scatter or precompute its product as an array"
             )
-        self.env.tracer.instant(
-            "scatter",
-            category="jaws.scatter",
-            component="cromwell",
-            tags={"variable": scatter.variable, "shards": len(collection)},
-        )
+        if self.env.tracer.enabled:
+            self.env.tracer.instant(
+                "scatter",
+                category="jaws.scatter",
+                component="cromwell",
+                tags={"variable": scatter.variable, "shards": len(collection)},
+            )
         shard_events: dict = {c.name: [] for c in inner_calls}
         procs = []
         for idx, value in enumerate(collection):
@@ -305,9 +316,17 @@ class CromwellEngine:
         )
         result.records.append(record)
         # Evaluate the call's inputs (waits on referenced calls).
+        # Literal and in-scope Ident are synchronous no-wait shapes —
+        # the common case for scatter shards — so they skip the
+        # generator round-trip through _eval.
         bound: dict = {}
         for pname, expr in call.inputs.items():
-            bound[pname] = yield from self._eval(expr, scope, call_events)
+            if isinstance(expr, Literal):
+                bound[pname] = expr.value
+            elif isinstance(expr, Ident) and expr.name in scope:
+                bound[pname] = scope[expr.name]
+            else:
+                bound[pname] = yield from self._eval(expr, scope, call_events)
         for decl in task.inputs:
             if decl.name not in bound:
                 if decl.expr is not None:
@@ -319,39 +338,16 @@ class CromwellEngine:
                         f"call {call.name!r}: missing input {decl.name!r}"
                     )
 
-        docker = task.runtime_value("docker", "ubuntu:latest")
-        cache_key = (
-            task.name,
-            str(docker),
-            tuple(sorted((k, repr(v)) for k, v in bound.items())),
-        )
-        span_name = call.name + (f"[{shard}]" if shard is not None else "")
-        if self.options.call_caching and cache_key in self._cache:
-            record.cached = True
-            record.start_time = record.end_time = self.env.now
-            # Zero-duration span: the cache hit is visible in the trace
-            # as a call that cost nothing.
-            self.env.tracer.start(
-                span_name,
-                category="jaws.call",
-                component="cromwell",
-                tags={"task": task.name, "shard": shard, "cached": True},
-            ).finish()
-            event.succeed(self._cache[cache_key])
-            return
-
-        call_span = self.env.tracer.start(
-            span_name,
-            category="jaws.call",
-            component="cromwell",
-            tags={"task": task.name, "shard": shard, "cached": False},
-        )
-        if gate is not None:
-            req = gate.request()
-            yield req
-        else:
-            req = None
-        try:
+        # The task's cost model (docker image, resources, duration) is a
+        # pure function of its runtime{} section — static per document —
+        # so a 10k-shard scatter resolves it once, not 10k times.  The
+        # shared frozen ResourceRequest is safe: schedulers only read it.
+        if self._task_info_opts is not self.options:
+            self._task_info.clear()
+            self._task_info_opts = self.options
+        info = self._task_info.get(id(task))
+        if info is None:
+            docker = str(task.runtime_value("docker", "ubuntu:latest"))
             cores = int(task.runtime_value("cpu", 1))
             memory = parse_memory_gb(task.runtime_value("memory"))
             minutes = task.runtime_value("runtime_minutes")
@@ -365,6 +361,58 @@ class CromwellEngine:
                 + self.options.stage_overhead_s
                 + duration
             )
+            request = ResourceRequest(
+                nodes=1,
+                cores_per_node=cores,
+                memory_gb_per_node=memory,
+                # The facility's per-job walltime template; a call
+                # whose work exceeds it is killed by the batch
+                # system, exactly like real Cromwell backends.
+                walltime_s=self.options.default_walltime_s,
+            )
+            has_file_output = any(d.type.name == "File" for d in task.outputs)
+            # The task object rides along in the value so ``id(task)``
+            # cannot be recycled for a different object while cached.
+            info = (docker, cores, duration, total, request,
+                    has_file_output, task)
+            self._task_info[id(task)] = info
+        docker, cores, duration, total, request, has_file_output, _ = info
+
+        tracer = self.env.tracer
+        # The cache key (and the content id derived from it) is only
+        # consulted when call caching is on or a File output embeds the
+        # content id in its path; a scatter of plain value outputs skips
+        # the per-shard repr/sort entirely.
+        if self.options.call_caching or has_file_output:
+            cache_key = (
+                task.name,
+                docker,
+                tuple(sorted((k, repr(v)) for k, v in bound.items())),
+            )
+        else:
+            cache_key = None
+        if self.options.call_caching and cache_key in self._cache:
+            record.cached = True
+            record.start_time = record.end_time = self.env.now
+            # Zero-duration span: the cache hit is visible in the trace
+            # as a call that cost nothing.
+            if tracer.enabled:
+                tracer.start(
+                    call.name + (f"[{shard}]" if shard is not None else ""),
+                    category="jaws.call",
+                    component="cromwell",
+                    tags={"task": task.name, "shard": shard, "cached": True},
+                ).finish()
+            event.succeed(self._cache[cache_key])
+            return
+
+        if tracer.enabled:
+            call_span = tracer.start(
+                call.name + (f"[{shard}]" if shard is not None else ""),
+                category="jaws.call",
+                component="cromwell",
+                tags={"task": task.name, "shard": shard, "cached": False},
+            )
             # Expose the cost split on the span so trace analysis can
             # attribute shard time to overhead vs useful compute
             # without re-deriving the engine's cost model.
@@ -373,18 +421,18 @@ class CromwellEngine:
                 stage_overhead_s=self.options.stage_overhead_s,
                 compute_s=duration,
             )
+        else:
+            call_span = None
+        if gate is not None:
+            req = gate.request()
+            yield req
+        else:
+            req = None
+        try:
             record.cores = cores
             record.start_time = self.env.now
             job = Job(
-                request=ResourceRequest(
-                    nodes=1,
-                    cores_per_node=cores,
-                    memory_gb_per_node=memory,
-                    # The facility's per-job walltime template; a call
-                    # whose work exceeds it is killed by the batch
-                    # system, exactly like real Cromwell backends.
-                    walltime_s=self.options.default_walltime_s,
-                ),
+                request=request,
                 duration=total,
                 name=f"{result.workflow_name}/{call.name}"
                 + (f"[{shard}]" if shard is not None else ""),
@@ -401,7 +449,8 @@ class CromwellEngine:
             # record.end_time is only set once the job completed; any
             # earlier exception leaves the call aborted.
             outcome = job.state.value if record.end_time is not None else "aborted"
-            call_span.tag(state=outcome).finish()
+            if call_span is not None:
+                call_span.tag(state=outcome).finish()
             if req is not None:
                 gate.release(req)
 
@@ -410,12 +459,20 @@ class CromwellEngine:
         # produced from different inputs is a different file, so the
         # digest of the bound inputs goes into the synthesized path
         # (keeps downstream call-cache keys honest).
-        import hashlib
-
-        content_id = hashlib.sha256(repr(cache_key).encode()).hexdigest()[:8]
+        content_id = None
         for decl in task.outputs:
-            value = yield from self._eval(decl.expr, bound, {})
+            expr = decl.expr
+            if isinstance(expr, Literal):
+                value = expr.value
+            elif isinstance(expr, Ident) and expr.name in bound:
+                value = bound[expr.name]
+            else:
+                value = yield from self._eval(expr, bound, {})
             if decl.type.name == "File" and isinstance(value, str):
+                if content_id is None:
+                    content_id = hashlib.sha256(
+                        repr(cache_key).encode()
+                    ).hexdigest()[:8]
                 value = f"{call.name}-{content_id}/{value}"
             outputs[decl.name] = value
         if self.options.call_caching:

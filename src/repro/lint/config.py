@@ -49,6 +49,10 @@ _DEFAULT_SCOPES: dict[str, dict[str, list[str]]] = {
     # cancellation, leak behaviour) on purpose; the lease-hygiene rule
     # polices production code only.
     "KER004": {"include": ["src/repro/*"], "exclude": []},
+    # Polling loops are a production-scheduler smell; tests and
+    # benchmarks legitimately use fixed-interval background load
+    # generators.
+    "KER006": {"include": ["src/repro/*"], "exclude": []},
     # The kernel's heapq-hygiene rule polices the kernel only;
     # queueing.py is the sanctioned import site it points everyone at.
     "KER005": {

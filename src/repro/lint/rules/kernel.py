@@ -222,3 +222,70 @@ class DirectHeapImportRule(Rule):
                         "the ordering-preserving helpers in "
                         "repro.simkernel.queueing instead",
                     )
+
+
+def _is_fixed_timeout_yield(y: ast.Yield) -> bool:
+    """``yield <expr>.timeout(<numeric literal>)``."""
+    call = y.value
+    if not (isinstance(call, ast.Call) and isinstance(call.func, ast.Attribute)):
+        return False
+    if call.func.attr != "timeout" or not call.args:
+        return False
+    delay = call.args[0]
+    return isinstance(delay, ast.Constant) and isinstance(
+        delay.value, (int, float)
+    )
+
+
+@register
+class FixedIntervalPollRule(Rule):
+    id = "KER006"
+    family = "KERNEL"
+    summary = "fixed-interval polling loop in a kernel process"
+    rationale = (
+        "A `while True:` loop whose only yield is a constant "
+        "env.timeout() re-checks state on a wall-clock grid: it burns "
+        "kernel events while nothing changes, and reacts a fraction of "
+        "the interval late when something does.  Schedulers and "
+        "watchers should sleep on the event that signals the change "
+        "(a wake event, a one-shot deadline timer) and be kicked by "
+        "whoever changes the state.  A loop that *also* yields a "
+        "condition event is event-driven with a timeout and is fine."
+    )
+    bad = (
+        "while True:\n"
+        "    yield env.timeout(5.0)  # poll grid\n"
+        "    self._try_schedule()"
+    )
+    good = (
+        "while True:\n"
+        "    yield self._wake\n"
+        "    self._wake = env.event()\n"
+        "    self._try_schedule()"
+    )
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.While):
+                continue
+            test = node.test
+            if not (isinstance(test, ast.Constant) and test.value is True):
+                continue
+            yields = [
+                n
+                for n in astutil.own_nodes(node)
+                if isinstance(n, (ast.Yield, ast.YieldFrom))
+            ]
+            if not yields:
+                continue
+            if all(
+                isinstance(y, ast.Yield) and _is_fixed_timeout_yield(y)
+                for y in yields
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "while-True loop waits only on a fixed-interval "
+                    "timeout (polling); wake on the event that changes "
+                    "the polled state instead",
+                )

@@ -47,6 +47,13 @@ class ResourceRequest:
     gpus_per_node: int = 0
     memory_gb_per_node: float = 0.0
     walltime_s: float = 3600.0
+    #: The fit-relevant projection of the request — the memo key for
+    #: the schedulers' incremental ("blocked class") placement.  Two
+    #: requests with equal placement classes fit exactly the same free
+    #: pools; walltime and payload are irrelevant to fitting.
+    placement_class: tuple = field(
+        init=False, repr=False, compare=False, default=()
+    )
 
     def __post_init__(self):
         if self.nodes <= 0:
@@ -57,6 +64,16 @@ class ResourceRequest:
             raise ValueError("gpus/memory must be non-negative")
         if self.walltime_s <= 0:
             raise ValueError("walltime_s must be positive")
+        object.__setattr__(
+            self,
+            "placement_class",
+            (
+                self.nodes,
+                self.cores_per_node,
+                self.gpus_per_node,
+                self.memory_gb_per_node,
+            ),
+        )
 
     @property
     def total_cores(self) -> int:

@@ -31,7 +31,42 @@ class BatchScheduler:
     fair_share:
         Order the queue by accumulated per-user core-seconds (ascending)
         before submit order — the policy §6.2 notes Cromwell lacks.
+
+    Hot-path notes (the "scheduler fast path"):
+
+    - Wakeups are event-driven and coalesced: completions, submits and
+      quarantine releases ``_kick`` a single ``_wake`` event, so N
+      triggers landing on one simulated instant run exactly one
+      scheduling pass.
+    - Placement is incremental: a resource class that found no fit is
+      memoized against the free pool's capacity-gain version
+      (:attr:`FreeNodePool.version` plus a local counter bumped on
+      quarantine release), so the saturated steady state re-scans only
+      classes whose verdict could have changed.  Exactness: capacity
+      only shrinks while the version stands still, and shrinking cannot
+      create a fit; every gain channel (release → pool version, node
+      recover → pool version, quarantine release → local counter) bumps
+      the key.
+    - Duration-only jobs complete off a single kernel timer instead of
+      a payload process racing a walltime timeout (``_direct_timers``);
+      the walltime verdict is decided arithmetically up front, which
+      matches the event-order outcome of the race, ties included.
+      Exactness scope: every job's start/end time, state and failure
+      cause is preserved.  Because the timer resumes the job process
+      without the race's process-end/condition hops, jobs finishing at
+      the *same instant* may return their nodes to the pool in a
+      different within-instant order, which can permute *which* of
+      several equally free nodes a same-instant scheduling pass grants
+      (never whether, when, or how many — see
+      ``tests/rm/test_differential.py``; all golden scenario digests
+      are byte-identical with the fast path on).
     """
+
+    #: Internal knobs for differential tests: the reference subclass
+    #: turns these off to recover the pre-fast-path pass-per-wakeup
+    #: behaviour (full re-scan every pass, payload-process execution).
+    _direct_timers = True
+    _memoize = True
 
     def __init__(
         self,
@@ -59,7 +94,16 @@ class BatchScheduler:
         self._submit_seq: dict[str, int] = {}
         self._seq = 0
         self._wake = env.event()
-        self._health_recheck_armed = False
+        #: Resource classes with no current fit, memoized against the
+        #: capacity-gain version they were observed at.
+        self._blocked: dict[tuple, int] = {}
+        #: Local capacity-gain counter (quarantine releases — gains the
+        #: free pool cannot see because the node never left it).
+        self._gain_version = 0
+        if node_health is not None:
+            # Event-driven replacement for the old 5 s health recheck
+            # poll: probation ending wakes the scheduler exactly then.
+            node_health.watch_release(self._on_quarantine_release)
         env.process(self._scheduler_loop(), name="batch-scheduler")
 
     # -- client API ------------------------------------------------------------
@@ -76,15 +120,16 @@ class BatchScheduler:
         if job.depends_on:
             self._dep_queued.append(job)
         tracer = self.env.tracer
-        tracer.instant(
-            "submit",
-            category="rm.job",
-            component="batch",
-            tags={"job": job.name, "user": job.user, "nodes": job.request.nodes},
-        )
-        tracer.metrics.gauge("queue_length", component="batch").set(
-            self.env.now, len(self.queue)
-        )
+        if tracer.enabled:
+            tracer.instant(
+                "submit",
+                category="rm.job",
+                component="batch",
+                tags={"job": job.name, "user": job.user, "nodes": job.request.nodes},
+            )
+            tracer.metrics.gauge("queue_length", component="batch").set(
+                self.env.now, len(self.queue)
+            )
         self._kick()
         return job
 
@@ -123,24 +168,13 @@ class BatchScheduler:
         while True:
             self._cancel_doomed()
             self._try_schedule()
-            # A quarantine can block the whole queue with no completion
-            # event ever waking us again; poll until probation lifts.
-            if (
-                self.node_health is not None
-                and self.queue
-                and self.node_health.quarantined_ids()
-                and not self._health_recheck_armed
-            ):
-                self._health_recheck_armed = True
-                self.env.process(
-                    self._health_recheck(), name="batch-health-recheck"
-                )
             yield self._wake
             self._wake = self.env.event()
 
-    def _health_recheck(self):
-        yield self.env.timeout(5.0)
-        self._health_recheck_armed = False
+    def _on_quarantine_release(self, node_id: str) -> None:
+        """Probation ended: the avoid-set shrank, so blocked classes
+        may fit again — bump the gain version and re-run the pass."""
+        self._gain_version += 1
         self._kick()
 
     def _dependency_state(self, job: Job) -> str:
@@ -180,17 +214,34 @@ class BatchScheduler:
         return None
 
     def _free_nodes_for(self, request: ResourceRequest, exclude=()) -> Optional[list[Node]]:
+        key = request.placement_class
+        if (
+            self._memoize
+            and self._blocked.get(key)
+            == self.cluster.free_pool.version + self._gain_version
+        ):
+            # Still blocked: no capacity gain since the miss, and a
+            # narrower (exclude-restricted) query cannot succeed where
+            # the unrestricted one failed.
+            return None
         if self.node_health is not None:
             avoid = self.node_health.quarantined_nodes(self.cluster)
             if avoid:
                 exclude = avoid | set(exclude)
-        return self.cluster.free_pool.first_fit(
+        nodes = self.cluster.free_pool.first_fit(
             request.cores_per_node,
             request.gpus_per_node,
             request.memory_gb_per_node,
             request.nodes,
             exclude,
         )
+        if nodes is None and self._memoize and not exclude:
+            # Only the unrestricted miss is a class-wide verdict; an
+            # exclude-narrowed miss says nothing about the class.
+            self._blocked[key] = (
+                self.cluster.free_pool.version + self._gain_version
+            )
+        return nodes
 
     def _try_schedule(self) -> None:
         if self.fair_share:
@@ -308,15 +359,16 @@ class BatchScheduler:
         job.start_time = self.env.now
         job.nodes = list(nodes)
         tracer = self.env.tracer
-        tracer.metrics.gauge("queue_length", component="batch").set(
-            self.env.now, len(self.queue)
-        )
-        job._obs_span = tracer.start(
-            job.name,
-            category="rm.job",
-            component="batch",
-            tags={"user": job.user, "nodes": len(nodes)},
-        )
+        if tracer.enabled:
+            tracer.metrics.gauge("queue_length", component="batch").set(
+                self.env.now, len(self.queue)
+            )
+            job._obs_span = tracer.start(
+                job.name,
+                category="rm.job",
+                component="batch",
+                tags={"user": job.user, "nodes": len(nodes)},
+            )
         # Allocate synchronously so the scheduling pass that picked these
         # nodes cannot hand them to another job before the run process
         # gets a turn.
@@ -334,44 +386,59 @@ class BatchScheduler:
 
     def _run_job(self, job: Job, allocs):
         request = job.request
-        tracked_cores = sum(n.spec.cores for n in job.nodes)
-        tracked_gpus = sum(n.spec.gpus for n in job.nodes)
+        if len(job.nodes) == 1:  # the overwhelmingly common shape
+            only = job.nodes[0]
+            spec = only.spec
+            tracked_cores, tracked_gpus = spec.cores, spec.gpus
+        else:
+            only = None
+            tracked_cores = sum(n.spec.cores for n in job.nodes)
+            tracked_gpus = sum(n.spec.gpus for n in job.nodes)
         self.cluster.track_acquire(cores=tracked_cores, gpus=tracked_gpus)
 
         me = self.env.active_process
         for node in job.nodes:
             node.register_occupant(job.job_id, me)
 
-        payload = self.env.process(self._payload(job), name=f"payload:{job.job_id}")
-        walltime = self.env.timeout(request.walltime_s)
         failure_cause = None
         try:
-            # simlint: disable=RES002 -- not a retry: pilot jobs absorb node-death interrupts and keep waiting on the survivors; task-level retries go through RetryPolicy in the engines
-            while True:
-                try:
-                    yield self.env.any_of([payload, walltime])
-                except Interrupt as intr:
-                    # A node under this job died.  Resilient (pilot)
-                    # jobs shrug and keep running on the survivors;
-                    # plain jobs fail.
-                    if job.resilient and payload.is_alive:
-                        job.nodes = [n for n in job.nodes if n.is_up]
-                        continue
-                    job.state = JobState.FAILED
-                    failure_cause = intr.cause
-                    if payload.is_alive:
-                        payload.interrupt(cause=intr.cause)
-                    break
-                if payload.is_alive:  # walltime fired first
-                    payload.interrupt(cause="walltime")
-                    job.state = JobState.FAILED
-                    failure_cause = "walltime"
-                elif payload.ok:
-                    job.state = JobState.COMPLETED
+            if job.work is None and self._direct_timers:
+                # Fast path: a duration job's outcome is pure
+                # arithmetic — the payload timer either beats the
+                # walltime or it does not — so run it off ONE kernel
+                # timer instead of a payload process racing a walltime
+                # timeout through any_of.  The strict `<` matches the
+                # event-order tie-break of the race: at run_s ==
+                # walltime the walltime timeout was scheduled first
+                # and fired first, killing the job.  The timer is
+                # never recomputed on node loss, exactly like the
+                # legacy payload's one-shot timeout.
+                if only is not None:
+                    speed = only.spec.speed / only.slowdown
                 else:
-                    job.state = JobState.FAILED
-                    failure_cause = payload.value
-                break
+                    speed = min(n.effective_speed for n in job.nodes)
+                run_s = job.duration / speed
+                beats_walltime = run_s < request.walltime_s
+                timer = self.env.timeout(min(run_s, request.walltime_s))
+                # simlint: disable=RES002 -- not a retry: resilient jobs absorb node-death interrupts and keep waiting on the same timer
+                while True:
+                    try:
+                        yield timer
+                        if beats_walltime:
+                            job.state = JobState.COMPLETED
+                        else:
+                            job.state = JobState.FAILED
+                            failure_cause = "walltime"
+                    except Interrupt as intr:
+                        if job.resilient:
+                            job.nodes = [n for n in job.nodes if n.is_up]
+                            continue
+                        job.state = JobState.FAILED
+                        failure_cause = intr.cause
+                    break
+            else:
+                yield from self._run_payload_race(job, request)
+                failure_cause = job.failure_cause
         except BaseException as exc:  # payload raised (propagated via any_of)
             job.state = JobState.FAILED
             failure_cause = exc
@@ -392,6 +459,39 @@ class BatchScheduler:
                 span.tag(state=job.state.value).finish()
             job.completion.succeed(job)
             self._kick()
+
+    def _run_payload_race(self, job: Job, request: ResourceRequest):
+        """Legacy execution shape: a payload process raced against a
+        walltime timeout (kept for ``work=`` jobs, and as the reference
+        semantics the direct-timer fast path must reproduce)."""
+        payload = self.env.process(self._payload(job), name=f"payload:{job.job_id}")
+        walltime = self.env.timeout(request.walltime_s)
+        # simlint: disable=RES002 -- not a retry: pilot jobs absorb node-death interrupts and keep waiting on the survivors; task-level retries go through RetryPolicy in the engines
+        while True:
+            try:
+                yield self.env.any_of([payload, walltime])
+            except Interrupt as intr:
+                # A node under this job died.  Resilient (pilot)
+                # jobs shrug and keep running on the survivors;
+                # plain jobs fail.
+                if job.resilient and payload.is_alive:
+                    job.nodes = [n for n in job.nodes if n.is_up]
+                    continue
+                job.state = JobState.FAILED
+                job.failure_cause = intr.cause
+                if payload.is_alive:
+                    payload.interrupt(cause=intr.cause)
+                break
+            if payload.is_alive:  # walltime fired first
+                payload.interrupt(cause="walltime")
+                job.state = JobState.FAILED
+                job.failure_cause = "walltime"
+            elif payload.ok:
+                job.state = JobState.COMPLETED
+            else:
+                job.state = JobState.FAILED
+                job.failure_cause = payload.value
+            break
 
     def _payload(self, job: Job):
         """The job's actual work, scaled by the slowest granted node."""

@@ -102,10 +102,23 @@ class SchedulingStrategy:
 
         A strategy may return ``None`` to *decline* placing this pod in
         this cycle (delay scheduling: wait for a preferred node to free
-        up).  The scheduler re-evaluates on the next completion and on
-        a periodic recheck tick, so declining cannot deadlock.
+        up).  The scheduler re-evaluates on the next capacity change;
+        a declining strategy whose patience is *time*-bounded must also
+        implement :meth:`wake_deadline_s` so the expiry is honoured
+        even when no capacity changes — declining cannot deadlock.
         """
         return min(candidates, key=lambda n: (n.free_cores, n.id))
+
+    def wake_deadline_s(
+        self, pod: Pod, scheduler: "KubeScheduler"
+    ) -> Optional[float]:
+        """Absolute simulated time at which a pod this strategy just
+        *declined* should be reconsidered even if no capacity-change
+        signal arrives (e.g. delay-scheduling patience expiring).  The
+        scheduler arms one exact one-shot timer for the earliest such
+        deadline — there is no periodic recheck poll.  ``None`` (the
+        default) means capacity/submit/quarantine signals suffice."""
+        return None
 
     def stage_cost_s(self, pod: Pod, node: Node, scheduler: "KubeScheduler") -> float:
         """Extra seconds the pod pays before running on ``node``
@@ -122,22 +135,40 @@ class FifoStrategy(SchedulingStrategy):
 
 
 class KubeScheduler:
-    """Bin-packing pod scheduler over a heterogeneous cluster."""
+    """Bin-packing pod scheduler over a heterogeneous cluster.
+
+    Fully event-driven: the scheduling loop sleeps on a single
+    ``_wake`` event that submits, pod completions (capacity release),
+    quarantine releases and strategy swaps trigger — there is no fixed
+    ``recheck_s`` polling tick.  Strategy declines with a time-bounded
+    patience are honoured through the
+    :meth:`SchedulingStrategy.wake_deadline_s` hook: the scheduler arms
+    one exact one-shot timer for the earliest requested deadline.
+
+    Placement is incremental: a pod class (cores, gpus, memory) that
+    found zero fitting nodes is memoized against a capacity-gain
+    version, and later passes skip the O(nodes) candidate scan for
+    that class until capacity is gained.  Exactness: every gain
+    channel bumps the version — pod release (local counter), whole-node
+    idle/recover/new-node (the cluster free pool's version), quarantine
+    release (local counter) — and between bumps capacity only shrinks,
+    which cannot create a fit.
+    """
+
+    #: Differential-test knob: the reference subclass disables the
+    #: blocked-class memo to recover full-scan-per-pass behaviour.
+    _memoize = True
 
     def __init__(
         self,
         env: Environment,
         cluster: Cluster,
         strategy: Optional[SchedulingStrategy] = None,
-        recheck_s: float = 5.0,
         node_health=None,
     ):
-        if recheck_s <= 0:
-            raise ValueError("recheck_s must be positive")
         self.env = env
         self.cluster = cluster
         self.strategy = strategy or FifoStrategy()
-        self.recheck_s = recheck_s
         #: Optional :class:`~repro.resilience.NodeHealth`; quarantined
         #: nodes are dropped from every pod's candidate list.  Engines
         #: that carry a health object install it here at construction.
@@ -146,7 +177,16 @@ class KubeScheduler:
         self.running: OrderedSet = OrderedSet()
         self.finished: list[Pod] = []
         self._wake = env.event()
-        self._recheck_armed = False
+        #: Pod classes with zero fitting nodes, memoized against the
+        #: capacity-gain version they were observed at.
+        self._blocked: dict[tuple, int] = {}
+        #: Local capacity gains the free pool cannot see: fractional
+        #: pod releases and quarantine releases.
+        self._gain_version = 0
+        #: Earliest armed strategy wake deadline (inf = none armed).
+        self._deadline_armed_at = float("inf")
+        if node_health is not None:
+            node_health.watch_release(self._on_quarantine_release)
         env.process(self._scheduler_loop(), name="kube-scheduler")
 
     # -- client API ------------------------------------------------------------
@@ -159,20 +199,25 @@ class KubeScheduler:
         pod.completion = self.env.event()
         self.pending.append(pod)
         tracer = self.env.tracer
-        tracer.instant(
-            "submit",
-            category="rm.pod",
-            component="kube",
-            tags={"pod": pod.name, "cores": pod.cores},
-        )
-        tracer.metrics.gauge("pending_pods", component="kube").set(
-            self.env.now, len(self.pending)
-        )
+        if tracer.enabled:
+            tracer.instant(
+                "submit",
+                category="rm.pod",
+                component="kube",
+                tags={"pod": pod.name, "cores": pod.cores},
+            )
+            tracer.metrics.gauge("pending_pods", component="kube").set(
+                self.env.now, len(self.pending)
+            )
         self._kick()
         return pod
 
     def set_strategy(self, strategy: SchedulingStrategy) -> None:
-        """Swap the scheduling strategy (how CWS installs itself)."""
+        """Swap the scheduling strategy (how CWS installs itself).
+
+        Fit memos survive the swap: the blocked-class verdict is pure
+        capacity ("no node fits"), which no strategy can change.
+        """
         self.strategy = strategy
         self._kick()
 
@@ -192,8 +237,19 @@ class KubeScheduler:
             yield self._wake
             self._wake = self.env.event()
 
+    def _capacity_version(self) -> int:
+        return self.cluster.free_pool.version + self._gain_version
+
+    def _on_quarantine_release(self, node_id: str) -> None:
+        """Probation ended: eligibility grew, so blocked classes may
+        fit again — bump the gain version and re-run the pass."""
+        self._gain_version += 1
+        self._kick()
+
     def _try_schedule(self) -> None:
-        declined = False
+        deadline = float("inf")  # earliest strategy-requested re-look
+        version = self._capacity_version()
+        memoize = self._memoize
         progressed = True
         while progressed:
             progressed = False
@@ -206,6 +262,13 @@ class KubeScheduler:
                 else ()
             )
             for pod in ordered:
+                key = (pod.cores, pod.gpus, pod.memory_gb)
+                if memoize and self._blocked.get(key) == version:
+                    # No capacity gained since this class last found
+                    # zero candidates; the scan would find zero again.
+                    # (Binds within this pass only shrink capacity, so
+                    # the memo stays exact mid-pass.)
+                    continue
                 candidates = [
                     n
                     for n in self.cluster.nodes
@@ -213,27 +276,27 @@ class KubeScheduler:
                     and n.fits(pod.cores, pod.gpus, pod.memory_gb)
                 ]
                 if not candidates:
-                    # A quarantine can starve a pod with no completion
-                    # event ever waking us; poll until probation lifts.
-                    if avoid:
-                        declined = True
+                    if memoize:
+                        self._blocked[key] = version
                     continue
                 node = self.strategy.select_node(pod, candidates, self)
                 if node is None:  # delay scheduling: pod waits
-                    declined = True
+                    when = self.strategy.wake_deadline_s(pod, self)
+                    if when is not None and self.env.now < when < deadline:
+                        deadline = when
                     continue
                 self._bind(pod, node)
                 progressed = True
                 break  # re-prioritize after each placement
-        if declined and not self._recheck_armed:
-            # Guarantee the declined pods get another look even if no
-            # completion happens soon (e.g. their patience expiring).
-            self._recheck_armed = True
-            self.env.process(self._recheck(), name="kube-recheck")
+        if deadline < self._deadline_armed_at:
+            # One exact one-shot timer for the earliest patience expiry
+            # — event-driven, not a polling tick.
+            self._deadline_armed_at = deadline
+            self.env.process(self._deadline_wake(deadline), name="kube-deadline")
 
-    def _recheck(self):
-        yield self.env.timeout(self.recheck_s)
-        self._recheck_armed = False
+    def _deadline_wake(self, at: float):
+        yield self.env.timeout(at - self.env.now)
+        self._deadline_armed_at = float("inf")
         self._kick()
 
     # -- pod execution ---------------------------------------------------------------
@@ -244,20 +307,21 @@ class KubeScheduler:
         pod.start_time = self.env.now
         pod.node = node
         tracer = self.env.tracer
-        tracer.metrics.gauge("pending_pods", component="kube").set(
-            self.env.now, len(self.pending)
-        )
-        pod._obs_span = tracer.start(
-            pod.name,
-            category="rm.pod",
-            component="kube",
-            tags={
-                "node": node.id,
-                "cores": pod.cores,
-                "gpus": pod.gpus,
-                "strategy": self.strategy.name,
-            },
-        )
+        if tracer.enabled:
+            tracer.metrics.gauge("pending_pods", component="kube").set(
+                self.env.now, len(self.pending)
+            )
+            pod._obs_span = tracer.start(
+                pod.name,
+                category="rm.pod",
+                component="kube",
+                tags={
+                    "node": node.id,
+                    "cores": pod.cores,
+                    "gpus": pod.gpus,
+                    "strategy": self.strategy.name,
+                },
+            )
         # Allocate synchronously so this scheduling pass sees the node's
         # reduced capacity before placing the next pod.
         alloc = node.allocate(
@@ -312,4 +376,7 @@ class KubeScheduler:
             if span is not None:
                 span.tag(state=pod.state.value).finish()
             pod.completion.succeed(pod)
+            # Fractional capacity gain the free pool's whole-node
+            # version cannot see; invalidates blocked-class memos.
+            self._gain_version += 1
             self._kick()

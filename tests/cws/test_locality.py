@@ -206,7 +206,36 @@ class TestDelayScheduling:
         # after ~20s patience, paid the 10s transfer.
         assert offnode[0].start_time < 100
 
-    def test_recheck_validation(self):
+    def test_patience_expiry_is_exact_not_grid_aligned(self):
+        """The event-driven scheduler re-examines a declined pod at its
+        exact patience deadline (a one-shot wake_deadline_s timer), not
+        on the old 5 s recheck grid: with delay_s=7.0 the give-up
+        happens at decline_time + 7.0 even though 7.0 is off-grid."""
         env = Environment()
-        with pytest.raises(ValueError):
-            KubeScheduler(env, homogeneous_cluster(env), recheck_s=0)
+        cluster = homogeneous_cluster(env, nodes=2)
+        sched = KubeScheduler(env, cluster)
+        cwsi = CWSI(env, sched, strategy="locality")
+        sched.strategy.delay_s = 7.0  # deliberately not a 5s multiple
+        engine = NextflowLikeEngine(env, sched, cwsi=cwsi)
+
+        wf = Workflow("exact")
+        big = File("big.dat", 12.5 * GB)  # 10s transfer
+        wf.add_task(TaskSpec("producer", runtime_s=10, outputs=(big,)))
+        wf.add_task(TaskSpec("blocker", runtime_s=300, cores=4,
+                             inputs=(big.name,)))
+        wf.add_task(TaskSpec("consumer", runtime_s=10, cores=4,
+                             inputs=(big.name,)))
+        run = engine.run(wf)
+        env.run(until=run.done)
+        assert run.succeeded
+        rec = run.records
+        offnode = [r for r in (rec["blocker"], rec["consumer"])
+                   if r.node_id != rec["producer"].node_id]
+        assert len(offnode) == 1
+        # Declined the moment the producer's node filled (producer done
+        # at t=10), re-examined at exactly t=10+7, paid the transfer.
+        give_up = rec["producer"].end_time + 7.0
+        assert offnode[0].start_time in (
+            pytest.approx(give_up),            # record starts at bind
+            pytest.approx(give_up + 10.0),     # or after the staging
+        )

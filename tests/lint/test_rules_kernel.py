@@ -200,3 +200,92 @@ class TestKER005DirectHeapImport:
             from repro.simkernel.queueing import heap_pop, heap_push
         """
         assert check(src, rule="KER005", relpath=self.KERNEL_MOD) == []
+
+
+class TestKER006FixedIntervalPoll:
+    def test_fires_on_poll_loop(self, check):
+        src = """
+            def run(self):
+                while True:
+                    yield self.env.timeout(5.0)
+                    self._try_schedule()
+        """
+        found = check(src, rule="KER006")
+        assert len(found) == 1
+        assert "polling" in found[0].message
+
+    def test_fires_on_int_interval(self, check):
+        src = """
+            def watch(env, pool):
+                while True:
+                    yield env.timeout(1)
+                    pool.refresh()
+        """
+        assert len(check(src, rule="KER006")) == 1
+
+    def test_silent_with_additional_wake_event(self, check):
+        # Event-driven with a timeout fallback: the loop also waits on
+        # the event that changes the polled state.
+        src = """
+            def run(self):
+                while True:
+                    yield self._wake | self.env.timeout(30.0)
+                    self._wake = self.env.event()
+                    self._try_schedule()
+        """
+        assert check(src, rule="KER006") == []
+
+    def test_silent_on_variable_interval(self, check):
+        # Backoff / configurable delays are not a fixed poll grid.
+        src = """
+            def run(self, env, delay):
+                while True:
+                    yield env.timeout(delay)
+                    delay = delay * 2
+        """
+        assert check(src, rule="KER006") == []
+
+    def test_silent_on_bounded_loop(self, check):
+        # Only while-True loops are polls; a counted retry loop is not.
+        src = """
+            def run(env, attempts):
+                while attempts > 0:
+                    yield env.timeout(5.0)
+                    attempts -= 1
+        """
+        assert check(src, rule="KER006") == []
+
+    def test_silent_without_yields(self, check):
+        src = """
+            def spin(queue):
+                while True:
+                    if not queue:
+                        break
+                    queue.pop()
+        """
+        assert check(src, rule="KER006") == []
+
+    def test_ignores_yields_in_nested_defs(self, check):
+        # The helper generator's timeout yield belongs to the nested
+        # def, not the while-True body.
+        src = """
+            def run(self):
+                while True:
+                    def ticker(env):
+                        yield env.timeout(5.0)
+                    yield self._wake
+                    self._try_schedule()
+        """
+        assert check(src, rule="KER006") == []
+
+    def test_scoped_out_of_tests_and_benchmarks(self, check):
+        # Fixed-interval background load generators are legitimate
+        # outside production scheduler code.
+        src = """
+            def load(env, sched):
+                while True:
+                    yield env.timeout(10.0)
+                    sched.submit(make_job())
+        """
+        for relpath in ("tests/test_load.py", "benchmarks/perf/harness.py"):
+            assert check(src, rule="KER006", relpath=relpath) == []

@@ -1,0 +1,292 @@
+"""Differential tests: scheduler fast paths vs reference behavior.
+
+The event-driven PR gave both schedulers fast paths that change cost,
+not decisions:
+
+- **coalesced wakeups + negative-fit memoization** (``_memoize``),
+  which skip whole scheduling passes and per-class placement scans.
+  Contract: *fully* identical — same placements (node identity
+  included), timings, states.
+- **the duration-job direct timer** in :class:`BatchScheduler`
+  (``_direct_timers``), replacing the payload-process/walltime race
+  with one kernel timeout.  Contract: whenever no two jobs complete at
+  the same simulated instant, the result is *fully* identical.  At a
+  same-instant completion collision, the jobs release their nodes in a
+  different within-instant order than the legacy race chain, so which
+  of several equally free nodes a concurrent pass grants can permute —
+  and under EASY backfill that identity feeds the head job's
+  reservation, permuting between two equally valid FIFO+backfill
+  schedules.  The continuous-duration workloads below make collisions
+  measure-zero and assert full identity; the golden digests
+  (tests/golden, which DO contain collision-heavy scenarios) stay
+  byte-identical with the fast path on, pinning the curated behavior.
+
+Each fast path is a class attribute, so a trivial subclass recovers
+the reference pass-per-wakeup / race-per-job behavior.  These tests
+run seeded randomized workloads through both and assert the contracts
+above — the acceptance argument that coalescing and memoization make
+identical placement decisions to pass-per-wakeup scheduling.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster import Cluster, FaultInjector, NodeSpec
+from repro.resilience import NodeHealth
+from repro.rm import BatchScheduler, Job, JobState, KubeScheduler, ResourceRequest
+from repro.rm.kube import Pod
+from repro.simkernel import Environment
+
+
+class ReferenceBatch(BatchScheduler):
+    """Pre-fast-path batch scheduler: full scans, job-process races."""
+
+    _direct_timers = False
+    _memoize = False
+
+
+class CoalescedOnlyBatch(BatchScheduler):
+    """Memoized, coalesced scheduling over the legacy execution shape —
+    isolates the scheduling fast path from the direct-timer change."""
+
+    _direct_timers = False
+    _memoize = True
+
+
+class ReferenceKube(KubeScheduler):
+    """Pre-fast-path kube scheduler: every pass scans every pod."""
+
+    _memoize = False
+
+
+# -- workload generation ----------------------------------------------------------
+
+
+def batch_workload(seed, n_jobs=60):
+    """Seeded job specs: mixed sizes, some walltime kills, staggered
+    arrivals, a sprinkle of resilient jobs."""
+    rng = random.Random(seed)
+    specs = []
+    for i in range(n_jobs):
+        duration = rng.choice([5, 10, 30, 60, 120, 240])
+        # ~1 in 6 jobs exceeds its walltime and gets killed.
+        walltime = duration * rng.choice([2, 2, 3, 4, 4, 0.5])
+        specs.append(
+            dict(
+                nodes=rng.choice([1, 1, 1, 2, 3]),
+                cores=rng.choice([1, 2, 4, 8]),
+                walltime_s=max(walltime, 1.0),
+                duration=duration,
+                resilient=rng.random() < 0.2,
+                gap=rng.choice([0.0, 0.0, 1.0, 5.0, 17.0]),
+            )
+        )
+    return specs
+
+
+def batch_workload_continuous(seed, n_jobs=60):
+    """Like :func:`batch_workload` but with continuous durations, gaps
+    and walltimes, so no two jobs ever complete at the same instant —
+    the regime where the direct timer must be exactly equivalent."""
+    rng = random.Random(seed)
+    specs = []
+    for i in range(n_jobs):
+        duration = rng.uniform(4.0, 240.0)
+        walltime = duration * rng.choice([2.1, 2.3, 3.7, 4.1, 0.53])
+        specs.append(
+            dict(
+                nodes=rng.choice([1, 1, 1, 2, 3]),
+                cores=rng.choice([1, 2, 4, 8]),
+                walltime_s=max(walltime, 1.0),
+                duration=duration,
+                resilient=rng.random() < 0.2,
+                gap=rng.uniform(0.0, 11.0),
+            )
+        )
+    return specs
+
+
+def run_batch(sched_cls, specs, env_setup=None):
+    env = Environment()
+    cluster = Cluster(env, pools=[(NodeSpec("n", cores=8, memory_gb=64), 6)])
+    health = NodeHealth(env, strikes=2, probation_s=50.0)
+    sched = sched_cls(env, cluster, node_health=health)
+    if env_setup is not None:
+        env_setup(env, cluster)
+    jobs = [
+        Job(
+            request=ResourceRequest(
+                nodes=s["nodes"],
+                cores_per_node=s["cores"],
+                walltime_s=s["walltime_s"],
+            ),
+            duration=s["duration"],
+            resilient=s["resilient"],
+            name=f"j{i:03d}",
+        )
+        for i, s in enumerate(specs)
+    ]
+
+    def submitter():
+        for job, s in zip(jobs, specs):
+            if s["gap"]:
+                yield env.timeout(s["gap"])
+            sched.submit(job)
+
+    env.process(submitter(), name="submitter")
+    env.run()
+    return [
+        (
+            j.name,
+            j.state,
+            tuple(n.id for n in j.nodes),
+            j.start_time,
+            j.end_time,
+            j.failure_cause if isinstance(j.failure_cause, str) else None,
+        )
+        for j in jobs
+    ]
+
+
+def kube_workload(seed, n_pods=80):
+    rng = random.Random(seed)
+    specs = []
+    for i in range(n_pods):
+        specs.append(
+            dict(
+                cores=rng.choice([1, 1, 2, 4]),
+                memory_gb=rng.choice([1.0, 2.0, 8.0]),
+                duration=rng.choice([3, 10, 25, 70]),
+                gap=rng.choice([0.0, 0.0, 0.0, 2.0, 9.0]),
+            )
+        )
+    return specs
+
+
+def run_kube(sched_cls, specs, env_setup=None):
+    env = Environment()
+    cluster = Cluster(env, pools=[(NodeSpec("k", cores=4, memory_gb=16), 4)])
+    sched = sched_cls(env, cluster)
+    if env_setup is not None:
+        env_setup(env, cluster)
+    pods = [
+        Pod(
+            cores=s["cores"],
+            memory_gb=s["memory_gb"],
+            duration=s["duration"],
+            name=f"p{i:03d}",
+        )
+        for i, s in enumerate(specs)
+    ]
+
+    def submitter():
+        for pod, s in zip(pods, specs):
+            if s["gap"]:
+                yield env.timeout(s["gap"])
+            sched.submit(pod)
+
+    env.process(submitter(), name="submitter")
+    env.run()
+    return [
+        (p.name, p.state, p.node.id if p.node else None, p.start_time, p.end_time)
+        for p in pods
+    ]
+
+
+# -- the differential assertions --------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(6))
+class TestBatchCoalescingDifferential:
+    """Coalesced, memoized scheduling == pass-per-wakeup scheduling,
+    down to node identity."""
+
+    def test_identical_decisions(self, seed):
+        specs = batch_workload(seed)
+        coalesced = run_batch(CoalescedOnlyBatch, specs)
+        ref = run_batch(ReferenceBatch, specs)
+        assert coalesced == ref
+
+    def test_identical_decisions_under_faults(self, seed):
+        """Node deaths exercise resilient retries and the memo
+        invalidation on recovery / quarantine release."""
+        specs = batch_workload(seed, n_jobs=40)
+
+        def inject(env, cluster):
+            FaultInjector(
+                env,
+                cluster,
+                schedule=[(40.0, "n-00001"), (90.0, "n-00003")],
+                downtime=60.0,
+            )
+
+        coalesced = run_batch(CoalescedOnlyBatch, specs, env_setup=inject)
+        ref = run_batch(ReferenceBatch, specs, env_setup=inject)
+        assert coalesced == ref
+
+
+@pytest.mark.parametrize("seed", range(6))
+class TestBatchDirectTimerDifferential:
+    """Collision-free workloads: the direct timer must reproduce the
+    legacy race bit-for-bit, node identity included (see module
+    docstring for the collision caveat)."""
+
+    def test_identical_decisions(self, seed):
+        specs = batch_workload_continuous(seed)
+        fast = run_batch(BatchScheduler, specs)
+        ref = run_batch(ReferenceBatch, specs)
+        assert fast == ref
+
+    def test_identical_decisions_under_faults(self, seed):
+        specs = batch_workload_continuous(seed, n_jobs=40)
+
+        def inject(env, cluster):
+            FaultInjector(
+                env,
+                cluster,
+                schedule=[(40.0, "n-00001"), (90.0, "n-00003")],
+                downtime=60.0,
+            )
+
+        fast = run_batch(BatchScheduler, specs, env_setup=inject)
+        ref = run_batch(ReferenceBatch, specs, env_setup=inject)
+        assert fast == ref
+
+
+@pytest.mark.parametrize("seed", range(6))
+class TestKubeDifferential:
+    """The kube scheduler's only fast path is memoized coalesced
+    scheduling, so the differential is full identity."""
+
+    def test_identical_decisions(self, seed):
+        specs = kube_workload(seed)
+        fast = run_kube(KubeScheduler, specs)
+        ref = run_kube(ReferenceKube, specs)
+        assert fast == ref
+
+    def test_identical_decisions_under_faults(self, seed):
+        specs = kube_workload(seed, n_pods=50)
+
+        def inject(env, cluster):
+            FaultInjector(
+                env, cluster, schedule=[(20.0, "k-00000")], downtime=30.0
+            )
+
+        fast = run_kube(KubeScheduler, specs, env_setup=inject)
+        ref = run_kube(ReferenceKube, specs, env_setup=inject)
+        assert fast == ref
+
+
+class TestFastPathFlagsExist:
+    """The knobs the differential relies on stay real attributes (a
+    typo'd override would silently test fast vs fast)."""
+
+    def test_flags(self):
+        assert BatchScheduler._direct_timers is True
+        assert BatchScheduler._memoize is True
+        assert KubeScheduler._memoize is True
+        assert ReferenceBatch._direct_timers is False
+        assert ReferenceBatch._memoize is False
+        assert CoalescedOnlyBatch._direct_timers is False
+        assert ReferenceKube._memoize is False

@@ -1,0 +1,103 @@
+"""Edge-case tests for rm.util.OrderedSet.
+
+The schedulers' queues depend on two properties the class docstring
+promises: list-like insertion order under churn, and O(1) membership
+ops that behave like ``set`` (idempotent-append aside).
+"""
+
+import pytest
+
+from repro.rm.util import OrderedSet
+
+
+class Item:
+    """Identity-hashed stand-in for Job/Pod lifecycle objects."""
+
+    def __init__(self, tag):
+        self.tag = tag
+
+    def __repr__(self):
+        return f"Item({self.tag})"
+
+
+class TestBasics:
+    def test_append_contains_len_iter(self):
+        a, b = Item("a"), Item("b")
+        s = OrderedSet([a])
+        s.append(b)
+        assert a in s and b in s
+        assert len(s) == 2
+        assert list(s) == [a, b]
+
+    def test_add_is_append(self):
+        s = OrderedSet()
+        s.add(1)
+        assert list(s) == [1]
+
+    def test_remove_missing_raises(self):
+        s = OrderedSet([1])
+        with pytest.raises(KeyError):
+            s.remove(2)
+
+    def test_discard_missing_is_noop(self):
+        s = OrderedSet([1])
+        s.discard(2)
+        assert list(s) == [1]
+
+
+class TestOrderUnderChurn:
+    def test_readd_after_discard_moves_to_end(self):
+        """A member removed and re-added is *new*: it re-enters at the
+        tail, exactly like the list-based queues behaved."""
+        a, b, c = Item("a"), Item("b"), Item("c")
+        s = OrderedSet([a, b, c])
+        s.discard(b)
+        s.append(b)
+        assert list(s) == [a, c, b]
+
+    def test_duplicate_append_keeps_original_position(self):
+        """Appending an existing member is a no-op for order (dict
+        insertion-order semantics), unlike remove+append."""
+        a, b = Item("a"), Item("b")
+        s = OrderedSet([a, b])
+        s.append(a)
+        assert list(s) == [a, b]
+        assert len(s) == 2
+
+    def test_iteration_order_after_heavy_churn(self):
+        """Interleaved appends and removals preserve relative order of
+        survivors — the FIFO invariant the schedulers rely on."""
+        items = [Item(i) for i in range(20)]
+        s = OrderedSet()
+        expected = []
+        for i, it in enumerate(items):
+            s.append(it)
+            expected.append(it)
+            if i % 3 == 2:  # evict an early survivor
+                victim = expected.pop(0)
+                s.remove(victim)
+        assert list(s) == expected
+
+    def test_safe_removal_during_snapshot_iteration(self):
+        """The scheduler pattern: snapshot via list(), then mutate."""
+        items = [Item(i) for i in range(5)]
+        s = OrderedSet(items)
+        for it in list(s):
+            if it.tag % 2 == 0:
+                s.remove(it)
+        assert [i.tag for i in s] == [1, 3]
+
+
+class TestConstruction:
+    def test_init_dedups_preserving_first_occurrence(self):
+        s = OrderedSet([3, 1, 3, 2, 1])
+        assert list(s) == [3, 1, 2]
+
+    def test_empty(self):
+        s = OrderedSet()
+        assert len(s) == 0
+        assert list(s) == []
+        assert 1 not in s
+
+    def test_repr_round_trips_order(self):
+        assert repr(OrderedSet([2, 1])) == "OrderedSet([2, 1])"

@@ -94,12 +94,18 @@ def test_speedup_section():
 
 def test_committed_report_meets_issue_targets():
     """The committed BENCH_PERF.json must carry the before/after evidence
-    the ISSUE requires: >=3x on the 10k-small-jobs scenario and >=1.5x on
-    full-scale E3 (entk_frontier), measured on the same machine."""
+    the scheduler-fast-path ISSUE requires: same-machine speedup >= 2x vs
+    the embedded pre-fast-path baseline on at least two of the
+    end-to-end scenarios {entk_frontier, sched_small_jobs, jaws_shards}.
+    (The earlier indexed-scheduler evidence vs the seed baseline lives in
+    git history; the baseline embedded now is the pre-fast-path report.)"""
     path = Path(__file__).resolve().parents[1] / "benchmarks/results/BENCH_PERF.json"
     doc = json.loads(path.read_text())
     assert doc["schema"] == BENCH_PERF_SCHEMA
-    assert "baseline" in doc, "BENCH_PERF.json must embed the seed baseline"
+    assert "baseline" in doc, "BENCH_PERF.json must embed a baseline"
     full = doc["speedup"]["full"]
-    assert full["sched_small_jobs"] >= 3.0
-    assert full["entk_frontier"] >= 1.5
+    e2e = ["entk_frontier", "sched_small_jobs", "jaws_shards"]
+    at_2x = [name for name in e2e if full[name] >= 2.0]
+    assert len(at_2x) >= 2, f"only {at_2x} cleared 2x: {[full[n] for n in e2e]}"
+    # Every e2e scenario moved forward; none regressed to fund the others.
+    assert all(full[name] >= 1.0 for name in e2e), full
