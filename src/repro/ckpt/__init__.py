@@ -1,0 +1,87 @@
+"""Deterministic checkpoint/resume for long simulated runs.
+
+Two modes share one snapshot format (:mod:`repro.ckpt.format`):
+
+- **Legacy / replay-token** (:mod:`repro.ckpt.runner`): the pinned
+  E1–E8 scenarios run unmodified; snapshots record a spill cursor plus
+  state fingerprints, and resume re-executes deterministically from
+  t=0, verifying the surviving prefix byte-for-byte and the component
+  fingerprints at the snapshot instant.
+- **Native / state-restore** (:mod:`repro.ckpt.native`): workloads
+  built from registered process factories snapshot explicit state
+  dicts and resume by re-entering the factories in a fresh kernel at
+  the snapshot instant — no replay, constant resume cost.
+
+Crash-injection proof lives in ``tests/chaos`` and the ``ckpt-smoke``
+CI job; the format and invariants are documented in
+``docs/CHECKPOINT.md``.
+"""
+
+from repro.ckpt.format import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    FingerprintMismatch,
+    SnapshotError,
+    SnapshotVersionError,
+    TornSnapshotError,
+    canonical_json,
+    fingerprint_digest,
+    latest_snapshot,
+    list_snapshots,
+    prune_snapshots,
+    read_manifest,
+    read_snapshot,
+    write_manifest,
+    write_snapshot,
+)
+from repro.ckpt.coordinator import (
+    CheckpointCoordinator,
+    SnapshotTrigger,
+    collect_fingerprints,
+    verify_fingerprints,
+)
+from repro.ckpt.runner import (
+    CkptResult,
+    DEFAULT_CADENCE,
+    baseline_digest,
+    resume,
+    run_checkpointed,
+    trace_digest_from_spill,
+    trace_digest_from_tracer,
+    verdict_digest,
+)
+from repro.ckpt.native import resume_native, run_native
+from repro.ckpt.workload import WorkloadConfig
+
+__all__ = [
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "CheckpointCoordinator",
+    "CkptResult",
+    "DEFAULT_CADENCE",
+    "FingerprintMismatch",
+    "SnapshotError",
+    "SnapshotTrigger",
+    "SnapshotVersionError",
+    "TornSnapshotError",
+    "baseline_digest",
+    "canonical_json",
+    "collect_fingerprints",
+    "fingerprint_digest",
+    "latest_snapshot",
+    "list_snapshots",
+    "prune_snapshots",
+    "read_manifest",
+    "read_snapshot",
+    "resume",
+    "resume_native",
+    "run_checkpointed",
+    "run_native",
+    "WorkloadConfig",
+    "trace_digest_from_spill",
+    "trace_digest_from_tracer",
+    "verdict_digest",
+    "verify_fingerprints",
+    "write_manifest",
+    "write_snapshot",
+]

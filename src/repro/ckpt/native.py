@@ -1,0 +1,219 @@
+"""Native checkpoint mode: true state restore, no replay.
+
+The legacy runner (:mod:`repro.ckpt.runner`) re-executes from t=0 and
+verifies; this mode restores.  It only works for workloads that follow
+the disciplines in :mod:`repro.ckpt.workload` (explicit state dicts,
+registered factories, absolute-time waits, off-grid event times,
+op_seq ordering) — in exchange, resume cost is constant instead of
+proportional to simulated progress: a run killed six simulated days in
+re-enters at the last snapshot instant, not at t=0.
+
+A native snapshot's payload is the complete resumable state:
+
+- every live process's state dict (factory name + position),
+- the Store's item queue,
+- the tracer's id counters,
+- the spill cursor (records durable before the snapshot).
+
+``resume_native`` truncates the spill back to the cursor (records the
+crashed run emitted after its last snapshot will be re-simulated),
+builds a fresh ``Environment(initial_time=t)``, restores items and
+processes, and continues — the final trace digest is byte-identical to
+an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.obs import enable_tracing
+from repro.obs.stream import JsonlSpillSink, TeeSink, truncate_spill
+from repro.simkernel import Environment
+
+from repro.ckpt.coordinator import CheckpointCoordinator
+from repro.ckpt.format import (
+    SnapshotError,
+    latest_snapshot,
+    read_manifest,
+    write_manifest,
+    write_snapshot,
+)
+from repro.ckpt.runner import SPILL_DIR, CkptResult, trace_digest_from_spill
+from repro.ckpt.workload import (
+    WorkloadConfig,
+    WorkloadContext,
+    build_workload,
+    restore_workload,
+)
+
+WORKLOAD_NAME = "producer-consumer"
+
+
+def _tracing_sink(spill: JsonlSpillSink, extra_sinks: tuple):
+    return TeeSink(spill, *extra_sinks) if extra_sinks else spill
+
+
+def run_native(
+    directory,
+    config: Optional[WorkloadConfig] = None,
+    cadence: float = 50.0,
+    segment_records: int = 500,
+    extra_sinks: tuple = (),
+) -> CkptResult:
+    """Run the reference workload with native snapshots into ``directory``."""
+    directory = str(directory)
+    os.makedirs(directory, exist_ok=True)
+    if read_manifest(directory) is not None:
+        raise SnapshotError(
+            f"{directory!r} already holds a checkpointed run; use "
+            "resume_native() to continue it"
+        )
+    config = config if config is not None else WorkloadConfig()
+    manifest = {
+        "kind": "native",
+        "workload": WORKLOAD_NAME,
+        "config": config.to_dict(),
+        "cadence": float(cadence),
+        "segment_records": int(segment_records),
+        "completed": False,
+    }
+    write_manifest(directory, manifest)
+    spill = JsonlSpillSink(
+        os.path.join(directory, SPILL_DIR), segment_records=segment_records
+    )
+    env = Environment()
+    enable_tracing(env, sink=_tracing_sink(spill, extra_sinks))
+    ctx = WorkloadContext(env, config)
+    build_workload(env, ctx)
+    return _drive(directory, manifest, env, ctx, spill, start_index=0)
+
+
+def resume_native(directory, extra_sinks: tuple = ()) -> CkptResult:
+    """Continue an interrupted native run from its newest valid snapshot."""
+    directory = str(directory)
+    manifest = read_manifest(directory)
+    if manifest is None:
+        raise SnapshotError(f"{directory!r} has no checkpoint manifest")
+    if manifest.get("kind") != "native":
+        raise SnapshotError(
+            f"{directory!r} holds a {manifest.get('kind')!r} run; use "
+            "repro.ckpt.resume() for scenario checkpoints"
+        )
+    spill_dir = os.path.join(directory, SPILL_DIR)
+    if manifest.get("completed"):
+        return CkptResult(
+            bench_id=WORKLOAD_NAME,
+            directory=directory,
+            digest=trace_digest_from_spill(spill_dir),
+            already_complete=True,
+        )
+    config = WorkloadConfig.from_dict(manifest["config"])
+    segment_records = int(manifest["segment_records"])
+    found = latest_snapshot(directory)
+
+    if found is None:
+        # Crashed before the first snapshot: nothing to restore, so
+        # wipe the partial spill and re-run from scratch.
+        if os.path.isdir(spill_dir):
+            for name in os.listdir(spill_dir):
+                os.remove(os.path.join(spill_dir, name))
+        spill = JsonlSpillSink(spill_dir, segment_records=segment_records)
+        env = Environment()
+        enable_tracing(env, sink=_tracing_sink(spill, extra_sinks))
+        ctx = WorkloadContext(env, config)
+        build_workload(env, ctx)
+        return _drive(directory, manifest, env, ctx, spill, start_index=0)
+
+    _path, body = found
+    payload = body["payload"]
+    truncate_spill(spill_dir, int(body["spill"]["records"]))
+    spill = JsonlSpillSink.reopen(
+        spill_dir, segment_records=segment_records, verify_prefix=False
+    )
+    env = Environment(initial_time=float(body["sim_time"]))
+    tracer = enable_tracing(env, sink=_tracing_sink(spill, extra_sinks))
+    tracer.restore_counters(
+        payload["tracer"]["next_id"], payload["tracer"]["n_instants"]
+    )
+    ctx = WorkloadContext(env, config)
+    ctx.store.ckpt_restore_items(payload["store"])
+    restore_workload(env, ctx, payload["states"])
+    return _drive(
+        directory,
+        manifest,
+        env,
+        ctx,
+        spill,
+        start_index=int(body["index"]),
+        resumed_from=int(body["index"]),
+    )
+
+
+def _drive(
+    directory: str,
+    manifest: dict,
+    env: Environment,
+    ctx: WorkloadContext,
+    spill: JsonlSpillSink,
+    start_index: int,
+    resumed_from: Optional[int] = None,
+) -> CkptResult:
+    cadence = float(manifest["cadence"])
+    written: list = []
+
+    def on_snapshot(index: int) -> None:
+        spill.sync()
+        write_snapshot(
+            directory,
+            {
+                "kind": "native",
+                "workload": WORKLOAD_NAME,
+                "index": index,
+                "sim_time": env.now,
+                "cadence": cadence,
+                "spill": spill.cursor(),
+                "payload": {
+                    "states": ctx.snapshot_states(),
+                    "store": ctx.store.ckpt_items(),
+                    "tracer": {
+                        "next_id": env.tracer._next_id,
+                        "n_instants": env.tracer._n_instants,
+                    },
+                },
+            },
+        )
+        written.append(index)
+
+    coordinator = CheckpointCoordinator(
+        env,
+        cadence,
+        on_snapshot,
+        horizon=ctx.config.horizon,
+        start_index=start_index,
+    )
+    env.run()
+    env.tracer.close()
+    spill_dir = os.path.join(directory, SPILL_DIR)
+    digest = trace_digest_from_spill(spill_dir)
+    final = dict(manifest)
+    final.update(
+        completed=True,
+        traced=True,
+        digest=digest,
+        records=spill.total_records,
+        snapshots=written,
+    )
+    write_manifest(directory, final)
+    return CkptResult(
+        bench_id=WORKLOAD_NAME,
+        directory=directory,
+        digest=digest,
+        snapshots=written,
+        resumed_from=resumed_from,
+        verified=resumed_from is not None,
+        repaired_tail_bytes=spill.repaired_tail_bytes,
+    )
+
+
+__all__ = ["WORKLOAD_NAME", "resume_native", "run_native"]

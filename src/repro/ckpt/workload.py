@@ -1,0 +1,229 @@
+"""The checkpoint-native reference workload: producer → Store → consumers.
+
+This is the workload family the *native* (state-restore) checkpoint
+mode is proven on.  It follows four disciplines that make true restore
+— re-entering registered factories in a fresh kernel at the snapshot
+instant, no replay — byte-deterministic:
+
+1. **Explicit state dicts.**  Every process keeps its whole resumable
+   position in a JSON-safe dict (``ctx.states[name]``), updated
+   *before* each blocking yield.  The generator's local variables are
+   derived from the dict, never the other way round — so re-entering
+   the factory with the dict reconstructs the continuation exactly.
+2. **Absolute-time waits.**  All sleeps go through
+   ``env.timeout_at(t)`` so a restored run re-arms bit-identical
+   instants (``now + delta`` re-quantizes; see ``schedule_at``).
+3. **Off-grid event times.**  Every workload event lands on ``x.125``
+   instants (integer durations over a ``0.125`` epoch offset) while the
+   snapshot cadence grid is integral — the coordinator can never
+   collide with workload events, so each snapshot sees a quiescent
+   kernel.
+4. **op_seq ordering.**  A program-level counter stamps every blocking
+   operation; restore re-creates processes sorted by their pending
+   op_seq, which reproduces the original global insertion order — and
+   therefore same-instant dispatch order and Store getter FIFO order.
+
+Spans are recorded retrospectively (``start(t=t_begin)`` +
+``finish()`` both at the work-end instant), so no span is ever open
+across a snapshot and the tracer's only resumable state is its id
+counter.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import asdict, dataclass
+
+from repro.simkernel import Environment
+from repro.simkernel.resources import Store
+
+#: All workload events happen at ``integer + EPOCH`` instants.
+EPOCH = 0.125
+
+#: Sentinel item telling a consumer to shut down.
+POISON = -1
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of one producer/consumers run (JSON round-trippable)."""
+
+    n_items: int = 120
+    n_consumers: int = 4
+    #: Coordinator retirement time; must exceed the workload makespan.
+    horizon: float = 10_000.0
+
+    def __post_init__(self):
+        if self.n_items < 1:
+            raise ValueError("n_items must be >= 1")
+        if self.n_consumers < 1:
+            raise ValueError("n_consumers must be >= 1")
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "WorkloadConfig":
+        return cls(**doc)
+
+
+def produce_gap(i: int) -> float:
+    """Integer seconds between item ``i-1`` and item ``i``."""
+    return float(1 + (i * 31) % 7)
+
+
+def work_duration(item: int, k: int) -> float:
+    """Integer service seconds for ``item`` on consumer ``k``."""
+    return float(3 + (item * 7919 + k * 104729) % 13)
+
+
+class WorkloadContext:
+    """Shared plumbing: the store, the state registry, the op counter."""
+
+    def __init__(self, env: Environment, config: WorkloadConfig):
+        self.env = env
+        self.config = config
+        self.store = Store(env)
+        #: name -> live state dict (the processes mutate these in place;
+        #: a snapshot deep-copies the non-terminated ones).
+        self.states: dict[str, dict] = {}
+        self._op_seq = 0
+
+    def next_op(self) -> int:
+        self._op_seq += 1
+        return self._op_seq
+
+    def restore_op_counter(self, states: dict) -> None:
+        """Continue the op counter past every restored stamp."""
+        self._op_seq = max(
+            (s.get("op_seq", 0) for s in states.values()), default=0
+        )
+
+    def snapshot_states(self) -> dict:
+        """Deep-copied states of every still-live process."""
+        return {
+            name: copy.deepcopy(state)
+            for name, state in self.states.items()
+            if not state.get("terminated")
+        }
+
+
+# -- process bodies ----------------------------------------------------------
+#
+# Each body takes (env, ctx, state) where ``state`` is either the fresh
+# dict built by ``build_workload`` or a restored snapshot payload; the
+# body resumes from whatever position the dict describes.
+
+
+def producer_body(env: Environment, ctx: WorkloadContext, state: dict):
+    config = ctx.config
+    total = config.n_items + config.n_consumers  # items + poison pills
+    while state["next_item"] < total:
+        state["op_seq"] = ctx.next_op()
+        yield env.timeout_at(state["t_next"])
+        i = state["next_item"]
+        ctx.store.put(POISON if i >= config.n_items else i)
+        state["next_item"] = i + 1
+        state["t_next"] = state["t_next"] + produce_gap(i + 1)
+    state["terminated"] = True
+
+
+def consumer_body(env: Environment, ctx: WorkloadContext, state: dict):
+    k = state["k"]
+    while True:
+        if state["phase"] == "get":
+            state["op_seq"] = ctx.next_op()
+            item = yield ctx.store.get()
+            if item == POISON:
+                break
+            t_begin = env.now
+            state.update(
+                phase="work",
+                item=item,
+                t_begin=t_begin,
+                t_end=t_begin + work_duration(item, k),
+            )
+        state["op_seq"] = ctx.next_op()
+        yield env.timeout_at(state["t_end"])
+        # Retrospective span: opened and closed at the work-end instant,
+        # so no span is ever open when a snapshot fires.
+        span = env.tracer.start(
+            f"item-{state['item']}",
+            category="work",
+            component=f"consumer-{k}",
+            tags={"n": state["done"]},
+            t=state["t_begin"],
+        )
+        span.finish()
+        state["done"] += 1
+        state.update(phase="get", item=None, t_begin=None, t_end=None)
+    state["terminated"] = True
+
+
+#: factory name -> body; :mod:`repro.ckpt.native` re-enters processes
+#: through this registry by the name stored in their state dict —
+#: the checkpoint-safe alternative to pickling generator frames.
+FACTORIES = {
+    "ckpt.workload.producer": producer_body,
+    "ckpt.workload.consumer": consumer_body,
+}
+
+
+def build_workload(env: Environment, ctx: WorkloadContext) -> None:
+    """Create the fresh (t=0) process population."""
+    producer_state = {
+        "factory": "ckpt.workload.producer",
+        "next_item": 0,
+        "t_next": EPOCH,
+        "op_seq": 0,
+    }
+    ctx.states["producer"] = producer_state
+    env.process(
+        producer_body(env, ctx, producer_state), name="ckpt-producer"
+    )
+    for k in range(ctx.config.n_consumers):
+        state = {
+            "factory": "ckpt.workload.consumer",
+            "k": k,
+            "phase": "get",
+            "item": None,
+            "t_begin": None,
+            "t_end": None,
+            "done": 0,
+            "op_seq": 0,
+        }
+        ctx.states[f"consumer-{k}"] = state
+        env.process(consumer_body(env, ctx, state), name=f"ckpt-consumer-{k}")
+
+
+def restore_workload(env: Environment, ctx: WorkloadContext, states: dict) -> None:
+    """Re-enter every checkpointed process from its state dict.
+
+    Creation order follows each process's pending ``op_seq`` stamp —
+    the order the original run issued the now-pending blocking ops —
+    which reproduces same-instant dispatch order and Store getter FIFO
+    order in the restored kernel.
+    """
+    ctx.restore_op_counter(states)
+    for name in sorted(states, key=lambda n: states[n].get("op_seq", 0)):
+        state = dict(states[name])
+        body = FACTORIES[state["factory"]]
+        ctx.states[name] = state
+        env.process(body(env, ctx, state), name=f"ckpt-{name}")
+
+
+__all__ = [
+    "EPOCH",
+    "FACTORIES",
+    "POISON",
+    "WorkloadConfig",
+    "WorkloadContext",
+    "build_workload",
+    "consumer_body",
+    "produce_gap",
+    "producer_body",
+    "restore_workload",
+    "work_duration",
+]

@@ -6,7 +6,7 @@ import heapq
 from bisect import bisect_left, insort
 from typing import Callable, Iterator, Optional, Sequence
 
-from repro.simkernel import Environment, UtilizationTracker
+from repro.simkernel import Environment, UtilizationTracker, register_ckpt_probe
 from repro.cluster.node import Node, NodeSpec
 
 
@@ -205,6 +205,23 @@ class Cluster:
                 self.add_pool(spec, count)
         self._core_tracker: Optional[UtilizationTracker] = None
         self._gpu_tracker: Optional[UtilizationTracker] = None
+        register_ckpt_probe(env, f"cluster.{name}", self.ckpt_fingerprint)
+
+    def ckpt_fingerprint(self) -> dict:
+        """Semantic occupancy state for checkpoint verification.
+
+        Node *identities* are per-cluster deterministic (spec-derived
+        ids), so including the down-node set is safe; the free pool is
+        summarized by its length and version (the sorted buckets are a
+        rebuildable index, not state).
+        """
+        return {
+            "nodes": len(self.nodes),
+            "down": sorted(n.id for n in self.nodes if not n.is_up),
+            "allocations": sum(len(n.allocations) for n in self.nodes),
+            "free": len(self.free_pool),
+            "pool_version": self.free_pool.version,
+        }
 
     # -- construction -------------------------------------------------------
 

@@ -26,7 +26,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.simkernel import Environment
+from repro.simkernel import Environment, register_ckpt_probe
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import Node
 
@@ -126,6 +126,28 @@ class FaultInjector:
             )
         if mtbf is not None:
             env.process(self._stochastic_failures(mtbf), name="fault-injector")
+        register_ckpt_probe(env, f"faults.{cluster.name}", self.ckpt_fingerprint)
+
+    def ckpt_fingerprint(self) -> dict:
+        """Injection history + RNG stream position for verification.
+
+        The RNG stream *is* the remaining fault schedule in stochastic
+        mode, so its bit-generator state (hashed — the raw 128-bit
+        integers are not float-safe JSON) must agree between the
+        recorded run and the resumed one at the same instant.
+        """
+        import hashlib
+        import json as _json
+
+        state = _json.dumps(
+            self.rng.bit_generator.state, sort_keys=True, default=str
+        )
+        return {
+            "failures": len(self.failures),
+            "gray_faults": len(self.gray_faults),
+            "pending_recoveries": sorted(self._recovery_times),
+            "rng_sha": hashlib.sha256(state.encode()).hexdigest(),
+        }
 
     def _validated(self, entries: Sequence, arity: int) -> list:
         """Constructor-time schedule validation: reject past times and

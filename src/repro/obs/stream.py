@@ -35,10 +35,13 @@ sinks (spill to disk *and* analyze online, in one pass).
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import json
 import os
+import re
 import sys
+import warnings
 from typing import Iterable, Optional
 
 from repro.obs.export import _dumps, instant_record, metric_record, span_record
@@ -50,13 +53,17 @@ __all__ = [
     "StubTrace",
     "StubSink",
     "JsonlSpillSink",
+    "SpillCorruptionError",
+    "SpillResumeMismatch",
     "TeeSink",
     "OnlineConcurrency",
     "OnlineDurationStats",
     "OnlineStragglers",
     "StreamingAnalytics",
     "replay_jsonl",
+    "scan_spill",
     "tracer_from_segments",
+    "truncate_spill",
 ]
 
 
@@ -269,8 +276,144 @@ class StubSink(SpanSink):
 # -- spill-to-disk sink ----------------------------------------------------------
 
 
+class SpillCorruptionError(ValueError):
+    """A spill directory is damaged beyond crash semantics.
+
+    A SIGKILL can only tear the *tail* of the *active* segment (writes
+    are sequential and finalized segments were fsynced); a hole or torn
+    tail anywhere else means something other than a crash mangled the
+    directory, and resuming over it would silently corrupt the trace.
+    """
+
+
+class SpillResumeMismatch(RuntimeError):
+    """Resumed re-execution diverged from the bytes already on disk.
+
+    Raised when the suppress-and-verify prefix hash of a resumed run
+    does not match the surviving spill segments — the scenario is not
+    deterministic (or the directory belongs to a different run), so the
+    resume must not be trusted.
+    """
+
+
+_SEGMENT_RE = re.compile(r"^segment-(\d{5})\.jsonl(\.part)?$")
+
+
+def _scan_segment_names(directory) -> list[tuple[int, str]]:
+    """Sorted ``(index, filename)`` for every segment, oldest first."""
+    out = []
+    for name in os.listdir(str(directory)):
+        m = _SEGMENT_RE.match(name)
+        if m:
+            out.append((int(m.group(1)), name))
+    out.sort()
+    return out
+
+
+def scan_spill(directory) -> dict:
+    """Inspect a spill directory without modifying it.
+
+    Returns ``{"segments": [(idx, path, n_lines)], "records": total
+    complete lines, "sha256": hash over the complete-line bytes in
+    segment order, "torn_tail_bytes": bytes after the last newline of
+    the final segment (0 when clean)}``.  A torn tail anywhere but the
+    final segment raises :class:`SpillCorruptionError`, as does a gap
+    in the segment index sequence.
+    """
+    directory = str(directory)
+    names = _scan_segment_names(directory)
+    for pos, (idx, _name) in enumerate(names):
+        if idx != names[0][0] + pos:
+            raise SpillCorruptionError(
+                f"segment index gap in {directory!r}: {[n for _, n in names]}"
+            )
+    hasher = hashlib.sha256()
+    segments = []
+    records = 0
+    torn_tail = 0
+    for pos, (idx, name) in enumerate(names):
+        path = os.path.join(directory, name)
+        with open(path, "rb") as fh:
+            data = fh.read()
+        cut = data.rfind(b"\n") + 1  # 0 when no newline at all
+        if cut != len(data):
+            if pos != len(names) - 1:
+                raise SpillCorruptionError(
+                    f"torn tail in non-final segment {name!r}"
+                )
+            torn_tail = len(data) - cut
+            data = data[:cut]
+        n_lines = data.count(b"\n")
+        hasher.update(data)
+        records += n_lines
+        segments.append((idx, path, n_lines))
+    return {
+        "segments": segments,
+        "records": records,
+        "sha256": hasher.hexdigest(),
+        "torn_tail_bytes": torn_tail,
+    }
+
+
+def truncate_spill(directory, records: int) -> int:
+    """Cut a spill directory back to its first ``records`` complete lines.
+
+    Native checkpoint resume uses this to drop every record the crashed
+    run emitted *after* its last snapshot's spill cursor (those instants
+    will be re-simulated); segments past the cut are deleted, the
+    boundary segment is truncated in place and fsynced.  Returns the
+    number of lines dropped.  Raises :class:`SpillCorruptionError` when
+    the directory holds fewer complete lines than ``records`` — the
+    snapshot promised bytes the disk does not have.
+    """
+    if records < 0:
+        raise ValueError("records must be >= 0")
+    info = scan_spill(directory)
+    if info["records"] < records:
+        raise SpillCorruptionError(
+            f"spill {str(directory)!r} holds {info['records']} records "
+            f"but the snapshot cursor expects {records}"
+        )
+    dropped = info["records"] - records
+    acc = 0
+    for pos, (idx, path, n_lines) in enumerate(info["segments"]):
+        if acc >= records:
+            os.remove(path)
+            continue
+        if acc + n_lines > records:
+            keep_lines = records - acc
+            with open(path, "rb") as fh:
+                data = fh.read()
+            offset = 0
+            for _ in range(keep_lines):
+                offset = data.index(b"\n", offset) + 1
+            with open(path, "r+b") as fh:
+                fh.truncate(offset)
+                fh.flush()
+                os.fsync(fh.fileno())
+        elif pos == len(info["segments"]) - 1 and info["torn_tail_bytes"]:
+            # Keeping the whole final segment: still shear its torn tail.
+            with open(path, "rb") as fh:
+                data = fh.read()
+            with open(path, "r+b") as fh:
+                fh.truncate(len(data) - info["torn_tail_bytes"])
+                fh.flush()
+                os.fsync(fh.fileno())
+        acc += n_lines
+    _fsync_dir(str(directory))
+    return dropped
+
+
+def _fsync_dir(directory: str) -> None:
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 class JsonlSpillSink(SpanSink):
-    """Spill finished spans to segmented JSONL files.
+    """Spill finished spans to segmented JSONL files, crash-safely.
 
     Records are byte-identical to :func:`repro.obs.export.to_jsonl`
     lines (same dict shapes, same compact JSON encoding), written in
@@ -280,11 +423,20 @@ class JsonlSpillSink(SpanSink):
     reloading through :func:`~repro.obs.export.tracer_from_jsonl`
     reproduces the trace exactly (the loader orders spans by id).
 
-    Segments rotate every ``segment_records`` lines as
-    ``segment-00000.jsonl``, ``segment-00001.jsonl``, …; with
+    Segments rotate every ``segment_records`` lines.  The **active**
+    segment is written as ``segment-00000.jsonl.part``; on rotation (or
+    ``close()``) it is flushed, fsynced, and atomically renamed to
+    ``segment-00000.jsonl`` — so a ``.jsonl`` name is a *durability
+    promise*: its bytes survived a crash.  A SIGKILL can lose only the
+    buffered tail of the ``.part`` segment, which readers repair (the
+    torn final line is dropped and reported, never raised on).  With
     ``retain_segments=N`` only the newest N survive — bounded *disk*,
     not just bounded memory, for week-long simulated runs where only
     the recent window matters.
+
+    :meth:`reopen` resumes an interrupted spill: the surviving prefix
+    is re-verified byte-for-byte (suppress-and-verify) while the
+    resumed run replays it, then appending continues mid-segment.
     """
 
     def __init__(
@@ -307,43 +459,165 @@ class JsonlSpillSink(SpanSink):
         self._closed = False
         #: Totals over the sink's lifetime (rotation never resets them).
         self.total_records = 0
+        # Resume (suppress-and-verify) state; see :meth:`reopen`.
+        self._suppress_remaining = 0
+        self._expected_sha: Optional[str] = None
+        self._hasher = None
+        #: Bytes dropped from a torn ``.part`` tail during reopen.
+        self.repaired_tail_bytes = 0
+
+    @classmethod
+    def reopen(
+        cls,
+        directory,
+        segment_records: int = 100_000,
+        retain_segments: Optional[int] = None,
+        verify_prefix: bool = True,
+    ) -> "JsonlSpillSink":
+        """Resume spilling into a directory a crashed run left behind.
+
+        Repairs the torn tail of the final segment in place (truncating
+        to the last complete line), then arms suppress-and-verify mode:
+        the first N records written to the reopened sink — the resumed
+        run deterministically re-emitting the prefix — are *not*
+        re-written; they are hashed and compared against the surviving
+        bytes, and :class:`SpillResumeMismatch` is raised the moment the
+        replayed prefix diverges.  Record N+1 onward appends normally,
+        continuing mid-segment.
+
+        ``verify_prefix=False`` skips the suppression arming and
+        appends from the first write — for native (state-restore)
+        resumes that continue *mid-stream* instead of replaying from
+        t=0, after :func:`truncate_spill` cut the directory back to the
+        snapshot's cursor.
+        """
+        if retain_segments is not None:
+            raise ValueError(
+                "reopen() needs the full segment history to verify the "
+                "prefix; retain_segments is not supported on resume"
+            )
+        sink = cls(directory, segment_records=segment_records)
+        info = scan_spill(sink.directory)
+        if info["torn_tail_bytes"]:
+            idx, path, _n = info["segments"][-1]
+            with open(path, "rb") as fh:
+                data = fh.read()
+            with open(path, "wb") as fh:
+                fh.write(data[: len(data) - info["torn_tail_bytes"]])
+                fh.flush()
+                os.fsync(fh.fileno())
+            sink.repaired_tail_bytes = info["torn_tail_bytes"]
+        if info["segments"]:
+            sink._segment_idx = info["segments"][-1][0]
+            sink._records_in_segment = info["segments"][-1][2]
+            sink.total_records = info["records"] if not verify_prefix else 0
+        if not verify_prefix:
+            return sink
+        sink._suppress_remaining = info["records"]
+        sink._expected_sha = info["sha256"]
+        sink._hasher = hashlib.sha256()
+        if sink._suppress_remaining == 0:
+            sink._finish_suppression()
+        return sink
 
     # -- segment bookkeeping -----------------------------------------------
 
     def _segment_path(self, idx: int) -> str:
         return os.path.join(self.directory, f"segment-{idx:05d}.jsonl")
 
+    def _part_path(self, idx: int) -> str:
+        return self._segment_path(idx) + ".part"
+
     def segments(self) -> list[str]:
-        """Paths of the segments currently on disk, oldest first."""
-        names = sorted(
-            n
-            for n in os.listdir(self.directory)
-            if n.startswith("segment-") and n.endswith(".jsonl")
-        )
-        return [os.path.join(self.directory, n) for n in names]
+        """Paths of the segments on disk, oldest first (incl. active)."""
+        return [
+            os.path.join(self.directory, name)
+            for _idx, name in _scan_segment_names(self.directory)
+        ]
+
+    def cursor(self) -> dict:
+        """Checkpointable position: total records + segment layout."""
+        return {
+            "records": self.total_records,
+            "segment": self._segment_idx,
+            "in_segment": self._records_in_segment,
+        }
+
+    def sync(self) -> None:
+        """Flush and fsync the active segment (a durability point).
+
+        The checkpoint coordinator calls this before writing a
+        snapshot, so every record the snapshot's spill cursor counts is
+        actually on disk when a later crash strikes.
+        """
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    def _finalize_active(self) -> None:
+        """Promote the active ``.part`` to a durable ``.jsonl``."""
+        idx = self._segment_idx
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._fh.close()
+            self._fh = None
+            os.replace(self._part_path(idx), self._segment_path(idx))
+            _fsync_dir(self.directory)
+        elif idx >= 0 and os.path.exists(self._part_path(idx)):
+            # Resumed sink that never wrote into its inherited .part.
+            os.replace(self._part_path(idx), self._segment_path(idx))
+            _fsync_dir(self.directory)
 
     def _rotate(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
+        self._finalize_active()
         self._segment_idx += 1
         self._records_in_segment = 0
-        self._fh = open(self._segment_path(self._segment_idx), "w")
+        self._fh = open(self._part_path(self._segment_idx), "w")
         if self.retain_segments is not None:
-            keep = {
-                self._segment_path(i)
-                for i in range(
-                    max(0, self._segment_idx - self.retain_segments + 1),
-                    self._segment_idx + 1,
-                )
-            }
-            for path in self.segments():
-                if path not in keep:
-                    os.remove(path)
+            keep_from = max(0, self._segment_idx - self.retain_segments + 1)
+            for idx, name in _scan_segment_names(self.directory):
+                if idx < keep_from:
+                    os.remove(os.path.join(self.directory, name))
+
+    def _open_for_append(self) -> None:
+        """Continue writing the inherited final segment after a resume."""
+        idx = self._segment_idx
+        if os.path.exists(self._segment_path(idx)):
+            # Crash landed after finalization: demote back to active.
+            os.replace(self._segment_path(idx), self._part_path(idx))
+            _fsync_dir(self.directory)
+        self._fh = open(self._part_path(idx), "a")
+
+    def _finish_suppression(self) -> None:
+        got = self._hasher.hexdigest() if self._hasher is not None else None
+        expected = self._expected_sha
+        self._suppress_remaining = 0
+        self._hasher = None
+        self._expected_sha = None
+        if expected is not None and got != expected:
+            raise SpillResumeMismatch(
+                f"resumed run diverged from the spill on disk in "
+                f"{self.directory!r}: prefix sha256 {got} != {expected}"
+            )
 
     def _write(self, record: dict) -> None:
         if self._closed:
             raise RuntimeError("JsonlSpillSink is closed")
-        if self._fh is None or self._records_in_segment >= self.segment_records:
+        if self._suppress_remaining > 0:
+            self._hasher.update((_dumps(record) + "\n").encode())
+            self.total_records += 1
+            self._suppress_remaining -= 1
+            if self._suppress_remaining == 0:
+                self._finish_suppression()
+            return
+        if self._fh is None and self._records_in_segment > 0:
+            # First post-resume record with room left mid-segment.
+            if self._records_in_segment < self.segment_records:
+                self._open_for_append()
+            else:
+                self._rotate()
+        elif self._fh is None or self._records_in_segment >= self.segment_records:
             self._rotate()
         self._fh.write(_dumps(record))
         self._fh.write("\n")
@@ -366,13 +640,13 @@ class JsonlSpillSink(SpanSink):
                 self._write(span_record(span))
             for (comp, _name), metric in self.tracer.metrics.items():
                 self._write(metric_record(comp, metric))
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        self._finalize_active()
         self._closed = True
 
     def read_text(self) -> str:
         """Concatenated contents of the retained segments."""
+        if self._fh is not None:
+            self._fh.flush()
         parts = []
         for path in self.segments():
             with open(path) as fh:
@@ -386,19 +660,58 @@ class JsonlSpillSink(SpanSink):
         )
 
 
-def tracer_from_segments(directory) -> Tracer:
-    """Reload a spill directory into an in-memory :class:`Tracer`."""
+def _split_torn_tail(text: str) -> tuple[str, str]:
+    """Split off a torn (incomplete) trailing line, if any.
+
+    Returns ``(clean_text, torn_tail)``.  A trailing chunk without a
+    newline that still parses as JSON is a record whose newline alone
+    was lost — kept, not dropped.
+    """
+    if not text or text.endswith("\n"):
+        return text, ""
+    cut = text.rfind("\n") + 1
+    tail = text[cut:]
+    try:
+        json.loads(tail)
+    except json.JSONDecodeError:
+        return text[:cut], tail
+    return text + "\n", ""
+
+
+def tracer_from_segments(directory, on_truncated=None) -> Tracer:
+    """Reload a spill directory into an in-memory :class:`Tracer`.
+
+    Tolerates the one kind of damage a crash can cause — a torn final
+    line in the last (``.part``) segment: the partial line is dropped
+    and *reported*, via ``on_truncated({"directory", "segment",
+    "dropped_bytes"})`` when given, else a :class:`UserWarning`.
+    Damage anywhere else still raises.
+    """
     from repro.obs.export import tracer_from_jsonl
 
+    directory = str(directory)
+    names = _scan_segment_names(directory)
     parts = []
-    names = sorted(
-        n
-        for n in os.listdir(str(directory))
-        if n.startswith("segment-") and n.endswith(".jsonl")
-    )
-    for name in names:
-        with open(os.path.join(str(directory), name)) as fh:
+    for _idx, name in names:
+        with open(os.path.join(directory, name)) as fh:
             parts.append(fh.read())
+    if parts:
+        clean, torn = _split_torn_tail(parts[-1])
+        if torn:
+            parts[-1] = clean
+            info = {
+                "directory": directory,
+                "segment": names[-1][1],
+                "dropped_bytes": len(torn),
+            }
+            if on_truncated is not None:
+                on_truncated(info)
+            else:
+                warnings.warn(
+                    f"dropped torn final line ({len(torn)} bytes) from "
+                    f"{names[-1][1]} in {directory!r}",
+                    stacklevel=2,
+                )
     return tracer_from_jsonl("".join(parts))
 
 
@@ -407,6 +720,26 @@ class TeeSink(SpanSink):
 
     def __init__(self, *sinks: SpanSink):
         self.sinks = list(sinks)
+
+    @property
+    def spans(self):
+        """Delegate to the first retained-span sink in the fanout, so a
+        tee that includes an :class:`~repro.obs.tracer.InMemorySink`
+        still serves ``tracer.spans`` (getattr sees the AttributeError
+        as "not retained" when no inner sink keeps a list)."""
+        for sink in self.sinks:
+            spans = getattr(sink, "spans", None)
+            if spans is not None:
+                return spans
+        raise AttributeError("no sink in this tee retains spans")
+
+    @property
+    def instants(self):
+        for sink in self.sinks:
+            instants = getattr(sink, "instants", None)
+            if instants is not None:
+                return instants
+        raise AttributeError("no sink in this tee retains instants")
 
     def attach(self, tracer) -> None:
         self.tracer = tracer
@@ -765,7 +1098,7 @@ class StreamingAnalytics(SpanSink):
 # -- trace replay ----------------------------------------------------------------
 
 
-def replay_jsonl(lines: Iterable[str], *sinks: SpanSink) -> int:
+def replay_jsonl(lines: Iterable[str], *sinks: SpanSink, on_truncated=None) -> int:
     """Replay a JSONL trace through sinks as a live event stream.
 
     Span records (id order = start order in an exported trace) are
@@ -774,6 +1107,12 @@ def replay_jsonl(lines: Iterable[str], *sinks: SpanSink) -> int:
     passes its end — exactly the callback sequence a live run would
     have produced.  A heap of open spans keyed by end time does the
     interleaving; memory is O(max concurrently open), not O(trace).
+
+    A torn *final* line (the tail a crashed writer left behind) is
+    skipped and reported — through ``on_truncated({"lineno",
+    "dropped_bytes"})`` when given, else a :class:`UserWarning`; a
+    malformed line anywhere *before* the end still raises
+    ``json.JSONDecodeError`` (that is corruption, not a crash).
 
     Returns the number of spans replayed.  Instants and metric records
     are skipped (replay targets span analytics); ``close()`` is called
@@ -788,11 +1127,19 @@ def replay_jsonl(lines: Iterable[str], *sinks: SpanSink) -> int:
             for sink in sinks:
                 sink.on_finish(stub)
 
-    for line in lines:
+    pending_error = None  # (lineno, raw line, exception)
+    for lineno, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
             continue
-        record = json.loads(line)
+        if pending_error is not None:
+            # A later line exists, so the bad line was not a torn tail.
+            raise pending_error[2]
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            pending_error = (lineno, line, exc)
+            continue
         if record.get("type") != "span":
             continue
         stub = SpanStub.from_record(record)
@@ -802,6 +1149,19 @@ def replay_jsonl(lines: Iterable[str], *sinks: SpanSink) -> int:
             sink.on_start(stub)
         if stub.end is not None:
             heapq.heappush(open_heap, (stub.end, stub.span_id, stub))
+    if pending_error is not None:
+        info = {
+            "lineno": pending_error[0],
+            "dropped_bytes": len(pending_error[1]),
+        }
+        if on_truncated is not None:
+            on_truncated(info)
+        else:
+            warnings.warn(
+                f"dropped torn final line {info['lineno']} "
+                f"({info['dropped_bytes']} bytes) during replay",
+                stacklevel=2,
+            )
     drain(float("inf"))
     for sink in sinks:
         sink.close()

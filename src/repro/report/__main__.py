@@ -62,6 +62,13 @@ def _parse_args(argv):
         help="use the constant-memory streaming pass (identical verdicts)",
     )
     parser.add_argument(
+        "--resume",
+        metavar="CKPT_DIR",
+        help="continue an interrupted checkpointed run (see repro.ckpt) "
+        "and report it; verdicts and exit code are identical to an "
+        "uninterrupted batch run",
+    )
+    parser.add_argument(
         "--out",
         default="benchmarks/results",
         help="directory for the BENCH_<id>.json verdict (default: %(default)s)",
@@ -125,7 +132,39 @@ def main(argv=None) -> int:
         print("error: pass a trace file OR --bench, not both", file=sys.stderr)
         return 2
 
-    if args.bench:
+    if args.resume:
+        if args.bench or args.trace:
+            print(
+                "error: --resume takes its scenario from the checkpoint "
+                "manifest; don't combine it with --bench or a trace file",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.ckpt import SnapshotError
+        from repro.ckpt import resume as ckpt_resume
+        from repro.ckpt.format import read_manifest
+
+        try:
+            result = ckpt_resume(args.resume)
+        except SnapshotError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if result.report is None:
+            # The run already completed in a previous invocation; the
+            # manifest carries its verdict document verbatim.
+            manifest = read_manifest(args.resume) or {}
+            verdict = manifest.get("verdict")
+            if verdict is None:
+                print(
+                    f"error: {args.resume!r} finished without a stored "
+                    "verdict (pre-verdict checkpoint layout?)",
+                    file=sys.stderr,
+                )
+                return 2
+            print(json.dumps(verdict, indent=2, sort_keys=True))
+            return 0 if verdict.get("status") == "pass" else 1
+        report = result.report
+    elif args.bench:
         report = run_scenario(args.bench, full=args.full, stream=args.stream)
         if extra:
             # User-supplied rules join the scenario's own; the tracer is

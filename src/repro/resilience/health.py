@@ -20,7 +20,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional, Set
 
-from repro.simkernel import Environment
+from repro.simkernel import Environment, register_ckpt_probe
 
 
 @dataclass(frozen=True)
@@ -103,6 +103,24 @@ class NodeHealth:
         self._gauge = env.tracer.metrics.gauge(
             "quarantined_nodes", component=name, t0=env.now
         )
+        register_ckpt_probe(env, f"health.{name}", self.ckpt_fingerprint)
+
+    def ckpt_fingerprint(self) -> dict:
+        """Strike counters and the quarantine set, for verification.
+
+        Node ids are deterministic (spec-derived), so the full maps are
+        safe to include; episode log length stands in for the log
+        itself (timestamps inside it are covered by determinism of the
+        counters plus the kernel clock fingerprint).
+        """
+        return {
+            "strikes": sorted(
+                (n, c) for n, c in self._strikes.items() if c
+            ),
+            "quarantined": sorted(self._quarantined),
+            "failures": sorted(self.failure_counts.items()),
+            "episodes": len(self.log),
+        }
 
     # -- reporting -----------------------------------------------------------
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Optional
 
-from repro.simkernel import Environment, Interrupt
+from repro.simkernel import Environment, Interrupt, register_ckpt_probe
 from repro.cluster import Cluster, Node
 from repro.rm.base import Job, JobState, ResourceRequest
 from repro.rm.util import OrderedSet
@@ -105,6 +105,25 @@ class BatchScheduler:
             # poll: probation ending wakes the scheduler exactly then.
             node_health.watch_release(self._on_quarantine_release)
         env.process(self._scheduler_loop(), name="batch-scheduler")
+        register_ckpt_probe(env, "rm.batch", self.ckpt_fingerprint)
+
+    def ckpt_fingerprint(self) -> dict:
+        """Queue/usage state for checkpoint verification.
+
+        Identity-free on purpose: job ids come from a *process-global*
+        counter, so they differ between a fresh recording process and
+        an in-process resume that ran other scenarios first.  Counts
+        and per-user usage are per-run deterministic either way; the
+        negative-fit memo (``_blocked``) is a rebuildable cache and
+        stays out.
+        """
+        return {
+            "queued": len(self.queue),
+            "running": len(self.running),
+            "finished": len(self.finished),
+            "usage": sorted(self.usage.items()),
+            "gain_version": self._gain_version,
+        }
 
     # -- client API ------------------------------------------------------------
 

@@ -14,7 +14,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-from repro.simkernel import Environment, Interrupt
+from repro.simkernel import Environment, Interrupt, register_ckpt_probe
 from repro.cluster import Cluster, Node
 from repro.rm.base import JobState
 from repro.rm.util import OrderedSet
@@ -188,6 +188,27 @@ class KubeScheduler:
         if node_health is not None:
             node_health.watch_release(self._on_quarantine_release)
         env.process(self._scheduler_loop(), name="kube-scheduler")
+        register_ckpt_probe(env, "rm.kube", self.ckpt_fingerprint)
+
+    def ckpt_fingerprint(self) -> dict:
+        """Queue state for checkpoint verification.
+
+        Identity-free (pod names come from a process-global counter —
+        see ``BatchScheduler.ckpt_fingerprint``); the negative-fit memo
+        (``_blocked``) is a rebuildable cache and stays out.
+        """
+        return {
+            "pending": len(self.pending),
+            "running": len(self.running),
+            "finished": len(self.finished),
+            "gain_version": self._gain_version,
+            # inf = no deadline armed; keep the JSON strict-parseable.
+            "deadline_armed_at": (
+                None
+                if self._deadline_armed_at == float("inf")
+                else self._deadline_armed_at
+            ),
+        }
 
     # -- client API ------------------------------------------------------------
 

@@ -45,7 +45,12 @@ from repro.simkernel.events import (
     Process,
     Timeout,
 )
-from repro.simkernel.core import Environment, SimulationError, StopSimulation
+from repro.simkernel.core import (
+    Environment,
+    SimulationError,
+    StopSimulation,
+    register_ckpt_probe,
+)
 from repro.simkernel.reference import NaiveEnvironment
 from repro.simkernel.resources import (
     Container,
@@ -71,6 +76,7 @@ __all__ = [
     "Process",
     "Resource",
     "SimulationError",
+    "register_ckpt_probe",
     "StopSimulation",
     "Store",
     "TimeSeriesMonitor",

@@ -121,6 +121,12 @@ class Environment:
         #: environment.  The default null tracer records nothing; call
         #: :func:`repro.obs.enable_tracing` to install a real one.
         self.tracer = NULL_TRACER
+        #: Checkpoint state probes: ``(name, fn)`` pairs registered by
+        #: components via :func:`register_ckpt_probe`; each ``fn()``
+        #: returns a JSON-able view of that component's semantic state.
+        #: The list is append-only and empty unless :mod:`repro.ckpt`
+        #: is in play — zero cost on the hot path.
+        self.ckpt_probes: list = []
         #: ``timeout`` is installed as an instance attribute (a closure
         #: over the calendar structures): the hot path pays one
         #: attribute load instead of a descriptor + bound-method
@@ -194,6 +200,93 @@ class Environment:
                 )
                 self._bcache_t = None
             batch.clear()
+
+    def schedule_at(self, event: Event, t: float, priority: int = NORMAL) -> None:
+        """Queue ``event`` at the *exact* absolute instant ``t``.
+
+        ``schedule(event, delay=t - now)`` is not the same thing: float
+        round-trips (``now + (t - now)``) can land one ulp off ``t``,
+        which splits a bucket and reorders same-instant dispatch — fatal
+        for checkpoint/resume, where a restored run must re-arm events
+        at bit-identical timestamps.  This entry point skips the
+        addition entirely.
+        """
+        t = float(t)
+        if t < self._now:
+            raise ValueError(f"schedule_at t={t} is in the past (now={self._now})")
+        if priority:  # NORMAL
+            if t == self._bcache_t:
+                self._bcache.append(event)
+                return
+            buckets = self._buckets
+            bucket = buckets.get(t)
+            if bucket is None:
+                if t not in self._urgent:
+                    heap_push(self._times, t)
+                buckets[t] = bucket = [event]
+            else:
+                bucket.append(event)
+            self._bcache_t = t
+            self._bcache = bucket
+            return
+        urgent = self._urgent
+        bucket = urgent.get(t)
+        if bucket is None:
+            if t not in self._buckets:
+                heap_push(self._times, t)
+            urgent[t] = [event]
+        else:
+            bucket.append(event)
+        batch = self._batch
+        if batch and not self._batch_urgent and t == self._batch_t:
+            rest = batch[len(batch) - self._batch_it.__length_hint__():]
+            if rest:
+                self._dispatched -= len(rest)
+                calendar_reinsert(
+                    self._buckets, self._urgent, self._times, t, rest
+                )
+                self._bcache_t = None
+            batch.clear()
+
+    def timeout_at(self, t: float, value: Any = None) -> Event:
+        """An event triggering at the exact absolute instant ``t``.
+
+        The absolute-time counterpart of ``env.timeout(delay)`` (see
+        :meth:`schedule_at` for why the delta form cannot be exact).
+        Checkpoint-safe processes wait on an absolute grid so a resumed
+        run re-arms bit-identical instants.
+        """
+        ev = Event(self)
+        ev._ok = True
+        ev._value = value
+        self.schedule_at(ev, t)
+        return ev
+
+    def ckpt_fingerprint(self) -> dict:
+        """A JSON-able digest of the kernel's semantic queue state.
+
+        Captures the clock, the dispatch counter, and the calendar
+        *shape* (per-instant urgent/normal bucket sizes, time order).
+        Event identities are process-local and deliberately excluded;
+        two deterministic executions of the same program reach the same
+        fingerprint at the same trigger point, which is exactly the
+        invariant :mod:`repro.ckpt` verifies on resume.
+        """
+        shape = sorted(
+            set(self._buckets) | set(self._urgent)
+        )
+        return {
+            "now": self._now,
+            "dispatched": self._dispatched,
+            "calendar": [
+                [
+                    t,
+                    len(self._urgent.get(t, ())),
+                    len(self._buckets.get(t, ())),
+                ]
+                for t in shape
+            ],
+        }
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if queue is empty."""
@@ -530,3 +623,20 @@ class Environment:
     def __repr__(self) -> str:
         queued = calendar_pending(self._buckets, self._urgent)
         return f"<Environment now={self._now} queued={queued}>"
+
+
+def register_ckpt_probe(env, name: str, fn) -> None:
+    """Register a named checkpoint state probe on ``env``, if supported.
+
+    ``fn()`` must return a JSON-able view of one component's semantic
+    state; :mod:`repro.ckpt` hashes the probe outputs into the snapshot
+    and re-verifies them at the same trigger point on resume.  Probes
+    must capture *decisions*, not caches: anything rebuilt lazily
+    (negative-fit memos, recycling pools) stays out so record and
+    resume agree.  A ``None`` probe name for an env without the probe
+    list (``NaiveEnvironment``, test stubs) is silently a no-op —
+    components register unconditionally and stay kernel-agnostic.
+    """
+    probes = getattr(env, "ckpt_probes", None)
+    if probes is not None:
+        probes.append((str(name), fn))

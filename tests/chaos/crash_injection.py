@@ -1,0 +1,212 @@
+"""SIGKILL crash-injection harness for checkpoint/resume.
+
+Each trial launches ``python -m repro.ckpt run`` as a *subprocess*
+(wall-clock-throttled so record emission is slow enough to aim at),
+SIGKILLs it at a randomized instant, optionally tears the newest
+snapshot file (truncating it mid-byte — the damage the atomic
+write-rename makes all but impossible in practice, injected here so
+the fallback path stays exercised), then resumes — possibly killing
+the resume too — until a run completes.  The trial passes when the
+final digest printed by the resumed run equals the golden digest of an
+uninterrupted subprocess run.
+
+Consumed two ways: ``test_crash_injection.py`` runs a handful of
+trials under pytest, and ``run_crash_injection.py`` runs the full
+randomized campaign for CI, writing ``CRASH_INJECTION.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+#: Reduced-scale scenario the campaign aims its kills at.
+BENCH = "E2"
+CADENCE = 600.0
+SEGMENT_RECORDS = 500
+
+#: Wall-clock sleep per record in the victim.  Reduced-scale E2 emits
+#: ~1200 records, so 4 ms stretches the run to ~6 s — long enough that
+#: a kill drawn from `_KILL_WINDOW` lands mid-stream on any machine
+#: (a slower machine only makes the run longer, never shorter).
+DEFAULT_THROTTLE_MS = 4.0
+_KILL_WINDOW = (0.5, 4.5)
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return env
+
+
+def _ckpt(*args: str) -> list[str]:
+    return [sys.executable, "-m", "repro.ckpt", *args]
+
+
+def _run_to_completion(cmd: list[str], timeout: float = 600.0):
+    return subprocess.run(
+        cmd,
+        env=_env(),
+        cwd=str(REPO),
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def golden_digest(workdir, bench: str = BENCH) -> str:
+    """Digest of an uninterrupted subprocess run (the reference)."""
+    d = pathlib.Path(workdir) / "golden"
+    proc = _run_to_completion(
+        _ckpt(
+            "run",
+            "--bench",
+            bench,
+            "--dir",
+            str(d),
+            "--cadence",
+            str(CADENCE),
+            "--segment-records",
+            str(SEGMENT_RECORDS),
+        )
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"golden run failed rc={proc.returncode}: {proc.stderr[-2000:]}"
+        )
+    return proc.stdout.strip().splitlines()[-1]
+
+
+def _kill_after(cmd: list[str], delay_s: float) -> dict:
+    """Start ``cmd``, SIGKILL it after ``delay_s``; report what happened."""
+    proc = subprocess.Popen(
+        cmd,
+        env=_env(),
+        cwd=str(REPO),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    time.sleep(delay_s)  # simlint: disable=KER002 -- wall-clock aiming delay for the SIGKILL; no simulation runs in this process
+    killed = proc.poll() is None
+    if killed:
+        proc.send_signal(signal.SIGKILL)
+    out, err = proc.communicate(timeout=600)
+    return {
+        "killed": killed,
+        "returncode": proc.returncode,
+        "stdout": out,
+        "stderr": err,
+    }
+
+
+def tear_latest_snapshot(directory) -> str | None:
+    """Truncate the newest snapshot file mid-byte (simulated torn write).
+
+    Returns the torn filename, or None when no snapshot exists yet.
+    """
+    snaps = sorted(pathlib.Path(directory).glob("ckpt-*.json"))
+    if not snaps:
+        return None
+    path = snaps[-1]
+    data = path.read_bytes()
+    path.write_bytes(data[: max(1, len(data) * 2 // 3)])
+    return path.name
+
+
+def run_trial(
+    workdir,
+    trial: int,
+    rng: np.random.Generator,
+    bench: str = BENCH,
+    throttle_ms: float = DEFAULT_THROTTLE_MS,
+    max_kills: int = 2,
+) -> dict:
+    """One randomized kill/resume round trip; returns a verdict dict."""
+    d = pathlib.Path(workdir) / f"trial-{trial:03d}"
+    n_kills = int(rng.integers(1, max_kills + 1))
+    tear = bool(rng.integers(0, 2))
+    record = {
+        "trial": trial,
+        "bench": bench,
+        "planned_kills": n_kills,
+        "tear_snapshot": tear,
+        "kills": [],
+        "torn": None,
+    }
+
+    cmd = _ckpt(
+        "run",
+        "--bench",
+        bench,
+        "--dir",
+        str(d),
+        "--cadence",
+        str(CADENCE),
+        "--segment-records",
+        str(SEGMENT_RECORDS),
+        "--throttle-ms",
+        str(throttle_ms),
+    )
+    for k in range(n_kills):
+        delay = float(rng.uniform(*_KILL_WINDOW))
+        outcome = _kill_after(cmd, delay)
+        record["kills"].append(
+            {"delay_s": round(delay, 3), "killed": outcome["killed"]}
+        )
+        if not outcome["killed"]:
+            # The run beat the timer and completed; nothing left to kill.
+            break
+        if tear and record["torn"] is None:
+            record["torn"] = tear_latest_snapshot(d)
+        cmd = _ckpt("resume", "--dir", str(d), "--throttle-ms", str(throttle_ms))
+
+    final = _run_to_completion(_ckpt("resume", "--dir", str(d)))
+    record["resume_returncode"] = final.returncode
+    record["digest"] = (
+        final.stdout.strip().splitlines()[-1] if final.stdout.strip() else ""
+    )
+    if final.returncode != 0:
+        record["stderr_tail"] = final.stderr[-1500:]
+    return record
+
+
+def run_campaign(
+    workdir,
+    trials: int = 20,
+    seed: int = 20260809,
+    bench: str = BENCH,
+    throttle_ms: float = DEFAULT_THROTTLE_MS,
+) -> dict:
+    """The full randomized campaign; verdict in CRASH_INJECTION.json shape."""
+    rng = np.random.default_rng(seed)
+    golden = golden_digest(workdir, bench)
+    results = []
+    for trial in range(trials):
+        record = run_trial(
+            workdir, trial, rng, bench=bench, throttle_ms=throttle_ms
+        )
+        record["ok"] = (
+            record["resume_returncode"] == 0 and record["digest"] == golden
+        )
+        results.append(record)
+    killed_trials = sum(1 for r in results if any(k["killed"] for k in r["kills"]))
+    torn_trials = sum(1 for r in results if r["torn"])
+    return {
+        "bench": bench,
+        "golden_digest": golden,
+        "trials": trials,
+        "killed_trials": killed_trials,
+        "torn_snapshot_trials": torn_trials,
+        "passed": sum(1 for r in results if r["ok"]),
+        "ok": all(r["ok"] for r in results),
+        "results": results,
+    }

@@ -1,0 +1,96 @@
+"""Standalone crash-injection runner for CI.
+
+Runs the randomized SIGKILL campaign against the checkpointed E2
+scenario — ≥20 kill points, roughly half with a torn newest snapshot
+injected — and writes ``CRASH_INJECTION.json``, a machine-readable
+verdict in the same spirit as ``CHAOS_MATRIX.json``.  Exit status is
+nonzero when any trial's resumed digest diverges from the golden
+uninterrupted run, so the CI job gates on it directly.
+
+Usage::
+
+    PYTHONPATH=src python tests/chaos/run_crash_injection.py \
+        [--trials N] [--seed S] [--out DIR] [--work DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2]))
+
+from tests.chaos.crash_injection import (  # noqa: E402
+    BENCH,
+    DEFAULT_THROTTLE_MS,
+    run_campaign,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default=".", help="directory for CRASH_INJECTION.json"
+    )
+    parser.add_argument(
+        "--work",
+        default=None,
+        help="checkpoint scratch directory (kept for post-mortem; "
+        "default: a fresh temp dir)",
+    )
+    parser.add_argument("--trials", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=20260809)
+    parser.add_argument(
+        "--throttle-ms",
+        type=float,
+        default=DEFAULT_THROTTLE_MS,
+        help="wall-clock sleep per record in the victim process",
+    )
+    args = parser.parse_args(argv)
+
+    if args.work is None:
+        workdir = tempfile.mkdtemp(prefix="crash-injection-")
+    else:
+        workdir = args.work
+        pathlib.Path(workdir).mkdir(parents=True, exist_ok=True)
+
+    doc = run_campaign(
+        workdir,
+        trials=args.trials,
+        seed=args.seed,
+        throttle_ms=args.throttle_ms,
+    )
+    doc["version"] = 1
+    doc["status"] = "pass" if doc["ok"] else "fail"
+    doc["workdir"] = str(workdir)
+
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / "CRASH_INJECTION.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    for r in doc["results"]:
+        kills = "+".join(f"{k['delay_s']}s" for k in r["kills"]) or "none"
+        flags = []
+        if r["torn"]:
+            flags.append(f"torn:{r['torn']}")
+        if not any(k["killed"] for k in r["kills"]):
+            flags.append("outran-kill")
+        print(
+            f"trial {r['trial']:>3}  kills={kills:<14} "
+            f"{'ok  ' if r['ok'] else 'FAIL'}  {' '.join(flags)}"
+        )
+    print(
+        f"{BENCH}: {doc['passed']}/{doc['trials']} byte-identical "
+        f"({doc['killed_trials']} killed, "
+        f"{doc['torn_snapshot_trials']} torn-snapshot)"
+    )
+    print(f"verdict: {doc['status'].upper()} -> {path}")
+    return 0 if doc["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
