@@ -17,6 +17,7 @@ from repro.atlas.records import PipelineRecord
 from repro.atlas.steps import (
     EnvironmentProfile,
     cloud_profile,
+    derive_stream,
     pipeline_steps,
     run_step_model,
     star_index_load_seconds,
@@ -119,6 +120,10 @@ class CloudDeployment:
         #: goes back on the queue and the ASG launches a replacement.
         self.spot_mtbf_s = spot_mtbf_s
         self.rng = rng or np.random.default_rng(0)
+        # Root entropy for per-entity child streams (one construction-
+        # time draw; see steps.derive_stream for why workers must not
+        # share a sequentially-consumed generator).
+        self._entropy = int(self.rng.integers(1 << 63))
         #: Result bucket (byte accounting only).
         self.bucket = StorageSite(env, "s3-results", egress_mbps=500, ingress_mbps=500)
         self._queue = Store(env)
@@ -198,9 +203,10 @@ class CloudDeployment:
                         t_start=self.env.now,
                         worker=iid,
                     )
+                    file_rng = derive_stream(self._entropy, "file", acc.accession)
                     for step in self.steps:
                         sample = run_step_model(
-                            step, acc.size_gb, self.profile, self.rng
+                            step, acc.size_gb, self.profile, file_rng
                         )
                         step_span = self.env.tracer.start(
                             str(step),
@@ -240,8 +246,10 @@ class CloudDeployment:
             result.instance_hours += (self.env.now - boot_t) / 3600.0
 
     def _spot_reclaimer(self, instance_proc):
+        iid = getattr(instance_proc, "name", "")
+        rng = derive_stream(self._entropy, "spot", iid)
         try:
-            yield self.env.timeout(float(self.rng.exponential(self.spot_mtbf_s)))
+            yield self.env.timeout(float(rng.exponential(self.spot_mtbf_s)))
         except Interrupt:
             return  # instance finished first
         if instance_proc.is_alive:

@@ -18,6 +18,7 @@ import numpy as np
 from repro.atlas.records import PipelineRecord
 from repro.atlas.steps import (
     EnvironmentProfile,
+    derive_stream,
     hpc_profile,
     pipeline_steps,
     run_step_model,
@@ -80,6 +81,10 @@ class HpcDeployment:
         self.image_pull_s = image_pull_s
         self.walltime_s = walltime_s
         self.rng = rng or np.random.default_rng(0)
+        # Root entropy for per-file child streams (one construction-
+        # time draw; see steps.derive_stream for why jobs must not
+        # share a sequentially-consumed generator).
+        self._entropy = int(self.rng.integers(1 << 63))
         # Each 2-core slot is one schedulable unit on the shared cluster.
         self.cluster = Cluster(
             env,
@@ -137,8 +142,9 @@ class HpcDeployment:
             if self.pathway == "star":
                 # Index mounted from SCRATCH, loaded into RAM per job.
                 yield env.timeout(star_index_load_seconds(self.profile))
+            file_rng = derive_stream(self._entropy, "file", acc.accession)
             for step in self.steps:
-                sample = run_step_model(step, acc.size_gb, self.profile, self.rng)
+                sample = run_step_model(step, acc.size_gb, self.profile, file_rng)
                 step_span = env.tracer.start(
                     str(step),
                     category="atlas.step",

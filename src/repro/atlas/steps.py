@@ -18,6 +18,7 @@ Salmon 19% faster).
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Optional
 
@@ -174,6 +175,22 @@ def star_index_load_seconds(profile: EnvironmentProfile) -> float:
     """One-time per-worker cost of loading the 90 GB STAR index into
     memory (streamed from EBS on the cloud, from SCRATCH on HPC)."""
     return profile.star_index_gb * 1000.0 / profile.fastq_io_mbps
+
+
+def derive_stream(entropy: int, *key_parts) -> np.random.Generator:
+    """Derive an independent child RNG stream keyed by ``key_parts``.
+
+    Concurrent workers used to draw step samples straight off one
+    shared generator, which hands out draws in dispatch order: two
+    workers picking up files at the same simulated instant swap their
+    durations if the same-instant batch is permuted (found by the
+    simsan permutation checker, ``python -m repro.sanitizer``).  A
+    stream keyed by the entity it models — the accession, the instance
+    id — makes every draw a function of that entity alone, so batch
+    order cannot reassign randomness.
+    """
+    keys = [zlib.crc32(str(p).encode("utf-8")) for p in key_parts]
+    return np.random.default_rng([entropy, *keys])
 
 
 def run_step_model(

@@ -6,6 +6,7 @@ import heapq
 from bisect import bisect_left, insort
 from typing import Callable, Iterator, Optional, Sequence
 
+from repro.sanitizer import hooks
 from repro.simkernel import Environment, UtilizationTracker, register_ckpt_probe
 from repro.cluster.node import Node, NodeSpec
 
@@ -76,6 +77,11 @@ class FreeNodePool:
         node._idle_watchers.append(self._on_idle_changed)
 
     def _on_idle_changed(self, node: Node, idle: bool) -> None:
+        if hooks.ACTIVE is not None:
+            # simsan: free-pool membership is per-node state; two batch
+            # units flipping the same node the same way is idempotent,
+            # opposite ways is order-sensitive.
+            hooks.ACTIVE.record(self, node.id, "w", value=idle)
         idx = self._index[node.id]
         if idle:
             if idx not in self._free_ids:

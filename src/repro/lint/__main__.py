@@ -1,8 +1,9 @@
 """CLI: ``python -m repro.lint [paths…]``.
 
 Exit codes: 0 clean, 1 findings, 2 usage/internal error — so CI can
-gate on it directly.  ``--json`` writes the machine-readable report to
-stdout (or ``--out FILE``) for artifact upload.
+gate on it directly.  ``--format json`` (alias: ``--json``) writes the
+machine-readable report to stdout (or ``--out FILE``) for artifact
+upload; ``--format sarif`` emits SARIF 2.1.0 for code-host ingestion.
 """
 
 from __future__ import annotations
@@ -27,7 +28,25 @@ def main(argv: list[str] | None = None) -> int:
         nargs="*",
         help="files or directories (default: [tool.simlint] paths)",
     )
-    parser.add_argument("--json", action="store_true", help="JSON report on stdout")
+    parser.add_argument(
+        "--format",
+        choices=("human", "json", "sarif"),
+        default=None,
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="alias for --format json (kept for existing CI invocations)",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help=(
+            "apply mechanically-safe autofixes in place before linting "
+            "(DET004 sorted() wrap, OBS002 print→logger); off by default"
+        ),
+    )
     parser.add_argument("--out", metavar="FILE", help="also write the report to FILE")
     parser.add_argument(
         "--config", metavar="PYPROJECT", help="explicit pyproject.toml to read"
@@ -49,6 +68,12 @@ def main(argv: list[str] | None = None) -> int:
         "-v", "--verbose", action="store_true", help="also show suppressed/baselined"
     )
     args = parser.parse_args(argv)
+    if args.format is None:
+        args.format = "json" if args.json else "human"
+    elif args.json and args.format != "json":
+        print("error: --json conflicts with --format " + args.format,
+              file=sys.stderr)
+        return 2
 
     if args.list_rules:
         print(render_rule_catalog())
@@ -78,6 +103,12 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
 
+    if args.fix:
+        from repro.lint.fix import fix_paths
+
+        for applied in fix_paths(paths, root=root, config=config):
+            print(f"fixed: {applied.render()}", file=sys.stderr)
+
     result = lint_paths(
         paths, root=root, config=config, use_baseline=not args.no_baseline
     )
@@ -86,15 +117,19 @@ def main(argv: list[str] | None = None) -> int:
         print(render_baseline_toml(result.findings), end="")
         return 0
 
-    report = render_json(result) if args.json else render_text(result, args.verbose)
+    if args.format == "json":
+        report = render_json(result)
+    elif args.format == "sarif":
+        from repro.lint.sarif import render_sarif
+
+        report = render_sarif(result)
+    else:
+        report = render_text(result, args.verbose)
     print(report)
     if args.out:
         out = Path(args.out)
         out.parent.mkdir(parents=True, exist_ok=True)
-        out.write_text(
-            render_json(result) + "\n" if args.json else report + "\n",
-            encoding="utf-8",
-        )
+        out.write_text(report + "\n", encoding="utf-8")
     return result.exit_code
 
 

@@ -1,0 +1,453 @@
+"""Whole-program call graph for the RACE rules (docs/LINTING.md).
+
+simlint's file rules see one module at a time; the RACE family needs to
+know, across the whole linted tree, which functions run as kernel
+*processes* (anything handed to ``env.process``, transitively) and
+which module-level mutable objects they share.  This module builds that
+view once per run from the already-parsed per-file trees:
+
+* a **module graph** keyed by dotted module name, derived from the
+  project-relative path (``src/repro/rm/batch.py`` → ``repro.rm.batch``),
+* a **call graph** over qualified function names
+  (``repro.rm.batch.BatchScheduler.submit``), resolved through the same
+  import-alias maps the file rules use,
+* **spawn edges** — F spawns G when F passes G (or a call of G) to a
+  ``.process(...)`` call.  Spawning is an ordering edge: the spawner
+  observably runs-before the first step of the spawnee, so RACE001
+  never pairs a spawner with its spawnee,
+* per-function **shared-state access sets**: writes and mutations of
+  module-level mutable bindings, resolved cross-module through
+  ``from x import STATE`` and ``import x as y; y.STATE`` aliases.
+
+Everything is flow-insensitive and name-based.  Calls and receivers
+that cannot be resolved are dropped — the same innocent-until-proven
+trade :func:`repro.lint.astutil.dotted_name` makes — so the graph
+under-approximates reachability instead of drowning the report in
+false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+from repro.lint import astutil
+
+#: Constructor names whose result is shared *mutable* state when bound
+#: at module level.  Name-based on purpose: ``OrderedSet`` and
+#: ``WatchedDict`` are this repo's container types.
+MUTABLE_CONSTRUCTORS = {
+    "dict",
+    "list",
+    "set",
+    "defaultdict",
+    "OrderedDict",
+    "Counter",
+    "deque",
+    "OrderedSet",
+    "WatchedDict",
+}
+
+#: Method names that mutate their receiver in place.
+MUTATING_METHODS = {
+    "add",
+    "append",
+    "appendleft",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "popleft",
+    "push",
+    "remove",
+    "setdefault",
+    "update",
+}
+
+
+def is_mutable_expr(node: ast.expr) -> bool:
+    """Is ``node`` a mutable literal / known mutable constructor call?"""
+    if isinstance(
+        node, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in MUTABLE_CONSTRUCTORS
+    return False
+
+
+def module_name(relpath: str) -> str:
+    """Dotted module name for a project-relative path.
+
+    ``src/`` is the conventional layout root and is stripped;
+    ``pkg/__init__.py`` names the package itself.
+    """
+    path = relpath[:-3] if relpath.endswith(".py") else relpath
+    parts = [seg for seg in path.split("/") if seg]
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or relpath
+
+
+@dataclass
+class FunctionInfo:
+    """Flow-insensitive summary of one function definition."""
+
+    qualname: str
+    module: str
+    relpath: str
+    node: ast.AST
+    class_name: Optional[str] = None
+    calls: set[str] = field(default_factory=set)
+    spawns: set[str] = field(default_factory=set)
+    #: shared key → write/mutation sites (AST nodes, for findings)
+    writes: dict[str, list[ast.AST]] = field(default_factory=dict)
+    reads: set[str] = field(default_factory=set)
+    locals_: frozenset[str] = frozenset()
+    globals_declared: frozenset[str] = frozenset()
+
+
+class ProgramGraph:
+    """The linked view over every parsed file of one lint run."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, str] = {}  # module name -> relpath
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, tuple[ast.ClassDef, str]] = {}  # qn -> (node, relpath)
+        self.class_scopes: set[str] = set()
+        #: shared key ("repro.x.STATE") -> defining/first-seen site
+        self.shared_state: dict[str, tuple[str, ast.AST]] = {}
+        #: module -> module-level names bound to mutable values
+        self._mutable_globals: dict[str, set[str]] = {}
+        #: module -> every module-level binding (incl. instances)
+        self._module_bindings: dict[str, set[str]] = {}
+        #: module -> import alias map (astutil.build_import_map)
+        self._imports: dict[str, dict[str, str]] = {}
+        self.process_roots: set[str] = set()
+        self._reach_memo: dict[str, frozenset[str]] = {}
+        self._suffix_index: Optional[dict[str, list[str]]] = None
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(cls, files: Mapping[str, "object"]) -> "ProgramGraph":
+        """Build from ``{relpath: FileContext}`` (parsed files only)."""
+        graph = cls()
+        for relpath, ctx in files.items():
+            graph._scan_module(relpath, ctx)
+        for relpath, ctx in files.items():
+            graph._scan_functions(relpath, ctx)
+        return graph
+
+    def _scan_module(self, relpath: str, ctx) -> None:
+        mod = module_name(relpath)
+        self.modules[mod] = relpath
+        self._imports[mod] = ctx.imports
+        mutable = self._mutable_globals.setdefault(mod, set())
+        bindings = self._module_bindings.setdefault(mod, set())
+        for stmt in ctx.tree.body:
+            targets: list[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bindings.add(stmt.name)
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                bindings.add(target.id)
+                if value is not None and is_mutable_expr(value):
+                    mutable.add(target.id)
+                    self.shared_state.setdefault(
+                        f"{mod}.{target.id}", (relpath, target)
+                    )
+        # Qualified function/class discovery (methods, nested defs).
+        self._collect_defs(ctx.tree, mod, relpath, class_name=None)
+
+    def _collect_defs(
+        self, node: ast.AST, prefix: str, relpath: str, class_name: Optional[str]
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qn = f"{prefix}.{child.name}"
+                self.functions[qn] = FunctionInfo(
+                    qualname=qn,
+                    module=module_name(relpath),
+                    relpath=relpath,
+                    node=child,
+                    class_name=class_name,
+                )
+                self._collect_defs(child, qn, relpath, class_name=None)
+            elif isinstance(child, ast.ClassDef):
+                qn = f"{prefix}.{child.name}"
+                self.classes[qn] = (child, relpath)
+                self.class_scopes.add(qn)
+                self._collect_defs(child, qn, relpath, class_name=child.name)
+            else:
+                self._collect_defs(child, prefix, relpath, class_name=class_name)
+
+    # -- per-function analysis ----------------------------------------------
+
+    def _scan_functions(self, relpath: str, ctx) -> None:
+        for info in self.functions.values():
+            if info.relpath == relpath:
+                self._analyze(info, ctx.imports)
+
+    def _analyze(self, info: FunctionInfo, imports: dict[str, str]) -> None:
+        node = info.node
+        locals_: set[str] = set()
+        globals_declared: set[str] = set()
+        args = node.args
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            locals_.add(arg.arg)
+        for sub in astutil.own_nodes(node):
+            if isinstance(sub, ast.Global):
+                globals_declared.update(sub.names)
+            elif isinstance(sub, ast.Name) and isinstance(
+                sub.ctx, (ast.Store, ast.Del)
+            ):
+                locals_.add(sub.id)
+        locals_ -= globals_declared
+        info.locals_ = frozenset(locals_)
+        info.globals_declared = frozenset(globals_declared)
+
+        for sub in astutil.own_nodes(node):
+            if isinstance(sub, ast.Call):
+                self._scan_call(sub, info, imports)
+            elif isinstance(sub, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                )
+                for target in targets:
+                    self._scan_store(target, sub, info, imports)
+            elif isinstance(sub, ast.Delete):
+                for target in sub.targets:
+                    self._scan_store(target, sub, info, imports)
+            elif isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                key = self.resolve_shared_name(sub.id, info, imports)
+                if key is not None:
+                    info.reads.add(key)
+
+    def _scan_call(self, call: ast.Call, info: FunctionInfo, imports) -> None:
+        func = call.func
+        # Spawn edges: anything handed to a `.process(...)` call.  In
+        # this codebase `.process` is the kernel API (Environment and
+        # the NaiveEnvironment mirror); the receiver is not checked so
+        # wrappers (`self.env.process`) count too.
+        if isinstance(func, ast.Attribute) and func.attr == "process" and call.args:
+            arg = call.args[0]
+            target = arg.func if isinstance(arg, ast.Call) else arg
+            spawned = self.resolve_callable(target, info, imports)
+            if spawned is None and isinstance(target, ast.Attribute):
+                # Spawns routed through instance variables
+                # (`env.process(agent.run(env))`) defeat name
+                # resolution; fall back to the method name when it is
+                # unambiguous program-wide.  Spawn-only: a wrong root
+                # merely widens the checked set, a wrong call edge
+                # would fabricate ordering.
+                spawned = self._unique_suffix(target.attr)
+            if spawned is not None:
+                info.spawns.add(spawned)
+                self.process_roots.add(spawned)
+        callee = self.resolve_callable(func, info, imports)
+        if callee is not None:
+            info.calls.add(callee)
+        # Mutating method on a shared container: `STATE.update(...)`.
+        if isinstance(func, ast.Attribute) and func.attr in MUTATING_METHODS:
+            key = self.resolve_shared_expr(func.value, info, imports)
+            if key is not None:
+                info.writes.setdefault(key, []).append(call)
+
+    def _scan_store(self, target: ast.expr, site: ast.AST, info, imports) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in info.globals_declared:
+                key = f"{info.module}.{target.id}"
+                self.shared_state.setdefault(key, (info.relpath, site))
+                info.writes.setdefault(key, []).append(site)
+        elif isinstance(target, ast.Subscript):
+            key = self.resolve_shared_expr(target.value, info, imports)
+            if key is not None:
+                info.writes.setdefault(key, []).append(site)
+        elif isinstance(target, ast.Attribute):
+            # `mod.X = v` rebinding another module's global, or
+            # `OBJ.field = v` on a module-level shared object.
+            dotted = astutil.dotted_name(target, imports)
+            if dotted is not None and self._known_module_attr(dotted):
+                self.shared_state.setdefault(dotted, (info.relpath, site))
+                info.writes.setdefault(dotted, []).append(site)
+                return
+            base = target.value
+            if isinstance(base, ast.Name):
+                key = self.resolve_shared_name(
+                    base.id, info, imports, any_binding=True
+                )
+                if key is not None:
+                    info.writes.setdefault(key, []).append(site)
+
+    def _known_module_attr(self, dotted: str) -> bool:
+        mod, _, attr = dotted.rpartition(".")
+        return mod in self.modules and attr in self._module_bindings.get(mod, ())
+
+    # -- name resolution -----------------------------------------------------
+
+    def resolve_shared_name(
+        self,
+        name: str,
+        info: FunctionInfo,
+        imports: dict[str, str],
+        any_binding: bool = False,
+    ) -> Optional[str]:
+        """Shared-state key a bare ``name`` refers to in ``info``, or None.
+
+        ``any_binding`` widens from mutable module globals to every
+        module-level binding (for attribute writes on shared objects).
+        """
+        if name in info.locals_:
+            return None
+        if name in info.globals_declared:
+            return f"{info.module}.{name}"
+        pool = (
+            self._module_bindings if any_binding else self._mutable_globals
+        ).get(info.module, set())
+        if name in pool:
+            return f"{info.module}.{name}"
+        dotted = imports.get(name)
+        if dotted is not None:
+            mod, _, attr = dotted.rpartition(".")
+            pool = (
+                self._module_bindings if any_binding else self._mutable_globals
+            ).get(mod, set())
+            if attr in pool:
+                return dotted
+        return None
+
+    def resolve_shared_expr(
+        self, expr: ast.expr, info: FunctionInfo, imports: dict[str, str]
+    ) -> Optional[str]:
+        """Shared-state key for a Name or ``mod.NAME`` attribute chain."""
+        if isinstance(expr, ast.Name):
+            return self.resolve_shared_name(expr.id, info, imports)
+        if isinstance(expr, ast.Attribute):
+            dotted = astutil.dotted_name(expr, imports)
+            if dotted is not None:
+                mod, _, attr = dotted.rpartition(".")
+                if attr in self._mutable_globals.get(mod, ()):
+                    return dotted
+        return None
+
+    def resolve_callable(
+        self, expr: ast.expr, info: FunctionInfo, imports: dict[str, str]
+    ) -> Optional[str]:
+        """Qualified name of the function ``expr`` refers to, or None."""
+        if isinstance(expr, ast.Name):
+            name = expr.id
+            # Enclosing function scopes (class scopes are not visible
+            # to bare names), innermost first, then the module.
+            prefix = info.qualname
+            while True:
+                if prefix not in self.class_scopes:
+                    cand = f"{prefix}.{name}"
+                    if cand in self.functions:
+                        return cand
+                if prefix == info.module:
+                    break
+                prefix = prefix.rpartition(".")[0]
+                if not prefix:
+                    break
+            dotted = imports.get(name)
+            if dotted is not None and dotted in self.functions:
+                return dotted
+            return None
+        if isinstance(expr, ast.Attribute):
+            # `self.method` → nearest enclosing class.
+            if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+                prefix = info.qualname.rpartition(".")[0]
+                while prefix and prefix != info.module:
+                    if prefix in self.class_scopes:
+                        cand = f"{prefix}.{expr.attr}"
+                        if cand in self.functions:
+                            return cand
+                        break
+                    prefix = prefix.rpartition(".")[0]
+                return None
+            dotted = astutil.dotted_name(expr, imports)
+            if dotted is not None and dotted in self.functions:
+                return dotted
+        return None
+
+    def _unique_suffix(self, name: str) -> Optional[str]:
+        """The single function named ``name`` program-wide, or None."""
+        if self._suffix_index is None:
+            index: dict[str, list[str]] = {}
+            for qn in self.functions:
+                index.setdefault(qn.rpartition(".")[2], []).append(qn)
+            self._suffix_index = index
+        candidates = self._suffix_index.get(name, [])
+        return candidates[0] if len(candidates) == 1 else None
+
+    # -- reachability --------------------------------------------------------
+
+    @property
+    def process_reachable(self) -> frozenset[str]:
+        """Functions that can run inside a kernel process (closure)."""
+        out: set[str] = set()
+        for root in self.process_roots:
+            if root in self.functions:
+                out |= self.reach(root)
+        return frozenset(out)
+
+    def reach(self, qualname: str) -> frozenset[str]:
+        """``qualname`` plus everything transitively callable from it."""
+        memo = self._reach_memo.get(qualname)
+        if memo is not None:
+            return memo
+        seen: set[str] = set()
+        stack = [qualname]
+        while stack:
+            cur = stack.pop()
+            if cur in seen or cur not in self.functions:
+                continue
+            seen.add(cur)
+            stack.extend(self.functions[cur].calls)
+        out = frozenset(seen)
+        self._reach_memo[qualname] = out
+        return out
+
+    def ordered(self, a: str, b: str) -> bool:
+        """Is there an ordering (call or spawn) edge between ``a`` and ``b``?
+
+        Calls run in the caller's stack; a spawn happens-before the
+        spawnee's first step.  Either direction counts.
+        """
+        if b in self.reach(a) or a in self.reach(b):
+            return True
+        fa = self.functions.get(a)
+        fb = self.functions.get(b)
+        return bool(
+            (fa is not None and b in fa.spawns)
+            or (fb is not None and a in fb.spawns)
+        )
+
+    def methods_of(self, class_qualname: str) -> Iterable[str]:
+        prefix = class_qualname + "."
+        for qn in self.functions:
+            if qn.startswith(prefix) and "." not in qn[len(prefix):]:
+                yield qn

@@ -43,6 +43,11 @@ from typing import Optional
 #: hand-roll loops freely.
 _DEFAULT_SCOPES: dict[str, dict[str, list[str]]] = {
     "DET": {"include": ["src/repro/*"], "exclude": []},
+    # The whole-program RACE family reasons about kernel process
+    # functions; the simulation substrate is its domain.  Tests spawn
+    # throwaway shared state on purpose (and the sanitizer's own
+    # fixtures *are* deliberate races).
+    "RACE": {"include": ["src/repro/*"], "exclude": []},
     "OBSRES": {"include": ["src/repro/*"], "exclude": []},
     "KERNEL": {"include": ["src/repro/*", "tests/*", "benchmarks/*"], "exclude": []},
     # Tests exercise raw request/release sequencing (queue order,

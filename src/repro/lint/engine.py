@@ -2,9 +2,17 @@
 
 Pipeline per file: parse → annotate parents → build the import map →
 run each enabled+scoped rule → drop inline-suppressed findings → drop
-baselined findings.  Files that fail to parse produce an ERR001
-finding rather than crashing the run (CI should fail loudly, not
-trace-back).
+baselined findings.  Files that fail to parse (or decode) produce an
+ERR001 finding rather than crashing the run (CI should fail loudly,
+not trace-back).
+
+After the per-file pass, every successfully parsed file joins one
+**program pass**: :class:`ProgramRule` subclasses (the RACE family) see
+a :class:`ProgramContext` spanning the whole run — unparseable files
+are simply absent from it, so one bad file degrades the cross-file
+analysis instead of aborting it.  Program findings are filtered by the
+same per-path scoping and per-file inline suppressions as file
+findings.
 """
 
 from __future__ import annotations
@@ -18,7 +26,7 @@ from repro.lint import astutil, suppress
 from repro.lint.baseline import apply_baseline, stale_entry_findings
 from repro.lint.config import LintConfig
 from repro.lint.findings import Finding
-from repro.lint.rules import all_rules, known_ids
+from repro.lint.rules import ProgramRule, all_rules, known_ids
 from repro.lint.suppress import Suppression
 
 
@@ -41,6 +49,36 @@ class FileContext:
         return ""
 
 
+class ProgramContext:
+    """Everything a :class:`~repro.lint.rules.ProgramRule` sees.
+
+    Holds every file that parsed in this run and builds the
+    whole-program :class:`~repro.lint.callgraph.ProgramGraph` lazily on
+    first access (so runs with the RACE family disabled never pay for
+    it).
+    """
+
+    def __init__(self, files: dict[str, FileContext], config: LintConfig):
+        self.files = files
+        self.config = config
+        self._graph = None
+
+    @property
+    def graph(self):
+        if self._graph is None:
+            from repro.lint.callgraph import ProgramGraph
+
+            self._graph = ProgramGraph.build(self.files)
+        return self._graph
+
+    def context(self, relpath: str) -> Optional[FileContext]:
+        return self.files.get(relpath)
+
+    def line(self, relpath: str, line_no: int) -> str:
+        ctx = self.files.get(relpath)
+        return ctx.line(line_no) if ctx is not None else ""
+
+
 @dataclass
 class LintResult:
     findings: list[Finding] = field(default_factory=list)
@@ -59,10 +97,17 @@ def lint_source(
     config: Optional[LintConfig] = None,
     use_baseline: bool = True,
 ) -> LintResult:
-    """Lint one in-memory source blob (the unit-test entry point)."""
+    """Lint one in-memory source blob (the unit-test entry point).
+
+    The blob also runs as a one-file program, so ProgramRules (the RACE
+    family) fire from the same fixtures as file rules.
+    """
     config = config or LintConfig()
     result = LintResult(files_checked=1)
-    _lint_one(source, relpath, config, result)
+    parsed = _lint_one(source, relpath, config, result)
+    _run_program_pass(
+        {relpath: parsed} if parsed is not None else {}, config, result
+    )
     if use_baseline and config.baseline:
         kept, baselined, _stale = apply_baseline(result.findings, config.baseline)
         result.findings, result.baselined = kept, baselined
@@ -82,6 +127,7 @@ def lint_paths(
     # Resolve + dedupe so overlapping arguments (`src src/repro`) lint
     # each file once instead of double-reporting and double-counting.
     files = sorted({p.resolve() for p in _collect(paths)})
+    parsed_files: dict[str, tuple[FileContext, list[Suppression]]] = {}
     for path in files:
         try:
             relpath = path.resolve().relative_to(root.resolve()).as_posix()
@@ -95,7 +141,10 @@ def lint_paths(
             )
             continue
         result.files_checked += 1
-        _lint_one(source, relpath, config, result)
+        parsed = _lint_one(source, relpath, config, result)
+        if parsed is not None:
+            parsed_files[relpath] = parsed
+    _run_program_pass(parsed_files, config, result)
     if use_baseline and config.baseline:
         kept, baselined, stale = apply_baseline(result.findings, config.baseline)
         result.findings, result.baselined = kept, baselined
@@ -124,7 +173,11 @@ def _collect(paths: Iterable[Path]) -> list[Path]:
     return out
 
 
-def _lint_one(source: str, relpath: str, config: LintConfig, result: LintResult) -> None:
+def _lint_one(
+    source: str, relpath: str, config: LintConfig, result: LintResult
+) -> Optional[tuple[FileContext, list[Suppression]]]:
+    """Run the per-file rules; return the parsed context for the program
+    pass (None when the file does not parse)."""
     suppressions, directive_problems = suppress.parse_suppressions(source, relpath)
     lines = source.splitlines()
     try:
@@ -139,10 +192,12 @@ def _lint_one(source: str, relpath: str, config: LintConfig, result: LintResult)
                 f"syntax error: {exc.msg}",
             )
         )
-        return
+        return None
 
     raw: list[Finding] = []
     for rule in all_rules():
+        if isinstance(rule, ProgramRule):
+            continue  # runs once, in the program pass
         if not config.rule_enabled(rule.id):
             continue
         if not config.rule_applies(rule.id, rule.family, relpath):
@@ -160,3 +215,40 @@ def _lint_one(source: str, relpath: str, config: LintConfig, result: LintResult)
             suppressions, known_ids() | meta_ids, relpath, lines
         )
     )
+    return ctx, suppressions
+
+
+def _run_program_pass(
+    parsed_files: dict[str, tuple[FileContext, list[Suppression]]],
+    config: LintConfig,
+    result: LintResult,
+) -> None:
+    """Run every enabled ProgramRule over the parsed files as one unit."""
+    rules = [
+        r
+        for r in all_rules()
+        if isinstance(r, ProgramRule) and config.rule_enabled(r.id)
+    ]
+    if not rules or not parsed_files:
+        return
+    program = ProgramContext(
+        {relpath: ctx for relpath, (ctx, _) in parsed_files.items()}, config
+    )
+    for rule in rules:
+        # Program findings can land in any file; scope by the finding's
+        # own path, and honor that file's inline suppressions.
+        raw = [
+            f
+            for f in rule.check_program(program)
+            if config.rule_applies(rule.id, rule.family, f.path)
+        ]
+        by_path: dict[str, list[Finding]] = {}
+        for f in raw:
+            by_path.setdefault(f.path, []).append(f)
+        for relpath, group in by_path.items():
+            sups = (
+                parsed_files[relpath][1] if relpath in parsed_files else []
+            )
+            kept, suppressed = suppress.apply_suppressions(group, sups)
+            result.findings.extend(kept)
+            result.suppressed.extend(suppressed)

@@ -18,7 +18,7 @@ from typing import TYPE_CHECKING, Iterator, Type
 from repro.lint.findings import Finding
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.lint.engine import FileContext
+    from repro.lint.engine import FileContext, ProgramContext
 
 
 class Rule:
@@ -48,6 +48,37 @@ class Rule:
         )
 
 
+class ProgramRule(Rule):
+    """A whole-program rule: sees every parsed file of the run at once.
+
+    Program rules run in a second pass after the per-file rules, against
+    a :class:`~repro.lint.engine.ProgramContext` (all parsed files plus
+    the lazily-built :class:`~repro.lint.callgraph.ProgramGraph`).
+    Their findings carry whatever path they anchor to, so per-file
+    scoping and inline suppressions still apply — the engine filters by
+    ``finding.path``, not by the file that triggered the rule.
+    """
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        return iter(())  # program rules only run in the program pass
+
+    def check_program(self, program: "ProgramContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding_in(
+        self, program: "ProgramContext", relpath: str, node: ast.AST, message: str
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            path=relpath,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            rule=self.id,
+            message=message,
+            source_line=program.line(relpath, line),
+        )
+
+
 REGISTRY: dict[str, Rule] = {}
 
 
@@ -72,3 +103,4 @@ def known_ids() -> set[str]:
 from repro.lint.rules import det as _det  # noqa: E402,F401
 from repro.lint.rules import kernel as _kernel  # noqa: E402,F401
 from repro.lint.rules import obsres as _obsres  # noqa: E402,F401
+from repro.lint.rules import race as _race  # noqa: E402,F401

@@ -1,0 +1,339 @@
+"""RACE — interprocedural order-sensitivity rules (the simsan static layer).
+
+The calendar-queue kernel dispatches all events of one simulated
+instant as a batch (``docs/SIMKERNEL.md``); within a batch, dispatch
+order is schedule order — deterministic, but *incidental*.  Code whose
+result depends on that order is one innocuous refactor away from
+breaking every golden digest.  These rules use the whole-program
+:class:`~repro.lint.callgraph.ProgramGraph` to find state shared
+between kernel process functions with no ordering edge between them —
+exactly what the file-local DET rules cannot see.
+
+The dynamic half of simsan (:mod:`repro.sanitizer`) confirms suspected
+races at runtime by permuting same-instant batches; see
+``docs/SANITIZER.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint import astutil
+from repro.lint.callgraph import MUTATING_METHODS, is_mutable_expr
+from repro.lint.findings import Finding
+from repro.lint.rules import ProgramRule, register
+from repro.lint.rules.det import _is_set_expr
+
+#: Scheduler work-queue attributes (BatchScheduler.queue/.running,
+#: KubeScheduler.pending/.running — see src/repro/rm/).
+_QUEUE_ATTRS = {"queue", "pending", "running"}
+
+#: Name stems that mark a call as a placement / retry decision.
+_DECISION_STEMS = (
+    "place",
+    "submit",
+    "sched",
+    "retry",
+    "assign",
+    "alloc",
+    "dispatch",
+    "grant",
+    "launch",
+    "acquire",
+)
+
+
+def _decision_call(body: list[ast.stmt]) -> "ast.Call | None":
+    """First call in ``body`` whose callee name looks like a decision."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else ""
+            )
+            lowered = name.lower()
+            if any(stem in lowered for stem in _DECISION_STEMS):
+                return node
+    return None
+
+
+@register
+class SharedWriteRace(ProgramRule):
+    id = "RACE001"
+    family = "RACE"
+    summary = "write-write on shared state from unordered process functions"
+    rationale = (
+        "Two kernel process functions writing the same module-global or "
+        "shared-object state, with no call or spawn edge ordering them, "
+        "race whenever they land in the same dispatch batch: the last "
+        "writer wins and batch order decides which that is.  Route the "
+        "state through an owning component, or order the writers with "
+        "an event edge."
+    )
+    bad = (
+        "SHARED = {}\n"
+        "def writer_a(env):\n"
+        "    yield env.timeout(1); SHARED['k'] = 'a'\n"
+        "def writer_b(env):\n"
+        "    yield env.timeout(1); SHARED['k'] = 'b'\n"
+        "env.process(writer_a(env)); env.process(writer_b(env))"
+    )
+    good = (
+        "def writer_a(env, done):\n"
+        "    yield env.timeout(1); done.succeed('a')\n"
+        "def reader(env, done):\n"
+        "    value = yield done  # ordered by the event edge"
+    )
+
+    def check_program(self, program) -> Iterator[Finding]:
+        graph = program.graph
+        # Attribute every write in a process root's call closure to
+        # that root: "process function P writes K" includes writes made
+        # by helpers P calls.
+        by_key: dict[str, dict[str, list[tuple[str, ast.AST]]]] = {}
+        for root in sorted(graph.process_roots):
+            if root not in graph.functions:
+                continue
+            for fn in sorted(graph.reach(root)):
+                info = graph.functions[fn]
+                for key, sites in info.writes.items():
+                    by_key.setdefault(key, {}).setdefault(root, []).extend(
+                        (fn, site) for site in sites
+                    )
+        seen: set[tuple[str, str, int, int]] = set()
+        for key in sorted(by_key):
+            by_root = by_key[key]
+            roots = sorted(by_root)
+            if len(roots) < 2:
+                continue
+            for root in roots:
+                others = [
+                    o for o in roots if o != root and not graph.ordered(root, o)
+                ]
+                if not others:
+                    continue
+                for fn, site in by_root[root]:
+                    info = graph.functions[fn]
+                    line = getattr(site, "lineno", 1)
+                    dedup = (info.relpath, key, line, getattr(site, "col_offset", 0))
+                    if dedup in seen:
+                        continue
+                    seen.add(dedup)
+                    via = "" if fn == root else f" (via '{fn}')"
+                    yield self.finding_in(
+                        program,
+                        info.relpath,
+                        site,
+                        f"process function '{root}'{via} writes shared state "
+                        f"'{key}' also written by unordered process function "
+                        f"'{others[0]}'; same-instant batch order decides the "
+                        "final value",
+                    )
+
+
+@register
+class ForeignQueueAccess(ProgramRule):
+    id = "RACE002"
+    family = "RACE"
+    summary = "scheduler queue accessed outside the owning scheduler"
+    rationale = (
+        "The rm schedulers' queue/running/pending sets are single-owner "
+        "state: the owning scheduler mutates them inside its own wakeup "
+        "pass.  A process function reaching into another scheduler's "
+        "queue reads or writes state that a same-instant wakeup is "
+        "concurrently rewriting — whether the foreign access sees the "
+        "pre- or post-wakeup queue is batch order.  Go through the "
+        "scheduler's API (submit/cancel) instead."
+    )
+    bad = "def proc(env, sched):\n    yield env.timeout(1)\n    sched.queue.remove(job)"
+    good = "def proc(env, sched):\n    yield env.timeout(1)\n    sched.cancel(job)"
+
+    def check_program(self, program) -> Iterator[Finding]:
+        graph = program.graph
+        for qn in sorted(graph.process_reachable):
+            info = graph.functions[qn]
+            for node in astutil.own_nodes(info.node):
+                if not isinstance(node, ast.Attribute):
+                    continue
+                if node.attr not in _QUEUE_ATTRS:
+                    continue
+                receiver = astutil.receiver_text(node)
+                segments = receiver.split(".")
+                if segments[:-1] == ["self"]:
+                    continue  # the owning scheduler's own access
+                # Only receivers that name a scheduler: keeps metric
+                # reads of unrelated `.pending` attributes quiet.
+                if "sched" not in receiver.lower():
+                    continue
+                access = self._access_kind(node)
+                if access is None:
+                    continue
+                yield self.finding_in(
+                    program,
+                    info.relpath,
+                    node,
+                    f"process function '{qn}' {access} scheduler queue "
+                    f"'{receiver}' it does not own; same-instant wakeups "
+                    "mutate it concurrently — use the scheduler's API",
+                )
+
+    @staticmethod
+    def _access_kind(node: ast.Attribute) -> "str | None":
+        par = astutil.parent(node)
+        if isinstance(par, ast.Attribute) and par.attr in MUTATING_METHODS:
+            if isinstance(astutil.parent(par), ast.Call):
+                return "mutates"
+        if isinstance(par, (ast.Assign, ast.AugAssign)) and node in getattr(
+            par, "targets", [getattr(par, "target", None)]
+        ):
+            return "rebinds"
+        if isinstance(par, ast.Subscript) and isinstance(
+            astutil.parent(par), (ast.Assign, ast.Delete)
+        ):
+            return "mutates"
+        if isinstance(par, (ast.For, ast.AsyncFor)) and par.iter is node:
+            return "iterates"
+        if isinstance(par, ast.comprehension) and par.iter is node:
+            return "iterates"
+        return None
+
+
+@register
+class UnorderedDecisionIteration(ProgramRule):
+    id = "RACE003"
+    family = "RACE"
+    summary = "unordered iteration feeding a placement/retry decision"
+    rationale = (
+        "A placement or retry decision made while iterating an "
+        "unordered set — or a view of a dict that unordered process "
+        "functions populate — grants resources in an order that varies "
+        "with hash salt or batch order.  Sort the candidates on a "
+        "stable key first (DET004's fix), or iterate an "
+        "insertion-ordered container."
+    )
+    bad = "def proc(env):\n    yield env.timeout(1)\n    for n in set(nodes): place(n)"
+    good = (
+        "def proc(env):\n"
+        "    yield env.timeout(1)\n"
+        "    for n in sorted(set(nodes)): place(n)"
+    )
+
+    def check_program(self, program) -> Iterator[Finding]:
+        graph = program.graph
+        for qn in sorted(graph.process_reachable):
+            info = graph.functions[qn]
+            ctx = program.context(info.relpath)
+            imports = ctx.imports if ctx is not None else {}
+            for node in astutil.own_nodes(info.node):
+                if not isinstance(node, (ast.For, ast.AsyncFor)):
+                    continue
+                unordered = self._unordered_source(node.iter, graph, info, imports)
+                if unordered is None:
+                    continue
+                decision = _decision_call(node.body)
+                if decision is None:
+                    continue
+                func = decision.func
+                dname = (
+                    func.attr
+                    if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name) else "?"
+                )
+                yield self.finding_in(
+                    program,
+                    info.relpath,
+                    node.iter,
+                    f"process function '{qn}' iterates {unordered} to drive "
+                    f"'{dname}()'; the decision order is not reproducible — "
+                    "sort the candidates on a stable key first",
+                )
+
+    @staticmethod
+    def _unordered_source(
+        iter_expr: ast.expr, graph, info, imports: dict[str, str]
+    ) -> "str | None":
+        if _is_set_expr(iter_expr, imports):
+            return "an unordered set"
+        if (
+            isinstance(iter_expr, ast.Call)
+            and isinstance(iter_expr.func, ast.Attribute)
+            and iter_expr.func.attr in {"keys", "values", "items"}
+        ):
+            key = graph.resolve_shared_expr(iter_expr.func.value, info, imports)
+            if key is not None:
+                return (
+                    f"a view of shared dict '{key}' (population order is "
+                    "batch order)"
+                )
+        return None
+
+
+@register
+class MutableProcessState(ProgramRule):
+    id = "RACE004"
+    family = "RACE"
+    summary = "mutable default / class-attribute state reachable from processes"
+    rationale = (
+        "A mutable default argument or a class-level mutable attribute "
+        "is one object shared by every call and every instance.  When "
+        "process functions reach it, concurrent same-instant mutations "
+        "race exactly like a module global, but the sharing is "
+        "invisible at the call site.  Default to None and allocate "
+        "per-call, or move the attribute into __init__."
+    )
+    bad = "def proc(env, seen=[]):\n    yield env.timeout(1)\n    seen.append(env.now)"
+    good = (
+        "def proc(env, seen=None):\n"
+        "    seen = [] if seen is None else seen\n"
+        "    yield env.timeout(1)"
+    )
+
+    def check_program(self, program) -> Iterator[Finding]:
+        graph = program.graph
+        reachable = graph.process_reachable
+        for qn in sorted(reachable):
+            info = graph.functions[qn]
+            args = info.node.args
+            defaults = list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if is_mutable_expr(default):
+                    yield self.finding_in(
+                        program,
+                        info.relpath,
+                        default,
+                        f"process function '{qn}' has a mutable default "
+                        "argument: one object shared by every call — "
+                        "default to None and allocate per call",
+                    )
+        for class_qn in sorted(graph.classes):
+            if not any(m in reachable for m in graph.methods_of(class_qn)):
+                continue
+            node, relpath = graph.classes[class_qn]
+            for stmt in node.body:
+                value = None
+                target = None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target, value = stmt.targets[0], stmt.value
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    target, value = stmt.target, stmt.value
+                if (
+                    isinstance(target, ast.Name)
+                    and value is not None
+                    and is_mutable_expr(value)
+                ):
+                    yield self.finding_in(
+                        program,
+                        relpath,
+                        value,
+                        f"class '{class_qn}' (methods run as kernel "
+                        f"processes) shares mutable class attribute "
+                        f"'{target.id}' across instances — move it into "
+                        "__init__",
+                    )

@@ -35,11 +35,14 @@ class Suppression:
     rules: tuple[str, ...]
     justification: str
     own_line: bool  # comment-only line (applies to the next code line)
+    #: Line the directive applies to: its own line for trailing
+    #: comments, else the next *code* line — skipping blank and
+    #: comment-only lines, so stacked directives above one statement
+    #: all land on it instead of on each other.
+    target: int = 0
 
     def covers(self, finding_line: int) -> bool:
-        if self.own_line:
-            return finding_line == self.line + 1
-        return finding_line == self.line
+        return finding_line == (self.target or self.line)
 
 
 def parse_suppressions(source: str, relpath: str) -> tuple[list[Suppression], list[Finding]]:
@@ -93,10 +96,44 @@ def parse_suppressions(source: str, relpath: str) -> tuple[list[Suppression], li
         own_line = _line(lines, line_no).lstrip().startswith("#")
         suppressions.append(
             Suppression(
-                line=line_no, rules=rules, justification=why, own_line=own_line
+                line=line_no,
+                rules=rules,
+                justification=why,
+                own_line=own_line,
+                target=_target_line(lines, line_no, own_line),
             )
         )
     return suppressions, problems
+
+
+def _target_line(lines: list[str], line_no: int, own_line: bool) -> int:
+    """The code line a directive applies to.
+
+    Trailing comments cover their own line.  Own-line directives cover
+    the next line that holds code: further comment-only lines (e.g. a
+    second stacked directive) are skipped, so
+
+    ::
+
+        # simlint: disable=DET004 -- iteration order pinned below
+        # simlint: disable=OBS002 -- progress print, not telemetry
+        print(sorted(pending))
+
+    suppresses both rules on the ``print`` line.  (Previously each
+    directive covered exactly the next physical line, so the first one
+    above landed on the second comment and silently suppressed
+    nothing.)  A *blank* line is not skipped: it detaches the
+    directive, keeping suppressions tightly scoped to adjacent code.
+    """
+    if not own_line:
+        return line_no
+    for offset in range(line_no + 1, len(lines) + 1):
+        text = _line(lines, offset).strip()
+        if not text:
+            break  # blank line: the directive attaches to nothing
+        if not text.startswith("#"):
+            return offset
+    return line_no  # dangling directive: covers nothing real
 
 
 def unknown_rule_findings(

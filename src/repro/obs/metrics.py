@@ -37,6 +37,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.sanitizer import hooks
+
 
 class Gauge:
     """Records a piecewise-constant signal over simulated time.
@@ -55,6 +57,11 @@ class Gauge:
 
     def record(self, t: float, value: float) -> None:
         """Record that the signal equals ``value`` from time ``t`` on."""
+        if hooks.ACTIVE is not None:
+            # Commutative for simsan: a same-instant record reads the
+            # *current* state, so the last writer lands the same final
+            # value in any batch order (same-t records overwrite).
+            hooks.ACTIVE.record(self, self.name or "gauge", "c")
         if t < self.times[-1]:
             raise ValueError(
                 f"Non-monotonic record: t={t} < last t={self.times[-1]}"

@@ -4,6 +4,17 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator
 
+from repro.sanitizer import hooks
+
+
+def _member_label(item: Any) -> str:
+    """Stable simsan member key for a lifecycle object (Job, Pod)."""
+    for attr in ("name", "id"):
+        value = getattr(item, attr, None)
+        if value is not None:
+            return str(value)
+    return type(item).__name__
+
 
 class OrderedSet:
     """Insertion-ordered set with O(1) append/remove/contains.
@@ -22,14 +33,28 @@ class OrderedSet:
         self._items: dict[Any, None] = dict.fromkeys(items)
 
     def append(self, item: Any) -> None:
+        if hooks.ACTIVE is not None:
+            # Two writes: the member itself (re-appending an existing
+            # member is idempotent — equal values are benign), and the
+            # container's insertion order (two units appending
+            # *different* items leave the queue order batch-dependent,
+            # which leaks straight into placement decisions).
+            label = _member_label(item)
+            hooks.ACTIVE.record(self, label, "w", value=item in self._items)
+            hooks.ACTIVE.record(self, "<order>", "o", value=label)
         self._items[item] = None
 
     add = append
 
     def remove(self, item: Any) -> None:
+        if hooks.ACTIVE is not None:
+            # "x" = consume: taking an item out observed it being there.
+            hooks.ACTIVE.record(self, _member_label(item), "x", value="removed")
         del self._items[item]
 
     def discard(self, item: Any) -> None:
+        if hooks.ACTIVE is not None:
+            hooks.ACTIVE.record(self, _member_label(item), "x", value="removed")
         self._items.pop(item, None)
 
     def __contains__(self, item: Any) -> bool:

@@ -1,0 +1,94 @@
+"""CLI for the simsan batch-permutation checker.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python -m repro.sanitizer                     # all of E1-E8
+    PYTHONPATH=src python -m repro.sanitizer --only E2,E5        # a subset
+    PYTHONPATH=src python -m repro.sanitizer --out SIMSAN.json   # machine report
+
+Exit codes: 0 all scenarios pass, 1 at least one divergent trace or
+same-instant race, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.sanitizer.permute import MODES, run_check
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sanitizer",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "--only",
+        help="comma-separated bench ids (default: every golden scenario)",
+    )
+    parser.add_argument(
+        "--modes",
+        default=",".join(MODES),
+        help=f"comma-separated permutation modes (default: {','.join(MODES)})",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="shuffle seed (default: 1)"
+    )
+    parser.add_argument(
+        "--traces",
+        type=Path,
+        default=Path("tests/golden/traces.py"),
+        help="path to the golden trace builders",
+    )
+    parser.add_argument(
+        "--out", type=Path, help="also write the JSON report to this path"
+    )
+    args = parser.parse_args(argv)
+
+    if not args.traces.exists():
+        print(f"error: no golden builders at {args.traces} (run from the repo root)",
+              file=sys.stderr)
+        return 2
+    only = [b.strip() for b in args.only.split(",")] if args.only else None
+    modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+    for mode in modes:
+        if mode not in MODES:
+            print(f"error: unknown mode {mode!r} (choose from {', '.join(MODES)})",
+                  file=sys.stderr)
+            return 2
+
+    report = run_check(
+        args.traces,
+        only=only,
+        modes=modes,
+        seed=args.seed,
+        digests_path=args.traces.parent / "trace_digests.json",
+    )
+
+    for res in report["results"]:
+        status = "ok  " if res["passed"] else "FAIL"
+        extra = f", {len(res['races'])} race(s)" if res["races"] else ""
+        if res["order_warnings"]:
+            extra += f", {len(res['order_warnings'])} order warning(s)"
+        print(f"{status} {res['bench_id']} {res['mode']:<7} -> {res['verdict']}"
+              f" ({res['batches']} batches, {res['units']} units{extra})")
+        if res["detail"]:
+            for line in res["detail"].splitlines():
+                print(f"     {line}")
+        for race in res["races"]:
+            print(f"     race: {json.dumps(race, sort_keys=True)}")
+    for bench_id in report["baseline_drift"]:
+        print(f"WARN {bench_id}: unpermuted baseline drifted from the pinned "
+              "golden digest (fix the golden suite first)")
+
+    if args.out:
+        args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    return 0 if report["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""Instrumentation hook point for the simsan dynamic layer.
+
+This module is deliberately dependency-free: the instrumented
+containers (``repro.rm.util.OrderedSet``, ``repro.cluster.cluster.
+FreeNodePool``, the metric primitives) import it at module load, so it
+must not import anything that could cycle back into them.
+
+The contract is a single module global:
+
+``ACTIVE``
+    ``None`` (the overwhelmingly common case) or the
+    :class:`repro.sanitizer.core.Sanitizer` currently driving an
+    environment.  Instrumented call sites guard every record with::
+
+        if hooks.ACTIVE is not None:
+            hooks.ACTIVE.record(self, member, "w")
+
+    so the disabled cost is one module-attribute load and an ``is``
+    comparison — and none of the instrumented operations sit on the
+    kernel's event hot loop (they are scheduler/bookkeeping paths).
+
+Only :meth:`Sanitizer.drive` assigns ``ACTIVE`` (set on entry, cleared
+in a ``finally``): accesses outside a sanitized run — scenario setup,
+teardown, other environments — are never recorded, and two
+environments cannot cross-talk because only one drive loop runs at a
+time.
+"""
+
+from __future__ import annotations
+
+#: The sanitizer currently driving a run, or None.  Assigned only by
+#: ``Sanitizer.drive``.
+ACTIVE = None

@@ -127,6 +127,12 @@ class Environment:
         #: The list is append-only and empty unless :mod:`repro.ckpt`
         #: is in play — zero cost on the hot path.
         self.ckpt_probes: list = []
+        #: simsan hook: when :func:`repro.sanitizer.enable_sanitizer`
+        #: attaches one, ``run()`` hands the calendar to its
+        #: instrumented drive loop instead of ``_run_loop``.  ``None``
+        #: costs a single attribute test per ``run()`` call — nothing
+        #: on the per-event path.
+        self._sanitizer = None
         #: ``timeout`` is installed as an instance attribute (a closure
         #: over the calendar structures): the hot path pays one
         #: attribute load instead of a descriptor + bound-method
@@ -597,7 +603,10 @@ class Environment:
                 raise ValueError(f"until={stop_at} is in the past (now={self._now})")
 
         try:
-            self._run_loop(stop_at)
+            if self._sanitizer is not None:
+                self._sanitizer.drive(self, stop_at)
+            else:
+                self._run_loop(stop_at)
         except StopSimulation:
             pass
         finally:

@@ -1,0 +1,167 @@
+"""The --fix autofixer: narrow rewrites, idempotent, scope-gated."""
+
+from pathlib import Path
+
+from repro.lint.__main__ import main
+from repro.lint.config import LintConfig
+from repro.lint.engine import lint_source
+from repro.lint.fix import fix_source
+
+REL = "src/repro/fake_mod.py"
+
+
+def _fix(src: str, config: LintConfig | None = None):
+    return fix_source(src, REL, config)
+
+
+class TestDet004Fix:
+    def test_for_loop_over_set_literal_is_wrapped(self):
+        src = "for x in {3, 1, 2}:\n    use(x)\n"
+        fixed, fixes = _fix(src)
+        assert fixed == "for x in sorted({3, 1, 2}):\n    use(x)\n"
+        assert [f.rule for f in fixes] == ["DET004"]
+
+    def test_set_call_and_method_iterables(self):
+        src = (
+            "for a in set(items):\n    use(a)\n"
+            "vals = [f(k) for k in d.keys() | e.keys()]\n"
+        )
+        fixed, _ = _fix(src)
+        assert "for a in sorted(set(items)):" in fixed
+
+    def test_comprehension_generator_is_wrapped(self):
+        src = "names = [n.id for n in {a, b}]\n"
+        fixed, fixes = _fix(src)
+        assert fixed == "names = [n.id for n in sorted({a, b})]\n"
+        assert len(fixes) == 1
+
+    def test_multiline_iterable_left_alone(self):
+        src = "for x in {\n    3,\n    1,\n}:\n    use(x)\n"
+        fixed, fixes = _fix(src)
+        assert fixed == src
+        assert fixes == []
+
+    def test_fix_silences_the_finding(self):
+        src = "for x in {3, 1, 2}:\n    use(x)\n"
+        assert any(
+            f.rule == "DET004" for f in lint_source(src, relpath=REL).findings
+        )
+        fixed, _ = _fix(src)
+        assert not any(
+            f.rule == "DET004" for f in lint_source(fixed, relpath=REL).findings
+        )
+
+    def test_already_sorted_untouched(self):
+        src = "for x in sorted({3, 1, 2}):\n    use(x)\n"
+        fixed, fixes = _fix(src)
+        assert fixed == src
+        assert fixes == []
+
+
+class TestObs002Fix:
+    def test_print_rewritten_and_import_inserted(self):
+        src = "import os\n\ndef run(job):\n    print(job)\n"
+        fixed, fixes = _fix(src)
+        assert "import logging\n" in fixed
+        assert "logging.getLogger(__name__).info(job)" in fixed
+        assert {f.rule for f in fixes} == {"OBS002"}
+        # the rewritten module still parses and the finding is gone
+        assert not any(
+            f.rule == "OBS002" for f in lint_source(fixed, relpath=REL).findings
+        )
+
+    def test_existing_logging_import_not_duplicated(self):
+        src = "import logging\n\ndef run(job):\n    print(job)\n"
+        fixed, _ = _fix(src)
+        assert fixed.count("import logging") == 1
+
+    def test_import_goes_after_last_import(self):
+        src = "import os\nfrom pathlib import Path\n\ndef f():\n    print(1)\n"
+        fixed, _ = _fix(src)
+        lines = fixed.splitlines()
+        assert lines[:3] == [
+            "import os",
+            "from pathlib import Path",
+            "import logging",
+        ]
+
+    def test_multi_arg_and_kwarg_prints_left_as_findings(self):
+        src = (
+            "def f(a, b):\n"
+            "    print(a, b)\n"
+            "    print(a, file=None)\n"
+        )
+        fixed, fixes = _fix(src)
+        assert fixed == src
+        assert fixes == []
+        assert any(
+            f.rule == "OBS002" for f in lint_source(src, relpath=REL).findings
+        )
+
+    def test_no_import_needed_when_nothing_rewritten(self):
+        src = "def f(a, b):\n    print(a, b)\n"
+        fixed, _ = _fix(src)
+        assert "import logging" not in fixed
+
+
+class TestIdempotenceAndScope:
+    SRC = (
+        "import os\n"
+        "\n"
+        "def run(pending):\n"
+        "    for job in set(pending):\n"
+        "        print(job)\n"
+    )
+
+    def test_fixing_twice_equals_fixing_once(self):
+        once, fixes1 = _fix(self.SRC)
+        twice, fixes2 = _fix(once)
+        assert fixes1 and not fixes2
+        assert once == twice
+
+    def test_scoped_out_file_untouched(self):
+        # OBS002 is scoped out of repro.report by default, and DET004
+        # is disabled here explicitly: nothing to do.
+        config = LintConfig(disable=["DET004"])
+        fixed, fixes = fix_source(self.SRC, "src/repro/report/progress.py", config)
+        assert fixed == self.SRC
+        assert fixes == []
+
+    def test_syntax_error_source_returned_unchanged(self):
+        src = "def broken(:\n"
+        fixed, fixes = _fix(src)
+        assert fixed == src
+        assert fixes == []
+
+    def test_mixed_fixes_on_adjacent_lines(self):
+        fixed, fixes = _fix(self.SRC)
+        assert "for job in sorted(set(pending)):" in fixed
+        assert "logging.getLogger(__name__).info(job)" in fixed
+        assert [f.rule for f in fixes] == ["OBS002", "DET004", "OBS002"]
+
+
+class TestCliFix:
+    def _setup(self, tmp_path: Path) -> Path:
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (tmp_path / "pyproject.toml").write_text("[tool.simlint]\n")
+        target = pkg / "mod.py"
+        target.write_text("for x in {3, 1, 2}:\n    use(x)\n")
+        return target
+
+    def test_fix_off_by_default(self, tmp_path, capsys, monkeypatch):
+        target = self._setup(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        before = target.read_text()
+        assert main([str(target)]) == 1
+        assert target.read_text() == before
+
+    def test_fix_flag_rewrites_in_place(self, tmp_path, capsys, monkeypatch):
+        target = self._setup(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        code = main(["--fix", str(target)])
+        captured = capsys.readouterr()
+        assert "for x in sorted({3, 1, 2}):" in target.read_text()
+        assert "fixed: src/repro/mod.py:1: DET004" in captured.err
+        # the lint pass that follows sees the repaired file
+        assert code == 0

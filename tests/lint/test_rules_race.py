@@ -1,0 +1,422 @@
+"""RACE001–RACE004: firing and non-firing fixtures for the simsan
+whole-program static pass (docs/LINTING.md, docs/SANITIZER.md)."""
+
+from __future__ import annotations
+
+
+# -- RACE001: write-write on shared state -------------------------------------
+
+
+RACY_WRITERS = """
+    SHARED = {}
+
+    def writer_a(env):
+        yield env.timeout(1)
+        SHARED["k"] = "a"
+
+    def writer_b(env):
+        yield env.timeout(1)
+        SHARED["k"] = "b"
+
+    def driver(env):
+        env.process(writer_a(env))
+        env.process(writer_b(env))
+"""
+
+
+def test_race001_fires_on_unordered_shared_writes(check):
+    findings = check(RACY_WRITERS, rule="RACE001")
+    assert len(findings) == 2  # one per write site
+    assert all("repro.fake_mod.SHARED" in f.message for f in findings)
+    lines = {f.line for f in findings}
+    assert len(lines) == 2
+
+
+def test_race001_names_both_process_functions(check):
+    messages = " ".join(f.message for f in check(RACY_WRITERS, rule="RACE001"))
+    assert "writer_a" in messages and "writer_b" in messages
+
+
+def test_race001_fires_through_helper_calls(check):
+    src = """
+        SHARED = {}
+
+        def _bump(key, value):
+            SHARED[key] = value
+
+        def writer_a(env):
+            yield env.timeout(1)
+            _bump("k", "a")
+
+        def writer_b(env):
+            yield env.timeout(1)
+            SHARED["k"] = "b"
+
+        def driver(env):
+            env.process(writer_a(env))
+            env.process(writer_b(env))
+    """
+    findings = check(src, rule="RACE001")
+    assert findings, "write via a helper must be attributed to the process"
+    assert any("via" in f.message for f in findings)
+
+
+def test_race001_fires_on_mutating_method_calls(check):
+    src = """
+        PENDING = []
+
+        def producer_a(env):
+            yield env.timeout(1)
+            PENDING.append("a")
+
+        def producer_b(env):
+            yield env.timeout(1)
+            PENDING.append("b")
+
+        def driver(env):
+            env.process(producer_a(env))
+            env.process(producer_b(env))
+    """
+    assert check(src, rule="RACE001")
+
+
+def test_race001_quiet_for_single_writer(check):
+    src = """
+        SHARED = {}
+
+        def writer(env):
+            yield env.timeout(1)
+            SHARED["k"] = "a"
+
+        def reader(env):
+            yield env.timeout(1)
+            return len(SHARED)
+
+        def driver(env):
+            env.process(writer(env))
+            env.process(reader(env))
+    """
+    assert check(src, rule="RACE001") == []
+
+
+def test_race001_quiet_when_spawn_edge_orders_writers(check):
+    # The spawner runs-before the spawnee's first step: ordered, no race.
+    src = """
+        SHARED = {}
+
+        def child(env):
+            yield env.timeout(1)
+            SHARED["k"] = "child"
+
+        def parent(env):
+            SHARED["k"] = "parent"
+            env.process(child(env))
+            yield env.timeout(2)
+
+        def driver(env):
+            env.process(parent(env))
+    """
+    assert check(src, rule="RACE001") == []
+
+
+def test_race001_quiet_for_local_and_instance_state(check):
+    src = """
+        class Worker:
+            def __init__(self):
+                self.seen = {}
+
+            def run(self, env):
+                local = {}
+                yield env.timeout(1)
+                local["k"] = 1
+                self.seen["k"] = 1
+
+        def driver(env, a, b):
+            env.process(a.run(env))
+            env.process(b.run(env))
+    """
+    assert check(src, rule="RACE001") == []
+
+
+def test_race001_quiet_for_non_process_writers(check):
+    src = """
+        SHARED = {}
+
+        def setup_a():
+            SHARED["k"] = "a"
+
+        def setup_b():
+            SHARED["k"] = "b"
+    """
+    assert check(src, rule="RACE001") == []
+
+
+def test_race001_resolves_cross_module_aliases(tmp_path):
+    """`from state import SHARED` in two modules is one shared object."""
+    from repro.lint import LintConfig
+    from repro.lint.engine import lint_paths
+
+    (tmp_path / "src" / "repro").mkdir(parents=True)
+    pkg = tmp_path / "src" / "repro"
+    (pkg / "state.py").write_text("SHARED = {}\n")
+    (pkg / "mod_a.py").write_text(
+        "from repro.state import SHARED\n"
+        "def writer_a(env):\n"
+        "    yield env.timeout(1)\n"
+        "    SHARED['k'] = 'a'\n"
+        "def go_a(env):\n"
+        "    env.process(writer_a(env))\n"
+    )
+    (pkg / "mod_b.py").write_text(
+        "import repro.state as state\n"
+        "def writer_b(env):\n"
+        "    yield env.timeout(1)\n"
+        "    state.SHARED['k'] = 'b'\n"
+        "def go_b(env):\n"
+        "    env.process(writer_b(env))\n"
+    )
+    result = lint_paths([tmp_path / "src"], root=tmp_path, config=LintConfig())
+    race = [f for f in result.findings if f.rule == "RACE001"]
+    assert len(race) == 2
+    assert all("repro.state.SHARED" in f.message for f in race)
+
+
+# -- RACE002: foreign scheduler-queue access ----------------------------------
+
+
+def test_race002_fires_on_foreign_queue_mutation(check):
+    src = """
+        def meddler(env, sched, job):
+            yield env.timeout(1)
+            sched.queue.remove(job)
+
+        def driver(env, sched, job):
+            env.process(meddler(env, sched, job))
+    """
+    findings = check(src, rule="RACE002")
+    assert len(findings) == 1
+    assert "sched.queue" in findings[0].message
+
+
+def test_race002_fires_on_foreign_queue_iteration(check):
+    src = """
+        def spy(env, scheduler):
+            yield env.timeout(1)
+            for job in scheduler.pending:
+                job.touch()
+
+        def driver(env, scheduler):
+            env.process(spy(env, scheduler))
+    """
+    findings = check(src, rule="RACE002")
+    assert len(findings) == 1
+    assert "iterates" in findings[0].message
+
+
+def test_race002_quiet_for_owning_scheduler(check):
+    src = """
+        class Sched:
+            def __init__(self):
+                self.queue = []
+
+            def _wakeup(self, env):
+                yield env.timeout(1)
+                self.queue.append("job")
+
+        def driver(env, sched):
+            env.process(sched._wakeup(env))
+    """
+    assert check(src, rule="RACE002") == []
+
+
+def test_race002_quiet_outside_process_functions(check):
+    src = """
+        def report(sched):
+            return len(sched.queue)
+    """
+    assert check(src, rule="RACE002") == []
+
+
+def test_race002_quiet_for_non_scheduler_receivers(check):
+    # `.pending` on something not named like a scheduler is not flagged.
+    src = """
+        def proc(env, tracker):
+            yield env.timeout(1)
+            tracker.pending.append(1)
+
+        def driver(env, tracker):
+            env.process(proc(env, tracker))
+    """
+    assert check(src, rule="RACE002") == []
+
+
+# -- RACE003: unordered iteration feeding a decision --------------------------
+
+
+def test_race003_fires_on_set_iteration_with_placement(check):
+    src = """
+        def placer(env, sched, nodes):
+            yield env.timeout(1)
+            for n in set(nodes):
+                sched.submit(n)
+
+        def driver(env, sched, nodes):
+            env.process(placer(env, sched, nodes))
+    """
+    findings = check(src, rule="RACE003")
+    assert len(findings) == 1
+    assert "submit" in findings[0].message
+
+
+def test_race003_fires_on_shared_dict_view(check):
+    src = """
+        RETRIES = {}
+
+        def retrier(env, rm):
+            yield env.timeout(1)
+            for job in RETRIES.keys():
+                rm.retry(job)
+
+        def driver(env, rm):
+            env.process(retrier(env, rm))
+    """
+    findings = check(src, rule="RACE003")
+    assert len(findings) == 1
+    assert "RETRIES" in findings[0].message
+
+
+def test_race003_quiet_when_sorted(check):
+    src = """
+        def placer(env, sched, nodes):
+            yield env.timeout(1)
+            for n in sorted(set(nodes)):
+                sched.submit(n)
+
+        def driver(env, sched, nodes):
+            env.process(placer(env, sched, nodes))
+    """
+    assert check(src, rule="RACE003") == []
+
+
+def test_race003_quiet_without_decision_call(check):
+    src = """
+        def counter(env, nodes):
+            yield env.timeout(1)
+            total = 0
+            for n in set(nodes):
+                total += n.cores
+            return total
+
+        def driver(env, nodes):
+            env.process(counter(env, nodes))
+    """
+    assert check(src, rule="RACE003") == []
+
+
+def test_race003_quiet_outside_process_functions(check):
+    src = """
+        def placer(sched, nodes):
+            for n in set(nodes):
+                sched.submit(n)
+    """
+    assert check(src, rule="RACE003") == []
+
+
+# -- RACE004: mutable default / class-attribute state -------------------------
+
+
+def test_race004_fires_on_mutable_default(check):
+    src = """
+        def proc(env, seen=[]):
+            yield env.timeout(1)
+            seen.append(env.now)
+
+        def driver(env):
+            env.process(proc(env))
+    """
+    findings = check(src, rule="RACE004")
+    assert len(findings) == 1
+    assert "mutable default" in findings[0].message
+
+
+def test_race004_fires_on_class_attribute(check):
+    src = """
+        class Agent:
+            inbox = []
+
+            def run(self, env):
+                yield env.timeout(1)
+                self.inbox.append(env.now)
+
+        def driver(env, agent):
+            env.process(agent.run(env))
+    """
+    findings = check(src, rule="RACE004")
+    assert len(findings) == 1
+    assert "inbox" in findings[0].message
+
+
+def test_race004_quiet_for_none_default_and_init_state(check):
+    src = """
+        class Agent:
+            def __init__(self):
+                self.inbox = []
+
+            def run(self, env, seen=None):
+                seen = [] if seen is None else seen
+                yield env.timeout(1)
+                self.inbox.append(env.now)
+
+        def driver(env, agent):
+            env.process(agent.run(env))
+    """
+    assert check(src, rule="RACE004") == []
+
+
+def test_race004_quiet_outside_process_functions(check):
+    src = """
+        def helper(seen=[]):
+            seen.append(1)
+
+        class Plain:
+            cache = {}
+    """
+    assert check(src, rule="RACE004") == []
+
+
+# -- scoping / engine integration ---------------------------------------------
+
+
+def test_race_rules_respect_path_scope(check):
+    # Default scope: RACE polices src/repro/* only.
+    findings = check(RACY_WRITERS, rule="RACE001", relpath="tests/fake_test.py")
+    assert findings == []
+
+
+def test_race_findings_are_suppressible(lint):
+    src = """
+        SHARED = {}
+
+        def writer_a(env):
+            yield env.timeout(1)
+            SHARED["k"] = "a"  # simlint: disable=RACE001 -- last-writer-wins is intended here
+
+        def writer_b(env):
+            yield env.timeout(1)
+            SHARED["k"] = "b"  # simlint: disable=RACE001 -- last-writer-wins is intended here
+
+        def driver(env):
+            env.process(writer_a(env))
+            env.process(writer_b(env))
+    """
+    result = lint(src)
+    assert [f for f in result.findings if f.rule == "RACE001"] == []
+    assert len([s for f, s in result.suppressed if f.rule == "RACE001"]) == 2
+
+
+def test_race_rules_listed_in_catalog():
+    from repro.lint.report import render_rule_catalog
+
+    catalog = render_rule_catalog()
+    for rule_id in ("RACE001", "RACE002", "RACE003", "RACE004"):
+        assert rule_id in catalog

@@ -1,0 +1,56 @@
+"""A deliberately order-sensitive scenario: simsan's positive control.
+
+Two processes started at the same simulated instant both write
+``SHARED["winner"]`` with different values, and a third process makes
+a timing decision off whoever won.  Every simsan layer must catch it:
+
+* the static pass flags the two unordered writes (RACE001),
+* the sanitizer reports the same-instant write-write pair,
+* the batch-permutation checker sees the trace diverge (the decider's
+  span length depends on dispatch order).
+
+Keep this module lint-shaped like library code — the static test lints
+its source under a ``src/repro/`` relpath.
+"""
+
+from repro.obs import enable_tracing, to_jsonl
+from repro.sanitizer import WatchedDict
+from repro.simkernel import Environment
+
+SHARED = WatchedDict(label="shared-config")
+
+
+def writer_a(env):
+    SHARED["winner"] = "a"
+    yield env.timeout(1.0)
+
+
+def writer_b(env):
+    SHARED["winner"] = "b"
+    yield env.timeout(1.0)
+
+
+def decider(env):
+    yield env.timeout(0.5)
+    span = env.tracer.start("decision", category="fixture", component="race")
+    # The race made visible: which writer's value survived decides the
+    # simulated duration, so batch order moves a span endpoint.
+    yield env.timeout(1.0 if SHARED["winner"] == "a" else 5.0)
+    span.tag(winner=SHARED["winner"]).finish()
+
+
+def build(env):
+    """Spawn the racing writers plus the order-sensitive decider."""
+    SHARED.clear()
+    env.process(writer_a(env), name="writer-a")
+    env.process(writer_b(env), name="writer-b")
+    env.process(decider(env), name="decider")
+
+
+def trace(env=None):
+    """Run the scenario with tracing; returns the JSONL trace text."""
+    env = env if env is not None else Environment()
+    tracer = enable_tracing(env)
+    build(env)
+    env.run(until=10.0)
+    return to_jsonl(tracer, include_metrics=True)
